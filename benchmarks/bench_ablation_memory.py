@@ -1,0 +1,56 @@
+"""Ablation: SPU benefit when data is *not* L1-resident.
+
+The paper assumes all code and data in L1 (§5.2.1).  Sweeping the load-to-
+use latency shows how memory stalls dilute the SPU's benefit: the permutes
+it removes are register-to-register work, so as loads dominate, both
+variants converge.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table, ratio
+from repro.cpu import PipelineConfig
+from repro.kernels import DCTKernel, DotProductKernel, TransposeKernel
+
+KERNELS = (DotProductKernel, TransposeKernel, DCTKernel)
+LATENCIES = (1, 2, 4, 8)
+
+
+def _run():
+    results = {}
+    for cls in KERNELS:
+        kernel = cls()
+        for latency in LATENCIES:
+            mmx = PipelineConfig(memory_latency=latency)
+            spu = PipelineConfig(memory_latency=latency, extra_stage=True)
+            results[(kernel.name, latency)] = kernel.compare(
+                pipeline_mmx=mmx, pipeline_spu=spu
+            )
+    return results
+
+
+def test_memory_latency_ablation(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [name, latency, comparison.mmx.cycles, comparison.spu.cycles,
+         ratio(comparison.speedup)]
+        for (name, latency), comparison in results.items()
+    ]
+    text = format_table(
+        ["Kernel", "Load latency", "MMX cycles", "SPU cycles", "Speedup"],
+        rows,
+        title="Ablation: SPU benefit vs load-to-use latency (L1 assumption)",
+    )
+    emit("ablation_memory", text)
+
+    for cls in KERNELS:
+        name = cls().name
+        fast = results[(name, 1)].speedup
+        slow = results[(name, LATENCIES[-1])].speedup
+        # Memory stalls dilute the SPU's relative benefit.
+        assert slow <= fast + 1e-9, name
+        # Longer latency always costs the baseline cycles.
+        assert (
+            results[(name, LATENCIES[-1])].mmx.cycles
+            > results[(name, 1)].mmx.cycles
+        ), name

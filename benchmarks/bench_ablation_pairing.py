@@ -1,0 +1,58 @@
+"""Ablation: how much permute cost the U/V pairing already hides.
+
+The paper's speedups are 4-20% rather than the raw permute fraction because
+dual issue pairs many permutes with computation for free.  Comparing single-
+issue and dual-issue machines quantifies that: with pairing disabled, the
+SPU's relative benefit grows.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table, ratio
+from repro.cpu import PipelineConfig
+from repro.kernels import DCTKernel, DotProductKernel, FIR12Kernel, TransposeKernel
+
+KERNELS = (DotProductKernel, TransposeKernel, FIR12Kernel, DCTKernel)
+
+
+def _run(issue_width):
+    rows = {}
+    for cls in KERNELS:
+        kernel = cls()
+        mmx = PipelineConfig(issue_width=issue_width)
+        spu = PipelineConfig(issue_width=issue_width, extra_stage=True)
+        comparison = kernel.compare(pipeline_mmx=mmx, pipeline_spu=spu)
+        rows[kernel.name] = comparison
+    return rows
+
+
+def test_pairing_ablation(benchmark):
+    dual = benchmark.pedantic(lambda: _run(2), rounds=1, iterations=1)
+    single = _run(1)
+    rows = []
+    for name in dual:
+        rows.append([
+            name,
+            dual[name].mmx.cycles,
+            single[name].mmx.cycles,
+            ratio(single[name].mmx.cycles / dual[name].mmx.cycles, 2),
+            ratio(dual[name].speedup),
+            ratio(single[name].speedup),
+        ])
+    text = format_table(
+        ["Kernel", "Dual cycles", "Single cycles", "Pairing gain",
+         "SPU speedup (dual)", "SPU speedup (single)"],
+        rows,
+        title="Ablation: U/V pairing vs SPU benefit",
+    )
+    emit("ablation_pairing", text)
+
+    for name in dual:
+        # Pairing always helps the baseline...
+        assert single[name].mmx.cycles > dual[name].mmx.cycles, name
+        # ...and the SPU wins in both issue modes.  (Whether pairing shrinks
+        # or grows the SPU's *relative* margin is kernel-dependent: permutes
+        # that paired for free lose nothing, permutes that serialized on the
+        # shift/pack unit gain doubly — the printed table shows both cases.)
+        assert single[name].speedup >= 1.0, name
+        assert dual[name].speedup >= 1.0, name

@@ -1,0 +1,52 @@
+"""Ablation: SPU-aware recoding vs automatic off-load of MMX-shaped code.
+
+§5.2.2: "the code that was used for this study was highly optimized given
+the MMX architecture, and not necessarily the optimal code for an MMX that
+has been augmented with the SPU ... the improvements seen here represent a
+lower estimate."  The hand-tuned FIR collapses each horizontal reduction
+into a single route-swapped ``paddd`` — and lands on the paper's ~8% FIR
+number, while the conservative automatic pass gets ~4%.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table, ratio
+from repro.kernels import FIR12Kernel, FIR22Kernel, MatMulKernel
+
+
+def _run():
+    results = {}
+    for cls in (FIR12Kernel, FIR22Kernel, MatMulKernel):
+        kernel = cls()
+        comparison = kernel.compare()
+        tuned_stats, _ = kernel.run_spu_tuned()
+        results[kernel.name] = (comparison, tuned_stats)
+    return results
+
+
+def test_tuned_vs_offload(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for name, (comparison, tuned) in results.items():
+        rows.append([
+            name,
+            comparison.mmx.cycles,
+            comparison.spu.cycles,
+            tuned.cycles,
+            ratio(comparison.speedup),
+            ratio(comparison.mmx.cycles / tuned.cycles),
+        ])
+    text = format_table(
+        ["Kernel", "MMX", "SPU (auto off-load)", "SPU (hand-tuned)",
+         "auto speedup", "tuned speedup"],
+        rows,
+        title="Ablation: SPU-aware recoding (paper's 'lower estimate' remark)",
+    )
+    emit("ablation_tuned", text)
+
+    for name, (comparison, tuned) in results.items():
+        assert tuned.cycles < comparison.spu.cycles, name
+    # FIR12 tuned reaches the paper's ~8% figure.
+    fir12_comparison, fir12_tuned = results["FIR12"]
+    tuned_speedup = fir12_comparison.mmx.cycles / fir12_tuned.cycles
+    assert 1.06 < tuned_speedup < 1.12

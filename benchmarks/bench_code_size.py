@@ -1,0 +1,48 @@
+"""Ablation: code size — SPU vs sub-word operand addressing (§3).
+
+The paper rejects adding six sub-word address bits per MMX operand because
+it "would change the instruction set architecture and increase the code size
+significantly"; the SPU keeps the instruction stream smaller by *removing*
+permutes instead.  We measure static code size for all three alternatives.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table, pct
+from repro.isa import encode_subword_addressing, program_size
+from repro.kernels import DCTKernel, DotProductKernel, FIR12Kernel, TransposeKernel
+
+KERNELS = (DotProductKernel, TransposeKernel, FIR12Kernel, DCTKernel)
+
+
+def _measure():
+    rows = []
+    for cls in KERNELS:
+        kernel = cls()
+        mmx_program = kernel.mmx_program()
+        spu_program, _ = kernel.spu_programs()
+        mmx_size = program_size(mmx_program)
+        spu_size = program_size(spu_program)
+        subword_size = encode_subword_addressing(mmx_program)
+        rows.append([
+            kernel.name, mmx_size, spu_size, subword_size,
+            pct(spu_size / mmx_size - 1), pct(subword_size / mmx_size - 1),
+        ])
+    return rows
+
+
+def test_code_size_comparison(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = format_table(
+        ["Kernel", "MMX bytes", "MMX+SPU bytes", "Subword-addr bytes",
+         "SPU delta", "Subword delta"],
+        rows,
+        title="Ablation: static code size (paper §3's ISA-change argument)",
+    )
+    emit("code_size", text)
+
+    for row in rows:
+        name, mmx_size, spu_size, subword_size = row[0], row[1], row[2], row[3]
+        # The SPU variant is never larger; the ISA-change alternative always is.
+        assert spu_size <= mmx_size, name
+        assert subword_size > mmx_size, name

@@ -1,0 +1,65 @@
+"""Extension workloads: byte-granularity kernels vs interconnect granularity.
+
+SAD (motion estimation) and RGBA→luma conversion widen *bytes* — the
+sub-word size Table 1's cheap configuration D cannot address (16-bit
+ports).  This bench quantifies the flexibility/cost trade-off §5.1.1
+gestures at: "typically, full byte-level flexibility is not needed" holds
+for the paper's kernels but not for these.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table, ratio
+from repro.core import CONFIG_A, CONFIG_B, CONFIG_D
+from repro.hw import spu_cost
+from repro.kernels import (
+    ColorSpaceKernel,
+    IDCTKernel,
+    MatVecKernel,
+    SADKernel,
+    ViterbiKernel,
+)
+
+KERNELS = (SADKernel, ColorSpaceKernel, MatVecKernel, IDCTKernel, ViterbiKernel)
+CONFIGS = (CONFIG_D, CONFIG_B, CONFIG_A)
+
+
+def _sweep():
+    rows = []
+    for cls in KERNELS:
+        for config in CONFIGS:
+            kernel = cls(config=config)
+            comparison = kernel.compare()
+            rows.append([
+                kernel.name,
+                config.name,
+                f"{config.port_bits}-bit",
+                comparison.removed_permutes,
+                ratio(comparison.speedup),
+                ratio(spu_cost(config).total_area_mm2, 2),
+            ])
+    return rows
+
+
+def test_extension_kernels(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["Kernel", "Config", "Granularity", "Permutes removed", "Speedup",
+         "SPU mm2"],
+        rows,
+        title="Extension kernels: byte-granularity workloads need configs A/B",
+    )
+    emit("extension_kernels", text)
+
+    by_key = {(row[0], row[1]): row for row in rows}
+    # Config D cannot route SAD's byte unpacks at all.
+    assert int(by_key[("SAD", "D")][3]) == 0
+    assert float(by_key[("SAD", "D")][4]) < 1.01
+    # The byte-port configurations unlock the byte-granularity kernels.
+    for name in ("SAD", "ColorSpace"):
+        assert float(by_key[(name, "A")][4]) > float(by_key[(name, "D")][4])
+        assert int(by_key[(name, "A")][3]) > 0
+        assert int(by_key[(name, "B")][3]) > 0
+    # Half-word workloads (Viterbi, matvec, IDCT) are served by config D.
+    for name in ("Viterbi", "MatrixVector", "IDCT"):
+        assert float(by_key[(name, "D")][4]) > 1.0, name

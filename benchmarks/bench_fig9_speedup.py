@@ -1,0 +1,32 @@
+"""Regenerates paper Figure 9: cycles on MMX vs MMX+SPU for all kernels.
+
+The headline result: SPU speedups with the published shape — FIR modest,
+IIR/FFT flat (they barely use the MMX), DCT/matmul/transpose largest.  The
+benchmark times a full MMX-vs-SPU comparison on the transpose kernel, the
+paper's strongest case.
+"""
+
+from conftest import emit
+
+from repro.analysis import fig9_chart
+from repro.experiments import fig9, paper_data
+from repro.kernels import TransposeKernel
+
+
+def test_fig9_regeneration(suite, benchmark):
+    benchmark.pedantic(lambda: TransposeKernel().compare(), rounds=3, iterations=1)
+    experiment = fig9(suite)
+    emit("fig9", experiment.text + "\n\n" + fig9_chart(suite.comparisons()))
+
+    speedups = {row[0]: float(row[3]) for row in experiment.rows}
+    # The SPU never loses.
+    assert all(value >= 0.999 for value in speedups.values())
+    # Low-MMX-utilization kernels barely move (§5.2.2).
+    for name in paper_data.FIG9_LOW_IMPACT:
+        assert speedups[name] < 1.05, name
+    # FIR gains modestly (paper: ~8%).
+    assert 1.0 < speedups["FIR12"] < 1.15
+    # Inter-word-bound kernels win the most (§5.2.3).
+    ranked = sorted(speedups, key=speedups.get, reverse=True)
+    assert set(ranked[:3]) <= set(paper_data.FIG9_HIGH_IMPACT) | {"FIR12"}
+    assert ranked[0] in paper_data.FIG9_HIGH_IMPACT

@@ -1,0 +1,53 @@
+"""§6 scaling study: the SPU on large register files.
+
+"We believe that the SPU design can be scaled to large register sets and
+provide significant performance and efficiency advantages" — priced here for
+an MMX-class file (8×64) and an Altivec-class file (32×128) across the three
+design options §6 names: restricted windows, pipelined interconnect and a
+multi-stage network.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table, ratio
+from repro.hw import design_options
+
+FILES = (("MMX-class", 8, 64), ("Altivec-class", 32, 128))
+
+
+def _sweep():
+    rows = []
+    for label, registers, bits in FILES:
+        for design in design_options(registers, bits):
+            rows.append([
+                label,
+                design.name,
+                ratio(design.area_mm2, 2),
+                ratio(design.delay_ns, 2),
+                design.pipeline_stages(2.0),
+                design.control_bits_per_state(),
+                "full" if design.full_reach else f"{design.window_regs} regs",
+            ])
+    return rows
+
+
+def test_scaling_study(benchmark):
+    rows = benchmark(_sweep)
+    text = format_table(
+        ["Register file", "Design", "Area mm2", "Delay ns", "Stages@2ns",
+         "Ctl bits/state", "Reach"],
+        rows,
+        title="§6 scaling study: interconnect options for large register files",
+    )
+    emit("scaling", text)
+
+    altivec = [row for row in rows if row[0] == "Altivec-class"]
+    full = next(row for row in altivec if row[1].startswith("crossbar"))
+    benes = next(row for row in altivec if row[1].startswith("benes"))
+    windowed = [row for row in altivec if row[1].startswith("window")]
+    # The full crossbar is impractical at Altivec scale...
+    assert float(full[2]) > 100
+    # ...the multi-stage network restores full reach at ~half the area...
+    assert float(benes[2]) < float(full[2])
+    # ...and windows are the cheapest option (the paper's configs B/D).
+    assert all(float(row[2]) < float(benes[2]) for row in windowed)

@@ -1,0 +1,24 @@
+"""Regenerates paper Table 2: branch statistics for the media algorithms.
+
+Each kernel's MMX-only run provides per-invocation branch counts; scaling
+to the published clock totals (the IPP harness ran each routine for ~1e10
+cycles) gives the side-by-side comparison.  The benchmark itself times the
+simulator on the FIR12 workload — the harness's bread-and-butter run.
+"""
+
+from conftest import emit
+
+from repro.experiments import table2
+from repro.kernels import FIR12Kernel
+
+
+def test_table2_regeneration(suite, benchmark):
+    kernel = FIR12Kernel()
+    benchmark.pedantic(lambda: kernel.run_mmx(), rounds=3, iterations=1)
+    experiment = table2(suite)
+    emit("table2", experiment.text)
+    # Media kernels mispredict only at loop exits; with the published run
+    # lengths the rates stay tiny (the paper's <0.16% observation).
+    for row in experiment.rows:
+        measured_rate = float(row[7].rstrip("%"))
+        assert measured_rate < 20.0, row[0]

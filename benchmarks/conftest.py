@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper table/figure: the rendered comparison is
+printed and also written to ``benchmarks/results/<name>.txt`` so the output
+survives pytest's capture.  The full (paper-faithful) workload sizes are
+used; the experiment suite is built once per session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentSuite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    """Full-size experiment suite (FFT1024 at its real length)."""
+    return ExperimentSuite(fast=False)

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Scenario: three ways to orchestrate sub-words (paper §6/§7).
+
+Runs the same two workloads under the three alternatives the paper
+discusses — MMX's fixed pack/unpack repertoire, an Altivec/TigerSHARC-style
+explicit ``vperm`` instruction, and the SPU — and prints the §7 scorecard:
+cycles, dynamic instructions, and static code size.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.analysis import format_table
+from repro.baselines import compare_baselines
+
+
+def main() -> None:
+    print("Three solutions to the sub-word data-alignment problem (§6/§7):")
+    print("  MMX   — explicit pack/unpack chains (the baseline ISA)")
+    print("  vperm — one powerful explicit permute per shuffle (Altivec-style)")
+    print("  SPU   — no instructions at all; the decoupled controller routes\n")
+
+    rows = []
+    for name in ("DotProduct", "MatrixTranspose"):
+        result = compare_baselines(name)
+        rows.append([name, "MMX", result.mmx.cycles,
+                     result.mmx.instructions, result.mmx_bytes])
+        rows.append(["", "vperm", result.vperm.cycles,
+                     result.vperm.instructions, result.vperm_bytes])
+        rows.append(["", "SPU", result.spu.cycles,
+                     result.spu.instructions, result.spu_bytes])
+    print(format_table(
+        ["kernel", "approach", "cycles", "dyn. instructions", "code bytes"],
+        rows,
+    ))
+    print(
+        "\n§7's argument, measured: the explicit-permute route is cycle-"
+        "competitive with MMX\nbut 'increases the code size and wastes "
+        "expensive resources ... like the\ninstruction fetch and decode "
+        "mechanism' — while the SPU deletes the permutes\nfrom the stream "
+        "entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Scenario: programming the SPU controller by hand (paper §4, Figures 6-8).
+
+Reproduces the paper's microprogramming walk-through without the compiler
+pass: a three-state controller program (two routed multiply states plus a
+straight state for the branch), CNTR0 = iterations × 3 exactly as §4
+computes it, staged into the controller through its memory-mapped registers
+by the simulated program itself.
+
+Run:  python examples/spu_programming.py
+"""
+
+import numpy as np
+
+from repro import CONFIG_D, Machine, SPUController, assemble, attach_spu
+from repro.core import (
+    DEFAULT_MMIO_BASE,
+    REG_CNTR0,
+    REG_CONFIG,
+    STATE_BASE,
+    STATE_STRIDE,
+    SPUProgramBuilder,
+    encode_program,
+    halfword_route,
+)
+
+ITERATIONS = 10
+
+
+def main() -> None:
+    # Want to calculate a*c, e*g, b*d, f*h (§4, Figure 5):
+    # mm0 = (a, b, c, d); mm1 = (e, f, g, h); results to memory.
+    # Routes deliver (a,e,b,f) and (c,g,d,h) to the multipliers implicitly.
+    r_aebf = halfword_route([(0, 0), (1, 0), (0, 1), (1, 1)])
+    r_cgdh = halfword_route([(0, 2), (1, 2), (0, 3), (1, 3)])
+
+    builder = SPUProgramBuilder(config=CONFIG_D, name="dot-product-ucode")
+    builder.loop(
+        [
+            {0: r_aebf, 1: r_cgdh},  # pmulhw mm2, mm3
+            {0: r_aebf, 1: r_cgdh},  # pmullw mm0, mm3  (routes override both)
+            None,  # straight state for the loop branch (Figure 7's row 3)
+            None,  # ...and the store
+            None,  # ...and the pointer update
+        ],
+        iterations=ITERATIONS,
+    )
+    ucode = builder.build()
+    print(f"Controller program: {ucode.state_count()} states, "
+          f"CNTR0 = {ucode.counter_init[0]} "
+          f"(= {ITERATIONS} iterations x 5 dynamic instructions, §4's formula)")
+
+    words = encode_program(ucode, CONFIG_D)
+    print("Encoded state words (Figure 6's horizontal microcode):")
+    for index, word in words.items():
+        print(f"  state {index}: {word:#018x}")
+
+    # The simulated program stages the microcode through MMIO and sets GO.
+    source_lines = [f"mov r14, {DEFAULT_MMIO_BASE}"]
+    for index, word in words.items():
+        offset = STATE_BASE + index * STATE_STRIDE
+        source_lines += [
+            f"mov r13, {word & 0xFFFFFFFF}",
+            f"stw [r14+{offset}], r13",
+            f"mov r13, {(word >> 32) & 0xFFFFFFFF}",
+            f"stw [r14+{offset + 4}], r13",
+        ]
+    source_lines += [
+        f"mov r13, {ucode.counter_init[0]}",
+        f"stw [r14+{REG_CNTR0}], r13",
+        f"mov r0, {ITERATIONS}",
+        "mov r2, 0x400",
+        "mov r13, 1",
+        f"stw [r14+{REG_CONFIG}], r13",  # GO — next instruction starts the loop
+        "loop:",
+        "    pmulhw mm2, mm3",
+        "    pmullw mm0, mm3",
+        "    movq [r2], mm0",
+        "    add r2, 8",
+        "    loop r0, loop",
+        "    halt",
+    ]
+    program = assemble("\n".join(source_lines), "mmio-demo")
+
+    machine = Machine(program)
+    controller = SPUController(config=CONFIG_D)
+    attach_spu(machine, controller)
+    a, b_, c, d = 3, 5, 7, 9
+    e, f, g, h = 2, 4, 6, 8
+    machine.state.mmx[0] = int.from_bytes(
+        np.array([a, b_, c, d], dtype=np.int16).tobytes(), "little")
+    machine.state.mmx[1] = int.from_bytes(
+        np.array([e, f, g, h], dtype=np.int16).tobytes(), "little")
+
+    stats = machine.run()
+    out = machine.memory.read_array(0x400, 4, np.int16)
+    print(f"\nRan {stats.instructions} instructions in {stats.cycles} cycles; "
+          f"controller stepped {controller.stats.steps} times and idled itself.")
+    print(f"Products (low halves): {out.tolist()}  "
+          f"expected: {[a * c, e * g, b_ * d, f * h]}")
+    assert out.tolist() == [a * c, e * g, b_ * d, f * h]
+    assert not controller.active
+    print("The five-instruction loop ran as three computational instructions "
+          "plus bookkeeping —\nno unpack instructions anywhere in the stream.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Scenario: 8×8 DCT of video residual blocks (the compression kernel).
+
+Streams eight 8×8 blocks of synthetic prediction residuals through the
+row-column DCT — the paper's highest-leverage case for the unified SPU
+register, since half the kernel is pure inter-word transposition — and
+checks the energy-compaction property that makes the DCT useful.
+
+Run:  python examples/video_dct.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.kernels import DCTKernel
+
+
+def make_residual_blocks(blocks: int = 8) -> np.ndarray:
+    """Smooth gradients plus mild texture — typical prediction residuals."""
+    rng = np.random.default_rng(42)
+    y, x = np.mgrid[0:8, 0:8]
+    out = np.empty((blocks, 8, 8), dtype=np.int16)
+    for index in range(blocks):
+        gradient = (index + 1) * 6 * x + (index + 2) * 4 * y - 150
+        texture = rng.normal(0, 6, (8, 8))
+        out[index] = np.clip(gradient + texture, -256, 255).astype(np.int16)
+    return out
+
+
+def main() -> None:
+    kernel = DCTKernel(blocks=8)
+    kernel.block = make_residual_blocks(8)
+    kernel.verify()
+
+    _, coefficients = kernel.run_mmx()
+    energy_total = float(np.sum(coefficients.astype(np.int64) ** 2))
+    low_band = coefficients[:, :4, :4]
+    energy_low = float(np.sum(low_band.astype(np.int64) ** 2))
+    print("8x8 DCT over 8 residual blocks (Q12 fixed point)")
+    print(f"  energy in the low-frequency 4x4 corner: "
+          f"{energy_low / energy_total:.1%} of total "
+          "(energy compaction: the property codecs quantize against)")
+
+    comparison = kernel.compare()
+    rows = [[
+        "DCT",
+        comparison.mmx.cycles,
+        comparison.spu.cycles,
+        f"{comparison.speedup:.3f}",
+        comparison.removed_permutes,
+        f"{comparison.mmx.mmx_busy_fraction:.0%}",
+    ]]
+    print()
+    print(format_table(
+        ["kernel", "MMX cycles", "MMX+SPU cycles", "speedup",
+         "permutes off-loaded", "MMX busy"],
+        rows,
+    ))
+    print("\nThe two transpose passes between the row DCTs are pure inter-word "
+          "data movement;\nthe SPU absorbs them into the four controller contexts "
+          "(§5.2.3's 'quite a bit more\nimpressive' case).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Analysis tools: profiler, branch statistics, overlap accounting, reports."""
+
+from repro.analysis.branch_stats import BranchRow, branch_row, scale_to_paper
+from repro.analysis.overlap import OverlapRow, overlap_row
+from repro.analysis.profiler import InstructionProfile, profile
+from repro.analysis.report import format_table, pct, ratio, sci
+
+__all__ = [
+    "BranchRow",
+    "branch_row",
+    "scale_to_paper",
+    "OverlapRow",
+    "overlap_row",
+    "InstructionProfile",
+    "profile",
+    "format_table",
+    "pct",
+    "ratio",
+    "sci",
+]
+
+from repro.analysis.loops import LoopProfile, LoopRegion, find_loop_regions, profile_loops
+from repro.analysis.chart import fig9_chart
+
+__all__ += [
+    "LoopProfile",
+    "LoopRegion",
+    "find_loop_regions",
+    "profile_loops",
+    "fig9_chart",
+]
+
+from repro.analysis.startup import StartupCost, measure_startup_cost
+
+__all__ += ["StartupCost", "measure_startup_cost"]

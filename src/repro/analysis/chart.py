@@ -1,0 +1,42 @@
+"""ASCII rendering of Figure 9: paired bars with the hashed MMX portion.
+
+The paper's figure shows, per benchmark, the MMX-only and MMX+SPU cycle
+bars, with a hashed region marking the fraction of cycles the MMX engine is
+executing.  We draw the same thing in text: ``#`` for MMX-busy cycles, ``-``
+for the rest.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import KernelComparison
+
+BAR_WIDTH = 48
+
+
+def _bar(cycles: int, busy_fraction: float, scale: float) -> str:
+    length = max(1, round(cycles * scale))
+    hashed = round(length * busy_fraction)
+    return "#" * hashed + "-" * (length - hashed)
+
+
+def fig9_chart(comparisons: dict[str, KernelComparison]) -> str:
+    """Render the Figure 9 bars for a set of kernel comparisons."""
+    if not comparisons:
+        return "(no data)"
+    longest = max(c.mmx.cycles for c in comparisons.values())
+    scale = BAR_WIDTH / longest if longest else 1.0
+    name_width = max(len(name) for name in comparisons) + 2
+    lines = [
+        "Figure 9 — cycles executed (# = MMX engine busy, - = other)",
+        "",
+    ]
+    for name, comparison in comparisons.items():
+        mmx_bar = _bar(comparison.mmx.cycles, comparison.mmx.mmx_busy_fraction, scale)
+        spu_bar = _bar(comparison.spu.cycles, comparison.spu.mmx_busy_fraction, scale)
+        lines.append(f"{name:<{name_width}} MMX     |{mmx_bar} {comparison.mmx.cycles}")
+        lines.append(
+            f"{'':<{name_width}} MMX+SPU |{spu_bar} {comparison.spu.cycles}"
+            f"  ({comparison.speedup:.3f}x)"
+        )
+        lines.append("")
+    return "\n".join(lines)

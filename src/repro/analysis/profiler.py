@@ -1,0 +1,82 @@
+"""VTune-like dynamic instruction profiler (the paper's §5.2.1 methodology).
+
+The paper extracted run-time statistics with Intel's VTune: "we can see what
+percentage of each algorithm's operations are MMX instructions, and what
+percentage ... were packing or permutation instructions that are required
+for sub-word realignment."  :func:`profile` collects exactly that from a
+simulated run: per-mnemonic dynamic counts, class mix, MMX fraction and the
+permutation/alignment fractions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.cpu import Machine, RunStats
+from repro.isa.opcodes import InstrClass
+
+
+@dataclass
+class InstructionProfile:
+    """Dynamic instruction mix of one run."""
+
+    stats: RunStats
+    by_opcode: Counter = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        return self.stats.instructions
+
+    @property
+    def mmx_fraction(self) -> float:
+        """MMX instructions as a fraction of all dynamic instructions."""
+        return self.stats.mmx_instructions / self.total if self.total else 0.0
+
+    @property
+    def permute_fraction_of_mmx(self) -> float:
+        """Pack/merge/realignment instructions as a fraction of MMX work.
+
+        Uses the alignment-candidate count (pack/unpack/shuffle plus
+        ``movq mm,mm`` copies and whole-byte shifts) — the instruction set
+        the paper's SPU targets.
+        """
+        mmx = self.stats.mmx_instructions
+        return self.stats.alignment_candidates / mmx if mmx else 0.0
+
+    @property
+    def permute_fraction_of_total(self) -> float:
+        return self.stats.alignment_candidates / self.total if self.total else 0.0
+
+    def top_opcodes(self, count: int = 10) -> list[tuple[str, int]]:
+        """The most frequent mnemonics (dynamic)."""
+        return self.by_opcode.most_common(count)
+
+    def class_mix(self) -> dict[str, float]:
+        """Dynamic fraction per functional class."""
+        if not self.total:
+            return {}
+        return {
+            iclass.value: count / self.total
+            for iclass, count in sorted(
+                self.stats.by_class.items(), key=lambda kv: -kv[1]
+            )
+        }
+
+
+def profile(machine: Machine, max_cycles: int | None = None) -> InstructionProfile:
+    """Run *machine* to completion while collecting the instruction mix."""
+    by_opcode: Counter = Counter()
+    previous_hook = machine.on_issue
+
+    def hook(instr) -> None:
+        by_opcode[instr.name] += 1
+        if previous_hook is not None:
+            previous_hook(instr)
+
+    machine.on_issue = hook
+    try:
+        stats = machine.run(max_cycles=max_cycles)
+    finally:
+        machine.on_issue = previous_hook
+    return InstructionProfile(stats=stats, by_opcode=by_opcode)

@@ -1,0 +1,19 @@
+"""Comparison baselines: the explicit-permute alternatives of §6/§7."""
+
+from repro.baselines.vperm import (
+    BaselineResult,
+    compare_baselines,
+    dotprod_vperm_program,
+    halfwords,
+    transpose_vperm_program,
+    vperm_control,
+)
+
+__all__ = [
+    "BaselineResult",
+    "compare_baselines",
+    "dotprod_vperm_program",
+    "halfwords",
+    "transpose_vperm_program",
+    "vperm_control",
+]

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``table1`` / ``table2`` / ``table3`` / ``fig9``
+    Regenerate the corresponding paper table/figure and print the
+    measured-vs-published comparison (``--fast`` shrinks FFT1024).
+``run KERNEL``
+    Verify one kernel and print its MMX vs MMX+SPU comparison.
+``list``
+    List the available kernels with their Table 2 descriptions.
+``cost [--config X]``
+    Print the SPU hardware cost summary (Table 1 row + die fraction).
+``offload KERNEL``
+    Show the off-load pass's transformation for a kernel's first loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_table, pct, ratio
+from repro.core import get_config, offload_loop
+from repro.experiments import ExperimentSuite, fig9, table1, table2, table3
+from repro.hw import spu_cost
+from repro.kernels import ALL_KERNELS, make_kernel
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.command == "table1":
+        print(table1().text)
+        return 0
+    suite = ExperimentSuite(fast=args.fast)
+    runner = {"table2": table2, "table3": table3, "fig9": fig9}[args.command]
+    print(runner(suite).text)
+    if args.command == "fig9":
+        from repro.analysis import fig9_chart
+
+        print()
+        print(fig9_chart(suite.comparisons()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kernel = make_kernel(args.kernel)
+    print(f"Verifying {kernel.name} ({kernel.description}) ...")
+    kernel.verify()
+    print("  both variants match the fixed-point reference bit-exactly")
+    comparison = kernel.compare()
+    rows = [
+        ["cycles", comparison.mmx.cycles, comparison.spu.cycles],
+        ["instructions", comparison.mmx.instructions, comparison.spu.instructions],
+        ["alignment instructions", comparison.mmx.alignment_candidates,
+         comparison.spu.alignment_candidates],
+        ["branches / mispredicts",
+         f"{comparison.mmx.branches} / {comparison.mmx.mispredicts}",
+         f"{comparison.spu.branches} / {comparison.spu.mispredicts}"],
+        ["MMX busy", pct(comparison.mmx.mmx_busy_fraction, 1),
+         pct(comparison.spu.mmx_busy_fraction, 1)],
+    ]
+    print(format_table(["metric", "MMX only", "MMX + SPU"], rows))
+    print(f"speedup: {ratio(comparison.speedup)}x "
+          f"({comparison.removed_permutes} static permutes off-loaded)")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [[name, cls().description] for name, cls in ALL_KERNELS.items()]
+    print(format_table(["kernel", "workload"], rows))
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    config = get_config(args.config)
+    cost = spu_cost(config, contexts=args.contexts)
+    rows = [
+        ["interconnect area (0.25um)", f"{cost.interconnect_area_mm2:.2f} mm2"],
+        ["interconnect delay", f"{cost.interconnect_delay_ns:.2f} ns"],
+        ["control memory", f"{cost.control_memory_mm2:.2f} mm2 "
+         f"({cost.control_memory_bits} bits, {cost.state_bits}b/state)"],
+        ["total (0.25um 2LM)", f"{cost.total_area_mm2:.2f} mm2"],
+        ["scaled (0.18um 6LM)", f"{cost.scaled_area_mm2:.3f} mm2"],
+        ["Pentium III die fraction", pct(cost.die_fraction)],
+    ]
+    print(format_table([f"SPU configuration {config.name}",
+                        config.description], rows))
+    return 0
+
+
+def _cmd_offload(args: argparse.Namespace) -> int:
+    kernel = make_kernel(args.kernel)
+    program = kernel.mmx_program()
+    spec = kernel.loops()[0]
+    report = offload_loop(program, spec.label, spec.iterations, kernel.config,
+                          live_out=spec.live_out)
+    print(f"loop {spec.label!r}: removed {report.removed_count} instruction(s):")
+    for index in report.removed:
+        print(f"  - {program[index]}")
+    if report.kept:
+        print("kept (with reasons):")
+        for position, reason in sorted(report.kept.items()):
+            print(f"  - {program[report.loop_start + position]}: {reason}")
+    print(f"SPU program: {report.spu_program.state_count()} states, "
+          f"counters {report.spu_program.counter_init}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core import offload_program, render_program
+    from repro.isa import assemble
+
+    source = Path(args.file).read_text()
+    program = assemble(source, name=Path(args.file).stem)
+    result = offload_program(program, get_config(args.config))
+    if not result.accelerated:
+        print("no loops accelerated")
+        for label, reason in result.skipped.items():
+            print(f"  {label}: {reason}")
+        return 1
+    print(f"; accelerated loops: {', '.join(result.accelerated)} "
+          f"({result.removed} permutes removed)")
+    for label, reason in result.skipped.items():
+        print(f"; skipped {label}: {reason}")
+    print(result.program)
+    for context, spu_program in result.controller_programs:
+        print(f"\n; --- controller context {context} ---")
+        print("; " + render_program(spu_program).replace("\n", "\n; "))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import write_report
+
+    path = write_report(args.output, fast=args.fast)
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPU reproduction (Oliver/Akella/Chong, SPAA 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "table3", "fig9"):
+        table_parser = sub.add_parser(name, help=f"regenerate {name}")
+        table_parser.add_argument("--fast", action="store_true",
+                                  help="shrink FFT1024 for quick runs")
+        table_parser.set_defaults(func=_cmd_table)
+
+    run_parser = sub.add_parser("run", help="verify and compare one kernel")
+    run_parser.add_argument("kernel", choices=sorted(ALL_KERNELS))
+    run_parser.set_defaults(func=_cmd_run)
+
+    list_parser = sub.add_parser("list", help="list kernels")
+    list_parser.set_defaults(func=_cmd_list)
+
+    cost_parser = sub.add_parser("cost", help="SPU hardware cost summary")
+    cost_parser.add_argument("--config", default="D", help="configuration A-D")
+    cost_parser.add_argument("--contexts", type=int, default=1)
+    cost_parser.set_defaults(func=_cmd_cost)
+
+    offload_parser = sub.add_parser("offload", help="show the off-load transform")
+    offload_parser.add_argument("kernel", choices=sorted(ALL_KERNELS))
+    offload_parser.set_defaults(func=_cmd_offload)
+
+    compile_parser = sub.add_parser(
+        "compile", help="compile a plain .asm file into its SPU-accelerated form"
+    )
+    compile_parser.add_argument("file", help="assembly source file")
+    compile_parser.add_argument("--config", default="D", help="configuration A-D")
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    report_parser = sub.add_parser(
+        "report", help="run the full evaluation and write REPORT.md"
+    )
+    report_parser.add_argument("--output", default="REPORT.md")
+    report_parser.add_argument("--fast", action="store_true")
+    report_parser.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,245 @@
+"""High-level construction of SPU controller programs.
+
+Kernels describe routes at *byte* granularity against the architectural
+register file — ``(register, byte)`` pairs — and the builder converts and
+validates them for the target interconnect configuration.  Loop helpers
+compute the dynamic-instruction counter values the way §4's example does
+(CNTR0 = iterations × instructions-per-iteration) and wire the next-state
+chains, including the two-level nesting the pair of counters supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SPUProgramError
+from repro.core.interconnect import CONFIG_D, CrossbarConfig, OperandRoute
+from repro.core.program import DEFAULT_NUM_STATES, SPUProgram, SPUState
+from repro.core.spu_register import byte_address
+from repro.isa.registers import MMX_BYTES
+
+#: Spec for one routed byte: (mmx_register_index, byte_offset) or None.
+ByteSpec = tuple[int, int] | None
+
+
+def byte_route(specs: list[ByteSpec]) -> tuple:
+    """Absolute byte route from ``(reg, byte)`` specs (None = straight)."""
+    if len(specs) != MMX_BYTES:
+        raise SPUProgramError(f"byte route needs {MMX_BYTES} specs, got {len(specs)}")
+    return tuple(None if s is None else byte_address(s[0], s[1]) for s in specs)
+
+
+def halfword_route(specs: list[tuple[int, int] | None]) -> tuple:
+    """Byte route from ``(reg, halfword)`` specs (None = straight half-word)."""
+    if len(specs) != MMX_BYTES // 2:
+        raise SPUProgramError(
+            f"half-word route needs {MMX_BYTES // 2} specs, got {len(specs)}"
+        )
+    bytes_out: list[ByteSpec] = []
+    for spec in specs:
+        if spec is None:
+            bytes_out.extend([None, None])
+        else:
+            reg, hw = spec
+            if not 0 <= hw < MMX_BYTES // 2:
+                raise SPUProgramError(f"half-word offset {hw} out of range")
+            bytes_out.extend([(reg, 2 * hw), (reg, 2 * hw + 1)])
+    return byte_route(bytes_out)
+
+
+def identity_route(reg: int) -> tuple:
+    """Route that explicitly re-fetches register *reg* (useful in tests)."""
+    return byte_route([(reg, b) for b in range(MMX_BYTES)])
+
+
+@dataclass
+class StateSpec:
+    """One loop-body state: byte-granularity routes per operand slot.
+
+    ``routes`` maps slot (0 = destination-as-source, 1 = second source) to an
+    8-entry byte route (see :func:`byte_route`).  An empty dict is a straight
+    state — emitted for scalar/branch instructions in the loop body, which
+    still advance the controller's dynamic-instruction counters.
+    """
+
+    routes: dict[int, tuple] | None = None
+
+    def resolved(self, config: CrossbarConfig) -> dict[int, OperandRoute]:
+        if not self.routes:
+            return {}
+        resolved: dict[int, OperandRoute] = {}
+        for slot, route in self.routes.items():
+            if len(route) == config.granules_per_operand:
+                # Already in the config's granule space (possibly with §6
+                # operand modes); for 8-bit ports this coincides with the
+                # byte-route form.
+                config.check_route(route)
+                resolved[slot] = tuple(route)
+            else:
+                resolved[slot] = config.check_byte_route(route)
+        return resolved
+
+
+STRAIGHT = StateSpec()
+
+
+class SPUProgramBuilder:
+    """Builds :class:`SPUProgram` images state by state or loop by loop."""
+
+    def __init__(
+        self,
+        config: CrossbarConfig = CONFIG_D,
+        num_states: int = DEFAULT_NUM_STATES,
+        name: str = "spu-program",
+    ) -> None:
+        self.config = config
+        self._program = SPUProgram(num_states=num_states, name=name)
+        self._next_free = 0
+        self._counters: list[int | None] = [None, None]
+
+    @property
+    def idle(self) -> int:
+        return self._program.idle_state
+
+    def _allocate(self, count: int) -> int:
+        first = self._next_free
+        if first + count > self.idle:
+            raise SPUProgramError(
+                f"program needs {first + count} states; only {self.idle} available"
+            )
+        self._next_free += count
+        return first
+
+    def _set_counter(self, cntr: int, value: int) -> None:
+        if value <= 0:
+            raise SPUProgramError(f"counter {cntr} init must be positive, got {value}")
+        existing = self._counters[cntr]
+        if existing is not None and existing != value:
+            raise SPUProgramError(
+                f"counter {cntr} already set to {existing}; cannot reset to {value}"
+            )
+        self._counters[cntr] = value
+
+    # ---- raw state ------------------------------------------------------------
+
+    def add_state(
+        self,
+        spec: StateSpec | dict | None = None,
+        *,
+        cntr: int = 0,
+        next0: int | None = None,
+        next1: int | None = None,
+    ) -> int:
+        """Add one explicit state; next fields default to the idle state."""
+        if isinstance(spec, dict):
+            spec = StateSpec(routes=spec)
+        elif spec is None:
+            spec = STRAIGHT
+        index = self._allocate(1)
+        self._program.add_state(
+            index,
+            SPUState(
+                cntr=cntr,
+                routes=spec.resolved(self.config),
+                next0=self.idle if next0 is None else next0,
+                next1=self.idle if next1 is None else next1,
+            ),
+        )
+        return index
+
+    # ---- loops -----------------------------------------------------------------
+
+    def loop(
+        self,
+        body: list[StateSpec | dict | None],
+        iterations: int,
+        *,
+        counter: int = 0,
+        exit_to: int | None = None,
+    ) -> int:
+        """A single-level zero-overhead loop over *body* states.
+
+        One state per dynamic instruction of the loop body (§4): the counter
+        is initialized to ``iterations × len(body)``, every state's ``next0``
+        points at the exit (idle by default), and ``next1`` chains cyclically.
+        Returns the index of the first state.
+        """
+        if not body:
+            raise SPUProgramError("loop body must contain at least one state")
+        if iterations <= 0:
+            raise SPUProgramError(f"iterations must be positive, got {iterations}")
+        first = self._allocate(len(body))
+        exit_state = self.idle if exit_to is None else exit_to
+        self._set_counter(counter, iterations * len(body))
+        for offset, raw in enumerate(body):
+            spec = raw if isinstance(raw, StateSpec) else StateSpec(routes=raw)
+            index = first + offset
+            next_in_chain = first + (offset + 1) % len(body)
+            self._program.add_state(
+                index,
+                SPUState(
+                    cntr=counter,
+                    routes=spec.resolved(self.config),
+                    next0=exit_state,
+                    next1=next_in_chain,
+                ),
+            )
+        return first
+
+    def two_level_loop(
+        self,
+        inner: list[StateSpec | dict | None],
+        inner_iterations: int,
+        outer: list[StateSpec | dict | None],
+        outer_iterations: int,
+    ) -> int:
+        """Nested loops using both counters (the paper's two-level limit, §4).
+
+        Shape: ``inner^inner_iterations  outer  (back to inner)`` repeated
+        *outer_iterations* times.  CNTR0 covers the inner chain and
+        auto-reloads on exit; CNTR1 counts outer-state visits.
+        """
+        if not inner or not outer:
+            raise SPUProgramError("both loop bodies must be non-empty")
+        if inner_iterations <= 0 or outer_iterations <= 0:
+            raise SPUProgramError("iteration counts must be positive")
+        inner_first = self._allocate(len(inner))
+        outer_first = self._allocate(len(outer))
+        self._set_counter(0, inner_iterations * len(inner))
+        self._set_counter(1, outer_iterations * len(outer))
+        for offset, raw in enumerate(inner):
+            spec = raw if isinstance(raw, StateSpec) else StateSpec(routes=raw)
+            self._program.add_state(
+                inner_first + offset,
+                SPUState(
+                    cntr=0,
+                    routes=spec.resolved(self.config),
+                    next0=outer_first,
+                    next1=inner_first + (offset + 1) % len(inner),
+                ),
+            )
+        for offset, raw in enumerate(outer):
+            spec = raw if isinstance(raw, StateSpec) else StateSpec(routes=raw)
+            last = offset == len(outer) - 1
+            self._program.add_state(
+                outer_first + offset,
+                SPUState(
+                    cntr=1,
+                    routes=spec.resolved(self.config),
+                    next0=self.idle,
+                    next1=inner_first if last else outer_first + offset + 1,
+                ),
+            )
+        return inner_first
+
+    # ---- finish --------------------------------------------------------------------
+
+    def build(self, entry: int = 0) -> SPUProgram:
+        """Finalize: set counters and entry, validate against the config."""
+        self._program.entry = entry
+        self._program.counter_init = (
+            self._counters[0] if self._counters[0] is not None else 0,
+            self._counters[1] if self._counters[1] is not None else 0,
+        )
+        self._program.validate(self.config)
+        return self._program

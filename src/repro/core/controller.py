@@ -1,0 +1,206 @@
+"""The decoupled SPU controller (Figure 8).
+
+A K-state state machine (K = 128 in the paper) advanced once per dynamic MMX
+instruction while active.  Each step emits the current state's operand routes,
+decrements the state's selected counter, and follows ``next0`` (counter hit
+zero — the counter auto-reloads to its programmed value, giving zero-overhead
+nested loops) or ``next1`` otherwise.  Reaching the idle state (127) disables
+the SPU and resets both counters (§4).
+
+Multiple contexts hold independent program/counter banks for fast switching
+(§3: "The SPU can support several copies of the SPU control registers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SPUProgramError
+from repro.core.interconnect import CONFIG_D, CrossbarConfig
+from repro.core.program import DEFAULT_NUM_STATES, SPUProgram, SPUState
+
+
+@dataclass
+class ControllerStats:
+    """Counters describing controller activity for Table 3 accounting."""
+
+    steps: int = 0
+    activations: int = 0
+    routed_steps: int = 0
+    context_switches: int = 0
+
+
+class SPUController:
+    """Decoupled controller: contexts, zero-overhead counters, idle state."""
+
+    def __init__(
+        self,
+        config: CrossbarConfig = CONFIG_D,
+        num_states: int = DEFAULT_NUM_STATES,
+        contexts: int = 1,
+    ) -> None:
+        if num_states < 2:
+            raise SPUProgramError("controller needs at least 2 states (one + idle)")
+        if contexts < 1:
+            raise SPUProgramError("controller needs at least one context")
+        self.config = config
+        self.num_states = num_states
+        self._programs: list[SPUProgram | None] = [None] * contexts
+        self.context = 0
+        self._active = False
+        # Per-context control-register copies (§3): current state + counters
+        # survive a context switch, so an exception handler can suspend one
+        # loop, run another context, and resume where it left off (§4).
+        self._current_by_ctx: list[int] = [num_states - 1] * contexts
+        self._counters_by_ctx: list[list[int]] = [[0, 0] for _ in range(contexts)]
+        self.stats = ControllerStats()
+
+    # ---- structural properties ------------------------------------------------
+
+    @property
+    def idle_state(self) -> int:
+        return self.num_states - 1
+
+    @property
+    def contexts(self) -> int:
+        return len(self._programs)
+
+    @property
+    def active(self) -> bool:
+        """True while the state machine is running (not idle)."""
+        return self._active
+
+    @property
+    def _current(self) -> int:
+        return self._current_by_ctx[self.context]
+
+    @_current.setter
+    def _current(self, value: int) -> None:
+        self._current_by_ctx[self.context] = value
+
+    @property
+    def _counters(self) -> list[int]:
+        return self._counters_by_ctx[self.context]
+
+    @_counters.setter
+    def _counters(self, value: list[int]) -> None:
+        self._counters_by_ctx[self.context] = list(value)
+
+    @property
+    def current_state(self) -> int:
+        return self._current
+
+    @property
+    def counters(self) -> tuple[int, int]:
+        """Live counter values of the selected context."""
+        return (self._counters[0], self._counters[1])
+
+    def program(self, context: int | None = None) -> SPUProgram | None:
+        return self._programs[self.context if context is None else context]
+
+    # ---- programming ------------------------------------------------------------
+
+    def load_program(self, program: SPUProgram, context: int = 0) -> None:
+        """Install *program* into a context bank (validates against the config)."""
+        if not 0 <= context < self.contexts:
+            raise SPUProgramError(f"context {context} out of range (have {self.contexts})")
+        if program.num_states != self.num_states:
+            raise SPUProgramError(
+                f"program sized for K={program.num_states}, controller has "
+                f"K={self.num_states}"
+            )
+        program.validate(self.config)
+        self._programs[context] = program
+
+    def switch_context(self, context: int) -> None:
+        """Select another control-register bank (fast context switch, §3)."""
+        if not 0 <= context < self.contexts:
+            raise SPUProgramError(f"context {context} out of range (have {self.contexts})")
+        if self._active:
+            raise SPUProgramError("cannot switch contexts while the SPU is active")
+        if context != self.context:
+            self.context = context
+            self.stats.context_switches += 1
+
+    # ---- activation (the GO bit) ----------------------------------------------------
+
+    def go(self, context: int | None = None) -> None:
+        """Activate: load counters, jump to the entry state (§4's GO bit)."""
+        if context is not None:
+            self.switch_context(context)
+        program = self._programs[self.context]
+        if program is None:
+            raise SPUProgramError(f"context {self.context} has no program loaded")
+        self._counters = list(program.counter_init)
+        self._current = program.entry
+        self._active = True
+        self.stats.activations += 1
+
+    def stop(self) -> None:
+        """Force-disable and reset the selected context to its initial state."""
+        self._active = False
+        self._current = self.idle_state
+        program = self._programs[self.context]
+        if program is not None:
+            self._counters = list(program.counter_init)
+
+    def suspend(self) -> None:
+        """Disable while *preserving* the context's state and counters (§4).
+
+        The exception-handler pattern: suspend, optionally switch to a free
+        context and run it, then :meth:`resume` the interrupted loop.
+        """
+        self._active = False
+
+    def resume(self, context: int | None = None) -> None:
+        """Continue a suspended context exactly where :meth:`suspend` left it."""
+        if context is not None:
+            self.switch_context(context)
+        program = self._programs[self.context]
+        if program is None:
+            raise SPUProgramError(f"context {self.context} has no program loaded")
+        if self._current == self.idle_state:
+            raise SPUProgramError(
+                f"context {self.context} is idle (completed or never started);"
+                " use go() to restart it"
+            )
+        self._active = True
+
+    # ---- the per-instruction step -----------------------------------------------------
+
+    def peek(self) -> SPUState | None:
+        """Current state's word without advancing (None when idle)."""
+        if not self._active:
+            return None
+        return self._programs[self.context].states[self._current]
+
+    def step(self) -> SPUState | None:
+        """Advance one dynamic MMX instruction; returns the emitted state.
+
+        Sequencing per §4: emit the current state's routes, decrement the
+        selected counter; zero selects ``next0`` and reloads the counter,
+        otherwise ``next1``; landing on the idle state disables the SPU.
+        """
+        if not self._active:
+            return None
+        program = self._programs[self.context]
+        state = program.states[self._current]
+        self.stats.steps += 1
+        if state.routes:
+            self.stats.routed_steps += 1
+
+        self._counters[state.cntr] -= 1
+        if self._counters[state.cntr] <= 0:
+            # Zero-overhead loop exit: auto-restore the counter (§4).
+            self._counters[state.cntr] = program.counter_init[state.cntr]
+            next_index = state.next0
+        else:
+            next_index = state.next1
+
+        if next_index == self.idle_state:
+            self._active = False
+            self._current = self.idle_state
+            self._counters = list(program.counter_init)
+        else:
+            self._current = next_index
+        return state

@@ -1,0 +1,49 @@
+"""Rendering SPU controller programs as the paper's Figure 6/7 tables."""
+
+from __future__ import annotations
+
+from repro.core.interconnect import split_entry
+from repro.core.program import SPUProgram, SPUState
+
+
+def _render_route(route) -> str:
+    parts = []
+    for entry in route:
+        sel, mode = split_entry(entry)
+        if sel is None:
+            parts.append(".")
+        elif mode is None:
+            parts.append(str(sel))
+        else:
+            parts.append(f"{sel}{mode[0]}")
+    return "[" + " ".join(parts) + "]"
+
+
+def render_state(index: int, state: SPUState, idle: int) -> str:
+    """One microprogram row (Figure 7's layout)."""
+    if state.routes:
+        routes = " ".join(
+            f"op{slot}={_render_route(route)}"
+            for slot, route in sorted(state.routes.items())
+        )
+    else:
+        routes = "straight"
+    def name(target: int) -> str:
+        return "IDLE" if target == idle else str(target)
+
+    return (
+        f"state{index:<4d} CNTR{state.cntr}  {routes:<40s} "
+        f"next0={name(state.next0):<5s} next1={name(state.next1)}"
+    )
+
+
+def render_program(program: SPUProgram) -> str:
+    """The whole controller image as a Figure 6/7-style table."""
+    lines = [
+        f"SPU program {program.name!r}: {program.state_count()} states, "
+        f"entry={program.entry}, CNTR0={program.counter_init[0]}, "
+        f"CNTR1={program.counter_init[1]}, idle={program.idle_state}"
+    ]
+    for index in sorted(program.states):
+        lines.append(render_state(index, program.states[index], program.idle_state))
+    return "\n".join(lines)

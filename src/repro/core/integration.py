@@ -1,0 +1,93 @@
+"""Attaching the SPU to the simulated machine.
+
+:class:`AttachedSPU` implements the pipeline's ``SPUAttachment`` protocol: on
+every issued dynamic instruction (while the controller is active) it advances
+the decoupled state machine and, for MMX instructions with routed operand
+slots, mirrors the architectural MMX file into the unified SPU register and
+gathers the routed operand values through the crossbar.
+
+Routing reaches the two operand buses of the instruction's pipe — including a
+store's data operand: the U pipe reads store data through the same
+register-to-functional-unit path the crossbar intercepts (Figure 4).  The
+destination write-back stays architectural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.controller import SPUController
+from repro.core.mmio import DEFAULT_MMIO_BASE, MMIO_WINDOW_BYTES, SPUMMIO
+from repro.core.spu_register import SPURegister
+from repro.cpu.pipeline import Machine
+from repro.cpu.state import MachineState
+from repro.isa.instructions import Instruction
+from repro.isa.registers import Register
+
+
+@dataclass
+class AttachmentStats:
+    """Routing activity counters."""
+
+    instructions_seen: int = 0
+    routed_operands: int = 0
+    routed_instructions: int = 0
+
+
+class AttachedSPU:
+    """SPU controller + interconnect + unified register bound to a pipeline."""
+
+    def __init__(self, controller: SPUController) -> None:
+        self.controller = controller
+        self.register = SPURegister()
+        self.stats = AttachmentStats()
+
+    @property
+    def active(self) -> bool:
+        return self.controller.active
+
+    def routes_for(self, instr: Instruction, state: MachineState) -> dict[int, int] | None:
+        """Advance the controller for one dynamic instruction; route operands."""
+        if not self.controller.active:
+            return None
+        spu_state = self.controller.step()
+        self.stats.instructions_seen += 1
+        if spu_state is None or spu_state.is_straight or not instr.is_mmx:
+            return None
+        # Mirror the architectural file into the unified register (§3) just
+        # before the operand read, so routes see up-to-date sub-words.
+        self.register.load_from_mmx(state.mmx)
+        config = self.controller.config
+        values: dict[int, int] = {}
+        for slot, route in spu_state.routes.items():
+            if slot >= len(instr.operands):
+                continue
+            operand = instr.operands[slot]
+            if not (isinstance(operand, Register) and operand.is_mmx):
+                continue  # only MMX register sources pass through the crossbar
+            straight = state.read(operand)
+            values[slot] = config.apply(route, self.register, straight)
+        if not values:
+            return None
+        self.stats.routed_operands += len(values)
+        self.stats.routed_instructions += 1
+        return values
+
+
+def attach_spu(
+    machine: Machine,
+    controller: SPUController,
+    mmio_base: int | None = DEFAULT_MMIO_BASE,
+) -> AttachedSPU:
+    """Bind *controller* to *machine*; optionally map its MMIO window.
+
+    Returns the :class:`AttachedSPU`; with ``mmio_base`` set (default
+    ``0xF0000``) the program under simulation can program the controller
+    through stores, as the paper's memory-mapped interface specifies (§3).
+    Pass ``mmio_base=None`` for host-side-only control.
+    """
+    spu = AttachedSPU(controller)
+    machine.spu = spu
+    if mmio_base is not None:
+        machine.memory.map_device(mmio_base, MMIO_WINDOW_BYTES, SPUMMIO(controller))
+    return spu

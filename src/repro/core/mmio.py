@@ -1,0 +1,204 @@
+"""Memory-mapped programming interface of the SPU controller (§3, §4).
+
+The SPU's control registers are memory mapped; a program running on the
+simulated machine configures the controller with ordinary stores and starts
+it by writing the GO bit to the configuration register.
+
+Register map (offsets within the window; all registers 64-bit, and partial
+stores of 1/2/4 bytes merge read-modify-write):
+
+=========  =============================================================
+offset     register
+=========  =============================================================
+``0x00``   CONFIG — write bit 0 = GO (activate selected context), bits
+           2:1 = context select; writing 0 stops the SPU
+``0x08``   CNTR0 initial value
+``0x10``   CNTR1 initial value
+``0x18``   STATUS (read-only) — bit 0 active, bits 15:8 current state
+``0x20``   ENTRY — entry state index
+``0x100``  state words, 32 bytes (256 bits) per state, state *s* at
+           ``0x100 + 32*s``
+=========  =============================================================
+
+State words are staged per-context; GO decodes the staged image into an
+:class:`~repro.core.program.SPUProgram`, loads it and activates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SPUProgramError
+from repro.core.controller import SPUController
+from repro.core.program import SPUProgram, decode_state, state_word_bits
+
+#: Default placement of the SPU window in the simulated address space.
+DEFAULT_MMIO_BASE = 0xF0000
+
+REG_CONFIG = 0x00
+REG_CNTR0 = 0x08
+REG_CNTR1 = 0x10
+REG_STATUS = 0x18
+REG_ENTRY = 0x20
+STATE_BASE = 0x100
+STATE_STRIDE = 32  # bytes reserved per state word
+
+#: Window size: control registers + 128 state slots.
+MMIO_WINDOW_BYTES = STATE_BASE + 128 * STATE_STRIDE
+
+
+def emit_upload(
+    builder,
+    program: "SPUProgram",
+    config,
+    context: int = 0,
+    base_reg: str = "r14",
+    scratch_reg: str = "r13",
+    *,
+    go: bool = True,
+) -> int:
+    """Emit instructions that stage *program* into the controller via MMIO.
+
+    Generates the §4 programming sequence — state-word stores, counter
+    initializations, entry register, optional GO — into *builder* (a
+    :class:`~repro.isa.assembler.ProgramBuilder` whose *base_reg* already
+    holds the MMIO window base).  Returns the number of instructions
+    emitted, the quantity behind the paper's start-up-cost discussion.
+    """
+    from repro.core.program import encode_program
+
+    emitted = 0
+    words = encode_program(program, config)
+    word_bytes = (state_word_bits(config) + 7) // 8
+    for index, word in sorted(words.items()):
+        offset = STATE_BASE + index * STATE_STRIDE
+        for chunk_start in range(0, word_bytes, 4):
+            chunk = (word >> (8 * chunk_start)) & 0xFFFFFFFF
+            builder.mov(scratch_reg, chunk)
+            builder.stw(f"[{base_reg}+{offset + chunk_start}]", scratch_reg)
+            emitted += 2
+    for reg_offset, value in ((REG_CNTR0, program.counter_init[0]),
+                              (REG_CNTR1, program.counter_init[1])):
+        builder.mov(scratch_reg, value)
+        builder.stw(f"[{base_reg}+{reg_offset}]", scratch_reg)
+        emitted += 2
+    builder.mov(scratch_reg, program.entry)
+    builder.stw(f"[{base_reg}+{REG_ENTRY}]", scratch_reg)
+    emitted += 2
+    if go:
+        builder.mov(scratch_reg, 1 | (context << 1))
+        builder.stw(f"[{base_reg}]", scratch_reg)
+        emitted += 2
+    return emitted
+
+
+class SPUMMIO:
+    """MMIO device translating stores into controller programming."""
+
+    def __init__(self, controller: SPUController) -> None:
+        self.controller = controller
+        if state_word_bits(controller.config) > STATE_STRIDE * 8:
+            raise SPUProgramError(
+                "state word exceeds the 256-bit MMIO state slot for this config"
+            )
+        contexts = controller.contexts
+        self._staged_words: list[dict[int, bytearray]] = [dict() for _ in range(contexts)]
+        self._staged_cntr: list[list[int]] = [[0, 0] for _ in range(contexts)]
+        self._staged_entry: list[int] = [0] * contexts
+        self._selected = 0
+
+    # ---- helpers ------------------------------------------------------------
+
+    def _state_slot(self, offset: int) -> tuple[int, int] | None:
+        if offset < STATE_BASE:
+            return None
+        index, within = divmod(offset - STATE_BASE, STATE_STRIDE)
+        if index >= self.controller.num_states:
+            raise SPUProgramError(f"MMIO write beyond state memory (state {index})")
+        return index, within
+
+    def _stage_bytes(self, index: int) -> bytearray:
+        words = self._staged_words[self._selected]
+        if index not in words:
+            words[index] = bytearray(STATE_STRIDE)
+        return words[index]
+
+    def _assemble_program(self, context: int) -> SPUProgram:
+        words = self._staged_words[context]
+        if not words:
+            raise SPUProgramError(f"GO with no states staged for context {context}")
+        program = SPUProgram(
+            counter_init=tuple(self._staged_cntr[context]),
+            entry=self._staged_entry[context],
+            num_states=self.controller.num_states,
+            name=f"mmio-context{context}",
+        )
+        for index, raw in sorted(words.items()):
+            word = int.from_bytes(bytes(raw), "little")
+            program.add_state(index, decode_state(word, self.controller.config))
+        return program
+
+    # ---- MMIODevice interface ------------------------------------------------
+
+    def mmio_store(self, offset: int, size: int, value: int) -> None:
+        slot = self._state_slot(offset)
+        if slot is not None:
+            index, within = slot
+            if within + size > STATE_STRIDE:
+                raise SPUProgramError("state-word store crosses a state boundary")
+            raw = self._stage_bytes(index)
+            raw[within : within + size] = value.to_bytes(size, "little")
+            return
+        if offset == REG_CONFIG:
+            context = (value >> 1) & 0b11
+            if value & 1:
+                if value & 0b1000:
+                    # RESUME bit (§4's exception-handler return path):
+                    # continue the suspended context where it left off.
+                    self.controller.resume(context=context)
+                else:
+                    # Hybrid flow: if nothing is staged through MMIO but the
+                    # host pre-loaded a program, GO just activates it.
+                    if self._staged_words[context]:
+                        program = self._assemble_program(context)
+                        self.controller.load_program(program, context=context)
+                    self.controller.go(context=context)
+            else:
+                # Writing 0 suspends, preserving the context's state (§4:
+                # "the exception handler disables the SPU by writing to the
+                # SPU control register").
+                self.controller.suspend()
+            self._selected = context
+            return
+        if offset == REG_CNTR0:
+            self._staged_cntr[self._selected][0] = value
+            return
+        if offset == REG_CNTR1:
+            self._staged_cntr[self._selected][1] = value
+            return
+        if offset == REG_ENTRY:
+            self._staged_entry[self._selected] = value
+            return
+        if offset == REG_STATUS:
+            raise SPUProgramError("STATUS register is read-only")
+        raise SPUProgramError(f"store to unmapped SPU register offset {offset:#x}")
+
+    def mmio_load(self, offset: int, size: int) -> int:
+        mask = (1 << (8 * size)) - 1
+        slot = self._state_slot(offset)
+        if slot is not None:
+            index, within = slot
+            raw = self._staged_words[self._selected].get(index)
+            if raw is None:
+                return 0
+            return int.from_bytes(raw[within : within + size], "little")
+        if offset == REG_CONFIG:
+            return ((self._selected & 0b11) << 1 | int(self.controller.active)) & mask
+        if offset == REG_CNTR0:
+            return self._staged_cntr[self._selected][0] & mask
+        if offset == REG_CNTR1:
+            return self._staged_cntr[self._selected][1] & mask
+        if offset == REG_ENTRY:
+            return self._staged_entry[self._selected] & mask
+        if offset == REG_STATUS:
+            status = int(self.controller.active) | (self.controller.current_state << 8)
+            return status & mask
+        raise SPUProgramError(f"load from unmapped SPU register offset {offset:#x}")

@@ -1,0 +1,211 @@
+"""SPU controller programs: states, counters and their binary encoding.
+
+A controller program is horizontal microcode (Figure 6): each state holds a
+counter select bit (CNTRx), the interconnect configuration for that dynamic
+instruction's operands ("Output to SPU Interconnect"), and two next-state
+fields — ``next0`` taken when the selected counter reaches zero, ``next1``
+otherwise.  State 127 is the hard-wired idle state: reaching it disables the
+SPU and restores the counters to their programmed initial values (§4).
+
+Routes here are *operand-slot* routes: slot 0 is the destination-as-source
+operand of the instruction the state accompanies, slot 1 the second source
+operand.  (Physically the crossbar drives four operand buses — two pipes ×
+two operands; one controller state configures the two buses of one dynamic
+instruction, and a paired cycle consumes two states.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SPUProgramError
+from repro.core.interconnect import CrossbarConfig, OperandRoute
+
+#: Number of controller states in the paper's design point (K = 128, §3).
+DEFAULT_NUM_STATES = 128
+
+#: Operand slots routed per state (destination-as-source, second source).
+ROUTED_SLOTS = 2
+
+
+@dataclass(frozen=True)
+class SPUState:
+    """One microprogram word.
+
+    ``routes`` maps operand slot (0 or 1) to an :data:`OperandRoute`; missing
+    slots pass the architectural value straight through.
+    """
+
+    cntr: int = 0
+    routes: dict[int, OperandRoute] = field(default_factory=dict)
+    next0: int = DEFAULT_NUM_STATES - 1
+    next1: int = DEFAULT_NUM_STATES - 1
+
+    def __post_init__(self) -> None:
+        if self.cntr not in (0, 1):
+            raise SPUProgramError(f"CNTRx must select counter 0 or 1, got {self.cntr}")
+        for slot in self.routes:
+            if slot not in range(ROUTED_SLOTS):
+                raise SPUProgramError(f"route slot {slot} out of range (0..{ROUTED_SLOTS - 1})")
+
+    @property
+    def is_straight(self) -> bool:
+        """True when this state routes nothing (architectural pass-through)."""
+        return not self.routes
+
+
+@dataclass
+class SPUProgram:
+    """A full controller image: states plus counter initial values."""
+
+    states: dict[int, SPUState] = field(default_factory=dict)
+    #: Initial values of the two zero-overhead loop counters (dynamic
+    #: instruction counts; §4's example programs CNTR0 = 10 iterations × 3
+    #: instructions = 30).
+    counter_init: tuple[int, int] = (0, 0)
+    entry: int = 0
+    num_states: int = DEFAULT_NUM_STATES
+    name: str = "spu-program"
+
+    @property
+    def idle_state(self) -> int:
+        """Index of the hard-wired idle state (127 for K = 128)."""
+        return self.num_states - 1
+
+    def add_state(self, index: int, state: SPUState) -> None:
+        if not 0 <= index < self.num_states:
+            raise SPUProgramError(f"state index {index} out of range (K={self.num_states})")
+        if index == self.idle_state:
+            raise SPUProgramError(f"state {index} is the reserved idle state")
+        if index in self.states:
+            raise SPUProgramError(f"state {index} already defined")
+        self.states[index] = state
+
+    def validate(self, config: CrossbarConfig | None = None) -> None:
+        """Structural validation; with *config*, also route legality."""
+        if self.entry == self.idle_state or self.entry not in self.states:
+            raise SPUProgramError(
+                f"entry state {self.entry} is undefined or idle in {self.name!r}"
+            )
+        used_counters: set[int] = set()
+        for index, state in self.states.items():
+            for next_index, field_name in ((state.next0, "next0"), (state.next1, "next1")):
+                if not 0 <= next_index < self.num_states:
+                    raise SPUProgramError(
+                        f"state {index}: {field_name}={next_index} out of range"
+                    )
+                if next_index != self.idle_state and next_index not in self.states:
+                    raise SPUProgramError(
+                        f"state {index}: {field_name} targets undefined state {next_index}"
+                    )
+            used_counters.add(state.cntr)
+            if config is not None:
+                for route in state.routes.values():
+                    config.check_route(route)
+        for cntr in used_counters:
+            if self.counter_init[cntr] <= 0:
+                raise SPUProgramError(
+                    f"counter {cntr} is used but initialized to "
+                    f"{self.counter_init[cntr]} (must be positive)"
+                )
+
+    def state_count(self) -> int:
+        return len(self.states)
+
+
+# --- binary encoding (MMIO image) -------------------------------------------
+#
+# Practical state-word layout (little-endian bit order):
+#   [cntr:1][next0:7][next1:7] then per slot, per output granule:
+#   [valid:1][selector:config.select_bits]
+# The paper's Table 1 control-memory *size* formula (15 + route bits over the
+# full 4-bus crossbar) is modeled separately in repro.hw; this encoding is the
+# working image the MMIO interface transports.
+
+
+def state_word_bits(config: CrossbarConfig) -> int:
+    """Bit width of one encoded state word for *config*."""
+    per_granule = 1 + config.select_bits + config.mode_bits
+    return 15 + ROUTED_SLOTS * config.granules_per_operand * per_granule
+
+
+def encode_state(state: SPUState, config: CrossbarConfig) -> int:
+    """Encode one state to its binary word."""
+    from repro.core.interconnect import split_entry
+
+    word = state.cntr & 1
+    word |= (state.next0 & 0x7F) << 1
+    word |= (state.next1 & 0x7F) << 8
+    bit = 15
+    per_granule = 1 + config.select_bits + config.mode_bits
+    for slot in range(ROUTED_SLOTS):
+        route = state.routes.get(slot)
+        if route is not None:
+            config.check_route(route)
+        for granule in range(config.granules_per_operand):
+            entry = None if route is None else route[granule]
+            sel, mode = split_entry(entry)
+            if sel is not None:
+                word |= 1 << bit
+                word |= (sel & ((1 << config.select_bits) - 1)) << (bit + 1)
+                if mode is not None:
+                    # mode index 0 is "plain"; configured modes are 1-based
+                    mode_index = config.modes.index(mode) + 1
+                    word |= mode_index << (bit + 1 + config.select_bits)
+            bit += per_granule
+    return word
+
+
+def decode_state(word: int, config: CrossbarConfig) -> SPUState:
+    """Inverse of :func:`encode_state`."""
+    cntr = word & 1
+    next0 = (word >> 1) & 0x7F
+    next1 = (word >> 8) & 0x7F
+    routes: dict[int, OperandRoute] = {}
+    bit = 15
+    per_granule = 1 + config.select_bits + config.mode_bits
+    for slot in range(ROUTED_SLOTS):
+        entries: list = []
+        any_valid = False
+        for _ in range(config.granules_per_operand):
+            valid = (word >> bit) & 1
+            sel = (word >> (bit + 1)) & ((1 << config.select_bits) - 1)
+            entry: int | tuple | None = None
+            if valid:
+                entry = sel
+                if config.mode_bits:
+                    mode_index = (word >> (bit + 1 + config.select_bits)) & (
+                        (1 << config.mode_bits) - 1
+                    )
+                    if mode_index:
+                        entry = (sel, config.modes[mode_index - 1])
+                any_valid = True
+            entries.append(entry)
+            bit += per_granule
+        if any_valid:
+            routes[slot] = tuple(entries)
+    return SPUState(cntr=cntr, routes=routes, next0=next0, next1=next1)
+
+
+def encode_program(program: SPUProgram, config: CrossbarConfig) -> dict[int, int]:
+    """Encode every defined state; returns ``{state_index: word}``."""
+    program.validate(config)
+    return {index: encode_state(state, config) for index, state in program.states.items()}
+
+
+def decode_program(
+    words: dict[int, int],
+    config: CrossbarConfig,
+    counter_init: tuple[int, int],
+    entry: int = 0,
+    num_states: int = DEFAULT_NUM_STATES,
+    name: str = "spu-program",
+) -> SPUProgram:
+    """Rebuild a program from encoded state words."""
+    program = SPUProgram(
+        counter_init=counter_init, entry=entry, num_states=num_states, name=name
+    )
+    for index, word in sorted(words.items()):
+        program.add_state(index, decode_state(word, config))
+    program.validate(config)
+    return program

@@ -1,0 +1,99 @@
+"""The unified SPU register: a byte-addressable view of the MMX register file.
+
+The paper's SPU register is "simply a set of D flip-flops that are grouped
+into bytes" holding 512 bits — the full MM0..MM7 contents — giving the
+interconnect access to *all* sub-words in the register space and thereby
+eliminating inter-word restrictions (§3).  Byte ``8*r + j`` is byte ``j``
+(little-endian) of register ``MMr``.
+
+Reads return the whole register; writes update only the targeted bytes,
+matching "On each read of the SPU register, the entire register is read.  On
+writes to the SPU register, only those bits that are overwritten are changed."
+"""
+
+from __future__ import annotations
+
+from repro.errors import SPUProgramError
+from repro.isa.registers import MMX_BYTES, NUM_MMX_REGS
+from repro.simd import lanes
+
+#: Total bytes in the unified register (8 MMX registers × 8 bytes).
+SPU_REGISTER_BYTES = NUM_MMX_REGS * MMX_BYTES  # 64
+SPU_REGISTER_BITS = SPU_REGISTER_BYTES * 8  # 512
+
+
+class SPURegister:
+    """512-bit unified register shadowing MM0..MM7."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray(SPU_REGISTER_BYTES)
+
+    def __len__(self) -> int:
+        return SPU_REGISTER_BYTES
+
+    # ---- whole-register access -------------------------------------------
+
+    def read_all(self) -> bytes:
+        """Snapshot of all 64 bytes (the full-register read of §3)."""
+        return bytes(self._bytes)
+
+    def load_from_mmx(self, mmx_values: list[int]) -> None:
+        """Mirror the architectural MMX file into the SPU register."""
+        if len(mmx_values) != NUM_MMX_REGS:
+            raise SPUProgramError(
+                f"expected {NUM_MMX_REGS} MMX values, got {len(mmx_values)}"
+            )
+        for index, value in enumerate(mmx_values):
+            self.write_reg(index, value)
+
+    # ---- per-register access ----------------------------------------------
+
+    def write_reg(self, reg_index: int, value: int) -> None:
+        """Write one 64-bit register's bytes (a partial-register write)."""
+        if not 0 <= reg_index < NUM_MMX_REGS:
+            raise SPUProgramError(f"MMX register index {reg_index} out of range")
+        offset = reg_index * MMX_BYTES
+        self._bytes[offset : offset + MMX_BYTES] = lanes.bytes_of(value)
+
+    def read_reg(self, reg_index: int) -> int:
+        """Read one 64-bit register from the unified register."""
+        if not 0 <= reg_index < NUM_MMX_REGS:
+            raise SPUProgramError(f"MMX register index {reg_index} out of range")
+        offset = reg_index * MMX_BYTES
+        return lanes.from_bytes(bytes(self._bytes[offset : offset + MMX_BYTES]))
+
+    # ---- byte access --------------------------------------------------------
+
+    def read_byte(self, index: int) -> int:
+        if not 0 <= index < SPU_REGISTER_BYTES:
+            raise SPUProgramError(f"SPU register byte {index} out of range")
+        return self._bytes[index]
+
+    def write_byte(self, index: int, value: int) -> None:
+        if not 0 <= index < SPU_REGISTER_BYTES:
+            raise SPUProgramError(f"SPU register byte {index} out of range")
+        self._bytes[index] = value & 0xFF
+
+    def gather(self, byte_indices: list[int]) -> int:
+        """Assemble a 64-bit word from eight absolute byte addresses."""
+        if len(byte_indices) != MMX_BYTES:
+            raise SPUProgramError(
+                f"gather needs {MMX_BYTES} byte indices, got {len(byte_indices)}"
+            )
+        return lanes.from_bytes(bytes(self.read_byte(i) for i in byte_indices))
+
+
+def byte_address(reg_index: int, byte: int) -> int:
+    """Absolute SPU-register byte address of byte *byte* of ``MM{reg_index}``."""
+    if not 0 <= reg_index < NUM_MMX_REGS:
+        raise SPUProgramError(f"MMX register index {reg_index} out of range")
+    if not 0 <= byte < MMX_BYTES:
+        raise SPUProgramError(f"byte offset {byte} out of range")
+    return reg_index * MMX_BYTES + byte
+
+
+def halfword_address(reg_index: int, halfword: int) -> int:
+    """Absolute 16-bit-granule address of half-word *halfword* of ``MM{reg_index}``."""
+    if not 0 <= halfword < MMX_BYTES // 2:
+        raise SPUProgramError(f"half-word offset {halfword} out of range")
+    return reg_index * (MMX_BYTES // 2) + halfword

@@ -1,0 +1,43 @@
+"""CPU substrate: memory, machine state, executor, pairing, cycle pipeline."""
+
+from repro.cpu.branch import (
+    PREDICTORS,
+    AlwaysTaken,
+    Bimodal,
+    BranchPredictor,
+    GShare,
+    StaticBTFN,
+    make_predictor,
+)
+from repro.cpu.executor import ExecOutcome, effective_address, execute
+from repro.cpu.memory import Memory, MMIODevice
+from repro.cpu.pairing import can_pair
+from repro.cpu.pipeline import Machine, PipelineConfig, SPUAttachment
+from repro.cpu.state import Flags, MachineState
+from repro.cpu.stats import RunStats
+
+__all__ = [
+    "PREDICTORS",
+    "AlwaysTaken",
+    "Bimodal",
+    "BranchPredictor",
+    "GShare",
+    "StaticBTFN",
+    "make_predictor",
+    "ExecOutcome",
+    "effective_address",
+    "execute",
+    "Memory",
+    "MMIODevice",
+    "can_pair",
+    "Machine",
+    "PipelineConfig",
+    "SPUAttachment",
+    "Flags",
+    "MachineState",
+    "RunStats",
+]
+
+from repro.cpu.trace import Trace, TraceEntry, trace_run
+
+__all__ += ["Trace", "TraceEntry", "trace_run"]

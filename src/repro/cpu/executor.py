@@ -1,0 +1,290 @@
+"""Functional execution of instructions (architectural state changes only).
+
+The executor is timing-free: the pipeline model decides *when* an instruction
+issues, then calls :func:`execute` to apply its architectural effect.  SPU
+transparent permutation is supported through ``operand_values`` — a mapping
+from operand-slot index to a pre-routed 64-bit value that replaces the
+register-file read for that slot (the crossbar sits between the register file
+and the functional units, §3, so only *source* values are rerouted; the
+destination write is architectural as usual).
+
+Scalar comparisons set zero/sign flags from the 32-bit result; there is no
+overflow flag, so signed conditional branches are exact for operand distances
+below 2³¹ (always true for the media kernels' loop counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import simd
+from repro.errors import SimulationError
+from repro.cpu.memory import Memory
+from repro.cpu.state import MachineState
+from repro.isa.instructions import Instruction, Program
+from repro.isa.operands import Imm, Label, Mem
+from repro.isa.registers import SCALAR_MASK, Register
+
+
+@dataclass(frozen=True, slots=True)
+class ExecOutcome:
+    """Result of executing one instruction."""
+
+    next_pc: int
+    is_branch: bool = False
+    taken: bool = False
+    target: int | None = None
+
+
+def effective_address(mem: Mem, state: MachineState) -> int:
+    """Compute ``base + index*scale + disp`` from scalar registers."""
+    address = state.read(mem.base) + mem.disp
+    if mem.index is not None:
+        address += state.read(mem.index) * mem.scale
+    return address & SCALAR_MASK
+
+
+def _source_value(
+    instr: Instruction,
+    slot: int,
+    state: MachineState,
+    memory: Memory,
+    operand_values: dict[int, int] | None,
+    size: int = 8,
+) -> int:
+    """Value of operand *slot* as a source (register, memory or immediate)."""
+    if operand_values is not None and slot in operand_values:
+        return operand_values[slot]
+    operand = instr.operands[slot]
+    if isinstance(operand, Register):
+        return state.read(operand)
+    if isinstance(operand, Imm):
+        return operand.value
+    if isinstance(operand, Mem):
+        return memory.load(effective_address(operand, state), size)
+    raise SimulationError(f"operand {operand} cannot be read as a source")
+
+
+def _write_dest(instr: Instruction, value: int, state: MachineState, memory: Memory,
+                size: int = 8) -> None:
+    dest = instr.operands[0]
+    if isinstance(dest, Register):
+        state.write(dest, value)
+    elif isinstance(dest, Mem):
+        memory.store(effective_address(dest, state), size, value)
+    else:
+        raise SimulationError(f"operand {dest} cannot be written")
+
+
+# --- packed dispatch tables --------------------------------------------------
+
+_PACKED_BINARY = {
+    "padd": simd.padd,
+    "psub": simd.psub,
+    "padds": simd.padds,
+    "psubs": simd.psubs,
+    "paddus": simd.paddus,
+    "psubus": simd.psubus,
+    "pavg": simd.pavg,
+    "pcmpeq": simd.pcmpeq,
+    "pcmpgt": simd.pcmpgt,
+    "packss": simd.packss,
+    "packus": simd.packus,
+    "punpckl": simd.punpckl,
+    "punpckh": simd.punpckh,
+}
+
+_PACKED_BINARY_NOWIDTH = {
+    "pand": simd.pand,
+    "pandn": simd.pandn,
+    "por": simd.por,
+    "pxor": simd.pxor,
+    "pmullw": simd.pmullw,
+    "pmulhw": simd.pmulhw,
+    "pmulhuw": simd.pmulhuw,
+    "pmaddwd": simd.pmaddwd,
+    "pmuludq": simd.pmuludq,
+}
+
+_MINMAX = {
+    "pmins": (simd.pmin, True),
+    "pmaxs": (simd.pmax, True),
+    "pminu": (simd.pmin, False),
+    "pmaxu": (simd.pmax, False),
+}
+
+_SCALAR_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    # imul keeps the low 32 bits; signedness is irrelevant modulo 2^32.
+    "imul": lambda a, b: a * b,
+}
+
+_CONDITIONS = {
+    "jz": lambda f: f.zero,
+    "jnz": lambda f: not f.zero,
+    "js": lambda f: f.sign,
+    "jns": lambda f: not f.sign,
+    "jl": lambda f: f.sign,
+    "jge": lambda f: not f.sign,
+    "jle": lambda f: f.zero or f.sign,
+    "jg": lambda f: not (f.zero or f.sign),
+}
+
+_LOAD_SIZES = {"ldw": (4, False), "ldh": (2, False), "ldhs": (2, True), "ldb": (1, False)}
+_STORE_SIZES = {"stw": 4, "sth": 2, "stb": 1}
+
+
+def execute(
+    instr: Instruction,
+    state: MachineState,
+    memory: Memory,
+    program: Program,
+    operand_values: dict[int, int] | None = None,
+) -> ExecOutcome:
+    """Apply *instr* to *state*/*memory*; return control-flow outcome."""
+    sem = instr.opcode.sem
+    width = instr.opcode.width
+    pc = state.pc
+    fall_through = ExecOutcome(next_pc=pc + 1)
+
+    # --- MMX packed two-operand forms -----------------------------------
+    if sem in _PACKED_BINARY:
+        a = _source_value(instr, 0, state, memory, operand_values)
+        b = _source_value(instr, 1, state, memory, operand_values)
+        _write_dest(instr, _PACKED_BINARY[sem](a, b, width), state, memory)
+        return fall_through
+    if sem in _PACKED_BINARY_NOWIDTH:
+        a = _source_value(instr, 0, state, memory, operand_values)
+        b = _source_value(instr, 1, state, memory, operand_values)
+        _write_dest(instr, _PACKED_BINARY_NOWIDTH[sem](a, b), state, memory)
+        return fall_through
+    if sem in _MINMAX:
+        fn, signed = _MINMAX[sem]
+        a = _source_value(instr, 0, state, memory, operand_values)
+        b = _source_value(instr, 1, state, memory, operand_values)
+        _write_dest(instr, fn(a, b, width, signed=signed), state, memory)
+        return fall_through
+
+    # --- MMX shifts -------------------------------------------------------
+    if sem in ("psll", "psrl", "psra"):
+        value = _source_value(instr, 0, state, memory, operand_values)
+        count = _source_value(instr, 1, state, memory, operand_values)
+        fn = {"psll": simd.psll, "psrl": simd.psrl, "psra": simd.psra}[sem]
+        _write_dest(instr, fn(value, count, width), state, memory)
+        return fall_through
+
+    if sem == "vperm":
+        dst_val = _source_value(instr, 0, state, memory, operand_values)
+        src_val = _source_value(instr, 1, state, memory, operand_values)
+        control = _source_value(instr, 2, state, memory, operand_values) & 0xFFFFFFFF
+        pool = dst_val.to_bytes(8, "little") + src_val.to_bytes(8, "little")
+        out = bytes(pool[(control >> (4 * i)) & 0xF] for i in range(8))
+        _write_dest(instr, int.from_bytes(out, "little"), state, memory)
+        return fall_through
+
+    if sem == "pshufw":
+        src = _source_value(instr, 1, state, memory, operand_values)
+        order = _source_value(instr, 2, state, memory, operand_values) & 0xFF
+        selector = [(order >> (2 * i)) & 3 for i in range(4)]
+        _write_dest(instr, simd.permute_word(src, selector, 16), state, memory)
+        return fall_through
+
+    # --- MMX moves --------------------------------------------------------
+    if sem == "movq":
+        value = _source_value(instr, 1, state, memory, operand_values)
+        _write_dest(instr, value, state, memory)
+        return fall_through
+    if sem == "movd":
+        value = _source_value(instr, 1, state, memory, operand_values, size=4)
+        dest = instr.operands[0]
+        if isinstance(dest, Register) and dest.is_mmx:
+            state.write(dest, value & 0xFFFFFFFF)  # zero-extends to 64 bits
+        else:
+            _write_dest(instr, value & 0xFFFFFFFF, state, memory, size=4)
+        return fall_through
+
+    # --- scalar ALU -------------------------------------------------------
+    if sem == "mov":
+        state.write(instr.operands[0], _source_value(instr, 1, state, memory, None, size=4))
+        return fall_through
+    if sem in _SCALAR_BINOPS:
+        a = state.read(instr.operands[0])
+        b = _source_value(instr, 1, state, memory, None, size=4)
+        result = _SCALAR_BINOPS[sem](a, b) & SCALAR_MASK
+        state.write(instr.operands[0], result)
+        state.flags.set_from(result)
+        return fall_through
+    if sem in ("shl", "shr", "sar"):
+        a = state.read(instr.operands[0])
+        count = _source_value(instr, 1, state, memory, None) & 31
+        if sem == "shl":
+            result = (a << count) & SCALAR_MASK
+        elif sem == "shr":
+            result = a >> count
+        else:
+            signed = a - (1 << 32) if a >> 31 else a
+            result = (signed >> count) & SCALAR_MASK
+        state.write(instr.operands[0], result)
+        state.flags.set_from(result)
+        return fall_through
+    if sem == "cmp":
+        a = state.read(instr.operands[0])
+        b = _source_value(instr, 1, state, memory, None, size=4) & SCALAR_MASK
+        state.flags.set_from(a - b)
+        return fall_through
+    if sem in ("inc", "dec", "neg"):
+        a = state.read(instr.operands[0])
+        result = {"inc": a + 1, "dec": a - 1, "neg": -a}[sem] & SCALAR_MASK
+        state.write(instr.operands[0], result)
+        state.flags.set_from(result)
+        return fall_through
+    if sem == "lea":
+        state.write(instr.operands[0], effective_address(instr.operands[1], state))
+        return fall_through
+
+    # --- loads / stores ----------------------------------------------------
+    if sem in _LOAD_SIZES:
+        size, signed = _LOAD_SIZES[sem]
+        address = effective_address(instr.operands[1], state)
+        value = memory.load_signed(address, size) if signed else memory.load(address, size)
+        state.write(instr.operands[0], value)
+        return fall_through
+    if sem in _STORE_SIZES:
+        size = _STORE_SIZES[sem]
+        address = effective_address(instr.operands[0], state)
+        memory.store(address, size, state.read(instr.operands[1]))
+        return fall_through
+
+    # --- control flow -------------------------------------------------------
+    if sem == "jmp":
+        target = program.target(instr.operands[0].name)
+        return ExecOutcome(next_pc=target, is_branch=True, taken=True, target=target)
+    if sem in _CONDITIONS:
+        target = program.target(instr.operands[0].name)
+        taken = _CONDITIONS[sem](state.flags)
+        return ExecOutcome(
+            next_pc=target if taken else pc + 1, is_branch=True, taken=taken, target=target
+        )
+    if sem == "loop":
+        counter: Register = instr.operands[0]
+        value = (state.read(counter) - 1) & SCALAR_MASK
+        state.write(counter, value)
+        state.flags.set_from(value)
+        target = program.target(instr.operands[1].name)
+        taken = value != 0
+        return ExecOutcome(
+            next_pc=target if taken else pc + 1, is_branch=True, taken=taken, target=target
+        )
+
+    # --- system --------------------------------------------------------------
+    if sem in ("nop", "emms"):
+        return fall_through
+    if sem == "halt":
+        state.halted = True
+        return ExecOutcome(next_pc=pc)
+
+    raise SimulationError(f"no executor for opcode {instr.name!r}")

@@ -1,0 +1,114 @@
+"""Flat byte-addressable memory with typed accessors and MMIO hooks.
+
+The evaluation assumes code and data resident in L1 (§5.2.1), so every access
+costs one cycle; the memory model therefore concentrates on correctness:
+bounds checking, little-endian typed loads/stores, and NumPy bulk transfer
+helpers used by the kernel workload generators.
+
+A memory-mapped I/O window can be registered (the SPU control registers are
+memory mapped, §3); loads/stores inside a window are delegated to the device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import MemoryFault
+
+
+class MMIODevice(Protocol):
+    """Device interface for a memory-mapped window."""
+
+    def mmio_load(self, offset: int, size: int) -> int: ...
+
+    def mmio_store(self, offset: int, size: int, value: int) -> None: ...
+
+
+class Memory:
+    """Byte-addressable little-endian memory of fixed size."""
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        if size <= 0:
+            raise MemoryFault(0, size, "memory size must be positive")
+        self._data = np.zeros(size, dtype=np.uint8)
+        self._windows: list[tuple[int, int, MMIODevice]] = []
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    # ---- MMIO -----------------------------------------------------------
+
+    def map_device(self, base: int, length: int, device: MMIODevice) -> None:
+        """Register *device* over ``[base, base+length)``.
+
+        The window may extend beyond physical memory (device-only addresses);
+        overlapping windows are rejected.
+        """
+        if length <= 0 or base < 0:
+            raise MemoryFault(base, length, "bad MMIO window")
+        for other_base, other_len, _ in self._windows:
+            if base < other_base + other_len and other_base < base + length:
+                raise MemoryFault(base, length, "overlapping MMIO window")
+        self._windows.append((base, length, device))
+
+    def _window_at(self, address: int) -> tuple[int, MMIODevice] | None:
+        for base, length, device in self._windows:
+            if base <= address < base + length:
+                return base, device
+        return None
+
+    # ---- typed access ---------------------------------------------------
+
+    def _check(self, address: int, size: int) -> None:
+        if address < 0 or address + size > len(self._data):
+            raise MemoryFault(address, size)
+
+    def load(self, address: int, size: int) -> int:
+        """Load *size* bytes (1/2/4/8) little-endian, unsigned."""
+        window = self._window_at(address)
+        if window is not None:
+            base, device = window
+            return device.mmio_load(address - base, size)
+        self._check(address, size)
+        return int.from_bytes(self._data[address : address + size].tobytes(), "little")
+
+    def store(self, address: int, size: int, value: int) -> None:
+        """Store the low *size* bytes of *value*, little-endian."""
+        window = self._window_at(address)
+        if window is not None:
+            base, device = window
+            device.mmio_store(address - base, size, value & ((1 << (8 * size)) - 1))
+            return
+        self._check(address, size)
+        raw = (int(value) & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        self._data[address : address + size] = np.frombuffer(raw, dtype=np.uint8)
+
+    def load_signed(self, address: int, size: int) -> int:
+        value = self.load(address, size)
+        half = 1 << (8 * size - 1)
+        return value - (1 << (8 * size)) if value >= half else value
+
+    # ---- bulk helpers ---------------------------------------------------
+
+    def write_array(self, address: int, values, dtype) -> int:
+        """Write a NumPy-convertible array at *address*; returns bytes written."""
+        arr = np.asarray(values, dtype=dtype)
+        raw = arr.tobytes()
+        self._check(address, len(raw))
+        self._data[address : address + len(raw)] = np.frombuffer(raw, dtype=np.uint8)
+        return len(raw)
+
+    def read_array(self, address: int, count: int, dtype) -> np.ndarray:
+        """Read *count* elements of *dtype* starting at *address*."""
+        itemsize = np.dtype(dtype).itemsize
+        self._check(address, count * itemsize)
+        raw = self._data[address : address + count * itemsize].tobytes()
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def fill(self, address: int, length: int, byte: int = 0) -> None:
+        """Fill ``[address, address+length)`` with *byte*."""
+        self._check(address, length)
+        self._data[address : address + length] = byte & 0xFF

@@ -1,0 +1,61 @@
+"""U/V dual-issue pairing rules of the Pentium MMX (§2 of the paper).
+
+Published constraints modeled here:
+
+* both pipes execute arithmetic and logic instructions;
+* only one multiply instruction may issue per cycle;
+* only one shift/pack/permutation instruction may issue per cycle;
+* the U pipe performs all memory accesses (so the second instruction of a
+  pair may not touch memory);
+* the two instructions must not write the same destination register;
+* no read-after-write or write-after-read register dependence may exist
+  between the pair;
+* a branch pairs only as the *second* instruction (it ends the issue group).
+
+Condition flags are exempt from the cross-pipe dependence checks: the real
+Pentium special-cases ``cmp``+``jcc`` pairing, which the paper's kernels rely
+on for zero-overhead-looking loop ends.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import FLAGS, Instruction
+from repro.isa.opcodes import InstrClass
+
+
+def _regs_only(regs: frozenset) -> frozenset:
+    """Drop the flags pseudo-register from a hazard set."""
+    return frozenset(r for r in regs if r is not FLAGS)
+
+
+def can_pair(u: Instruction, v: Instruction) -> tuple[bool, str]:
+    """Can *u* (U pipe) and *v* (V pipe) issue in the same cycle?
+
+    Returns ``(True, "")`` or ``(False, reason)`` with a diagnostic reason
+    used by the pairing-statistics ablation.
+    """
+    if u.is_branch:
+        return False, "branch ends the issue group"
+    if u.iclass is InstrClass.SYS or v.iclass is InstrClass.SYS:
+        return False, "system instructions issue alone"
+    if "V" not in v.opcode.pipes:
+        return False, f"{v.name} restricted to the U pipe"
+    if v.accesses_memory:
+        return False, "memory access requires the U pipe"
+    if u.iclass is InstrClass.MMX_MUL and v.iclass is InstrClass.MMX_MUL:
+        return False, "only one multiply per cycle"
+    if u.iclass is InstrClass.MMX_SHIFT and v.iclass is InstrClass.MMX_SHIFT:
+        return False, "only one shift/pack instruction per cycle"
+
+    u_reads = _regs_only(u.regs_read())
+    u_writes = _regs_only(u.regs_written())
+    v_reads = _regs_only(v.regs_read())
+    v_writes = _regs_only(v.regs_written())
+
+    if u_writes & v_writes:
+        return False, "same destination register"
+    if u_writes & v_reads:
+        return False, "read-after-write between pipes"
+    if u_reads & v_writes:
+        return False, "write-after-read between pipes"
+    return True, ""

@@ -1,0 +1,291 @@
+"""In-order dual-issue cycle model and the top-level :class:`Machine`.
+
+The timing model implements the machine the paper evaluates against (§2,
+§5.2.1): an in-order processor whose MMX unit issues up to two instructions
+per cycle into the U and V pipes under the published pairing rules, with
+three-cycle multiplies, single-cycle everything else, and L1-resident code
+and data.  Out-of-order execution is deliberately absent — "most vector
+architectures are in-order machines, as out-of-order execution would not
+improve ILP beyond vectorization" (§5.2.1).
+
+An SPU can be attached (:mod:`repro.core.integration`); when active it
+reroutes the source operands of each dynamic MMX instruction through the
+crossbar and advances its decoupled controller — the pipeline only asks for
+the routed values, keeping this module independent of the SPU internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import SimulationError
+from repro.cpu.branch import BranchPredictor, make_predictor
+from repro.cpu.executor import ExecOutcome, execute
+from repro.cpu.memory import Memory
+from repro.cpu.pairing import can_pair
+from repro.cpu.state import MachineState
+from repro.cpu.stats import RunStats
+from repro.isa.instructions import Instruction, Program
+from repro.isa.registers import Register
+
+
+class SPUAttachment(Protocol):
+    """What the pipeline needs from an attached SPU."""
+
+    @property
+    def active(self) -> bool:
+        """True while the controller is running (GO set, not in idle state)."""
+        ...
+
+    def routes_for(self, instr: Instruction, state: MachineState) -> dict[int, int] | None:
+        """Routed source-operand values for one dynamic instruction.
+
+        Called exactly once per issued instruction in program order (the
+        controller's counters count *all* dynamic loop instructions, §4);
+        advances the decoupled controller.  Returns ``None`` when inactive,
+        for non-MMX instructions, or when the state routes straight through.
+        """
+        ...
+
+
+@dataclass
+class PipelineConfig:
+    """Timing-model parameters."""
+
+    #: Cycles lost on a mispredicted branch (Pentium-class resolve depth).
+    mispredict_penalty: int = 4
+    #: Model the extra pipeline stage added for the SPU interconnect
+    #: (§5.1.1): one extra fill cycle and +1 mispredict penalty.
+    extra_stage: bool = False
+    #: 2 = U+V pairing (default); 1 = single issue (pairing ablation).
+    issue_width: int = 2
+    #: Load-to-use latency in cycles.  1 models the paper's "code is assumed
+    #: to reside in L1 cache" setting (§5.2.1); larger values model L1
+    #: misses for the memory-sensitivity ablation.
+    memory_latency: int = 1
+    #: Upper bound on simulated cycles before aborting as a runaway.
+    max_cycles: int = 200_000_000
+
+
+class Machine:
+    """A simulated Pentium-MMX-class processor running one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Memory | None = None,
+        predictor: BranchPredictor | str = "bimodal",
+        config: PipelineConfig | None = None,
+        spu: SPUAttachment | None = None,
+    ) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.predictor = (
+            make_predictor(predictor) if isinstance(predictor, str) else predictor
+        )
+        self.config = config if config is not None else PipelineConfig()
+        self.spu = spu
+        self.state = MachineState()
+        #: Optional observer called with each issued instruction, in program
+        #: order (used by the profiler; None = no tracing overhead).
+        self.on_issue = None
+        # Pairing decisions depend only on the two static instructions; the
+        # program never changes under a machine, so memoize per pc pair.
+        self._pair_cache: dict[tuple[int, int], tuple[bool, str]] = {}
+
+    # ---- helpers ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear architectural state and predictor history (memory persists)."""
+        self.state = MachineState()
+        self.predictor.reset()
+
+    @staticmethod
+    def _ready_cycle(instr: Instruction, reg_ready: dict[Register, int]) -> int:
+        ready = 0
+        for reg in instr.regs_read():
+            if isinstance(reg, Register):
+                ready = max(ready, reg_ready.get(reg, 0))
+        return ready
+
+    def _spu_routes(self, instr: Instruction) -> dict[int, int] | None:
+        if self.spu is None:
+            return None
+        return self.spu.routes_for(instr, self.state)
+
+    def _issue(
+        self,
+        instr: Instruction,
+        cycle: int,
+        reg_ready: dict[Register, int],
+        stats: RunStats,
+    ) -> ExecOutcome:
+        routes = self._spu_routes(instr)
+        if routes is not None:
+            stats.spu_routed += 1
+        outcome = execute(instr, self.state, self.memory, self.program, routes)
+        stats.record_issue(instr)
+        if self.on_issue is not None:
+            self.on_issue(instr)
+        latency = instr.opcode.latency
+        if instr.reads_memory:
+            latency = max(latency, self.config.memory_latency)
+        for reg in instr.regs_written():
+            if isinstance(reg, Register):
+                reg_ready[reg] = cycle + latency
+        return outcome
+
+    def _branch_cost(self, instr: Instruction, pc: int, outcome: ExecOutcome,
+                     stats: RunStats) -> int:
+        """Predictor bookkeeping; returns extra cycles for a mispredict."""
+        stats.branches += 1
+        if instr.opcode.sem == "jmp":
+            predicted = True  # static target, BTB hit assumed
+        else:
+            predicted = self.predictor.predict(pc, outcome.target if outcome.target is not None else pc)
+            self.predictor.update(pc, outcome.target or pc, outcome.taken)
+        if predicted == outcome.taken:
+            return 0
+        stats.mispredicts += 1
+        penalty = self.config.mispredict_penalty + (1 if self.config.extra_stage else 0)
+        stats.mispredict_cycles += penalty
+        return penalty
+
+    # ---- main loop ---------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None) -> RunStats:
+        """Execute until ``halt``; returns the run's :class:`RunStats`.
+
+        Raises :class:`SimulationError` on runaway execution (cycle budget
+        exhausted) or on falling off the end of the program.
+        """
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        stats = RunStats()
+        state = self.state
+        program = self.program
+        reg_ready: dict[Register, int] = {}
+        # Pipeline fill for the added SPU interconnect stage (§5.1.1).
+        cycle = 1 if self.config.extra_stage else 0
+        pc = state.pc
+
+        while not state.halted:
+            if cycle > limit:
+                stats.cycles = cycle
+                raise SimulationError(
+                    f"cycle budget exceeded ({limit}) in {program.name!r} at pc={pc}"
+                )
+            if not 0 <= pc < len(program):
+                raise SimulationError(
+                    f"fell off program {program.name!r} (pc={pc}); missing halt?"
+                )
+            instr = program[pc]
+
+            ready = self._ready_cycle(instr, reg_ready)
+            if ready > cycle:
+                stats.stall_cycles += ready - cycle
+                cycle = ready
+
+            state.pc = pc
+            outcome = self._issue(instr, cycle, reg_ready, stats)
+            mmx_busy = instr.is_mmx
+
+            if state.halted:
+                cycle += 1
+                stats.solo_cycles += 1
+                break
+
+            if outcome.is_branch:
+                cycle += 1 + self._branch_cost(instr, pc, outcome, stats)
+                stats.solo_cycles += 1
+                if mmx_busy:
+                    stats.mmx_busy_cycles += 1
+                pc = outcome.next_pc
+                continue
+
+            pc = outcome.next_pc
+            paired = False
+            if self.config.issue_width >= 2 and 0 <= pc < len(program):
+                follower = program[pc]
+                key = (state.pc, pc)
+                cached = self._pair_cache.get(key)
+                if cached is None:
+                    cached = can_pair(instr, follower)
+                    self._pair_cache[key] = cached
+                ok, reason = cached
+                if ok:
+                    if self._ready_cycle(follower, reg_ready) <= cycle:
+                        state.pc = pc
+                        outcome2 = self._issue(follower, cycle, reg_ready, stats)
+                        paired = True
+                        mmx_busy = mmx_busy or follower.is_mmx
+                        extra = 0
+                        if outcome2.is_branch:
+                            extra = self._branch_cost(follower, pc, outcome2, stats)
+                        pc = outcome2.next_pc
+                        cycle += 1 + extra
+                    else:
+                        stats.pair_fail_reasons["operands not ready"] += 1
+                        cycle += 1
+                else:
+                    stats.pair_fail_reasons[reason] += 1
+                    cycle += 1
+            else:
+                cycle += 1
+
+            if paired:
+                stats.pair_cycles += 1
+            else:
+                stats.solo_cycles += 1
+            if mmx_busy:
+                stats.mmx_busy_cycles += 1
+
+        stats.cycles = cycle
+        stats.finished = state.halted
+        return stats
+
+    def step_functional(self) -> Instruction | None:
+        """Execute exactly one instruction (no timing); None when halted.
+
+        Useful for debuggers and breakpoint-style tests; the SPU still routes
+        operands and advances, so stepping through an SPU loop is faithful.
+        """
+        state = self.state
+        if state.halted:
+            return None
+        if not 0 <= state.pc < len(self.program):
+            raise SimulationError(
+                f"fell off program {self.program.name!r} (pc={state.pc}); missing halt?"
+            )
+        instr = self.program[state.pc]
+        routes = self._spu_routes(instr)
+        outcome = execute(instr, state, self.memory, self.program, routes)
+        if self.on_issue is not None:
+            self.on_issue(instr)
+        state.pc = outcome.next_pc
+        return instr
+
+    def run_functional(self, max_instructions: int = 100_000_000) -> int:
+        """Execute with no timing model (fast path for correctness checks).
+
+        Returns the dynamic instruction count.  The SPU still routes operands
+        so SPU-variant kernels stay functionally correct.
+        """
+        state = self.state
+        program = self.program
+        executed = 0
+        while not state.halted:
+            if executed > max_instructions:
+                raise SimulationError(
+                    f"instruction budget exceeded in {program.name!r} at pc={state.pc}"
+                )
+            if not 0 <= state.pc < len(program):
+                raise SimulationError(
+                    f"fell off program {program.name!r} (pc={state.pc}); missing halt?"
+                )
+            instr = program[state.pc]
+            routes = self._spu_routes(instr)
+            outcome = execute(instr, state, self.memory, program, routes)
+            executed += 1
+            state.pc = outcome.next_pc
+        return executed

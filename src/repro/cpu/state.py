@@ -1,0 +1,79 @@
+"""Architectural machine state: register files, flags, program counter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isa.registers import (
+    NUM_MMX_REGS,
+    NUM_SCALAR_REGS,
+    SCALAR_MASK,
+    RegClass,
+    Register,
+)
+from repro.simd import lanes
+
+
+@dataclass
+class Flags:
+    """Scalar condition flags produced by integer ALU operations."""
+
+    zero: bool = False
+    sign: bool = False
+
+    def set_from(self, value: int) -> None:
+        """Update from a 32-bit two's-complement result."""
+        value &= SCALAR_MASK
+        self.zero = value == 0
+        self.sign = bool(value >> 31)
+
+
+@dataclass
+class MachineState:
+    """Registers, flags and control state of the simulated processor."""
+
+    mmx: list[int] = field(default_factory=lambda: [0] * NUM_MMX_REGS)
+    scalar: list[int] = field(default_factory=lambda: [0] * NUM_SCALAR_REGS)
+    flags: Flags = field(default_factory=Flags)
+    #: Index of the next instruction in the program (not a byte address).
+    pc: int = 0
+    halted: bool = False
+
+    def read(self, reg: Register) -> int:
+        """Architectural read of *reg* (MMX 64-bit, scalar 32-bit unsigned)."""
+        if reg.cls is RegClass.MMX:
+            return self.mmx[reg.index]
+        return self.scalar[reg.index]
+
+    def write(self, reg: Register, value: int) -> None:
+        """Architectural write (values truncated to the register width)."""
+        if reg.cls is RegClass.MMX:
+            self.mmx[reg.index] = int(value) & lanes.WORD_MASK
+        else:
+            self.scalar[reg.index] = int(value) & SCALAR_MASK
+
+    def read_signed(self, reg: Register) -> int:
+        """Scalar register as a signed 32-bit value."""
+        if reg.cls is RegClass.MMX:
+            raise SimulationError("signed scalar read of an MMX register")
+        value = self.scalar[reg.index]
+        return value - (1 << 32) if value >> 31 else value
+
+    def mmx_file_bytes(self) -> bytes:
+        """The 64 bytes of MM0..MM7, little-endian within each register.
+
+        This is exactly the content of the paper's unified 512-bit SPU
+        register (§3): byte ``8*i + j`` is byte ``j`` of ``MMi``.
+        """
+        return b"".join(lanes.bytes_of(v) for v in self.mmx)
+
+    def snapshot(self) -> "MachineState":
+        """Deep copy for checkpoint/compare in tests."""
+        return MachineState(
+            mmx=list(self.mmx),
+            scalar=list(self.scalar),
+            flags=Flags(zero=self.flags.zero, sign=self.flags.sign),
+            pc=self.pc,
+            halted=self.halted,
+        )

@@ -1,0 +1,107 @@
+"""Execution statistics collected by the pipeline model.
+
+These counters feed every experiment: Fig. 9 (cycles, MMX-busy fraction),
+Table 2 (branches, mispredicts), Table 3 (permute counts, off-load counts)
+and the pairing/predictor ablations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import InstrClass
+
+
+@dataclass
+class RunStats:
+    """Counters for one simulated run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    #: Dynamic instruction count per functional class.
+    by_class: Counter = field(default_factory=Counter)
+    #: Dynamic count of unconditional permutation instructions (pack/unpack).
+    permutes: int = 0
+    #: Dynamic count of alignment candidates (permutes + movq mm,mm + byte shifts).
+    alignment_candidates: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    mispredict_cycles: int = 0
+    #: Cycles lost waiting on not-yet-ready source registers.
+    stall_cycles: int = 0
+    #: Issue cycles in which two instructions paired / one issued alone.
+    pair_cycles: int = 0
+    solo_cycles: int = 0
+    #: Issue cycles in which at least one MMX instruction executed.
+    mmx_busy_cycles: int = 0
+    #: Dynamic MMX instructions whose operands were routed by the SPU.
+    spu_routed: int = 0
+    #: Reasons pairing failed (for the pairing ablation).
+    pair_fail_reasons: Counter = field(default_factory=Counter)
+    finished: bool = False
+
+    @property
+    def mmx_instructions(self) -> int:
+        """Dynamic MMX-class instruction count."""
+        return sum(
+            count for iclass, count in self.by_class.items() if iclass.is_mmx
+        )
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (0 when nothing ran)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Mispredicted branches as a fraction of executed branches."""
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def mmx_busy_fraction(self) -> float:
+        """Fraction of cycles with the MMX engine executing (Fig. 9 hash)."""
+        return self.mmx_busy_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def permute_fraction_of_mmx(self) -> float:
+        """Permutation instructions as a fraction of MMX instructions."""
+        mmx = self.mmx_instructions
+        return self.permutes / mmx if mmx else 0.0
+
+    @property
+    def permute_fraction_of_total(self) -> float:
+        """Permutation instructions as a fraction of all instructions."""
+        return self.permutes / self.instructions if self.instructions else 0.0
+
+    def record_issue(self, instr) -> None:
+        """Account one issued instruction (class, permute and MMX counts)."""
+        self.instructions += 1
+        self.by_class[instr.iclass] += 1
+        if instr.is_permute:
+            self.permutes += 1
+        if instr.is_alignment_candidate:
+            self.alignment_candidates += 1
+
+    def as_dict(self) -> dict:
+        """Flat dictionary (JSON-friendly) of all counters and ratios."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "mmx_instructions": self.mmx_instructions,
+            "permutes": self.permutes,
+            "alignment_candidates": self.alignment_candidates,
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+            "mispredict_rate": self.mispredict_rate,
+            "mispredict_cycles": self.mispredict_cycles,
+            "stall_cycles": self.stall_cycles,
+            "pair_cycles": self.pair_cycles,
+            "solo_cycles": self.solo_cycles,
+            "mmx_busy_cycles": self.mmx_busy_cycles,
+            "mmx_busy_fraction": self.mmx_busy_fraction,
+            "ipc": self.ipc,
+            "spu_routed": self.spu_routed,
+            "by_class": {iclass.value: count for iclass, count in self.by_class.items()},
+            "finished": self.finished,
+        }

@@ -1,0 +1,93 @@
+"""Execution tracing: a human-readable issue-by-issue pipeline log.
+
+Wraps a :class:`~repro.cpu.pipeline.Machine` run and records, per issued
+instruction: the dynamic index, program counter, rendered instruction, and
+whether the SPU routed its operands.  Intended for debugging kernels and the
+off-load pass — the textual rendering reads like a pipeline listing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.pipeline import Machine
+from repro.cpu.stats import RunStats
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One issued instruction."""
+
+    seq: int
+    pc: int
+    text: str
+    is_mmx: bool
+    routed: bool
+
+    def render(self) -> str:
+        flag = "R" if self.routed else ("M" if self.is_mmx else " ")
+        return f"{self.seq:6d}  pc={self.pc:4d} [{flag}] {self.text}"
+
+
+@dataclass
+class Trace:
+    """A recorded run: entries plus the final statistics."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+    stats: RunStats | None = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def routed_entries(self) -> list[TraceEntry]:
+        return [entry for entry in self.entries if entry.routed]
+
+    def render(self, limit: int | None = None) -> str:
+        """The trace as text (``limit`` caps the line count)."""
+        lines = ["   seq      pc      instruction"]
+        entries = self.entries if limit is None else self.entries[:limit]
+        lines += [entry.render() for entry in entries]
+        if limit is not None and len(self.entries) > limit:
+            lines.append(f"... {len(self.entries) - limit} more")
+        return "\n".join(lines)
+
+
+def trace_run(machine: Machine, max_cycles: int | None = None,
+              max_entries: int = 100_000) -> Trace:
+    """Run *machine* to completion while recording a :class:`Trace`.
+
+    Routed-ness is derived from the attached SPU's routed-instruction
+    counter delta, so the trace needs no changes to the pipeline.
+    """
+    trace = Trace()
+    previous_hook = machine.on_issue
+    spu = machine.spu
+
+    def hook(instr) -> None:
+        routed = False
+        if spu is not None and hasattr(spu, "stats"):
+            routed = spu.stats.routed_instructions > hook.last_routed
+            hook.last_routed = spu.stats.routed_instructions
+        if len(trace.entries) < max_entries:
+            trace.entries.append(
+                TraceEntry(
+                    seq=len(trace.entries),
+                    pc=machine.state.pc,
+                    text=str(instr).split(": ")[-1],
+                    is_mmx=instr.is_mmx,
+                    routed=routed,
+                )
+            )
+        if previous_hook is not None:
+            previous_hook(instr)
+
+    hook.last_routed = spu.stats.routed_instructions if spu is not None and hasattr(spu, "stats") else 0
+    machine.on_issue = hook
+    try:
+        trace.stats = machine.run(max_cycles=max_cycles)
+    finally:
+        machine.on_issue = previous_hook
+    return trace

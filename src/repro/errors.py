@@ -1,0 +1,66 @@
+"""Exception hierarchy for the SPU reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing assembler errors from simulator or SPU-programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class LaneError(ReproError):
+    """Invalid sub-word lane width or lane vector (see :mod:`repro.simd`)."""
+
+
+class AssemblerError(ReproError):
+    """Syntactically or semantically invalid assembly input."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Instruction cannot be encoded to / decoded from its binary form."""
+
+
+class SimulationError(ReproError):
+    """The simulated machine entered an invalid state."""
+
+
+class MemoryFault(SimulationError):
+    """Out-of-range or misaligned memory access."""
+
+    def __init__(self, address: int, size: int = 1, reason: str = "out of range") -> None:
+        self.address = address
+        self.size = size
+        super().__init__(f"memory fault at {address:#x} (size {size}): {reason}")
+
+
+class PairingViolation(SimulationError):
+    """An instruction pair violated the published U/V pairing rules.
+
+    Raised only in strict mode; the scheduler normally serializes instead.
+    """
+
+
+class SPUProgramError(ReproError):
+    """Invalid SPU controller program (bad state index, counter, or route)."""
+
+
+class RouteError(SPUProgramError):
+    """A permutation route is illegal for the selected interconnect config."""
+
+
+class KernelError(ReproError):
+    """A media kernel was configured with unsupported parameters."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid hardware-model or experiment configuration."""

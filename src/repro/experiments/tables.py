@@ -1,0 +1,157 @@
+"""Experiment runners: regenerate every table and figure of the evaluation.
+
+Each function returns structured rows (model/measured vs published) and a
+rendered text table; the benchmarks print these so ``pytest benchmarks/``
+reproduces the paper's evaluation section end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import (
+    branch_row,
+    format_table,
+    overlap_row,
+    pct,
+    ratio,
+    scale_to_paper,
+    sci,
+)
+from repro.core import CONFIGS
+from repro.experiments import paper_data
+from repro.experiments.suite import ExperimentSuite
+from repro.hw import spu_cost
+
+
+@dataclass
+class Experiment:
+    """A regenerated table/figure: rows plus its rendered comparison."""
+
+    name: str
+    headers: list[str]
+    rows: list[list[object]]
+    text: str
+
+
+# --- Table 1 -------------------------------------------------------------------
+
+
+def table1() -> Experiment:
+    """Area/delay for SPU configurations A-D (model vs published)."""
+    headers = [
+        "Config", "Area mm2 (model)", "(paper)", "Delay ns (model)", "(paper)",
+        "CtlMem mm2 (model)", "(paper)", "CtlMem bits", "Die % @0.18um",
+    ]
+    rows = []
+    for name, config in CONFIGS.items():
+        published = paper_data.TABLE1[name]
+        model = spu_cost(config, calibrated=False)
+        rows.append([
+            name,
+            ratio(model.interconnect_area_mm2, 2),
+            published["interconnect_area_mm2"],
+            ratio(model.interconnect_delay_ns, 2),
+            published["interconnect_delay_ns"],
+            ratio(model.control_memory_mm2, 2),
+            published["control_memory_mm2"],
+            model.control_memory_bits,
+            pct(model.die_fraction),
+        ])
+    text = format_table(headers, rows, title="Table 1: SPU configuration area/delay")
+    return Experiment("table1", headers, rows, text)
+
+
+# --- Table 2 ----------------------------------------------------------------------
+
+
+def table2(suite: ExperimentSuite) -> Experiment:
+    """Branch statistics per kernel, scaled to the paper's run lengths."""
+    headers = [
+        "Algorithm", "Clocks (scaled)", "(paper)", "Branches (scaled)", "(paper)",
+        "Missed (scaled)", "(paper)", "Missed% (measured)", "(paper)",
+    ]
+    rows = []
+    for name in suite.kernel_names:
+        comparison = suite.comparison(name)
+        published = paper_data.TABLE2[name]
+        measured = branch_row(name, comparison.mmx, published["description"])
+        scaled = scale_to_paper(measured, published["clocks"])
+        rows.append([
+            name,
+            sci(scaled.clocks),
+            sci(published["clocks"]),
+            sci(scaled.branches),
+            sci(published["branches"]),
+            sci(scaled.missed),
+            sci(published["missed"]),
+            pct(measured.missed_pct, 3),
+            pct(published["missed_pct"], 3),
+        ])
+    text = format_table(headers, rows, title="Table 2: branch statistics on the MMX")
+    return Experiment("table2", headers, rows, text)
+
+
+# --- Table 3 --------------------------------------------------------------------------
+
+
+def table3(suite: ExperimentSuite) -> Experiment:
+    """Decoupled-control overlap per kernel."""
+    headers = [
+        "Algorithm", "CyclesOverlapped", "(paper)", "%MMX instr", "(paper)",
+        "%Total instr", "(paper)", "Offload rate",
+    ]
+    rows = []
+    for name in suite.kernel_names:
+        comparison = suite.comparison(name)
+        published = paper_data.TABLE3[name]
+        row = overlap_row(comparison)
+        scale = published["cycles_overlapped"] and (
+            paper_data.TABLE2[name]["clocks"] / comparison.mmx.cycles
+        )
+        rows.append([
+            name,
+            sci(row.cycles_overlapped * scale),
+            sci(published["cycles_overlapped"]),
+            pct(row.pct_mmx_instr),
+            pct(published["pct_mmx_instr"]),
+            pct(row.pct_total_instr),
+            pct(published["pct_total_instr"]),
+            pct(row.offload_rate),
+        ])
+    text = format_table(headers, rows, title="Table 3: cycles overlapped through decoupled control")
+    return Experiment("table3", headers, rows, text)
+
+
+# --- Figure 9 -----------------------------------------------------------------------------
+
+
+def fig9(suite: ExperimentSuite) -> Experiment:
+    """Cycles executed, MMX vs MMX+SPU, per kernel (the headline result)."""
+    headers = [
+        "Algorithm", "MMX cycles", "MMX+SPU cycles", "Speedup",
+        "MMX busy% (MMX)", "MMX busy% (SPU)", "Instr saved",
+    ]
+    rows = []
+    for name in suite.kernel_names:
+        comparison = suite.comparison(name)
+        rows.append([
+            name,
+            comparison.mmx.cycles,
+            comparison.spu.cycles,
+            ratio(comparison.speedup),
+            pct(comparison.mmx.mmx_busy_fraction, 1),
+            pct(comparison.spu.mmx_busy_fraction, 1),
+            comparison.instructions_saved,
+        ])
+    text = format_table(
+        headers,
+        rows,
+        title=(
+            "Figure 9: cycles on MMX vs MMX+SPU "
+            f"(paper: speedups {paper_data.FIG9_SPEEDUP_RANGE[0]:.2f}-"
+            f"{paper_data.FIG9_SPEEDUP_RANGE[1]:.2f}, FIR ~{paper_data.FIG9_FIR_SPEEDUP:.2f}, "
+            "FFT/IIR flat, DCT/MatMul/Transpose highest)"
+        ),
+    )
+    return Experiment("fig9", headers, rows, text)

@@ -1,0 +1,93 @@
+"""Hardware cost models: crossbar area/delay, control memory, tech scaling."""
+
+from repro.hw.crossbar import (
+    AREA_CALIBRATION_MM2,
+    AREA_PER_BIT_CROSSPOINT_8,
+    AREA_PER_BIT_CROSSPOINT_16,
+    DELAY_CALIBRATION_NS,
+    bit_crosspoints,
+    interconnect_area_mm2,
+    interconnect_delay_ns,
+    pipeline_stages,
+)
+from repro.hw.control_memory import (
+    AREA_PER_BIT_MM2,
+    SIZE_CALIBRATION_MM2,
+    STATE_OVERHEAD_BITS,
+    control_memory_area_mm2,
+    control_memory_bits,
+    state_bits,
+)
+from repro.hw.technology import (
+    PENTIUM3_DIE_MM2,
+    PENTIUM3_FEATURE_UM,
+    PENTIUM3_METAL_LAYERS,
+    TECH_018,
+    TECH_025,
+    Technology,
+    die_fraction,
+    scale_area_mm2,
+)
+from repro.hw.cost import SPUCost, spu_cost, table1_rows
+
+__all__ = [
+    "AREA_CALIBRATION_MM2",
+    "AREA_PER_BIT_CROSSPOINT_8",
+    "AREA_PER_BIT_CROSSPOINT_16",
+    "DELAY_CALIBRATION_NS",
+    "bit_crosspoints",
+    "interconnect_area_mm2",
+    "interconnect_delay_ns",
+    "pipeline_stages",
+    "AREA_PER_BIT_MM2",
+    "SIZE_CALIBRATION_MM2",
+    "STATE_OVERHEAD_BITS",
+    "control_memory_area_mm2",
+    "control_memory_bits",
+    "state_bits",
+    "PENTIUM3_DIE_MM2",
+    "PENTIUM3_FEATURE_UM",
+    "PENTIUM3_METAL_LAYERS",
+    "TECH_018",
+    "TECH_025",
+    "Technology",
+    "die_fraction",
+    "scale_area_mm2",
+    "SPUCost",
+    "spu_cost",
+    "table1_rows",
+]
+
+from repro.hw.scaling import (
+    BENES_LEVEL_DELAY_NS,
+    ScaledDesign,
+    benes_network,
+    design_options,
+    full_crossbar,
+    windowed_crossbar,
+)
+
+__all__ += [
+    "BENES_LEVEL_DELAY_NS",
+    "ScaledDesign",
+    "benes_network",
+    "design_options",
+    "full_crossbar",
+    "windowed_crossbar",
+]
+
+from repro.hw.energy import (
+    EnergyBreakdown,
+    EnergyComparison,
+    EnergyModel,
+    kernel_energy,
+    run_energy,
+)
+
+__all__ += [
+    "EnergyBreakdown",
+    "EnergyComparison",
+    "EnergyModel",
+    "kernel_energy",
+    "run_energy",
+]

@@ -1,0 +1,75 @@
+"""Control-memory size and area model (paper §5.1.1, Table 1).
+
+"The control memory size in our implementation is given by a simple formula
+128*(15+K) where K is the number of addressable locations" — with K the
+interconnect field width of one state word (out_ports × log2(in_ports) bits;
+Figure 6 shows 1 + 192 + 7 + 7 bits for configuration A) and 128 the number
+of controller states.  The 15 overhead bits are CNTRx (1) plus two 7-bit
+next-state fields.
+
+Area per bit comes from the same Princeton VSP 0.25µm data as the crossbar;
+the published sizes imply ≈4.95e-5 mm²/bit.  As with the crossbar, published
+configurations return Table 1's value exactly by default.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.core.interconnect import CrossbarConfig
+from repro.core.program import DEFAULT_NUM_STATES
+
+#: Fixed per-state overhead bits: CNTRx (1) + NextState0 (7) + NextState1 (7).
+STATE_OVERHEAD_BITS = 15
+
+#: mm² per control-memory bit in 0.25µm 2-metal CMOS (least-squares over
+#: Table 1's four published sizes).
+AREA_PER_BIT_MM2 = 4.95e-5
+
+#: Published Table 1 control-memory sizes.
+SIZE_CALIBRATION_MM2: dict[tuple[int, int, int], float] = {
+    (64, 32, 8): 1.35,
+    (32, 32, 8): 1.1,
+    (32, 16, 16): 0.6,
+    (16, 16, 16): 0.5,
+}
+
+
+def state_bits(config: CrossbarConfig) -> int:
+    """Bits per controller state word: 15 + the interconnect field."""
+    return STATE_OVERHEAD_BITS + config.route_bits
+
+
+def control_memory_bits(
+    config: CrossbarConfig, num_states: int = DEFAULT_NUM_STATES, contexts: int = 1
+) -> int:
+    """Total control-memory bits: the paper's ``128*(15+K)`` per context."""
+    if num_states < 2:
+        raise ConfigurationError("controller needs at least 2 states")
+    if contexts < 1:
+        raise ConfigurationError("at least one context required")
+    return num_states * state_bits(config) * contexts
+
+
+def control_memory_area_mm2(
+    config: CrossbarConfig,
+    num_states: int = DEFAULT_NUM_STATES,
+    contexts: int = 1,
+    *,
+    calibrated: bool = True,
+) -> float:
+    """Control-memory area in 0.25µm 2-metal CMOS.
+
+    Published single-context 128-state configurations return Table 1's value
+    exactly; anything else uses the per-bit density (additional contexts cost
+    proportional area, §3: "more area would be required to support these
+    extra contexts").
+    """
+    key = (config.in_ports, config.out_ports, config.port_bits)
+    if (
+        calibrated
+        and contexts == 1
+        and num_states == DEFAULT_NUM_STATES
+        and key in SIZE_CALIBRATION_MM2
+    ):
+        return SIZE_CALIBRATION_MM2[key]
+    return control_memory_bits(config, num_states, contexts) * AREA_PER_BIT_MM2

@@ -1,0 +1,86 @@
+"""Aggregate SPU cost summary: one row of Table 1 plus the die-area claim."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interconnect import CONFIGS, CrossbarConfig
+from repro.core.program import DEFAULT_NUM_STATES
+from repro.hw.control_memory import (
+    control_memory_area_mm2,
+    control_memory_bits,
+    state_bits,
+)
+from repro.hw.crossbar import (
+    bit_crosspoints,
+    interconnect_area_mm2,
+    interconnect_delay_ns,
+    pipeline_stages,
+)
+from repro.hw.technology import (
+    PENTIUM3_DIE_MM2,
+    TECH_018,
+    TECH_025,
+    die_fraction,
+    scale_area_mm2,
+)
+
+
+@dataclass(frozen=True)
+class SPUCost:
+    """Full cost breakdown of one SPU configuration (Table 1 row + §5.1.1)."""
+
+    config_name: str
+    description: str
+    interconnect_area_mm2: float
+    interconnect_delay_ns: float
+    control_memory_mm2: float
+    control_memory_bits: int
+    state_bits: int
+    bit_crosspoints: int
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Interconnect + control memory in the 0.25µm source process."""
+        return self.interconnect_area_mm2 + self.control_memory_mm2
+
+    @property
+    def scaled_area_mm2(self) -> float:
+        """Total area scaled to the 0.18µm 6-layer Pentium III process."""
+        return scale_area_mm2(
+            self.interconnect_area_mm2, TECH_025, TECH_018, wiring_dominated=True
+        ) + scale_area_mm2(
+            self.control_memory_mm2, TECH_025, TECH_018, wiring_dominated=False
+        )
+
+    @property
+    def die_fraction(self) -> float:
+        """Fraction of the 106 mm² Pentium III die (§5.1.1: <1% for D)."""
+        return die_fraction(self.scaled_area_mm2, PENTIUM3_DIE_MM2)
+
+
+def spu_cost(
+    config: CrossbarConfig,
+    num_states: int = DEFAULT_NUM_STATES,
+    contexts: int = 1,
+    *,
+    calibrated: bool = True,
+) -> SPUCost:
+    """Compute the full cost summary for *config*."""
+    return SPUCost(
+        config_name=config.name,
+        description=config.description,
+        interconnect_area_mm2=interconnect_area_mm2(config, calibrated=calibrated),
+        interconnect_delay_ns=interconnect_delay_ns(config, calibrated=calibrated),
+        control_memory_mm2=control_memory_area_mm2(
+            config, num_states, contexts, calibrated=calibrated
+        ),
+        control_memory_bits=control_memory_bits(config, num_states, contexts),
+        state_bits=state_bits(config),
+        bit_crosspoints=bit_crosspoints(config),
+    )
+
+
+def table1_rows(*, calibrated: bool = True) -> list[SPUCost]:
+    """Cost rows for the four published configurations A-D."""
+    return [spu_cost(config, calibrated=calibrated) for config in CONFIGS.values()]

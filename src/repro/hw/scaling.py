@@ -1,0 +1,196 @@
+"""Scaling the SPU to large register files (paper §6).
+
+"Providing general inter-word permutations across a large register set would
+require the SPU to have significantly more interconnect and register
+bandwidth.  Design trade-offs would include restricting permutations to a
+subset of registers, pipelining the SPU interconnect into multiple cycles,
+and using a multi-stage interconnect instead of a crossbar."
+
+This module prices exactly those three options for an arbitrary register
+file (e.g. Altivec's 32×128 bits):
+
+* **full crossbar** — every granule of every register selectable; area grows
+  with in×out crosspoints,
+* **windowed crossbar** — the paper's configuration-B/D trick generalized: a
+  window of ``window_regs`` registers feeds the crossbar,
+* **Benes network** — a rearrangeable multi-stage network: ``N/2·(2·log2 N−1)``
+  2×2 switches instead of ``N·M`` crosspoints, at the cost of ``2·log2 N−1``
+  stage delays and a harder (but offline — the SPU's routes are static)
+  routing problem.
+
+The per-level delay and per-switch area are anchored to the same 0.25µm
+numbers the crossbar model is calibrated on; see the constants below.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.crossbar import AREA_PER_BIT_CROSSPOINT_8, AREA_PER_BIT_CROSSPOINT_16
+
+#: Delay of one 2×2 switch level in 0.25µm 2-metal CMOS.  Anchored so that a
+#: 16-port network's 7 levels cost about what the published 16×16 crossbar
+#: does (0.95 ns): ≈0.14 ns per level.
+BENES_LEVEL_DELAY_NS = 0.14
+
+#: A 2×2 switch costs four bit-crosspoints per data bit.
+SWITCH_CROSSPOINTS = 4
+
+
+def _area_rate(granule_bits: int) -> float:
+    if granule_bits <= 8:
+        return AREA_PER_BIT_CROSSPOINT_8
+    octaves = math.log2(granule_bits / 8)
+    factor = (AREA_PER_BIT_CROSSPOINT_16 / AREA_PER_BIT_CROSSPOINT_8) ** octaves
+    return AREA_PER_BIT_CROSSPOINT_8 * factor
+
+
+@dataclass(frozen=True)
+class ScaledDesign:
+    """One interconnect option for a (large) register file."""
+
+    name: str
+    register_count: int
+    register_bits: int
+    granule_bits: int
+    #: Registers reachable by one route (= register_count for full reach).
+    window_regs: int
+    network: str  # "crossbar" or "benes"
+    area_mm2: float
+    delay_ns: float
+    #: Route-selector bits per output granule.
+    select_bits: int
+
+    @property
+    def in_ports(self) -> int:
+        return self.window_regs * self.register_bits // self.granule_bits
+
+    @property
+    def full_reach(self) -> bool:
+        return self.window_regs == self.register_count
+
+    def pipeline_stages(self, cycle_time_ns: float) -> int:
+        """Stages needed to hide the interconnect at *cycle_time_ns* (§6)."""
+        if cycle_time_ns <= 0:
+            raise ConfigurationError("cycle time must be positive")
+        return max(1, math.ceil(self.delay_ns / cycle_time_ns))
+
+    def control_bits_per_state(self, operand_buses: int = 4) -> int:
+        """Interconnect field width of one controller state word."""
+        out_granules = operand_buses * self.register_bits // self.granule_bits
+        return out_granules * self.select_bits
+
+
+def _check(register_count: int, register_bits: int, granule_bits: int) -> None:
+    if register_count < 2 or register_count & (register_count - 1):
+        raise ConfigurationError("register count must be a power of two >= 2")
+    if register_bits % granule_bits:
+        raise ConfigurationError("granule must divide the register width")
+    if granule_bits % 8:
+        raise ConfigurationError("granule must be a whole number of bytes")
+
+
+def full_crossbar(
+    register_count: int,
+    register_bits: int,
+    granule_bits: int = 8,
+    operand_buses: int = 4,
+) -> ScaledDesign:
+    """Full-reach crossbar for the given register file."""
+    _check(register_count, register_bits, granule_bits)
+    in_ports = register_count * register_bits // granule_bits
+    out_ports = operand_buses * register_bits // granule_bits
+    area = in_ports * out_ports * granule_bits * _area_rate(granule_bits)
+    # Delay: decoder depth plus port-count wire loading, anchored to the
+    # published points through the power law of repro.hw.crossbar.
+    from repro.hw.crossbar import _POWER_C, _POWER_P, _POWER_Q
+
+    delay = _POWER_C * in_ports**_POWER_P * out_ports**_POWER_Q
+    return ScaledDesign(
+        name=f"crossbar-{register_count}x{register_bits}",
+        register_count=register_count,
+        register_bits=register_bits,
+        granule_bits=granule_bits,
+        window_regs=register_count,
+        network="crossbar",
+        area_mm2=area,
+        delay_ns=delay,
+        select_bits=max(1, math.ceil(math.log2(in_ports))),
+    )
+
+
+def windowed_crossbar(
+    register_count: int,
+    register_bits: int,
+    window_regs: int,
+    granule_bits: int = 8,
+    operand_buses: int = 4,
+) -> ScaledDesign:
+    """Crossbar restricted to a *window_regs*-register window (§6 option 1)."""
+    _check(register_count, register_bits, granule_bits)
+    if not 1 <= window_regs <= register_count:
+        raise ConfigurationError(
+            f"window ({window_regs}) must be within the register file "
+            f"({register_count})"
+        )
+    base = full_crossbar(window_regs if window_regs >= 2 else 2, register_bits,
+                         granule_bits, operand_buses)
+    return ScaledDesign(
+        name=f"window{window_regs}-of-{register_count}x{register_bits}",
+        register_count=register_count,
+        register_bits=register_bits,
+        granule_bits=granule_bits,
+        window_regs=window_regs,
+        network="crossbar",
+        area_mm2=base.area_mm2,
+        delay_ns=base.delay_ns,
+        select_bits=base.select_bits,
+    )
+
+
+def benes_network(
+    register_count: int,
+    register_bits: int,
+    granule_bits: int = 8,
+    operand_buses: int = 4,
+) -> ScaledDesign:
+    """Rearrangeable Benes network with full reach (§6 option 3).
+
+    Sized on the input port count (outputs are replicated reads of the
+    permuted frame); switches carry *granule_bits*-wide lanes.
+    """
+    _check(register_count, register_bits, granule_bits)
+    in_ports = register_count * register_bits // granule_bits
+    levels = 2 * math.ceil(math.log2(in_ports)) - 1
+    switches = (in_ports // 2) * levels
+    area = switches * SWITCH_CROSSPOINTS * granule_bits * _area_rate(granule_bits)
+    return ScaledDesign(
+        name=f"benes-{register_count}x{register_bits}",
+        register_count=register_count,
+        register_bits=register_bits,
+        granule_bits=granule_bits,
+        window_regs=register_count,
+        network="benes",
+        area_mm2=area,
+        delay_ns=levels * BENES_LEVEL_DELAY_NS,
+        select_bits=max(1, math.ceil(math.log2(in_ports))),
+    )
+
+
+def design_options(
+    register_count: int,
+    register_bits: int,
+    granule_bits: int = 8,
+    windows: tuple[int, ...] = (4, 8),
+) -> list[ScaledDesign]:
+    """The §6 option set for one register file, ready to tabulate."""
+    options = [full_crossbar(register_count, register_bits, granule_bits)]
+    for window in windows:
+        if window < register_count:
+            options.append(
+                windowed_crossbar(register_count, register_bits, window, granule_bits)
+            )
+    options.append(benes_network(register_count, register_bits, granule_bits))
+    return options

@@ -1,0 +1,63 @@
+"""ISA layer: registers, operands, opcodes, instruction IR, assembler."""
+
+from repro.isa.registers import (
+    MM,
+    MMX_BITS,
+    MMX_BYTES,
+    NUM_MMX_REGS,
+    NUM_SCALAR_REGS,
+    R,
+    SCALAR_BITS,
+    SCALAR_MASK,
+    RegClass,
+    Register,
+    is_register_name,
+    parse_register,
+)
+from repro.isa.operands import Imm, Label, Mem, Operand, parse_memory
+from repro.isa.opcodes import InstrClass, Opcode, all_opcodes, lookup, slot_allows
+from repro.isa.instructions import FLAGS, Instruction, Program
+from repro.isa.assembler import ProgramBuilder, assemble, disassemble
+from repro.isa.encoding import (
+    encode_subword_addressing,
+    instruction_size,
+    program_size,
+)
+
+__all__ = [
+    "MM",
+    "MMX_BITS",
+    "MMX_BYTES",
+    "NUM_MMX_REGS",
+    "NUM_SCALAR_REGS",
+    "R",
+    "SCALAR_BITS",
+    "SCALAR_MASK",
+    "RegClass",
+    "Register",
+    "is_register_name",
+    "parse_register",
+    "Imm",
+    "Label",
+    "Mem",
+    "Operand",
+    "parse_memory",
+    "InstrClass",
+    "Opcode",
+    "all_opcodes",
+    "lookup",
+    "slot_allows",
+    "FLAGS",
+    "Instruction",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "disassemble",
+    "encode_subword_addressing",
+    "instruction_size",
+    "program_size",
+]
+
+from repro.isa.binary import assemble_binary, decode_program, encode_instruction
+
+__all__ += ["assemble_binary", "decode_program", "encode_instruction"]

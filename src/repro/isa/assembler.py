@@ -1,0 +1,211 @@
+"""Two-pass text assembler and a programmatic :class:`ProgramBuilder`.
+
+The assembly dialect is deliberately close to Intel MMX syntax::
+
+    ; four-tap FIR inner loop (paper §2, Figure 1)
+    loop:
+        movq    mm0, [r1]       ; samples
+        pmaddwd mm0, mm1        ; products, pairwise summed
+        paddd   mm2, mm0        ; accumulate
+        add     r1, 8
+        loop    r0, loop        ; dec r0; jnz loop
+
+Labels may appear alone on a line or as a ``name:`` prefix; comments start
+with ``;`` or ``#``; immediates accept decimal and ``0x`` hex.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import Instruction, Program
+from repro.isa.opcodes import Opcode, lookup, slot_allows
+from repro.isa.operands import Imm, Label, Mem, Operand, parse_memory
+from repro.isa.registers import Register, is_register_name, parse_register
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas not inside brackets."""
+    parts: list[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise AssemblerError(f"unbalanced ']' in {text!r}")
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if depth != 0:
+        raise AssemblerError(f"unbalanced '[' in {text!r}")
+    if current.strip():
+        parts.append(current)
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _parse_operand(text: str, slot: str, line: int) -> Operand:
+    text = text.strip()
+    if text.startswith("["):
+        return parse_memory(text)
+    if is_register_name(text):
+        return parse_register(text)
+    if slot_allows(slot, "label") and not slot_allows(slot, "imm"):
+        return Label(text)
+    try:
+        return Imm(int(text, 0))
+    except ValueError:
+        if slot_allows(slot, "label"):
+            return Label(text)
+        raise AssemblerError(f"cannot parse operand {text!r}", line) from None
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble *source* text into a :class:`Program`.
+
+    Pass 1 records label positions; pass 2 builds instructions.  Label
+    resolution is validated before returning.
+    """
+    program = Program(name=name)
+    pending_labels: list[str] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].split("#", 1)[0].strip()
+        if not line:
+            continue
+        # Leading "label:" prefixes (possibly several).
+        while ":" in line:
+            head, _, rest = line.partition(":")
+            head = head.strip()
+            if not head or any(ch.isspace() for ch in head) or "[" in head:
+                break
+            if is_register_name(head):
+                raise AssemblerError(f"label {head!r} shadows a register name", lineno)
+            pending_labels.append(head)
+            line = rest.strip()
+        if not line:
+            continue
+        mnemonic, _, operand_text = line.partition(" ")
+        opcode = lookup(mnemonic)
+        texts = _split_operands(operand_text)
+        if len(texts) != len(opcode.signature):
+            raise AssemblerError(
+                f"{opcode.name} expects {len(opcode.signature)} operand(s), got {len(texts)}",
+                lineno,
+            )
+        operands = tuple(
+            _parse_operand(text, slot, lineno)
+            for text, slot in zip(texts, opcode.signature)
+        )
+        index = len(program.instructions)
+        label = pending_labels[0] if pending_labels else None
+        for pending in pending_labels:
+            if pending in program.labels:
+                raise AssemblerError(f"duplicate label {pending!r}", lineno)
+            program.labels[pending] = index
+        pending_labels.clear()
+        program.instructions.append(
+            Instruction(opcode=opcode, operands=operands, label=label, line=lineno)
+        )
+    if pending_labels:
+        raise AssemblerError(f"trailing label(s) {pending_labels} at end of program")
+    program.validate()
+    return program
+
+
+class ProgramBuilder:
+    """Fluent programmatic assembler used by the kernel library.
+
+    Every opcode becomes a method; operands accept :class:`Register` objects,
+    register-name strings, ints (immediates), :class:`Mem` or ``"[r1+8]"``
+    strings, and bare strings for labels::
+
+        b = ProgramBuilder("fir")
+        b.label("loop")
+        b.movq("mm0", "[r1]")
+        b.pmaddwd("mm0", "mm1").tag("mul")
+        b.loop("r0", "loop")
+        program = b.build()
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        self._program = Program(name=name)
+        self._pending: list[str] = []
+
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self._program.labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        if is_register_name(name):
+            raise AssemblerError(f"label {name!r} shadows a register name")
+        self._pending.append(name)
+        return self
+
+    def emit(self, mnemonic: str, *raw_operands, tag: str | None = None) -> "ProgramBuilder":
+        opcode = lookup(mnemonic)
+        if len(raw_operands) != len(opcode.signature):
+            raise AssemblerError(
+                f"{opcode.name} expects {len(opcode.signature)} operand(s),"
+                f" got {len(raw_operands)}"
+            )
+        operands = tuple(
+            self._coerce(raw, slot) for raw, slot in zip(raw_operands, opcode.signature)
+        )
+        index = len(self._program.instructions)
+        label = self._pending[0] if self._pending else None
+        for pending in self._pending:
+            self._program.labels[pending] = index
+        self._pending.clear()
+        self._program.instructions.append(
+            Instruction(opcode=opcode, operands=operands, label=label, tag=tag)
+        )
+        return self
+
+    @staticmethod
+    def _coerce(raw, slot: str) -> Operand:
+        if isinstance(raw, (Register, Imm, Mem, Label)):
+            return raw
+        if isinstance(raw, int):
+            return Imm(raw)
+        if isinstance(raw, str):
+            text = raw.strip()
+            if text.startswith("["):
+                return parse_memory(text)
+            if is_register_name(text):
+                return parse_register(text)
+            if slot_allows(slot, "label"):
+                return Label(text)
+            try:
+                return Imm(int(text, 0))
+            except ValueError:
+                raise AssemblerError(f"cannot coerce operand {raw!r}") from None
+        raise AssemblerError(f"cannot coerce operand {raw!r}")
+
+    def tag(self, tag: str) -> "ProgramBuilder":
+        """Attach *tag* to the most recently emitted instruction."""
+        if not self._program.instructions:
+            raise AssemblerError("tag() before any instruction")
+        self._program.instructions[-1] = self._program.instructions[-1].with_tag(tag)
+        return self
+
+    def __getattr__(self, mnemonic: str):
+        # Builder methods for opcodes: b.paddw("mm0", "mm1").  Python keywords
+        # and operator-like names use a trailing underscore (b.and_, b.or_).
+        name = mnemonic.rstrip("_")
+        try:
+            lookup(name)
+        except AssemblerError:
+            raise AttributeError(mnemonic) from None
+        return lambda *operands, tag=None: self.emit(name, *operands, tag=tag)
+
+    def build(self) -> Program:
+        if self._pending:
+            raise AssemblerError(f"trailing label(s) {self._pending} at end of program")
+        self._program.validate()
+        return self._program
+
+
+def disassemble(program: Program) -> str:
+    """Render *program* back to assembly text (labels on their own lines)."""
+    return str(program)

@@ -1,0 +1,276 @@
+"""Binary machine-code encoding of the ISA.
+
+A deterministic, fully self-describing byte format with exact round-trip
+(``decode_program(assemble_binary(p))`` reproduces the instruction stream).
+This complements :mod:`repro.isa.encoding`, which is the *x86-flavoured cost
+model* used for the paper's code-size arguments; the binary format here is
+the loadable representation (a couple of bytes larger per instruction
+because every field is explicit).
+
+Layout per instruction:
+
+=============  =====================================================
+field          bytes
+=============  =====================================================
+opcode         1 (scalar page, id < 0x80) or 2 (MMX page: 0x80|hi, lo)
+flags          1 — see bit layout below
+register ops   1 byte each: ``0x10|index`` for MMX, ``index`` for
+               scalar; one byte per register-capable slot among the
+               first two signature slots (a slot consumed by the
+               immediate emits none)
+index reg      1 byte, iff ``has_index``
+displacement   0 / 1 / 4 bytes (signed), per ``disp_size``
+immediate      0 / 1 / 2 / 4 bytes (signed), per ``has_imm``+``imm_size``
+=============  =====================================================
+
+Flags bits: 0 ``has_mem``, 1 ``mem_slot`` (0/1), 2 ``has_index``,
+3-4 ``disp_size`` (0 → none, 1 → 1 byte, 2 → 4 bytes), 5 ``has_imm``,
+6-7 ``imm_size`` (0 → 1 byte, 1 → 2 bytes, 2 → 4 bytes).
+
+Branch targets encode as rel-16 *instruction-index* offsets in the
+immediate field; :func:`decode_program` regenerates labels ``L<index>``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instructions import Instruction, Program
+from repro.isa.opcodes import Opcode, all_opcodes, lookup, slot_allows
+from repro.isa.operands import Imm, Label, Mem, Operand
+from repro.isa.registers import MM, R, Register
+
+_SCALAR_IDS: dict[str, int] = {}
+_MMX_IDS: dict[str, int] = {}
+for _op in all_opcodes():
+    table = _MMX_IDS if _op.is_mmx else _SCALAR_IDS
+    table[_op.name] = len(table)
+if len(_SCALAR_IDS) > 127 or len(_MMX_IDS) > 0x7FFF:
+    raise EncodingError("opcode table outgrew the binary format")
+_SCALAR_BY_ID = {v: k for k, v in _SCALAR_IDS.items()}
+_MMX_BY_ID = {v: k for k, v in _MMX_IDS.items()}
+
+_SCALE_CODE = {1: 0, 2: 1, 4: 2, 8: 3}
+_SCALE_FROM_CODE = {v: k for k, v in _SCALE_CODE.items()}
+
+_F_HAS_MEM = 1 << 0
+_F_MEM_SLOT = 1 << 1
+_F_HAS_INDEX = 1 << 2
+_F_DISP_SHIFT = 3  # 2 bits
+_F_HAS_IMM = 1 << 5
+_F_IMM_SHIFT = 6  # 2 bits
+
+_IMM_BYTES = {0: 1, 1: 2, 2: 4}
+
+
+def _imm_slot_index(opcode: Opcode) -> int | None:
+    """The slot an encoded immediate/label occupies (last one admitting it)."""
+    result = None
+    for index, slot in enumerate(opcode.signature):
+        if slot_allows(slot, "imm") or slot_allows(slot, "label"):
+            result = index
+    return result
+
+
+def _reg_byte(reg: Register) -> int:
+    return (0x10 if reg.is_mmx else 0) | (reg.index & 0xF)
+
+
+def _byte_reg(value: int) -> Register:
+    if value & 0x10:
+        return MM[value & 0x7]
+    return R[value & 0xF]
+
+
+def encode_instruction(instr: Instruction, rel: int | None = None) -> bytes:
+    """Encode one instruction (*rel* resolves a branch label, if any)."""
+    opcode = instr.opcode
+    body = bytearray()
+    flags = 0
+    reg_bytes: list[int] = []
+    mem: Mem | None = None
+    imm_value: int | None = None
+    imm_slot = _imm_slot_index(opcode)
+
+    for index, operand in enumerate(instr.operands):
+        if isinstance(operand, Register):
+            if index < 2:
+                reg_bytes.append(_reg_byte(operand))
+            else:
+                raise EncodingError("register in slot 3+ is not encodable")
+        elif isinstance(operand, Mem):
+            if index > 1:
+                raise EncodingError("memory operand beyond slot 2")
+            flags |= _F_HAS_MEM | (_F_MEM_SLOT if index == 1 else 0)
+            reg_bytes.append(_reg_byte(operand.base))
+            mem = operand
+        elif isinstance(operand, Imm):
+            if index != imm_slot:
+                raise EncodingError(f"immediate in unexpected slot {index}")
+            imm_value = operand.value
+        elif isinstance(operand, Label):
+            if rel is None:
+                raise EncodingError("labels must be resolved before encoding")
+            imm_value = rel
+        else:  # pragma: no cover - operand types are closed
+            raise EncodingError(f"unsupported operand {operand!r}")
+
+    if imm_value is not None:
+        flags |= _F_HAS_IMM
+        if instr.is_branch or not -128 <= imm_value <= 127:
+            if -(2**15) <= imm_value < 2**15:
+                flags |= 1 << _F_IMM_SHIFT
+            elif -(2**31) <= imm_value < 2**31:
+                flags |= 2 << _F_IMM_SHIFT
+            else:
+                raise EncodingError(f"immediate {imm_value} exceeds 32 bits")
+
+    disp_bytes = b""
+    index_byte = b""
+    if mem is not None and mem.index is not None:
+        flags |= _F_HAS_INDEX
+        # Scale rides in the index byte's high bits (meaningful only here).
+        index_byte = bytes([_reg_byte(mem.index) | (_SCALE_CODE[mem.scale] << 5)])
+    if mem is not None and mem.disp:
+        if -128 <= mem.disp <= 127:
+            flags |= 1 << _F_DISP_SHIFT
+            disp_bytes = mem.disp.to_bytes(1, "little", signed=True)
+        else:
+            flags |= 2 << _F_DISP_SHIFT
+            disp_bytes = mem.disp.to_bytes(4, "little", signed=True)
+
+    if opcode.is_mmx:
+        opcode_id = _MMX_IDS[opcode.name]
+        body += bytes([0x80 | (opcode_id >> 8), opcode_id & 0xFF])
+    else:
+        body.append(_SCALAR_IDS[opcode.name])
+    body.append(flags)
+    body += bytes(reg_bytes)
+    body += index_byte
+    body += disp_bytes
+    if imm_value is not None:
+        size = _IMM_BYTES[(flags >> _F_IMM_SHIFT) & 0b11]
+        body += imm_value.to_bytes(size, "little", signed=True)
+    return bytes(body)
+
+
+def assemble_binary(program: Program) -> bytes:
+    """Encode a whole program (branch labels become rel16 index offsets)."""
+    chunks = []
+    for index, instr in enumerate(program.instructions):
+        rel = None
+        if instr.is_branch:
+            label = next(op for op in instr.operands if isinstance(op, Label))
+            rel = program.target(label.name) - index
+        chunks.append(encode_instruction(instr, rel))
+    return b"".join(chunks)
+
+
+def _decode_one(raw: bytes, offset: int) -> tuple[Opcode, list, int | None, int]:
+    """Decode at *offset*: (opcode, operands-with-rel-None, rel, new offset)."""
+    def take(count: int) -> bytes:
+        nonlocal offset
+        if offset + count > len(raw):
+            raise EncodingError(f"truncated instruction at byte {offset}")
+        piece = raw[offset : offset + count]
+        offset += count
+        return piece
+
+    first = take(1)[0]
+    if first & 0x80:
+        opcode_id = ((first & 0x7F) << 8) | take(1)[0]
+        name = _MMX_BY_ID.get(opcode_id)
+    else:
+        name = _SCALAR_BY_ID.get(first)
+    if name is None:
+        raise EncodingError(f"unknown opcode encoding {first:#x}")
+    opcode = lookup(name)
+    flags = take(1)[0]
+
+    has_mem = bool(flags & _F_HAS_MEM)
+    mem_slot = 1 if flags & _F_MEM_SLOT else 0
+    has_imm = bool(flags & _F_HAS_IMM)
+    imm_slot = _imm_slot_index(opcode) if has_imm else None
+
+    # How many register/base bytes follow?  One per register-capable slot of
+    # the first two that the immediate does not occupy.
+    reg_slot_indexes = [
+        index
+        for index, slot in enumerate(opcode.signature[:2])
+        if (slot_allows(slot, "mm") or slot_allows(slot, "r") or slot_allows(slot, "mem"))
+        and index != imm_slot
+    ]
+    raw_regs = [take(1)[0] for _ in reg_slot_indexes]
+
+    mem: Mem | None = None
+    if has_mem:
+        index_reg = None
+        scale = 1
+        if flags & _F_HAS_INDEX:
+            index_byte = take(1)[0]
+            index_reg = R[index_byte & 0xF]
+            scale = _SCALE_FROM_CODE[(index_byte >> 5) & 0b11]
+        disp = 0
+        disp_code = (flags >> _F_DISP_SHIFT) & 0b11
+        if disp_code == 1:
+            disp = int.from_bytes(take(1), "little", signed=True)
+        elif disp_code == 2:
+            disp = int.from_bytes(take(4), "little", signed=True)
+        base_byte = raw_regs[reg_slot_indexes.index(mem_slot)]
+        mem = Mem(base=R[base_byte & 0xF], disp=disp, index=index_reg, scale=scale)
+
+    imm_value: int | None = None
+    if has_imm:
+        size = _IMM_BYTES[(flags >> _F_IMM_SHIFT) & 0b11]
+        imm_value = int.from_bytes(take(size), "little", signed=True)
+
+    operands: list[Operand | None] = []
+    reg_cursor = 0
+    rel: int | None = None
+    for index, slot in enumerate(opcode.signature):
+        if index == imm_slot:
+            if slot_allows(slot, "label") and not slot_allows(slot, "imm"):
+                rel = imm_value
+                operands.append(None)  # patched by decode_program
+            else:
+                operands.append(Imm(imm_value))
+        elif has_mem and index == mem_slot:
+            operands.append(mem)
+            reg_cursor += 1
+        elif index < 2 and index in reg_slot_indexes:
+            operands.append(_byte_reg(raw_regs[reg_cursor]))
+            reg_cursor += 1
+        else:  # pragma: no cover - signatures are closed
+            raise EncodingError(f"cannot place operand for slot {slot!r}")
+    return opcode, operands, rel, offset
+
+
+def decode_program(raw: bytes, name: str = "decoded") -> Program:
+    """Decode a binary stream back into a :class:`Program`.
+
+    Branch targets become labels ``L<index>`` attached to their target
+    instructions.
+    """
+    decoded: list[tuple[Opcode, list, int | None]] = []
+    offset = 0
+    while offset < len(raw):
+        opcode, operands, rel, offset = _decode_one(raw, offset)
+        decoded.append((opcode, operands, rel))
+
+    targets: dict[int, str] = {}
+    for index, (_, _, rel) in enumerate(decoded):
+        if rel is not None:
+            target = index + rel
+            if not 0 <= target <= len(decoded):
+                raise EncodingError(f"branch at {index} targets {target}: out of range")
+            targets.setdefault(target, f"L{target}")
+
+    program = Program(name=name)
+    for index, (opcode, operands, rel) in enumerate(decoded):
+        final = [
+            Label(targets[index + rel]) if operand is None else operand
+            for operand in operands
+        ]
+        program.instructions.append(Instruction(opcode=opcode, operands=tuple(final)))
+    program.labels.update({label: index for index, label in targets.items()})
+    program.validate()
+    return program

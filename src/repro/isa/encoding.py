@@ -1,0 +1,69 @@
+"""Instruction size model for code-size accounting.
+
+The paper rejects sub-word register addressing through extra instruction bits
+because it "would change the instruction set architecture and increase the
+code size significantly" (§3).  To quantify such comparisons we assign each
+instruction a deterministic byte size using x86-flavoured rules:
+
+* 2 bytes of opcode + register specifier,
+* +1 byte for a memory operand (ModRM-style), +1 more for an index register,
+* +1 byte for a displacement in [-128, 127], +4 for wider displacements,
+* +1 byte for an 8-bit immediate, +4 otherwise,
+* +2 bytes for a branch target (rel16),
+* MMX opcodes carry a +1 escape byte (the 0x0F prefix).
+
+``encode_subword_addressing`` models the rejected alternative: the same
+instruction stream with 6 extra bits per MMX operand, rounded up to bytes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.instructions import Instruction, Program
+from repro.isa.opcodes import InstrClass
+from repro.isa.operands import Imm, Label, Mem
+from repro.isa.registers import Register
+
+
+def instruction_size(instr: Instruction) -> int:
+    """Encoded size of one instruction in bytes."""
+    size = 2
+    if instr.is_mmx:
+        size += 1  # 0x0F escape prefix
+    for operand in instr.operands:
+        if isinstance(operand, Mem):
+            size += 1
+            if operand.index is not None:
+                size += 1
+            if operand.disp != 0:
+                size += 1 if -128 <= operand.disp <= 127 else 4
+        elif isinstance(operand, Imm):
+            size += 1 if -128 <= operand.value <= 127 else 4
+        elif isinstance(operand, Label):
+            size += 2
+    return size
+
+
+def program_size(program: Program) -> int:
+    """Total encoded size of *program* in bytes."""
+    return sum(instruction_size(instr) for instr in program.instructions)
+
+
+def encode_subword_addressing(program: Program, bits_per_operand: int = 6) -> int:
+    """Size of *program* if MMX operands carried sub-word address fields.
+
+    This is the ISA-change alternative the paper rejects in §3: every MMX
+    register operand gains *bits_per_operand* bits of sub-word selector.
+    Per-instruction overhead is rounded up to whole bytes.
+    """
+    total = 0
+    for instr in program.instructions:
+        size = instruction_size(instr)
+        if instr.is_mmx:
+            mmx_operands = sum(
+                1 for op in instr.operands if isinstance(op, Register) and op.is_mmx
+            )
+            size += math.ceil(mmx_operands * bits_per_operand / 8)
+        total += size
+    return total

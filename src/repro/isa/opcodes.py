@@ -1,0 +1,272 @@
+"""Opcode table: structural metadata for every instruction the machine runs.
+
+Each opcode carries the properties the cycle model and the SPU off-load pass
+need: execution class (which shared functional unit it occupies), latency,
+legal pipes, and whether it is a *data-permutation* instruction — the
+pack/merge/unpack family the paper measures at >23% of dynamic instructions on
+TriMedia (§1) and which the SPU makes transparent.
+
+The pairing-relevant classes mirror the published Pentium-MMX constraints
+(§2): both pipes execute arithmetic/logic, but only one multiply and only one
+shift/pack/permutation instruction may issue per cycle, and memory accesses
+use the U pipe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+
+
+class InstrClass(enum.Enum):
+    """Functional-unit class used for pairing rules and statistics."""
+
+    MMX_ALU = "mmx_alu"  # packed add/sub/logic/compare: either pipe
+    MMX_MUL = "mmx_mul"  # packed multiply: one per cycle, 3-cycle latency
+    MMX_SHIFT = "mmx_shift"  # shift/pack/unpack unit: one per cycle
+    MMX_MOV = "mmx_mov"  # movq/movd data movement
+    SCALAR = "scalar"  # integer ALU: either pipe
+    LOAD = "load"  # memory read: U pipe
+    STORE = "store"  # memory write: U pipe
+    BRANCH = "branch"  # control flow: pairs only as the second instruction
+    SYS = "sys"  # nop/halt/emms
+
+    @property
+    def is_mmx(self) -> bool:
+        return self in (
+            InstrClass.MMX_ALU,
+            InstrClass.MMX_MUL,
+            InstrClass.MMX_SHIFT,
+            InstrClass.MMX_MOV,
+        )
+
+
+#: Operand-slot specs: a slot string is a ``|``-separated set of kinds drawn
+#: from ``mm`` (MMX register), ``r`` (scalar register), ``imm``, ``mem``,
+#: ``label``.
+Slot = str
+
+U = frozenset({"U"})
+V = frozenset({"V"})
+UV = frozenset({"U", "V"})
+
+
+@dataclass(frozen=True, slots=True)
+class Opcode:
+    """Immutable description of one instruction mnemonic."""
+
+    name: str
+    iclass: InstrClass
+    signature: tuple[Slot, ...]
+    latency: int = 1
+    pipes: frozenset = UV
+    #: Pure data-permutation instruction (pack/unpack/shuffle) that the SPU
+    #: interconnect can subsume (paper §3).
+    is_permute: bool = False
+    #: Data movement that the off-load pass may treat as a permutation when
+    #: its operands allow (``movq mm,mm``; byte-granular ``psllq``/``psrlq``).
+    maybe_permute: bool = False
+    #: Semantic key used by the executor dispatch (shared across widths).
+    sem: str = ""
+    #: Sub-word width in bits for packed operations (None for full-word ops).
+    width: int | None = None
+    #: True for opcodes beyond the base MMX set (e.g. ``pshufw`` from SSE).
+    extension: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.sem:
+            object.__setattr__(self, "sem", self.name)
+
+    @property
+    def is_mmx(self) -> bool:
+        return self.iclass.is_mmx
+
+    @property
+    def is_branch(self) -> bool:
+        return self.iclass is InstrClass.BRANCH
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+_TABLE: dict[str, Opcode] = {}
+
+
+def _add(opcode: Opcode) -> Opcode:
+    if opcode.name in _TABLE:
+        raise ValueError(f"duplicate opcode {opcode.name}")
+    _TABLE[opcode.name] = opcode
+    return opcode
+
+
+def _packed(name: str, sem: str, width: int | None, iclass: InstrClass, **kw) -> None:
+    _add(Opcode(name=name, iclass=iclass, signature=("mm", "mm|mem"), sem=sem, width=width, **kw))
+
+
+# --- MMX packed arithmetic / logic / compare (either pipe, 1 cycle) --------
+for _suffix, _w in (("b", 8), ("w", 16), ("d", 32), ("q", 64)):
+    _packed(f"padd{_suffix}", "padd", _w, InstrClass.MMX_ALU)
+for _suffix, _w in (("b", 8), ("w", 16), ("d", 32)):
+    _packed(f"psub{_suffix}", "psub", _w, InstrClass.MMX_ALU)
+for _suffix, _w in (("b", 8), ("w", 16)):
+    _packed(f"padds{_suffix}", "padds", _w, InstrClass.MMX_ALU)
+    _packed(f"paddus{_suffix}", "paddus", _w, InstrClass.MMX_ALU)
+    _packed(f"psubs{_suffix}", "psubs", _w, InstrClass.MMX_ALU)
+    _packed(f"psubus{_suffix}", "psubus", _w, InstrClass.MMX_ALU)
+for _name in ("pand", "pandn", "por", "pxor"):
+    _packed(_name, _name, None, InstrClass.MMX_ALU)
+for _suffix, _w in (("b", 8), ("w", 16), ("d", 32)):
+    _packed(f"pcmpeq{_suffix}", "pcmpeq", _w, InstrClass.MMX_ALU)
+    _packed(f"pcmpgt{_suffix}", "pcmpgt", _w, InstrClass.MMX_ALU)
+_packed("pavgb", "pavg", 8, InstrClass.MMX_ALU, extension=True)
+_packed("pavgw", "pavg", 16, InstrClass.MMX_ALU, extension=True)
+_packed("pminsw", "pmins", 16, InstrClass.MMX_ALU, extension=True)
+_packed("pmaxsw", "pmaxs", 16, InstrClass.MMX_ALU, extension=True)
+_packed("pminub", "pminu", 8, InstrClass.MMX_ALU, extension=True)
+_packed("pmaxub", "pmaxu", 8, InstrClass.MMX_ALU, extension=True)
+
+# --- MMX multiply (one per cycle, 3-cycle latency per the paper §2) --------
+for _name in ("pmullw", "pmulhw", "pmaddwd"):
+    _packed(_name, _name, 16, InstrClass.MMX_MUL, latency=3)
+_packed("pmulhuw", "pmulhuw", 16, InstrClass.MMX_MUL, latency=3, extension=True)
+_packed("pmuludq", "pmuludq", 32, InstrClass.MMX_MUL, latency=3, extension=True)
+
+# --- MMX shift / pack / unpack (shared shifter: one per cycle) -------------
+for _suffix, _w in (("w", 16), ("d", 32), ("q", 64)):
+    _add(
+        Opcode(
+            name=f"psll{_suffix}",
+            iclass=InstrClass.MMX_SHIFT,
+            signature=("mm", "imm|mm"),
+            sem="psll",
+            width=_w,
+            maybe_permute=(_w == 64),
+        )
+    )
+    _add(
+        Opcode(
+            name=f"psrl{_suffix}",
+            iclass=InstrClass.MMX_SHIFT,
+            signature=("mm", "imm|mm"),
+            sem="psrl",
+            width=_w,
+            maybe_permute=(_w == 64),
+        )
+    )
+for _suffix, _w in (("w", 16), ("d", 32)):
+    _add(
+        Opcode(
+            name=f"psra{_suffix}",
+            iclass=InstrClass.MMX_SHIFT,
+            signature=("mm", "imm|mm"),
+            sem="psra",
+            width=_w,
+        )
+    )
+_packed("packsswb", "packss", 16, InstrClass.MMX_SHIFT, is_permute=True)
+_packed("packssdw", "packss", 32, InstrClass.MMX_SHIFT, is_permute=True)
+_packed("packuswb", "packus", 16, InstrClass.MMX_SHIFT, is_permute=True)
+for _suffix, _w in (("bw", 8), ("wd", 16), ("dq", 32)):
+    _packed(f"punpckl{_suffix}", "punpckl", _w, InstrClass.MMX_SHIFT, is_permute=True)
+    _packed(f"punpckh{_suffix}", "punpckh", _w, InstrClass.MMX_SHIFT, is_permute=True)
+_add(
+    Opcode(
+        name="pshufw",
+        iclass=InstrClass.MMX_SHIFT,
+        signature=("mm", "mm|mem", "imm"),
+        sem="pshufw",
+        width=16,
+        is_permute=True,
+        extension=True,
+    )
+)
+# Baseline for the paper's §6 comparison: an Altivec/TigerSHARC-style
+# *explicit* two-source byte permute.  ``vperm dst, src, imm32`` selects each
+# destination byte from the 16-byte concatenation (dst, src) by the
+# corresponding control nibble.  Unlike the SPU it occupies an instruction
+# slot, carries a 4-byte control immediate, and reaches only two registers.
+_add(
+    Opcode(
+        name="vperm",
+        iclass=InstrClass.MMX_SHIFT,
+        signature=("mm", "mm", "imm"),
+        sem="vperm",
+        width=8,
+        is_permute=True,
+        extension=True,
+    )
+)
+
+# --- MMX data movement ------------------------------------------------------
+_add(
+    Opcode(
+        name="movq",
+        iclass=InstrClass.MMX_MOV,
+        signature=("mm|mem", "mm|mem"),
+        sem="movq",
+        maybe_permute=True,  # movq mm,mm is a candidate realignment move
+    )
+)
+_add(
+    Opcode(
+        name="movd",
+        iclass=InstrClass.MMX_MOV,
+        signature=("mm|r|mem", "mm|r|mem"),
+        sem="movd",
+        width=32,
+    )
+)
+
+# --- Scalar integer ALU ------------------------------------------------------
+for _name in ("mov", "add", "sub", "and", "or", "xor"):
+    _add(Opcode(name=_name, iclass=InstrClass.SCALAR, signature=("r", "r|imm"), sem=_name))
+# Scalar multiply: not pipelined on the Pentium; modeled with 4-cycle latency.
+_add(Opcode(name="imul", iclass=InstrClass.SCALAR, signature=("r", "r|imm"), sem="imul", latency=4))
+for _name in ("shl", "shr", "sar"):
+    _add(Opcode(name=_name, iclass=InstrClass.SCALAR, signature=("r", "imm"), sem=_name))
+_add(Opcode(name="cmp", iclass=InstrClass.SCALAR, signature=("r", "r|imm"), sem="cmp"))
+for _name in ("inc", "dec", "neg"):
+    _add(Opcode(name=_name, iclass=InstrClass.SCALAR, signature=("r",), sem=_name))
+_add(Opcode(name="lea", iclass=InstrClass.SCALAR, signature=("r", "mem"), sem="lea"))
+
+# --- Scalar loads / stores (U pipe only, 1 cycle assuming L1 hit, §5.2.1) ---
+for _name, _w in (("ldw", 32), ("ldh", 16), ("ldhs", 16), ("ldb", 8)):
+    _add(
+        Opcode(name=_name, iclass=InstrClass.LOAD, signature=("r", "mem"), sem=_name, width=_w, pipes=U)
+    )
+for _name, _w in (("stw", 32), ("sth", 16), ("stb", 8)):
+    _add(
+        Opcode(name=_name, iclass=InstrClass.STORE, signature=("mem", "r"), sem=_name, width=_w, pipes=U)
+    )
+
+# --- Control flow -----------------------------------------------------------
+_add(Opcode(name="jmp", iclass=InstrClass.BRANCH, signature=("label",), sem="jmp"))
+for _name in ("jz", "jnz", "js", "jns", "jl", "jge", "jle", "jg"):
+    _add(Opcode(name=_name, iclass=InstrClass.BRANCH, signature=("label",), sem=_name))
+# Fused decrement-and-branch: dec reg; jnz label (deterministic loop idiom).
+_add(Opcode(name="loop", iclass=InstrClass.BRANCH, signature=("r", "label"), sem="loop"))
+
+# --- System ------------------------------------------------------------------
+_add(Opcode(name="nop", iclass=InstrClass.SYS, signature=(), sem="nop"))
+_add(Opcode(name="halt", iclass=InstrClass.SYS, signature=(), sem="halt"))
+_add(Opcode(name="emms", iclass=InstrClass.SYS, signature=(), sem="emms"))
+
+
+def lookup(name: str) -> Opcode:
+    """Return the opcode for *name*, raising :class:`AssemblerError` if unknown."""
+    opcode = _TABLE.get(name.strip().lower())
+    if opcode is None:
+        raise AssemblerError(f"unknown opcode {name!r}")
+    return opcode
+
+
+def all_opcodes() -> tuple[Opcode, ...]:
+    """Every opcode in the table (stable definition order)."""
+    return tuple(_TABLE.values())
+
+
+def slot_allows(slot: Slot, kind: str) -> bool:
+    """True when operand *kind* (``mm``/``r``/``imm``/``mem``/``label``) fits *slot*."""
+    return kind in slot.split("|")

@@ -1,0 +1,121 @@
+"""Instruction operand types: registers, immediates, memory refs, labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+from repro.isa.registers import Register, is_register_name, parse_register
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """Immediate operand (signed 32-bit range is enforced at encode time)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Mem:
+    """Memory operand ``[base + index*scale + disp]``.
+
+    ``base`` is required; ``index`` optional with power-of-two ``scale``.
+    """
+
+    base: Register
+    disp: int = 0
+    index: Register | None = None
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base.is_mmx or (self.index is not None and self.index.is_mmx):
+            raise AssemblerError("memory addressing uses scalar registers only")
+        if self.scale not in (1, 2, 4, 8):
+            raise AssemblerError(f"scale must be 1/2/4/8, got {self.scale}")
+
+    def __str__(self) -> str:
+        parts = [self.base.name]
+        if self.index is not None:
+            parts.append(f"{self.index.name}*{self.scale}" if self.scale != 1 else self.index.name)
+        text = "+".join(parts)
+        if self.disp > 0:
+            text += f"+{self.disp}"
+        elif self.disp < 0:
+            text += str(self.disp)
+        return f"[{text}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """Symbolic branch target, resolved by the assembler's second pass."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Union type of every operand an instruction can carry.
+Operand = Register | Imm | Mem | Label
+
+
+def parse_memory(text: str) -> Mem:
+    """Parse a memory operand like ``[r1]``, ``[r1+8]`` or ``[r1+r2*4-6]``."""
+    inner = text.strip()
+    if not (inner.startswith("[") and inner.endswith("]")):
+        raise AssemblerError(f"malformed memory operand {text!r}")
+    inner = inner[1:-1].replace(" ", "")
+    if not inner:
+        raise AssemblerError(f"empty memory operand {text!r}")
+    # Tokenize on +/- while keeping the sign attached to each term.
+    terms: list[str] = []
+    current = ""
+    for ch in inner:
+        if ch in "+-" and current:
+            terms.append(current)
+            current = ch if ch == "-" else ""
+        else:
+            current += ch
+    terms.append(current)
+
+    base: Register | None = None
+    index: Register | None = None
+    scale = 1
+    disp = 0
+    for term in terms:
+        if not term or term == "-":
+            raise AssemblerError(f"malformed memory operand {text!r}")
+        neg = term.startswith("-")
+        body = term[1:] if neg else term
+        if "*" in body:
+            reg_name, _, scale_text = body.partition("*")
+            if neg or not is_register_name(reg_name):
+                raise AssemblerError(f"malformed scaled index in {text!r}")
+            if index is not None:
+                raise AssemblerError(f"multiple index registers in {text!r}")
+            index = parse_register(reg_name)
+            try:
+                scale = int(scale_text, 0)
+            except ValueError as exc:
+                raise AssemblerError(f"bad scale in {text!r}") from exc
+        elif is_register_name(body):
+            if neg:
+                raise AssemblerError(f"negated register in {text!r}")
+            if base is None:
+                base = parse_register(body)
+            elif index is None:
+                index = parse_register(body)
+            else:
+                raise AssemblerError(f"too many registers in {text!r}")
+        else:
+            try:
+                value = int(body, 0)
+            except ValueError as exc:
+                raise AssemblerError(f"bad displacement {body!r} in {text!r}") from exc
+            disp += -value if neg else value
+    if base is None:
+        raise AssemblerError(f"memory operand {text!r} needs a base register")
+    return Mem(base=base, disp=disp, index=index, scale=scale)

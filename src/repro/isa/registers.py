@@ -1,0 +1,97 @@
+"""Register model: the eight 64-bit MMX registers plus a scalar file.
+
+The MMX registers MM0–MM7 are the sub-word vector registers the SPU's unified
+register shadows (8 × 64 bits = 512 bits, §3).  The scalar file models the
+Pentium integer side — addresses, loop counters and branches live there, which
+is why the paper argues an extra MMX pipe stage does not lengthen the branch
+resolution path (§5.1.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+
+#: Number of MMX registers (MM0..MM7).
+NUM_MMX_REGS = 8
+
+#: Number of scalar integer registers (r0..r15).
+NUM_SCALAR_REGS = 16
+
+#: Width of an MMX register in bits / bytes.
+MMX_BITS = 64
+MMX_BYTES = 8
+
+#: Width of a scalar register in bits.
+SCALAR_BITS = 32
+SCALAR_MASK = (1 << SCALAR_BITS) - 1
+
+
+class RegClass(enum.Enum):
+    """Architectural register file a register belongs to."""
+
+    MMX = "mmx"
+    SCALAR = "scalar"
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class Register:
+    """An architectural register (immutable, interned via module tables).
+
+    Equality and hashing are by (file, index) but precomputed — registers are
+    compared and hashed millions of times in the pipeline's hazard checks.
+    """
+
+    cls: RegClass
+    index: int
+
+    def __eq__(self, other) -> bool:
+        return (
+            self is other
+            or (isinstance(other, Register)
+                and self.cls is other.cls and self.index == other.index)
+        )
+
+    def __hash__(self) -> int:
+        # MMX registers hash to 16+index, scalars to their index: stable,
+        # collision-free across the two files, and a single arithmetic op.
+        return self.index + (16 if self.cls is RegClass.MMX else 0)
+
+    @property
+    def name(self) -> str:
+        prefix = "mm" if self.cls is RegClass.MMX else "r"
+        return f"{prefix}{self.index}"
+
+    @property
+    def is_mmx(self) -> bool:
+        return self.cls is RegClass.MMX
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Register({self.name})"
+
+
+#: Interned MMX registers, MM[i] is MMi.
+MM: tuple[Register, ...] = tuple(Register(RegClass.MMX, i) for i in range(NUM_MMX_REGS))
+
+#: Interned scalar registers, R[i] is ri.
+R: tuple[Register, ...] = tuple(Register(RegClass.SCALAR, i) for i in range(NUM_SCALAR_REGS))
+
+_BY_NAME: dict[str, Register] = {reg.name: reg for reg in (*MM, *R)}
+
+
+def parse_register(name: str) -> Register:
+    """Look up a register by its assembly name (``mm3``, ``r11``)."""
+    reg = _BY_NAME.get(name.strip().lower())
+    if reg is None:
+        raise AssemblerError(f"unknown register {name!r}")
+    return reg
+
+
+def is_register_name(name: str) -> bool:
+    """True when *name* names an architectural register."""
+    return name.strip().lower() in _BY_NAME

@@ -1,0 +1,49 @@
+"""Inverse 8×8 DCT (extension kernel: the decoder half of the codec).
+
+Identical row-column structure to the forward DCT — only the coefficient
+matrix transposes — so it inherits the full four-phase, four-context SPU
+treatment.  Together with :class:`~repro.kernels.dct.DCTKernel` it closes
+the compression round trip the paper's motivation invokes ("DCT which is a
+critical kernel in many multimedia and compression applications", §7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.dct import DCTKernel, Q, dct_matrix_q12
+
+
+class IDCTKernel(DCTKernel):
+    """8×8 inverse DCT: x = Cᵀ·X·C in Q12 fixed point."""
+
+    name = "IDCT"
+    description = "8x8 inverse DCT (extension kernel)"
+
+    def __init__(self, blocks: int = 8, seed: int = 2004, **kwargs) -> None:
+        super().__init__(blocks=blocks, seed=seed, **kwargs)
+        # The row pass multiplies by the matrix rows; inverting the DCT just
+        # transposes the coefficient matrix.
+        self.cos = np.ascontiguousarray(dct_matrix_q12().T)
+        # Workload: plausible coefficient blocks — energy-compacted values
+        # like a quantized encoder would produce.
+        rng = np.random.default_rng(seed + 1)
+        coeffs = np.zeros((self.blocks, 8, 8), dtype=np.int16)
+        coeffs[:, :3, :3] = rng.integers(-1200, 1200, size=(self.blocks, 3, 3))
+        coeffs[:, 0, 0] = rng.integers(-2000, 2000, size=self.blocks)
+        self.block = coeffs
+
+
+def roundtrip_error(blocks: int = 4, seed: int = 7) -> float:
+    """Max |pixel error| of DCT→IDCT over random residual blocks.
+
+    Diagnostic used by tests and docs: with Q12 coefficients the round trip
+    is accurate to a few LSBs.
+    """
+    forward = DCTKernel(blocks=blocks, seed=seed)
+    coefficients = forward.reference()
+    inverse = IDCTKernel(blocks=blocks, seed=seed)
+    inverse.block = coefficients
+    recovered = inverse.reference()
+    return float(np.max(np.abs(recovered.astype(np.int64)
+                               - forward.block.astype(np.int64))))

@@ -1,0 +1,104 @@
+"""Functional semantics of sub-word (packed) arithmetic.
+
+This package is the bit-exact data-path model underneath the simulator: every
+MMX instruction the paper's kernels use is implemented here on plain 64-bit
+integer words, with NumPy doing the lane-level arithmetic.
+"""
+
+from repro.simd.lanes import (
+    LANE_WIDTHS,
+    WORD_BITS,
+    WORD_BYTES,
+    WORD_MASK,
+    bytes_of,
+    check_width,
+    check_word,
+    extract_lane,
+    from_bytes,
+    insert_lane,
+    join,
+    lane_count,
+    lane_mask,
+    replicate,
+    signed_dtype,
+    split,
+    to_signed,
+    to_unsigned,
+    unsigned_dtype,
+)
+from repro.simd.arithmetic import (
+    padd,
+    padds,
+    paddus,
+    pavg,
+    pmax,
+    pmin,
+    psub,
+    psubs,
+    psubus,
+)
+from repro.simd.multiply import (
+    pmaddwd,
+    pmul_widening,
+    pmulhuw,
+    pmulhw,
+    pmullw,
+    pmuludq,
+)
+from repro.simd.pack import packss, packus, permute_word, punpckh, punpckl
+from repro.simd.shift import psll, psllq_bytes, psra, psrl, psrlq_bytes
+from repro.simd.compare import pcmpeq, pcmpgt
+from repro.simd.logical import pand, pandn, por, pxor
+
+__all__ = [
+    "LANE_WIDTHS",
+    "WORD_BITS",
+    "WORD_BYTES",
+    "WORD_MASK",
+    "bytes_of",
+    "check_width",
+    "check_word",
+    "extract_lane",
+    "from_bytes",
+    "insert_lane",
+    "join",
+    "lane_count",
+    "lane_mask",
+    "replicate",
+    "signed_dtype",
+    "split",
+    "to_signed",
+    "to_unsigned",
+    "unsigned_dtype",
+    "padd",
+    "padds",
+    "paddus",
+    "pavg",
+    "pmax",
+    "pmin",
+    "psub",
+    "psubs",
+    "psubus",
+    "pmaddwd",
+    "pmul_widening",
+    "pmulhuw",
+    "pmulhw",
+    "pmullw",
+    "pmuludq",
+    "packss",
+    "packus",
+    "permute_word",
+    "punpckh",
+    "punpckl",
+    "psll",
+    "psllq_bytes",
+    "psra",
+    "psrl",
+    "psrlq_bytes",
+    "pcmpeq",
+    "pcmpgt",
+    "pand",
+    "pandn",
+    "por",
+    "pxor",
+]

@@ -1,0 +1,85 @@
+"""Packed add/subtract with wrap-around and saturating variants.
+
+These implement the MMX semantics described in the paper's §2: standard
+word-precision adders with carry chains optionally broken at sub-word
+boundaries, plus the saturating forms used by the pack/media instructions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd import lanes
+
+
+def _signed_limits(width: int) -> tuple[int, int]:
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return lo, hi
+
+
+def padd(a: int, b: int, width: int) -> int:
+    """Packed add with wrap-around (``paddb``/``paddw``/``paddd``/``paddq``)."""
+    la = lanes.split(a, width).astype(np.int64)
+    lb = lanes.split(b, width).astype(np.int64)
+    return lanes.join(la + lb, width)
+
+
+def psub(a: int, b: int, width: int) -> int:
+    """Packed subtract with wrap-around (``psubb``/``psubw``/``psubd``)."""
+    la = lanes.split(a, width).astype(np.int64)
+    lb = lanes.split(b, width).astype(np.int64)
+    return lanes.join(la - lb, width)
+
+
+def padds(a: int, b: int, width: int) -> int:
+    """Packed add with signed saturation (``paddsb``/``paddsw``)."""
+    lo, hi = _signed_limits(width)
+    la = lanes.split(a, width, signed=True).astype(np.int64)
+    lb = lanes.split(b, width, signed=True).astype(np.int64)
+    return lanes.join(np.clip(la + lb, lo, hi), width)
+
+
+def psubs(a: int, b: int, width: int) -> int:
+    """Packed subtract with signed saturation (``psubsb``/``psubsw``)."""
+    lo, hi = _signed_limits(width)
+    la = lanes.split(a, width, signed=True).astype(np.int64)
+    lb = lanes.split(b, width, signed=True).astype(np.int64)
+    return lanes.join(np.clip(la - lb, lo, hi), width)
+
+
+def paddus(a: int, b: int, width: int) -> int:
+    """Packed add with unsigned saturation (``paddusb``/``paddusw``)."""
+    hi = (1 << width) - 1
+    la = lanes.split(a, width).astype(np.int64)
+    lb = lanes.split(b, width).astype(np.int64)
+    return lanes.join(np.clip(la + lb, 0, hi), width)
+
+
+def psubus(a: int, b: int, width: int) -> int:
+    """Packed subtract with unsigned saturation (``psubusb``/``psubusw``)."""
+    hi = (1 << width) - 1
+    la = lanes.split(a, width).astype(np.int64)
+    lb = lanes.split(b, width).astype(np.int64)
+    return lanes.join(np.clip(la - lb, 0, hi), width)
+
+
+def pavg(a: int, b: int, width: int) -> int:
+    """Packed unsigned average with rounding (``pavgb``/``pavgw``)."""
+    la = lanes.split(a, width).astype(np.int64)
+    lb = lanes.split(b, width).astype(np.int64)
+    return lanes.join((la + lb + 1) >> 1, width)
+
+
+def pmin(a: int, b: int, width: int, *, signed: bool) -> int:
+    """Packed per-lane minimum (``pminub``/``pminsw`` family)."""
+    la = lanes.split(a, width, signed=signed).astype(np.int64)
+    lb = lanes.split(b, width, signed=signed).astype(np.int64)
+    return lanes.join(np.minimum(la, lb), width)
+
+
+def pmax(a: int, b: int, width: int, *, signed: bool) -> int:
+    """Packed per-lane maximum (``pmaxub``/``pmaxsw`` family)."""
+    la = lanes.split(a, width, signed=signed).astype(np.int64)
+    lb = lanes.split(b, width, signed=signed).astype(np.int64)
+    return lanes.join(np.maximum(la, lb), width)

@@ -1,0 +1,23 @@
+"""Packed compare instructions producing all-ones / all-zeros lane masks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd import lanes
+
+
+def pcmpeq(a: int, b: int, width: int) -> int:
+    """Per-lane equality: lanes become ``0xFF..F`` when equal, else 0."""
+    la = lanes.split(a, width)
+    lb = lanes.split(b, width)
+    mask = np.where(la == lb, -1, 0)
+    return lanes.join(mask, width)
+
+
+def pcmpgt(a: int, b: int, width: int) -> int:
+    """Per-lane *signed* greater-than: ``a > b`` lanes become all ones."""
+    la = lanes.split(a, width, signed=True)
+    lb = lanes.split(b, width, signed=True)
+    mask = np.where(la > lb, -1, 0)
+    return lanes.join(mask, width)

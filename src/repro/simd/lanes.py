@@ -1,0 +1,173 @@
+"""Sub-word lane packing and unpacking.
+
+An MMX register holds a 64-bit *word* interpreted as a vector of equally sized
+*sub-words* (lanes) of 8, 16, 32 or 64 bits.  Throughout the library a packed
+word is a plain Python ``int`` in ``[0, 2**64)`` — hashable, cheap to copy and
+storable in the register file — and lane-level arithmetic is performed on
+little NumPy vectors produced by :func:`split` and folded back with
+:func:`join`.
+
+The little-endian byte order matches the Intel convention used by the paper:
+lane 0 is the least-significant sub-word of the register.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LaneError
+
+#: Number of bits in a full MMX word.
+WORD_BITS = 64
+
+#: Number of bytes in a full MMX word.
+WORD_BYTES = 8
+
+#: Mask selecting the 64 bits of a packed word.
+WORD_MASK = (1 << WORD_BITS) - 1
+
+#: Sub-word widths (in bits) supported by the MMX architecture.
+LANE_WIDTHS = (8, 16, 32, 64)
+
+_UNSIGNED = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}
+_SIGNED = {8: np.int8, 16: np.int16, 32: np.int32, 64: np.int64}
+
+
+def check_width(width: int) -> None:
+    """Raise :class:`LaneError` unless *width* is a legal sub-word width."""
+    if width not in LANE_WIDTHS:
+        raise LaneError(f"illegal sub-word width {width}; expected one of {LANE_WIDTHS}")
+
+
+def lane_count(width: int) -> int:
+    """Number of lanes of *width* bits in one 64-bit word (8, 4, 2 or 1)."""
+    check_width(width)
+    return WORD_BITS // width
+
+
+def lane_mask(width: int) -> int:
+    """Bit mask covering a single lane of *width* bits."""
+    check_width(width)
+    return (1 << width) - 1
+
+
+def unsigned_dtype(width: int) -> type:
+    """NumPy unsigned dtype for lanes of *width* bits."""
+    check_width(width)
+    return _UNSIGNED[width]
+
+
+def signed_dtype(width: int) -> type:
+    """NumPy signed dtype for lanes of *width* bits."""
+    check_width(width)
+    return _SIGNED[width]
+
+
+def check_word(value: int) -> int:
+    """Validate that *value* is an int representable in 64 bits; return it."""
+    value = int(value)
+    if not 0 <= value <= WORD_MASK:
+        raise LaneError(f"packed word {value:#x} outside [0, 2**64)")
+    return value
+
+
+def split(value: int, width: int, *, signed: bool = False) -> np.ndarray:
+    """Split a packed 64-bit word into its lanes.
+
+    Parameters
+    ----------
+    value:
+        Packed word in ``[0, 2**64)``.
+    width:
+        Lane width in bits (8, 16, 32 or 64).
+    signed:
+        If true, lanes are returned with a signed dtype (two's complement
+        reinterpretation); otherwise unsigned.
+
+    Returns
+    -------
+    numpy.ndarray
+        Writable array with ``64 // width`` elements, lane 0 first.
+    """
+    check_width(width)
+    raw = check_word(value).to_bytes(WORD_BYTES, "little")
+    lanes = np.frombuffer(raw, dtype=_UNSIGNED[width]).copy()
+    if signed:
+        return lanes.view(_SIGNED[width])
+    return lanes
+
+
+def join(lanes: np.ndarray | list[int], width: int) -> int:
+    """Join lane values back into a packed 64-bit word.
+
+    Accepts signed or unsigned inputs; each lane is truncated (two's
+    complement) to *width* bits.  Inverse of :func:`split`.
+    """
+    check_width(width)
+    n = lane_count(width)
+    arr = np.asarray(lanes)
+    if arr.shape != (n,):
+        raise LaneError(f"expected {n} lanes of width {width}, got shape {arr.shape}")
+    # Cast through a signed 64-bit view so that negative Python ints and
+    # signed dtypes wrap correctly before the final unsigned reinterpretation.
+    as_signed = arr.astype(np.int64, copy=False)
+    truncated = as_signed.astype(_SIGNED[width]).view(_UNSIGNED[width])
+    return int.from_bytes(truncated.tobytes(), "little")
+
+
+def to_signed(value: int, width: int) -> int:
+    """Reinterpret the low *width* bits of *value* as a two's-complement int."""
+    check_width(width)
+    value &= lane_mask(width)
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Two's-complement encode *value* into an unsigned *width*-bit field."""
+    check_width(width)
+    return value & lane_mask(width)
+
+
+def bytes_of(value: int) -> bytes:
+    """The eight little-endian bytes of a packed word."""
+    return check_word(value).to_bytes(WORD_BYTES, "little")
+
+
+def from_bytes(raw: bytes) -> int:
+    """Build a packed word from eight little-endian bytes."""
+    if len(raw) != WORD_BYTES:
+        raise LaneError(f"expected {WORD_BYTES} bytes, got {len(raw)}")
+    return int.from_bytes(raw, "little")
+
+
+def replicate(scalar: int, width: int) -> int:
+    """Broadcast *scalar* (truncated to *width* bits) into every lane."""
+    check_width(width)
+    lane = to_unsigned(int(scalar), width)
+    out = 0
+    for i in range(lane_count(width)):
+        out |= lane << (i * width)
+    return out
+
+
+def extract_lane(value: int, index: int, width: int, *, signed: bool = False) -> int:
+    """Extract lane *index* from a packed word as a Python int."""
+    check_width(width)
+    n = lane_count(width)
+    if not 0 <= index < n:
+        raise LaneError(f"lane index {index} out of range for width {width}")
+    lane = (check_word(value) >> (index * width)) & lane_mask(width)
+    return to_signed(lane, width) if signed else lane
+
+
+def insert_lane(value: int, index: int, width: int, lane: int) -> int:
+    """Return *value* with lane *index* replaced by *lane* (truncated)."""
+    check_width(width)
+    n = lane_count(width)
+    if not 0 <= index < n:
+        raise LaneError(f"lane index {index} out of range for width {width}")
+    mask = lane_mask(width) << (index * width)
+    field = to_unsigned(int(lane), width) << (index * width)
+    return (check_word(value) & ~mask & WORD_MASK) | field

@@ -1,0 +1,25 @@
+"""Bitwise logical instructions on full 64-bit words."""
+
+from __future__ import annotations
+
+from repro.simd import lanes
+
+
+def pand(a: int, b: int) -> int:
+    """Bitwise AND (``pand``)."""
+    return lanes.check_word(a) & lanes.check_word(b)
+
+
+def pandn(a: int, b: int) -> int:
+    """AND-NOT: ``(~a) & b`` — destination operand is inverted (``pandn``)."""
+    return (~lanes.check_word(a) & lanes.WORD_MASK) & lanes.check_word(b)
+
+
+def por(a: int, b: int) -> int:
+    """Bitwise OR (``por``)."""
+    return lanes.check_word(a) | lanes.check_word(b)
+
+
+def pxor(a: int, b: int) -> int:
+    """Bitwise XOR (``pxor``); ``pxor r, r`` is the canonical register clear."""
+    return lanes.check_word(a) ^ lanes.check_word(b)

@@ -1,0 +1,71 @@
+"""Packed multiply semantics: ``pmullw``, ``pmulhw`` and ``pmaddwd``.
+
+``pmaddwd`` is the workhorse of the paper's FIR/DCT/matrix kernels (§2,
+Figure 1): four 16-bit products are formed lane-by-lane and adjacent pairs of
+32-bit products are summed into two 32-bit results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LaneError
+from repro.simd import lanes
+
+
+def pmullw(a: int, b: int) -> int:
+    """Low 16 bits of the four signed 16-bit products."""
+    la = lanes.split(a, 16, signed=True).astype(np.int64)
+    lb = lanes.split(b, 16, signed=True).astype(np.int64)
+    return lanes.join(la * lb, 16)
+
+
+def pmulhw(a: int, b: int) -> int:
+    """High 16 bits of the four signed 16-bit products."""
+    la = lanes.split(a, 16, signed=True).astype(np.int64)
+    lb = lanes.split(b, 16, signed=True).astype(np.int64)
+    return lanes.join((la * lb) >> 16, 16)
+
+
+def pmulhuw(a: int, b: int) -> int:
+    """High 16 bits of the four unsigned 16-bit products."""
+    la = lanes.split(a, 16).astype(np.int64)
+    lb = lanes.split(b, 16).astype(np.int64)
+    return lanes.join((la * lb) >> 16, 16)
+
+
+def pmaddwd(a: int, b: int) -> int:
+    """Packed multiply-add: pairwise sums of signed 16-bit products.
+
+    Result lane 0 = ``a0*b0 + a1*b1`` and lane 1 = ``a2*b2 + a3*b3`` as 32-bit
+    values (wrap-around on the theoretical overflow case ``(-32768)**2 * 2``).
+    """
+    la = lanes.split(a, 16, signed=True).astype(np.int64)
+    lb = lanes.split(b, 16, signed=True).astype(np.int64)
+    prod = la * lb
+    sums = prod[0::2] + prod[1::2]
+    return lanes.join(sums, 32)
+
+
+def pmuludq(a: int, b: int) -> int:
+    """Unsigned multiply of the low 32-bit lanes into a 64-bit product."""
+    la = int(lanes.split(a, 32)[0])
+    lb = int(lanes.split(b, 32)[0])
+    return (la * lb) & lanes.WORD_MASK
+
+
+def pmul_widening(a: int, b: int, width: int, *, signed: bool = True) -> tuple[int, int]:
+    """Generic widening multiply, returning ``(low_word, high_word)``.
+
+    ``low_word`` packs the low halves of each double-width product and
+    ``high_word`` the high halves — the (``pmullw``, ``pmulhw``) pair
+    generalized to any sub-word width below 64.
+    """
+    if width >= 64:
+        raise LaneError("widening multiply requires width < 64")
+    la = lanes.split(a, width, signed=signed).astype(np.int64)
+    lb = lanes.split(b, width, signed=signed).astype(np.int64)
+    prod = la * lb
+    low = prod & ((1 << width) - 1)
+    high = (prod >> width) & ((1 << width) - 1)
+    return lanes.join(low, width), lanes.join(high, width)

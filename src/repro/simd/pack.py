@@ -1,0 +1,94 @@
+"""Pack (with saturation) and unpack/merge instructions.
+
+These are exactly the data-alignment instructions the paper's SPU makes
+transparent: ``punpckl*``/``punpckh*`` interleave the low or high halves of
+two registers (Figure 2), and ``packss*``/``packus*`` narrow lanes with
+saturation.  Over 23% of dynamic instructions in EEMBC consumer benchmarks on
+TriMedia are such pack/merge operations (§1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LaneError
+from repro.simd import lanes
+
+
+def punpckl(a: int, b: int, width: int) -> int:
+    """Interleave the *low* lanes of ``a`` and ``b``.
+
+    Result lanes: ``a0, b0, a1, b1, ...`` — the MMX ``punpcklbw`` /
+    ``punpcklwd`` / ``punpckldq`` family (destination ``a``, source ``b``).
+    """
+    if width == 64:
+        raise LaneError("unpack requires sub-word width < 64")
+    la = lanes.split(a, width)
+    lb = lanes.split(b, width)
+    n = lanes.lane_count(width) // 2
+    out = np.empty(2 * n, dtype=la.dtype)
+    out[0::2] = la[:n]
+    out[1::2] = lb[:n]
+    return lanes.join(out, width)
+
+
+def punpckh(a: int, b: int, width: int) -> int:
+    """Interleave the *high* lanes of ``a`` and ``b`` (``punpckh*`` family)."""
+    if width == 64:
+        raise LaneError("unpack requires sub-word width < 64")
+    la = lanes.split(a, width)
+    lb = lanes.split(b, width)
+    n = lanes.lane_count(width) // 2
+    out = np.empty(2 * n, dtype=la.dtype)
+    out[0::2] = la[n:]
+    out[1::2] = lb[n:]
+    return lanes.join(out, width)
+
+
+def _pack(a: int, b: int, src_width: int, lo: int, hi: int) -> int:
+    dst_width = src_width // 2
+    la = lanes.split(a, src_width, signed=True).astype(np.int64)
+    lb = lanes.split(b, src_width, signed=True).astype(np.int64)
+    vals = np.concatenate([la, lb])
+    return lanes.join(np.clip(vals, lo, hi), dst_width)
+
+
+def packss(a: int, b: int, src_width: int) -> int:
+    """Narrow with signed saturation (``packsswb``: 16→8, ``packssdw``: 32→16).
+
+    Low half of the result comes from ``a``, high half from ``b``.
+    """
+    if src_width not in (16, 32):
+        raise LaneError(f"packss source width must be 16 or 32, got {src_width}")
+    dst = src_width // 2
+    return _pack(a, b, src_width, -(1 << (dst - 1)), (1 << (dst - 1)) - 1)
+
+
+def packus(a: int, b: int, src_width: int) -> int:
+    """Narrow with unsigned saturation (``packuswb``: signed 16 → unsigned 8)."""
+    if src_width not in (16, 32):
+        raise LaneError(f"packus source width must be 16 or 32, got {src_width}")
+    dst = src_width // 2
+    return _pack(a, b, src_width, 0, (1 << dst) - 1)
+
+
+def permute_word(value: int, selector: "list[int | None]", width: int) -> int:
+    """General single-word lane permutation (``pshufw``-style, generalized).
+
+    ``selector[i]`` names the source lane for destination lane ``i``; ``None``
+    keeps the destination lane unchanged (identity route).  This is the
+    single-register special case of what the SPU interconnect provides across
+    the whole register file.
+    """
+    src = lanes.split(value, width)
+    n = lanes.lane_count(width)
+    if len(selector) != n:
+        raise LaneError(f"selector must have {n} entries for width {width}")
+    out = src.copy()
+    for i, sel in enumerate(selector):
+        if sel is None:
+            continue
+        if not 0 <= sel < n:
+            raise LaneError(f"selector entry {sel} out of range for width {width}")
+        out[i] = src[sel]
+    return lanes.join(out, width)

@@ -1,0 +1,73 @@
+"""Packed shift instructions (``psll*``, ``psrl*``, ``psra*``).
+
+Shift counts ≥ the lane width zero the result (or fill with the sign for
+arithmetic right shifts), matching the Intel semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LaneError
+from repro.simd import lanes
+
+
+def _check_count(count: int) -> int:
+    count = int(count)
+    if count < 0:
+        raise LaneError(f"negative shift count {count}")
+    return count
+
+
+def psll(value: int, count: int, width: int) -> int:
+    """Packed shift left logical; counts ≥ width produce zero lanes."""
+    count = _check_count(count)
+    if count >= width:
+        return 0
+    if width == 64:
+        # Whole-word shift in Python ints: a 64-bit lane does not fit the
+        # signed int64 path without reinterpretation headaches.
+        return (lanes.check_word(value) << count) & lanes.WORD_MASK
+    la = lanes.split(value, width).astype(np.int64)
+    return lanes.join(la << count, width)
+
+
+def psrl(value: int, count: int, width: int) -> int:
+    """Packed shift right logical; counts ≥ width produce zero lanes."""
+    count = _check_count(count)
+    if count >= width:
+        return 0
+    if width == 64:
+        # Logical shift must not sign-fill: going through int64 would turn
+        # an MSB-set word negative and smear ones into the top bits.
+        return lanes.check_word(value) >> count
+    la = lanes.split(value, width).astype(np.int64)
+    return lanes.join(la >> count, width)
+
+
+def psra(value: int, count: int, width: int) -> int:
+    """Packed shift right arithmetic; counts ≥ width replicate the sign bit."""
+    if width == 64:
+        raise LaneError("MMX has no 64-bit arithmetic right shift")
+    count = _check_count(count)
+    la = lanes.split(value, width, signed=True).astype(np.int64)
+    count = min(count, width - 1)
+    return lanes.join(la >> count, width)
+
+
+def psllq_bytes(value: int, nbytes: int) -> int:
+    """Whole-register byte shift left (``psllq`` with a multiple-of-8 count)."""
+    if nbytes < 0:
+        raise LaneError(f"negative byte shift {nbytes}")
+    if nbytes >= lanes.WORD_BYTES:
+        return 0
+    return (lanes.check_word(value) << (8 * nbytes)) & lanes.WORD_MASK
+
+
+def psrlq_bytes(value: int, nbytes: int) -> int:
+    """Whole-register byte shift right (``psrlq`` with a multiple-of-8 count)."""
+    if nbytes < 0:
+        raise LaneError(f"negative byte shift {nbytes}")
+    if nbytes >= lanes.WORD_BYTES:
+        return 0
+    return lanes.check_word(value) >> (8 * nbytes)

@@ -1,0 +1,106 @@
+"""Tests for the explicit-permute (vperm) baseline."""
+
+import numpy as np
+import pytest
+
+from repro import simd
+from repro.errors import KernelError
+from repro.baselines import (
+    compare_baselines,
+    dotprod_vperm_program,
+    halfwords,
+    transpose_vperm_program,
+    vperm_control,
+)
+from repro.cpu import Machine
+from repro.isa import MM, assemble, lookup
+
+
+class TestVpermInstruction:
+    def test_opcode_metadata(self):
+        opcode = lookup("vperm")
+        assert opcode.is_permute and opcode.extension
+        assert opcode.iclass.value == "mmx_shift"
+
+    def test_identity(self):
+        control = vperm_control(list(range(8)))
+        machine = Machine(assemble(f"vperm mm0, mm1, {control}\nhalt"))
+        machine.state.write(MM[0], 0x1122334455667788)
+        machine.state.write(MM[1], 0xAABBCCDDEEFF0011)
+        machine.run()
+        assert machine.state.mmx[0] == 0x1122334455667788
+
+    def test_select_from_source(self):
+        control = vperm_control(list(range(8, 16)))
+        machine = Machine(assemble(f"vperm mm0, mm1, {control}\nhalt"))
+        machine.state.write(MM[1], 0xAABBCCDDEEFF0011)
+        machine.run()
+        assert machine.state.mmx[0] == 0xAABBCCDDEEFF0011
+
+    def test_interleave_equals_punpcklwd(self):
+        control = vperm_control(halfwords(("a", 0), ("b", 0), ("a", 1), ("b", 1)))
+        src_v = f"""
+            movq mm2, mm0
+            punpcklwd mm2, mm1
+            vperm mm0, mm1, {control}
+            halt
+        """
+        machine = Machine(assemble(src_v))
+        machine.state.write(MM[0], simd.join([1, 2, 3, 4], 16))
+        machine.state.write(MM[1], simd.join([5, 6, 7, 8], 16))
+        machine.run()
+        assert machine.state.mmx[0] == machine.state.mmx[2]
+
+    def test_byte_reverse(self):
+        control = vperm_control([7, 6, 5, 4, 3, 2, 1, 0])
+        machine = Machine(assemble(f"vperm mm0, mm1, {control}\nhalt"))
+        machine.state.write(MM[0], 0x1122334455667788)
+        machine.run()
+        assert machine.state.mmx[0] == 0x8877665544332211
+
+    def test_control_validation(self):
+        with pytest.raises(KernelError):
+            vperm_control([0] * 7)
+        with pytest.raises(KernelError):
+            vperm_control([16] + [0] * 7)
+
+
+class TestVpermKernels:
+    def test_dotprod_program_matches_reference(self):
+        from repro.kernels import DotProductKernel
+        kernel = DotProductKernel(blocks=8)
+        program = dotprod_vperm_program(kernel.blocks)
+        machine = Machine(program)
+        kernel.prepare(machine)
+        machine.run()
+        assert np.array_equal(kernel.extract(machine), kernel.reference())
+
+    def test_transpose_program_matches_reference(self):
+        from repro.kernels import TransposeKernel
+        kernel = TransposeKernel(n=8)
+        program = transpose_vperm_program(8)
+        machine = Machine(program)
+        kernel.prepare(machine)
+        machine.run()
+        assert np.array_equal(kernel.extract(machine), kernel.reference())
+
+    def test_transpose_size_guard(self):
+        with pytest.raises(KernelError):
+            transpose_vperm_program(6)
+
+
+class TestComparison:
+    @pytest.mark.parametrize("name", ["DotProduct", "MatrixTranspose"])
+    def test_spu_beats_both(self, name):
+        result = compare_baselines(name)
+        assert result.spu.cycles < result.vperm.cycles
+        assert result.spu.cycles < result.mmx.cycles
+        assert result.spu.instructions < result.vperm.instructions
+
+    def test_vperm_competitive_with_mmx(self):
+        result = compare_baselines("DotProduct")
+        assert result.vperm.cycles <= result.mmx.cycles
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KernelError):
+            compare_baselines("FIR12")

@@ -1,0 +1,116 @@
+"""Tests for the SPU program builder and route helper functions."""
+
+import pytest
+
+from repro.errors import SPUProgramError
+from repro.core import (
+    CONFIG_A,
+    CONFIG_D,
+    SPUController,
+    SPUProgramBuilder,
+    StateSpec,
+    byte_route,
+    halfword_route,
+    identity_route,
+)
+
+
+class TestRouteHelpers:
+    def test_byte_route(self):
+        route = byte_route([(0, 0), (1, 0), None, (7, 7), None, None, None, None])
+        assert route == (0, 8, None, 63, None, None, None, None)
+
+    def test_byte_route_length(self):
+        with pytest.raises(SPUProgramError):
+            byte_route([(0, 0)] * 4)
+
+    def test_halfword_route_expands_pairs(self):
+        route = halfword_route([(0, 0), (1, 2), None, (3, 3)])
+        assert route == (0, 1, 12, 13, None, None, 30, 31)
+
+    def test_halfword_route_bounds(self):
+        with pytest.raises(SPUProgramError):
+            halfword_route([(0, 4), None, None, None])
+
+    def test_identity_route(self):
+        assert identity_route(2) == tuple(range(16, 24))
+
+
+class TestBuilderLoops:
+    def test_single_loop_structure(self):
+        b = SPUProgramBuilder(config=CONFIG_D)
+        first = b.loop([None, {0: halfword_route([(1, 0)] * 4)}, None], iterations=5)
+        program = b.build(entry=first)
+        assert program.counter_init == (15, 0)
+        assert set(program.states) == {0, 1, 2}
+        assert program.states[0].next1 == 1
+        assert program.states[2].next1 == 0  # wraps
+        assert all(s.next0 == 127 for s in program.states.values())
+        # (reg 1, half-word 0) = bytes 8,9 = input granule 4 of config D
+        assert program.states[1].routes[0] == (4, 4, 4, 4)
+
+    def test_loop_runs_correct_count(self):
+        b = SPUProgramBuilder()
+        b.loop([None] * 4, iterations=7)
+        ctl = SPUController()
+        ctl.load_program(b.build())
+        ctl.go()
+        steps = 0
+        while ctl.active:
+            ctl.step()
+            steps += 1
+        assert steps == 28
+
+    def test_two_level_loop_counts(self):
+        b = SPUProgramBuilder()
+        b.two_level_loop([None, None], 3, [None], 4)
+        program = b.build()
+        assert program.counter_init == (6, 4)
+        ctl = SPUController()
+        ctl.load_program(program)
+        ctl.go()
+        trace = []
+        while ctl.active:
+            trace.append(ctl.current_state)
+            ctl.step()
+        assert trace == ([0, 1] * 3 + [2]) * 4
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(SPUProgramError):
+            SPUProgramBuilder().loop([], 3)
+
+    def test_bad_iterations(self):
+        with pytest.raises(SPUProgramError):
+            SPUProgramBuilder().loop([None], 0)
+
+    def test_conflicting_counter_reuse(self):
+        b = SPUProgramBuilder()
+        b.loop([None], iterations=5, counter=0)
+        with pytest.raises(SPUProgramError):
+            b.loop([None], iterations=7, counter=0)
+
+    def test_capacity_exhaustion(self):
+        b = SPUProgramBuilder()
+        with pytest.raises(SPUProgramError):
+            b.loop([None] * 128, iterations=1)
+
+    def test_route_validated_against_config(self):
+        b = SPUProgramBuilder(config=CONFIG_D)
+        # byte route with torn half-word — illegal at 16-bit granularity
+        with pytest.raises(Exception):
+            b.loop([{0: (1, 4, None, None, None, None, None, None)}], 2)
+
+    def test_add_state_explicit(self):
+        b = SPUProgramBuilder(config=CONFIG_A)
+        index = b.add_state({1: identity_route(3)}, cntr=1, next0=127, next1=0)
+        assert index == 0
+        # Counter 1 used but never initialized -> validate() must fail.
+        with pytest.raises(SPUProgramError):
+            b.build()
+
+    def test_statespec_passthrough(self):
+        b = SPUProgramBuilder()
+        b.loop([StateSpec(), StateSpec(routes={0: halfword_route([(0, 0)] * 4)})], 2)
+        program = b.build()
+        assert program.states[0].is_straight
+        assert not program.states[1].is_straight

@@ -1,0 +1,78 @@
+"""Property tests for the decoupled controller's counter semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SPUController, SPUProgram, SPUState
+
+
+@st.composite
+def chain_programs(draw):
+    """Random cyclic chains where every ``next0`` exits to idle.
+
+    For such programs the §4 semantics pin the total step count exactly:
+    every step decrements CNTR0, and the first zero exits — so the run
+    length equals the programmed counter, independent of chain shape.
+    """
+    length = draw(st.integers(1, 12))
+    counter = draw(st.integers(1, 200))
+    # next1 chain: a random permutation cycle over the states keeps every
+    # state reachable and the walk arbitrary.
+    order = draw(st.permutations(range(length)))
+    successor = {order[i]: order[(i + 1) % length] for i in range(length)}
+    program = SPUProgram(counter_init=(counter, 0), name="chain")
+    for index in range(length):
+        program.add_state(
+            index, SPUState(cntr=0, next0=127, next1=successor[index])
+        )
+    program.entry = order[0]
+    return program, counter
+
+
+class TestCounterSemantics:
+    @settings(max_examples=50, deadline=None)
+    @given(chain_programs())
+    def test_run_length_equals_counter(self, program_counter):
+        program, counter = program_counter
+        controller = SPUController()
+        controller.load_program(program)
+        controller.go()
+        steps = 0
+        while controller.active:
+            assert controller.step() is not None
+            steps += 1
+            assert steps <= counter
+        assert steps == counter
+        assert controller.current_state == controller.idle_state
+
+    @settings(max_examples=25, deadline=None)
+    @given(chain_programs())
+    def test_counters_restored_and_rerunnable(self, program_counter):
+        program, counter = program_counter
+        controller = SPUController()
+        controller.load_program(program)
+        for _ in range(2):  # the GO bit re-arms without reprogramming (§4)
+            controller.go()
+            steps = 0
+            while controller.active:
+                controller.step()
+                steps += 1
+            assert steps == counter
+            assert controller.counters == (counter, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(chain_programs(), st.integers(1, 50))
+    def test_suspend_resume_preserves_total(self, program_counter, pause_at):
+        program, counter = program_counter
+        controller = SPUController()
+        controller.load_program(program)
+        controller.go()
+        steps = 0
+        while controller.active:
+            if steps == min(pause_at, counter - 1):
+                controller.suspend()
+                controller.resume()
+            controller.step()
+            steps += 1
+        assert steps == counter

@@ -1,0 +1,168 @@
+"""Tests for the §4 exception-handling paths: suspend, context switch, resume.
+
+"On an exception, we can either ensure that the exception handler disables
+the SPU by writing to the SPU control register, or switches to a free
+context of the SPU."  Each context keeps its own copy of the control
+registers (§3), so a suspended loop resumes exactly where it stopped.
+"""
+
+import numpy as np
+import pytest
+
+from repro import simd
+from repro.errors import SPUProgramError
+from repro.cpu import Machine
+from repro.core import (
+    CONFIG_D,
+    DEFAULT_MMIO_BASE,
+    REG_CONFIG,
+    SPUController,
+    SPUProgramBuilder,
+    attach_spu,
+    halfword_route,
+)
+from repro.isa import MM, assemble
+
+
+def straight_loop(body_len, iterations, config=CONFIG_D):
+    builder = SPUProgramBuilder(config=config)
+    builder.loop([None] * body_len, iterations)
+    return builder.build()
+
+
+class TestSuspendResume:
+    def make(self):
+        ctl = SPUController(contexts=2)
+        ctl.load_program(straight_loop(3, 10), context=0)
+        ctl.load_program(straight_loop(2, 4), context=1)
+        return ctl
+
+    def test_suspend_preserves_state(self):
+        ctl = self.make()
+        ctl.go(context=0)
+        for _ in range(4):  # mid-loop: state 1 of the 3-state chain
+            ctl.step()
+        saved_state = ctl.current_state
+        saved_counters = ctl.counters
+        ctl.suspend()
+        assert not ctl.active
+        assert ctl.current_state == saved_state
+        assert ctl.counters == saved_counters
+
+    def test_resume_continues_exactly(self):
+        ctl = self.make()
+        ctl.go(context=0)
+        for _ in range(7):
+            ctl.step()
+        ctl.suspend()
+        ctl.resume()
+        remaining = 0
+        while ctl.active:
+            ctl.step()
+            remaining += 1
+        assert remaining == 30 - 7  # CNTR0 = 10 x 3
+
+    def test_handler_runs_free_context_then_resumes(self):
+        """The full §4 pattern: interrupt, run context 1, return to context 0."""
+        ctl = self.make()
+        ctl.go(context=0)
+        for _ in range(5):
+            ctl.step()
+        interrupted_state = ctl.current_state
+        interrupted_counters = ctl.counters
+        ctl.suspend()
+
+        # Handler: switch to the free context and run it to completion.
+        ctl.go(context=1)
+        handler_steps = 0
+        while ctl.active:
+            ctl.step()
+            handler_steps += 1
+        assert handler_steps == 8  # 4 iterations x 2 states
+
+        # Return: resume context 0 where it was interrupted.
+        ctl.resume(context=0)
+        assert ctl.current_state == interrupted_state
+        assert ctl.counters == interrupted_counters
+        steps = 0
+        while ctl.active:
+            ctl.step()
+            steps += 1
+        assert steps == 30 - 5
+
+    def test_resume_idle_context_rejected(self):
+        ctl = self.make()
+        with pytest.raises(SPUProgramError):
+            ctl.resume(context=0)  # never started
+
+    def test_resume_completed_context_rejected(self):
+        ctl = self.make()
+        ctl.go(context=1)
+        while ctl.active:
+            ctl.step()
+        with pytest.raises(SPUProgramError):
+            ctl.resume(context=1)
+
+    def test_stop_still_resets(self):
+        ctl = self.make()
+        ctl.go(context=0)
+        ctl.step()
+        ctl.stop()
+        assert ctl.counters == (30, 0)
+        assert ctl.current_state == ctl.idle_state
+
+    def test_contexts_isolated(self):
+        ctl = self.make()
+        ctl.go(context=0)
+        for _ in range(5):
+            ctl.step()
+        ctl.suspend()
+        ctl.switch_context(1)
+        assert ctl.current_state == ctl.idle_state  # context 1 untouched
+        ctl.switch_context(0)
+        assert ctl.current_state != ctl.idle_state
+
+
+class TestMMIOExceptionPath:
+    def test_suspend_and_resume_via_mmio(self):
+        """A simulated handler suspends, computes unrouted, and resumes.
+
+        The main loop routes paddw's second operand to MM2; the handler
+        section runs the same instruction unrouted; after RESUME the routing
+        picks up exactly where it stopped.
+        """
+        src = f"""
+            mov r14, {DEFAULT_MMIO_BASE}
+            mov r15, 1
+            stw [r14], r15        ; GO context 0
+            paddw mm0, mm1        ; routed (reads mm2 instead)
+            paddw mm0, mm1        ; routed
+            mov r15, 0
+            stw [r14], r15        ; "exception": suspend
+            paddw mm3, mm1        ; handler work: must NOT be routed
+            mov r15, 9            ; GO | RESUME
+            stw [r14], r15
+            paddw mm0, mm1        ; routed again
+            halt
+        """
+        machine = Machine(assemble(src))
+        machine.state.write(MM[0], simd.join([0, 0, 0, 0], 16))
+        machine.state.write(MM[1], simd.join([1, 1, 1, 1], 16))
+        machine.state.write(MM[2], simd.join([100, 100, 100, 100], 16))
+        machine.state.write(MM[3], simd.join([0, 0, 0, 0], 16))
+        ctl = SPUController(config=CONFIG_D)
+        builder = SPUProgramBuilder(config=CONFIG_D)
+        route = halfword_route([(2, 0), (2, 1), (2, 2), (2, 3)])
+        # The counter sees every dynamic instruction while active (§4): two
+        # routed adds, the handler-entry mov, the suspending store (which
+        # advances before it executes), then — after the resume — one more
+        # routed add.  Five states, one pass.
+        builder.loop([{1: route}, {1: route}, None, None, {1: route}], iterations=1)
+        ctl.load_program(builder.build())
+        attach_spu(machine, ctl)
+        machine.run()
+        # Three routed adds of MM2 (+100 each) landed in mm0:
+        assert simd.split(machine.state.mmx[0], 16).tolist() == [300] * 4
+        # The handler's add used the architectural mm1 (+1):
+        assert simd.split(machine.state.mmx[3], 16).tolist() == [1] * 4
+        assert not ctl.active  # counter exhausted after the third routed add

@@ -1,0 +1,136 @@
+"""Tests for crossbar configurations and route semantics."""
+
+import pytest
+
+from repro.errors import RouteError
+from repro.core import (
+    CONFIG_A,
+    CONFIG_B,
+    CONFIG_C,
+    CONFIG_D,
+    CONFIGS,
+    CrossbarConfig,
+    SPURegister,
+    get_config,
+)
+
+
+class TestGeometry:
+    def test_published_configs(self):
+        """Table 1 rows: crossbar shapes and port widths."""
+        assert (CONFIG_A.in_ports, CONFIG_A.out_ports, CONFIG_A.port_bits) == (64, 32, 8)
+        assert (CONFIG_B.in_ports, CONFIG_B.out_ports, CONFIG_B.port_bits) == (32, 32, 8)
+        assert (CONFIG_C.in_ports, CONFIG_C.out_ports, CONFIG_C.port_bits) == (32, 16, 16)
+        assert (CONFIG_D.in_ports, CONFIG_D.out_ports, CONFIG_D.port_bits) == (16, 16, 16)
+
+    def test_all_feed_four_operand_buses(self):
+        for config in CONFIGS.values():
+            assert config.out_bits == 256
+
+    def test_register_reach(self):
+        assert CONFIG_A.window_regs == 8 and CONFIG_A.full_register_reach
+        assert CONFIG_B.window_regs == 4 and not CONFIG_B.full_register_reach
+        assert CONFIG_C.window_regs == 8 and CONFIG_C.full_register_reach
+        assert CONFIG_D.window_regs == 4
+
+    def test_route_bits_match_paper_formula(self):
+        """Figure 6 shows 192 interconnect bits for config A (32×log2 64)."""
+        assert CONFIG_A.route_bits == 192
+        assert CONFIG_B.route_bits == 160
+        assert CONFIG_C.route_bits == 80
+        assert CONFIG_D.route_bits == 64
+
+    def test_get_config(self):
+        assert get_config("a") is CONFIG_A
+        with pytest.raises(RouteError):
+            get_config("E")
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(RouteError):
+            CrossbarConfig(name="bad", in_ports=16, out_ports=8, port_bits=16)
+        with pytest.raises(RouteError):
+            CrossbarConfig(name="bad", in_ports=16, out_ports=16, port_bits=12)
+        with pytest.raises(RouteError):
+            CrossbarConfig(name="bad", in_ports=128, out_ports=16, port_bits=16)
+
+
+class TestRouteValidation:
+    def test_byte_route_length(self):
+        with pytest.raises(RouteError):
+            CONFIG_A.check_route((0,) * 4)
+
+    def test_selector_out_of_window(self):
+        # Config B addresses 32 bytes (MM0..MM3); byte 40 is out of reach.
+        CONFIG_A.check_route((40,) * 8)
+        with pytest.raises(RouteError):
+            CONFIG_B.check_route((40,) * 8)
+
+    def test_none_is_straight(self):
+        CONFIG_A.check_route((None,) * 8)
+        CONFIG_D.check_route((None,) * 4)
+
+    def test_non_int_selector(self):
+        with pytest.raises(RouteError):
+            CONFIG_A.check_route(("x",) * 8)
+
+    def test_byte_route_halfword_conversion(self):
+        route = CONFIG_D.check_byte_route((4, 5, 12, 13, None, None, 0, 1))
+        assert route == (2, 6, None, 0)
+
+    def test_halfword_tearing_rejected(self):
+        # bytes (5,4) reversed — not an aligned half-word
+        with pytest.raises(RouteError):
+            CONFIG_D.check_byte_route((5, 4, None, None, None, None, None, None))
+        # odd base byte
+        with pytest.raises(RouteError):
+            CONFIG_D.check_byte_route((3, 4, None, None, None, None, None, None))
+        # half straight, half routed
+        with pytest.raises(RouteError):
+            CONFIG_D.check_byte_route((4, None, None, None, None, None, None, None))
+
+    def test_byte_config_accepts_any_byte_shuffle(self):
+        CONFIG_A.check_byte_route((63, 0, 17, 33, 5, 5, 5, 5))
+
+
+class TestApply:
+    def make_register(self):
+        reg = SPURegister()
+        for i in range(8):
+            reg.write_reg(i, int.from_bytes(bytes(range(i * 8, i * 8 + 8)), "little"))
+        return reg
+
+    def test_apply_none_returns_straight(self):
+        reg = self.make_register()
+        assert CONFIG_A.apply(None, reg, 0xDEAD) == 0xDEAD
+
+    def test_apply_full_route(self):
+        reg = self.make_register()
+        value = CONFIG_A.apply((63, 62, 61, 60, 59, 58, 57, 56), reg, 0)
+        assert value == int.from_bytes(bytes([63, 62, 61, 60, 59, 58, 57, 56]), "little")
+
+    def test_apply_mixed_straight(self):
+        reg = self.make_register()
+        straight = int.from_bytes(bytes([0xAA] * 8), "little")
+        value = CONFIG_A.apply((8, None, 9, None, None, None, None, None), reg, straight)
+        out = value.to_bytes(8, "little")
+        assert out[0] == 8 and out[1] == 0xAA and out[2] == 9 and out[3] == 0xAA
+
+    def test_apply_halfword_config(self):
+        reg = self.make_register()
+        # granule 4 = bytes 8,9 of the register file (MM1 low half-word)
+        value = CONFIG_D.apply((4, 4, None, None), reg, 0)
+        out = value.to_bytes(8, "little")
+        assert out[0] == 8 and out[1] == 9 and out[2] == 8 and out[3] == 9
+        assert out[4:] == b"\x00" * 4
+
+    def test_apply_rejects_illegal_route(self):
+        reg = self.make_register()
+        with pytest.raises(RouteError):
+            CONFIG_D.apply((99, None, None, None), reg, 0)
+
+    def test_window_limit_enforced_at_apply(self):
+        reg = self.make_register()
+        # Config D window = 4 registers = 16 half-words; selector 15 legal, 16 not.
+        CONFIG_D.apply((15, None, None, None), reg, 0)
+        with pytest.raises(RouteError):
+            CONFIG_D.apply((16, None, None, None), reg, 0)

@@ -1,0 +1,211 @@
+"""Tests for the MMIO programming path and pipeline attachment."""
+
+import numpy as np
+import pytest
+
+from repro import simd
+from repro.errors import SPUProgramError
+from repro.cpu import Machine
+from repro.core import (
+    CONFIG_D,
+    DEFAULT_MMIO_BASE,
+    REG_CNTR0,
+    REG_CONFIG,
+    REG_STATUS,
+    STATE_BASE,
+    STATE_STRIDE,
+    SPUController,
+    SPUMMIO,
+    SPUProgramBuilder,
+    SPUState,
+    attach_spu,
+    encode_state,
+    halfword_route,
+)
+from repro.isa import MM, R, assemble
+
+
+def loop_program(body, iterations, config=CONFIG_D):
+    b = SPUProgramBuilder(config=config)
+    b.loop(body, iterations)
+    return b.build()
+
+
+class TestMMIODirect:
+    def make(self):
+        ctl = SPUController()
+        return ctl, SPUMMIO(ctl)
+
+    def test_status_idle(self):
+        _, dev = self.make()
+        status = dev.mmio_load(REG_STATUS, 8)
+        assert status & 1 == 0
+        assert (status >> 8) & 0xFF == 127
+
+    def test_full_programming_sequence(self):
+        ctl, dev = self.make()
+        # Stage a 2-state straight loop: counter 6 (3 iterations x 2 states).
+        word0 = encode_state(SPUState(cntr=0, next0=127, next1=1), CONFIG_D)
+        word1 = encode_state(SPUState(cntr=0, next0=127, next1=0), CONFIG_D)
+        dev.mmio_store(STATE_BASE, 8, word0)
+        dev.mmio_store(STATE_BASE + STATE_STRIDE, 8, word1)
+        dev.mmio_store(REG_CNTR0, 8, 6)
+        dev.mmio_store(REG_CONFIG, 8, 1)  # GO
+        assert ctl.active
+        steps = 0
+        while ctl.active:
+            ctl.step()
+            steps += 1
+        assert steps == 6
+
+    def test_partial_word_stores(self):
+        ctl, dev = self.make()
+        word = encode_state(SPUState(cntr=0, next0=127, next1=0), CONFIG_D)
+        # write the state word as two 4-byte halves
+        dev.mmio_store(STATE_BASE, 4, word & 0xFFFFFFFF)
+        dev.mmio_store(STATE_BASE + 4, 4, word >> 32)
+        dev.mmio_store(REG_CNTR0, 4, 2)
+        dev.mmio_store(REG_CONFIG, 4, 1)
+        assert ctl.active
+
+    def test_stop_via_config(self):
+        ctl, dev = self.make()
+        ctl.load_program(loop_program([None], 5))
+        dev.mmio_store(REG_CONFIG, 8, 1)  # GO with host-loaded program
+        assert ctl.active
+        dev.mmio_store(REG_CONFIG, 8, 0)
+        assert not ctl.active
+
+    def test_go_without_program(self):
+        _, dev = self.make()
+        with pytest.raises(SPUProgramError):
+            dev.mmio_store(REG_CONFIG, 8, 1)
+
+    def test_status_readonly(self):
+        _, dev = self.make()
+        with pytest.raises(SPUProgramError):
+            dev.mmio_store(REG_STATUS, 8, 1)
+
+    def test_unmapped_offset(self):
+        _, dev = self.make()
+        with pytest.raises(SPUProgramError):
+            dev.mmio_store(0x48, 8, 0)
+        with pytest.raises(SPUProgramError):
+            dev.mmio_load(0x48, 8)
+
+    def test_state_slot_readback(self):
+        _, dev = self.make()
+        dev.mmio_store(STATE_BASE + 2 * STATE_STRIDE, 8, 0xABCD)
+        assert dev.mmio_load(STATE_BASE + 2 * STATE_STRIDE, 8) == 0xABCD
+        assert dev.mmio_load(STATE_BASE, 8) == 0  # unstaged state reads 0
+
+    def test_state_beyond_capacity(self):
+        _, dev = self.make()
+        with pytest.raises(SPUProgramError):
+            dev.mmio_store(STATE_BASE + 200 * STATE_STRIDE, 8, 1)
+
+    def test_cross_boundary_store(self):
+        _, dev = self.make()
+        with pytest.raises(SPUProgramError):
+            dev.mmio_store(STATE_BASE + STATE_STRIDE - 4, 8, 1)
+
+
+class TestAttachment:
+    def test_routes_applied_to_operands(self):
+        """A routed paddw reads its second operand from another register."""
+        src = f"""
+            mov r3, {DEFAULT_MMIO_BASE}
+            mov r4, 1
+            stw [r3], r4
+            paddw mm0, mm1
+            halt
+        """
+        machine = Machine(assemble(src))
+        machine.state.write(MM[0], simd.join([1, 1, 1, 1], 16))
+        machine.state.write(MM[1], simd.join([10, 10, 10, 10], 16))
+        machine.state.write(MM[2], simd.join([100, 200, 300, 400], 16))
+        ctl = SPUController()
+        # one-instruction "loop", 1 iteration: route slot 1 to MM2's lanes
+        ctl.load_program(loop_program([{1: halfword_route([(2, 0), (2, 1), (2, 2), (2, 3)])}], 1))
+        attach_spu(machine, ctl)
+        machine.run()
+        assert simd.split(machine.state.mmx[0], 16).tolist() == [101, 201, 301, 401]
+
+    def test_inactive_spu_is_transparent(self):
+        src = "paddw mm0, mm1\nhalt"
+        machine = Machine(assemble(src))
+        machine.state.write(MM[0], simd.join([1, 2, 3, 4], 16))
+        machine.state.write(MM[1], simd.join([1, 1, 1, 1], 16))
+        ctl = SPUController()
+        attach_spu(machine, ctl)
+        machine.run()
+        assert simd.split(machine.state.mmx[0], 16).tolist() == [2, 3, 4, 5]
+
+    def test_straight_states_advance_but_do_not_route(self):
+        src = f"""
+            mov r3, {DEFAULT_MMIO_BASE}
+            mov r4, 1
+            stw [r3], r4
+            paddw mm0, mm1
+            paddw mm0, mm1
+            halt
+        """
+        machine = Machine(assemble(src))
+        machine.state.write(MM[1], simd.join([1, 1, 1, 1], 16))
+        ctl = SPUController()
+        ctl.load_program(loop_program([None, None], 1))
+        spu = attach_spu(machine, ctl)
+        stats = machine.run()
+        assert simd.split(machine.state.mmx[0], 16).tolist() == [2, 2, 2, 2]
+        assert stats.spu_routed == 0
+        assert spu.stats.instructions_seen == 2
+
+    def test_scalar_instructions_consume_states(self):
+        """Counters count all dynamic instructions, including scalar (§4)."""
+        src = f"""
+            mov r3, {DEFAULT_MMIO_BASE}
+            mov r4, 1
+            stw [r3], r4
+            add r5, 1
+            add r5, 1
+            add r5, 1
+            halt
+        """
+        machine = Machine(assemble(src))
+        ctl = SPUController()
+        ctl.load_program(loop_program([None], 3))
+        attach_spu(machine, ctl)
+        machine.run()
+        assert not ctl.active  # exactly consumed by the three adds
+        assert ctl.stats.steps == 3
+
+    def test_store_operand_routed(self):
+        """Store data flows through the crossbar (transpose relies on it)."""
+        src = f"""
+            mov r3, {DEFAULT_MMIO_BASE}
+            mov r4, 1
+            stw [r3], r4
+            mov r1, 0x200
+            movq [r1], mm0
+            halt
+        """
+        machine = Machine(assemble(src))
+        machine.state.write(MM[0], simd.join([1, 2, 3, 4], 16))
+        machine.state.write(MM[5], simd.join([9, 8, 7, 6], 16))
+        ctl = SPUController(config=CONFIG_D)
+        # window limit: CONFIG_D reaches MM0..MM3 only; use CONFIG_C for MM5
+        from repro.core import CONFIG_C
+        ctl = SPUController(config=CONFIG_C)
+        route = halfword_route([(5, 0), (5, 1), (5, 2), (5, 3)])
+        b = SPUProgramBuilder(config=CONFIG_C)
+        b.loop([None, {1: route}], 1)  # mov r1 state, then the store state
+        ctl.load_program(b.build())
+        attach_spu(machine, ctl)
+        machine.run()
+        assert machine.memory.read_array(0x200, 4, np.int16).tolist() == [9, 8, 7, 6]
+
+    def test_mmio_base_none_skips_window(self):
+        machine = Machine(assemble("halt"))
+        ctl = SPUController()
+        attach_spu(machine, ctl, mmio_base=None)
+        machine.run()  # store-free program; no MMIO window mapped

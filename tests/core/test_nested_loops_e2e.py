@@ -1,0 +1,165 @@
+"""End-to-end: two-level zero-overhead looping on a running program (§4).
+
+The pair of counters supports two nested loops: CNTR0 covers the inner
+chain (auto-reloading on exit), CNTR1 counts outer-chain visits.  Here a
+real nested MMX program — outer loop over rows, inner loop over column
+groups — runs with a two-level controller program that routes the inner
+computation, and the dynamic alignment across all iterations is verified
+bit-exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import simd
+from repro.core import (
+    CONFIG_D,
+    DEFAULT_MMIO_BASE,
+    SPUController,
+    SPUProgramBuilder,
+    attach_spu,
+    halfword_route,
+)
+from repro.cpu import Machine
+from repro.isa import MM, R, assemble
+
+OUTER = 4  # rows
+INNER = 3  # column groups per row
+
+
+def nested_program(routed: bool) -> str:
+    """Nested loop: rows × column-groups; optionally permute-free."""
+    swap = "" if routed else "        pshufw mm0, mm0, 0x4E\n"
+    return f"""
+        mov r10, {DEFAULT_MMIO_BASE}
+        mov r1, 0x1000      ; source
+        mov r2, 0x8000      ; destination
+        mov r0, {OUTER}
+        mov r11, 1
+        stw [r10], r11      ; GO
+    rows:
+        mov r3, {INNER}
+    cols:
+        movq mm0, [r1]
+{swap}        paddw mm0, mm1
+        movq [r2], mm0
+        add r1, 8
+        add r2, 8
+        loop r3, cols
+        add r4, 1           ; per-row bookkeeping (outer-chain instructions)
+        loop r0, rows
+        halt
+    """
+
+
+class TestTwoLevelEndToEnd:
+    def run_machine(self, source, spu_program=None):
+        machine = Machine(assemble(source))
+        data = np.arange(-24, 24, dtype=np.int16)
+        machine.memory.write_array(0x1000, data, np.int16)
+        machine.state.write(MM[1], simd.join([10, 20, 30, 40], 16))
+        if spu_program is not None:
+            controller = SPUController(config=CONFIG_D)
+            controller.load_program(spu_program)
+            attach_spu(machine, controller)
+        machine.run()
+        return machine.memory.read_array(0x8000, 4 * OUTER * INNER, np.int16)
+
+    def build_two_level(self):
+        # Inner chain: one state per inner-body dynamic instruction; the
+        # swapped-halves route replaces the deleted pshufw (0x4E swaps the
+        # 32-bit halves).
+        swap = halfword_route([(0, 2), (0, 3), (0, 0), (0, 1)])
+        builder = SPUProgramBuilder(config=CONFIG_D)
+        inner = [None, {0: swap}, None, None, None, None]  # movq, paddw(routed), store, add, add, loop
+        outer = [None, None, None]  # mov r3 (re-entry), add r4, loop r0
+        # Dynamic order per outer iteration: [mov r3] inner*INNER [add r4, loop r0]
+        # The builder's two_level shape is inner^n then outer; match it by
+        # folding the `mov r3` into the outer chain *before* re-entry:
+        builder.two_level_loop(inner, INNER, outer, OUTER)
+        return builder.build()
+
+    def test_nested_routing_bit_exact(self):
+        # Align by issuing GO right before the first inner iteration: move
+        # the GO store after `mov r3` by using a source variant.
+        source = nested_program(routed=True).replace(
+            f"""        mov r11, 1
+        stw [r10], r11      ; GO
+    rows:
+        mov r3, {INNER}
+    cols:""",
+            f"""        mov r11, 1
+    rows:
+        mov r3, {INNER}
+        stw [r10], r11      ; GO (re-issued each row: restarts the chain)
+    cols:""",
+        )
+        # With GO per row, a simple single-level loop suffices per row:
+        builder = SPUProgramBuilder(config=CONFIG_D)
+        swap = halfword_route([(0, 2), (0, 3), (0, 0), (0, 1)])
+        builder.loop([None, {0: swap}, None, None, None, None], INNER,
+                     exit_to=None)
+        spu_program = builder.build()
+        # ... but the counter must also absorb the outer-chain instructions
+        # (add r4, loop r0, mov r3, stw) between rows?  No: the chain goes
+        # idle exactly at the inner `loop r3` of the last column group, and
+        # the next row's GO reactivates it.  That is the §4 idiom for
+        # nesting via re-activation.
+        baseline = self.run_machine(nested_program(routed=False))
+        routed = self.run_machine(source, spu_program)
+        assert baseline.tolist() == routed.tolist()
+
+    def test_two_counter_variant_bit_exact(self):
+        """The genuine two-counter nesting: one GO for the whole nest."""
+        # Restructure: hoist `mov r3` above GO for the first row and charge
+        # the per-row `mov r3` to the outer chain.
+        source = nested_program(routed=True).replace(
+            f"""        mov r11, 1
+        stw [r10], r11      ; GO
+    rows:
+        mov r3, {INNER}
+    cols:""",
+            f"""        mov r11, 1
+        mov r3, {INNER}
+        stw [r10], r11      ; one GO for the whole nest
+    rows:
+    cols:""",
+        ).replace(
+            "        add r4, 1           ; per-row bookkeeping (outer-chain instructions)\n"
+            "        loop r0, rows",
+            f"        add r4, 1\n        mov r3, {INNER}\n        loop r0, rows",
+        )
+        swap = halfword_route([(0, 2), (0, 3), (0, 0), (0, 1)])
+        builder = SPUProgramBuilder(config=CONFIG_D)
+        inner = [None, {0: swap}, None, None, None, None]
+        outer = [None, None, None]  # add r4, mov r3, loop r0
+        builder.two_level_loop(inner, INNER, outer, OUTER)
+        spu_program = builder.build()
+        baseline = self.run_machine(nested_program(routed=False))
+        routed = self.run_machine(source, spu_program)
+        assert baseline.tolist() == routed.tolist()
+
+    def test_counter_values_match_paper_formula(self):
+        spu_program = self.build_two_level()
+        assert spu_program.counter_init == (INNER * 6, OUTER * 3)
+
+
+class TestFigure3Counts:
+    """§2.2's arithmetic: 8 merges per 4×4 MMX transpose, 4 ops with the SPU."""
+
+    def test_mmx_tile_uses_eight_merges(self):
+        from repro.kernels import TransposeKernel
+        kernel = TransposeKernel(n=4)
+        program = kernel.mmx_program()
+        merges = [i for i in program if i.name.startswith("punpck")]
+        assert len(merges) == 8  # "a succession of eight merge instructions"
+
+    def test_spu_tile_needs_no_merges(self):
+        from repro.kernels import TransposeKernel
+        kernel = TransposeKernel(n=4)
+        program, _ = kernel.spu_programs()
+        merges = [i for i in program if i.name.startswith("punpck")]
+        assert merges == []
+        # What remains per tile is the minimum: 4 loads and 4 routed stores.
+        movqs = [i for i in program if i.name == "movq"]
+        assert len(movqs) == 8

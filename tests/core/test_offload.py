@@ -1,0 +1,410 @@
+"""Tests for the automatic permute off-load pass (§4's automation claim)."""
+
+import numpy as np
+import pytest
+
+from repro import simd
+from repro.cpu import Machine
+from repro.core import (
+    CONFIG_A,
+    CONFIG_B,
+    CONFIG_D,
+    DEFAULT_MMIO_BASE,
+    OffloadError,
+    SPUController,
+    attach_spu,
+    byte_sources,
+    find_loop,
+    is_pure_permute,
+    mmx_source_slots,
+    offload_loop,
+)
+from repro.isa import MM, R, assemble
+
+GO_PREAMBLE = f"""
+    mov r14, {DEFAULT_MMIO_BASE}
+    mov r15, 1
+    stw [r14], r15
+"""
+
+
+def run_offloaded(source, label, iterations, config=CONFIG_D, setup=None, live_out=()):
+    """Offload, run MMX-only and SPU variants, return both machines + report."""
+    program = assemble(source, "kernel")
+    report = offload_loop(program, label, iterations, config, live_out=live_out)
+
+    baseline = Machine(program)
+    if setup:
+        setup(baseline)
+    baseline.run()
+
+    machine = Machine(report.program)
+    if setup:
+        setup(machine)
+    controller = SPUController(config=config)
+    controller.load_program(report.spu_program)
+    attach_spu(machine, controller)
+    machine.run()
+    return baseline, machine, report
+
+
+class TestHelpers:
+    def test_is_pure_permute(self):
+        program = assemble(
+            "punpcklwd mm0, mm1\nmovq mm0, mm1\nmovq mm0, [r1]\npsrlq mm0, 16\n"
+            "psrlq mm0, 4\npacksswb mm0, mm1\npaddw mm0, mm1\nhalt"
+        )
+        flags = [is_pure_permute(i) for i in program]
+        assert flags == [True, True, False, True, False, False, False, False]
+
+    def test_byte_sources_movq(self):
+        program = assemble("movq mm0, mm1\nhalt")
+        assert byte_sources(program[0]) == [("b", i) for i in range(8)]
+
+    def test_byte_sources_shifts(self):
+        program = assemble("psrlq mm0, 16\npsllq mm0, 24\nhalt")
+        assert byte_sources(program[0]) == [
+            ("a", 2), ("a", 3), ("a", 4), ("a", 5), ("a", 6), ("a", 7), None, None,
+        ]
+        assert byte_sources(program[1]) == [
+            None, None, None, ("a", 0), ("a", 1), ("a", 2), ("a", 3), ("a", 4),
+        ]
+
+    def test_byte_sources_unpack(self):
+        program = assemble("punpcklwd mm0, mm1\npunpckhbw mm2, mm3\nhalt")
+        assert byte_sources(program[0]) == [
+            ("a", 0), ("a", 1), ("b", 0), ("b", 1), ("a", 2), ("a", 3), ("b", 2), ("b", 3),
+        ]
+        assert byte_sources(program[1]) == [
+            ("a", 4), ("b", 4), ("a", 5), ("b", 5), ("a", 6), ("b", 6), ("a", 7), ("b", 7),
+        ]
+
+    def test_byte_sources_pshufw(self):
+        program = assemble("pshufw mm0, mm1, 0x1B\nhalt")  # reverse
+        assert byte_sources(program[0]) == [
+            ("b", 6), ("b", 7), ("b", 4), ("b", 5), ("b", 2), ("b", 3), ("b", 0), ("b", 1),
+        ]
+
+    def test_mmx_source_slots(self):
+        program = assemble(
+            "paddw mm0, mm1\nmovq mm0, mm1\nmovq [r1], mm0\nmovq mm0, [r1]\n"
+            "psllw mm0, 2\npmaddwd mm0, [r1]\nhalt"
+        )
+        assert mmx_source_slots(program[0]) == [0, 1]
+        assert mmx_source_slots(program[1]) == [1]
+        assert mmx_source_slots(program[2]) == [1]
+        assert mmx_source_slots(program[3]) == []
+        assert mmx_source_slots(program[4]) == [0]
+        assert mmx_source_slots(program[5]) == [0]
+
+    def test_find_loop(self):
+        program = assemble("nop\ntop: nop\nnop\nloop r0, top\nhalt")
+        assert find_loop(program, "top") == (1, 3)
+
+    def test_find_loop_rejects_inner_branch(self):
+        program = assemble("top: jz skip\nskip: nop\nloop r0, top\nhalt")
+        with pytest.raises(OffloadError):
+            find_loop(program, "top")
+
+    def test_find_loop_requires_back_branch(self):
+        program = assemble("top: nop\nhalt")
+        with pytest.raises(OffloadError):
+            find_loop(program, "top")
+
+
+class TestDotProductOffload:
+    SOURCE = """
+        mov r0, 8
+        mov r1, 0x100
+        mov r2, 0x400
+    """ + GO_PREAMBLE + """
+    loop:
+        movq mm0, [r1]
+        movq mm1, [r1+8]
+        movq mm2, mm0
+        punpckhwd mm2, mm1
+        punpcklwd mm0, mm1
+        movq mm3, mm0
+        pmulhw mm3, mm2
+        pmullw mm0, mm2
+        movq [r2], mm3
+        movq [r2+8], mm0
+        add r1, 16
+        add r2, 16
+        loop r0, loop
+        halt
+    """
+
+    @staticmethod
+    def fill(machine):
+        rng = np.random.default_rng(7)
+        data = rng.integers(-1000, 1000, size=64, dtype=np.int16)
+        machine.memory.write_array(0x100, data, np.int16)
+
+    def test_all_permutes_removed(self):
+        program = assemble(self.SOURCE)
+        report = offload_loop(program, "loop", 8, CONFIG_D)
+        assert report.removed_count == 4  # movq x2 + two unpacks
+        names = [program[i].name for i in report.removed]
+        assert names == ["movq", "punpckhwd", "punpcklwd", "movq"]
+
+    def test_results_identical(self):
+        baseline, spu, report = run_offloaded(self.SOURCE, "loop", 8, setup=self.fill)
+        base_out = baseline.memory.read_array(0x400, 64, np.uint16)
+        spu_out = spu.memory.read_array(0x400, 64, np.uint16)
+        assert base_out.tolist() == spu_out.tolist()
+
+    def test_spu_variant_faster(self):
+        program = assemble(self.SOURCE)
+        report = offload_loop(program, "loop", 8, CONFIG_D)
+        baseline = Machine(program)
+        self.fill(baseline)
+        base_stats = baseline.run()
+        machine = Machine(report.program)
+        self.fill(machine)
+        controller = SPUController(config=CONFIG_D)
+        controller.load_program(report.spu_program)
+        attach_spu(machine, controller)
+        spu_stats = machine.run()
+        assert spu_stats.cycles < base_stats.cycles
+        assert spu_stats.instructions < base_stats.instructions
+
+    def test_counter_matches_body_length(self):
+        program = assemble(self.SOURCE)
+        report = offload_loop(program, "loop", 8, CONFIG_D)
+        body_len = report.loop_end - report.loop_start + 1 - report.removed_count
+        assert report.spu_program.counter_init[0] == 8 * body_len
+
+
+class TestConstraints:
+    def test_live_out_keeps_last_writer(self):
+        source = """
+            mov r0, 4
+        """ + GO_PREAMBLE + """
+        loop:
+            punpcklwd mm0, mm1
+            paddw mm2, mm0
+            loop r0, loop
+            halt
+        """
+        program = assemble(source)
+        # mm0 is live-out: the unpack must stay.
+        report = offload_loop(program, "loop", 4, CONFIG_D, live_out=(MM[0],))
+        assert report.removed_count == 0
+        assert "live-out" in list(report.kept.values())[0]
+
+    def test_cross_iteration_self_dependence_kept(self):
+        # punpcklwd mm0, mm1 feeds next iteration's own read of mm0:
+        # removing it would change what mm0 holds at the next unpack.
+        source = """
+            mov r0, 4
+        """ + GO_PREAMBLE + """
+        loop:
+            punpcklwd mm0, mm1
+            movq [r1], mm0
+            add r1, 8
+            loop r0, loop
+            halt
+        """
+        program = assemble(source)
+        report = offload_loop(program, "loop", 4, CONFIG_D)
+        # The store can be routed, but iteration i+1's unpack reads mm0 =
+        # result of iteration i — a symbol that no longer exists anywhere.
+        baseline = Machine(program)
+        machine = Machine(report.program)
+        baseline.state.write(MM[0], simd.join([1, 2, 3, 4], 16))
+        machine.state.write(MM[0], simd.join([1, 2, 3, 4], 16))
+        baseline.state.write(MM[1], simd.join([5, 6, 7, 8], 16))
+        machine.state.write(MM[1], simd.join([5, 6, 7, 8], 16))
+        baseline.state.write(R[1], 0x200)
+        machine.state.write(R[1], 0x200)
+        baseline.run()
+        controller = SPUController(config=CONFIG_D)
+        controller.load_program(report.spu_program)
+        attach_spu(machine, controller)
+        machine.run()
+        assert (
+            baseline.memory.read_array(0x200, 16, np.uint16).tolist()
+            == machine.memory.read_array(0x200, 16, np.uint16).tolist()
+        )
+
+    def test_zero_shift_consumed_keeps_shift(self):
+        # psrlq shifts in zeros that the add then consumes -> not removable.
+        source = """
+            mov r0, 4
+        """ + GO_PREAMBLE + """
+        loop:
+            movq mm0, [r1]
+            psrlq mm0, 16
+            paddw mm2, mm0
+            add r1, 8
+            loop r0, loop
+            halt
+        """
+        program = assemble(source)
+        report = offload_loop(program, "loop", 4, CONFIG_D)
+        assert report.removed_count == 0
+        assert "zero" in list(report.kept.values())[0]
+
+    def test_window_restriction_blocks_config_b(self):
+        # Permute sourcing MM5 is out of config B's 4-register window.
+        source = """
+            mov r0, 4
+        """ + GO_PREAMBLE + """
+        loop:
+            movq mm0, mm5
+            paddw mm0, mm1
+            movq [r1], mm0
+            add r1, 8
+            loop r0, loop
+            halt
+        """
+        program = assemble(source)
+        report_a = offload_loop(program, "loop", 4, CONFIG_A)
+        assert report_a.removed_count == 1
+        report_b = offload_loop(program, "loop", 4, CONFIG_B)
+        assert report_b.removed_count == 0
+        assert "config B" in list(report_b.kept.values())[0]
+
+    def test_byte_granularity_needs_byte_config(self):
+        # punpcklbw interleaves single bytes — illegal on 16-bit-port configs.
+        source = """
+            mov r0, 4
+        """ + GO_PREAMBLE + """
+        loop:
+            movq mm0, [r1]
+            punpcklbw mm0, mm1
+            movq [r2], mm0
+            add r1, 8
+            add r2, 8
+            loop r0, loop
+            halt
+        """
+        program = assemble(source)
+        report_d = offload_loop(program, "loop", 4, CONFIG_D)
+        assert report_d.removed_count == 0
+        report_a = offload_loop(program, "loop", 4, CONFIG_A)
+        assert report_a.removed_count == 1
+
+    def test_bad_iterations(self):
+        program = assemble("top: nop\nloop r0, top\nhalt")
+        with pytest.raises(OffloadError):
+            offload_loop(program, "top", 0)
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pshufw_chain(self, seed):
+        source = """
+            mov r0, 6
+        """ + GO_PREAMBLE + """
+        loop:
+            movq mm0, [r1]
+            pshufw mm2, mm0, 0x1B
+            pmullw mm2, mm1
+            movq [r2], mm2
+            add r1, 8
+            add r2, 8
+            loop r0, loop
+            halt
+        """
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-300, 300, size=24, dtype=np.int16)
+        coeff = rng.integers(-50, 50, size=4, dtype=np.int16)
+
+        def setup(machine):
+            machine.memory.write_array(0x100, data, np.int16)
+            machine.state.write(MM[1], simd.join(coeff.tolist(), 16))
+            machine.state.write(R[1], 0x100)
+            machine.state.write(R[2], 0x400)
+
+        baseline, spu, report = run_offloaded(source, "loop", 6, setup=setup)
+        assert report.removed_count == 1
+        assert (
+            baseline.memory.read_array(0x400, 24, np.uint16).tolist()
+            == spu.memory.read_array(0x400, 24, np.uint16).tolist()
+        )
+
+
+class TestKnownZero:
+    def test_zero_register_unlocks_zero_shift(self):
+        """With a pre-loop pxor'd register declared, the zero-filling shift
+        becomes removable: its zeros route from the cleared register."""
+        from repro.isa import MM
+        source = """
+            mov r0, 4
+            pxor mm3, mm3
+        """ + GO_PREAMBLE + """
+        loop:
+            movq mm0, [r1]
+            psrlq mm0, 16
+            paddw mm2, mm0
+            add r1, 8
+            loop r0, loop
+            halt
+        """
+        program = assemble(source)
+        without = offload_loop(program, "loop", 4, CONFIG_D)
+        assert without.removed_count == 0
+        with_zero = offload_loop(program, "loop", 4, CONFIG_D,
+                                 known_zero=(MM[3],))
+        assert with_zero.removed_count == 1
+
+        def run(prog, spu_program=None):
+            machine = Machine(prog)
+            machine.memory.write_array(
+                0x100, np.arange(1, 33, dtype=np.int16), np.int16
+            )
+            machine.state.write(R[1], 0x100)
+            if spu_program is not None:
+                controller = SPUController(config=CONFIG_D)
+                controller.load_program(spu_program)
+                attach_spu(machine, controller)
+            machine.run()
+            return machine.state.mmx[2]
+
+        assert run(program) == run(with_zero.program, with_zero.spu_program)
+
+    def test_known_zero_written_in_body_rejected(self):
+        from repro.errors import ReproError
+        from repro.isa import MM
+        source = """
+            mov r0, 4
+        """ + GO_PREAMBLE + """
+        loop:
+            pxor mm3, mm3
+            paddw mm2, mm3
+            loop r0, loop
+            halt
+        """
+        with pytest.raises(ReproError):
+            offload_loop(assemble(source), "loop", 4, CONFIG_D,
+                         known_zero=(MM[3],))
+
+    def test_zero_idiom_recognition(self):
+        from repro.core.offload import is_zero_idiom
+        program = assemble(
+            "pxor mm0, mm0\npsubw mm1, mm1\npandn mm2, mm2\n"
+            "pxor mm0, mm1\npaddw mm0, mm0\nhalt"
+        )
+        flags = [is_zero_idiom(i) for i in program]
+        assert flags == [True, True, True, False, False, False]
+
+    def test_autopilot_infers_known_zero(self):
+        from repro.core import offload_program
+        source = """
+            mov r0, 4
+            mov r1, 0x100
+            pxor mm3, mm3
+        loop:
+            movq mm0, [r1]
+            psrlq mm0, 16
+            paddw mm2, mm0
+            movq [r2], mm2
+            add r1, 8
+            add r2, 8
+            loop r0, loop
+            halt
+        """
+        result = offload_program(assemble(source))
+        assert result.removed >= 1  # the shift goes despite its zero bytes

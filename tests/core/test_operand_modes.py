@@ -1,0 +1,145 @@
+"""Tests for the §6 operand-mode extension (sign extension, negation).
+
+"The SPU implemented in this study is relatively simple, allowing only equal
+sub-word access ... additional modes could be added to the SPU, like sign
+extension, negation, or even more complex operations" — implemented here as
+per-granule route-entry transforms on an extended configuration D+.
+"""
+
+import numpy as np
+import pytest
+
+from repro import simd
+from repro.errors import RouteError
+from repro.cpu import Machine
+from repro.core import (
+    CONFIG_D,
+    CONFIG_D_MODED,
+    DEFAULT_MMIO_BASE,
+    MODES,
+    SPUController,
+    SPUProgramBuilder,
+    SPUState,
+    attach_spu,
+    decode_state,
+    encode_state,
+    halfword_route,
+    split_entry,
+    state_word_bits,
+)
+from repro.isa import MM, assemble
+
+
+class TestConfigGeometry:
+    def test_base_configs_have_no_modes(self):
+        assert CONFIG_D.modes == ()
+        assert CONFIG_D.mode_bits == 0
+
+    def test_moded_config(self):
+        assert set(CONFIG_D_MODED.modes) == {"neg", "sxb", "zxb"}
+        assert CONFIG_D_MODED.mode_bits == 2  # 3 modes + plain
+
+    def test_mode_bits_increase_control_memory(self):
+        """§3: more flexibility costs control-memory bits."""
+        assert CONFIG_D_MODED.route_bits > CONFIG_D.route_bits
+        assert state_word_bits(CONFIG_D_MODED) > state_word_bits(CONFIG_D)
+
+    def test_unknown_mode_rejected_at_config(self):
+        from repro.core import CrossbarConfig
+        with pytest.raises(RouteError):
+            CrossbarConfig(name="x", in_ports=16, out_ports=16, port_bits=16,
+                           modes=("sqrt",))
+
+
+class TestRouteValidation:
+    def test_mode_entry_accepted_on_moded_config(self):
+        CONFIG_D_MODED.check_route(((0, "neg"), 1, None, (2, "sxb")))
+
+    def test_mode_entry_rejected_on_base_config(self):
+        with pytest.raises(RouteError):
+            CONFIG_D.check_route(((0, "neg"), None, None, None))
+
+    def test_unsupported_mode_rejected(self):
+        with pytest.raises(RouteError):
+            CONFIG_D_MODED.check_route(((0, "sqrt"), None, None, None))
+
+    def test_mode_on_straight_granule_rejected(self):
+        with pytest.raises(RouteError):
+            CONFIG_D_MODED.check_route(((None, "neg"), None, None, None))
+
+    def test_malformed_entry(self):
+        with pytest.raises(RouteError):
+            CONFIG_D_MODED.check_route(((0, "neg", 1), None, None, None))
+
+    def test_split_entry(self):
+        assert split_entry(None) == (None, None)
+        assert split_entry(5) == (5, None)
+        assert split_entry((5, "neg")) == (5, "neg")
+
+
+class TestModeSemantics:
+    def test_mode_functions(self):
+        assert MODES["neg"](b"\x01\x00") == b"\xff\xff"  # -1
+        assert MODES["neg"](b"\x00\x80") == b"\x00\x80"  # -(-32768) wraps
+        assert MODES["sxb"](b"\x80\x7f") == b"\x80\xff"  # sign-extend low byte
+        assert MODES["sxb"](b"\x7f\xff") == b"\x7f\x00"
+        assert MODES["zxb"](b"\x80\x7f") == b"\x80\x00"
+
+    def test_apply_negation(self):
+        from repro.core import SPURegister
+        reg = SPURegister()
+        reg.write_reg(1, simd.join([100, -200, 300, -400], 16))
+        route = ((4, "neg"), (5, "neg"), (6, "neg"), (7, "neg"))  # MM1 lanes
+        out = CONFIG_D_MODED.apply(route, reg, 0)
+        assert simd.split(out, 16, signed=True).tolist() == [-100, 200, -300, 400]
+
+    def test_apply_sign_extension(self):
+        from repro.core import SPURegister
+        reg = SPURegister()
+        reg.write_reg(0, simd.join([0x00FF, 0x007F, 0, 0], 16))
+        route = ((0, "sxb"), (1, "sxb"), None, None)
+        out = CONFIG_D_MODED.apply(route, reg, 0)
+        lanes = simd.split(out, 16, signed=True)
+        assert lanes[0] == -1 and lanes[1] == 0x7F
+
+    def test_transparent_subtraction_via_negation(self):
+        """paddsw with a negated route computes a saturating subtract."""
+        src = f"""
+            mov r3, {DEFAULT_MMIO_BASE}
+            mov r4, 1
+            stw [r3], r4
+            paddsw mm0, mm1
+            halt
+        """
+        machine = Machine(assemble(src))
+        machine.state.write(MM[0], simd.join([10, 20, 30, 40], 16))
+        machine.state.write(MM[1], simd.join([1, 2, 3, 4], 16))
+        controller = SPUController(config=CONFIG_D_MODED)
+        builder = SPUProgramBuilder(config=CONFIG_D_MODED)
+        # route slot 1 = MM1's own lanes, negated
+        builder.loop([{1: ((4, "neg"), (5, "neg"), (6, "neg"), (7, "neg"))}], 1)
+        controller.load_program(builder.build())
+        attach_spu(machine, controller)
+        machine.run()
+        assert simd.split(machine.state.mmx[0], 16).tolist() == [9, 18, 27, 36]
+
+
+class TestModedEncoding:
+    def test_roundtrip_with_modes(self):
+        state = SPUState(
+            cntr=1,
+            routes={0: ((3, "neg"), None, (15, "zxb"), 7)},
+            next0=127,
+            next1=2,
+        )
+        word = encode_state(state, CONFIG_D_MODED)
+        assert decode_state(word, CONFIG_D_MODED) == state
+
+    def test_plain_entries_survive_moded_config(self):
+        state = SPUState(routes={1: (1, 2, 3, 4)}, next0=0, next1=0)
+        assert decode_state(encode_state(state, CONFIG_D_MODED), CONFIG_D_MODED) == state
+
+    def test_base_config_encoding_unchanged(self):
+        """Table 1's formula is untouched: base configs have no mode bits."""
+        assert state_word_bits(CONFIG_D) == 15 + 2 * 4 * (1 + 4)
+        assert CONFIG_D.route_bits == 64  # unchanged paper value

@@ -1,0 +1,250 @@
+"""Tests for SPU program structure, encoding, and the decoupled controller."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SPUProgramError
+from repro.core import (
+    CONFIG_A,
+    CONFIG_C,
+    CONFIG_D,
+    SPUController,
+    SPUProgram,
+    SPUState,
+    decode_state,
+    encode_program,
+    encode_state,
+    state_word_bits,
+)
+
+
+def simple_loop_program(body_len=3, iterations=10, num_states=128):
+    """States 0..body_len-1 chained cyclically, next0 = idle (Figure 7)."""
+    program = SPUProgram(
+        counter_init=(iterations * body_len, 0), num_states=num_states, name="loop"
+    )
+    idle = program.idle_state
+    for index in range(body_len):
+        program.add_state(
+            index,
+            SPUState(cntr=0, next0=idle, next1=(index + 1) % body_len),
+        )
+    return program
+
+
+class TestSPUState:
+    def test_bad_counter(self):
+        with pytest.raises(SPUProgramError):
+            SPUState(cntr=2)
+
+    def test_bad_slot(self):
+        with pytest.raises(SPUProgramError):
+            SPUState(routes={3: (None,) * 4})
+
+    def test_straight(self):
+        assert SPUState().is_straight
+        assert not SPUState(routes={0: (1, None, None, None)}).is_straight
+
+
+class TestSPUProgram:
+    def test_idle_state_index(self):
+        assert SPUProgram().idle_state == 127
+        assert SPUProgram(num_states=64).idle_state == 63
+
+    def test_add_state_guards(self):
+        program = SPUProgram()
+        program.add_state(0, SPUState())
+        with pytest.raises(SPUProgramError):
+            program.add_state(0, SPUState())  # duplicate
+        with pytest.raises(SPUProgramError):
+            program.add_state(127, SPUState())  # idle reserved
+        with pytest.raises(SPUProgramError):
+            program.add_state(128, SPUState())  # out of range
+
+    def test_validate_entry(self):
+        program = SPUProgram(counter_init=(1, 0))
+        with pytest.raises(SPUProgramError):
+            program.validate()  # entry undefined
+
+    def test_validate_next_targets(self):
+        program = SPUProgram(counter_init=(1, 0))
+        program.add_state(0, SPUState(next0=5, next1=127))
+        with pytest.raises(SPUProgramError):
+            program.validate()  # state 5 undefined
+
+    def test_validate_counters(self):
+        program = SPUProgram(counter_init=(0, 0))
+        program.add_state(0, SPUState(next0=127, next1=127))
+        with pytest.raises(SPUProgramError):
+            program.validate()  # counter 0 used but zero-initialized
+
+    def test_validate_routes_against_config(self):
+        program = SPUProgram(counter_init=(1, 0))
+        program.add_state(0, SPUState(routes={0: (20, None, None, None)}, next0=127, next1=127))
+        program.validate(CONFIG_C)  # 20 < 32 input half-words: legal
+        with pytest.raises(SPUProgramError):
+            program.validate(CONFIG_D)  # 20 >= 16: out of window
+
+
+class TestEncoding:
+    def test_word_width(self):
+        assert state_word_bits(CONFIG_D) == 15 + 2 * 4 * (1 + 4)
+        assert state_word_bits(CONFIG_A) == 15 + 2 * 8 * (1 + 6)
+
+    def test_roundtrip_straight(self):
+        state = SPUState(cntr=1, next0=12, next1=99)
+        word = encode_state(state, CONFIG_D)
+        back = decode_state(word, CONFIG_D)
+        assert back == state
+
+    def test_roundtrip_routed(self):
+        state = SPUState(
+            cntr=0,
+            routes={0: (3, None, 15, 0), 1: (7, 7, 7, 7)},
+            next0=127,
+            next1=1,
+        )
+        assert decode_state(encode_state(state, CONFIG_D), CONFIG_D) == state
+
+    def test_roundtrip_byte_config(self):
+        state = SPUState(routes={1: (63, 0, None, 5, 5, None, 17, 33)}, next0=0, next1=0)
+        assert decode_state(encode_state(state, CONFIG_A), CONFIG_A) == state
+
+    def test_encode_program(self):
+        program = simple_loop_program()
+        words = encode_program(program, CONFIG_D)
+        assert set(words) == {0, 1, 2}
+
+    @given(
+        st.integers(0, 1),
+        st.integers(0, 127),
+        st.integers(0, 127),
+        st.lists(st.one_of(st.none(), st.integers(0, 15)), min_size=4, max_size=4),
+    )
+    def test_roundtrip_property(self, cntr, next0, next1, route):
+        routes = {0: tuple(route)} if any(r is not None for r in route) else {}
+        state = SPUState(cntr=cntr, routes=routes, next0=next0, next1=next1)
+        assert decode_state(encode_state(state, CONFIG_D), CONFIG_D) == state
+
+
+class TestController:
+    def test_initial_state_idle(self):
+        ctl = SPUController()
+        assert not ctl.active
+        assert ctl.current_state == 127
+        assert ctl.step() is None
+
+    def test_go_requires_program(self):
+        with pytest.raises(SPUProgramError):
+            SPUController().go()
+
+    def test_loop_runs_exact_dynamic_count(self):
+        """§4 example: 3-state loop, 10 iterations, CNTR0 = 30 steps."""
+        ctl = SPUController()
+        ctl.load_program(simple_loop_program(body_len=3, iterations=10))
+        ctl.go()
+        steps = 0
+        while ctl.active:
+            assert ctl.step() is not None
+            steps += 1
+            assert steps < 100
+        assert steps == 30
+        assert ctl.current_state == 127
+
+    def test_state_sequence_cycles(self):
+        ctl = SPUController()
+        ctl.load_program(simple_loop_program(body_len=3, iterations=2))
+        ctl.go()
+        seen = []
+        while ctl.active:
+            seen.append(ctl.current_state)
+            ctl.step()
+        assert seen == [0, 1, 2, 0, 1, 2]
+
+    def test_counters_restore_after_idle(self):
+        ctl = SPUController()
+        ctl.load_program(simple_loop_program(body_len=2, iterations=3))
+        ctl.go()
+        while ctl.active:
+            ctl.step()
+        assert ctl.counters == (6, 0)  # restored to programmed value
+        ctl.go()  # reusable without reprogramming
+        assert ctl.active
+
+    def test_stop_resets(self):
+        ctl = SPUController()
+        ctl.load_program(simple_loop_program())
+        ctl.go()
+        ctl.step()
+        ctl.stop()
+        assert not ctl.active and ctl.current_state == 127
+        assert ctl.counters == (30, 0)
+
+    def test_two_level_nesting_with_auto_reload(self):
+        """Inner counter auto-reloads on exit, enabling 2-level nesting (§4)."""
+        program = SPUProgram(counter_init=(4, 6), num_states=128, name="nested")
+        idle = program.idle_state
+        # inner: states 0,1 (CNTR0 = 2 iterations x 2 states = 4)
+        program.add_state(0, SPUState(cntr=0, next0=2, next1=1))
+        program.add_state(1, SPUState(cntr=0, next0=2, next1=0))
+        # outer epilogue: states 2,3 (CNTR1 = 3 outer iterations x 2 states = 6)
+        program.add_state(2, SPUState(cntr=1, next0=idle, next1=3))
+        program.add_state(3, SPUState(cntr=1, next0=idle, next1=0))
+        ctl = SPUController()
+        ctl.load_program(program)
+        ctl.go()
+        trace = []
+        while ctl.active:
+            trace.append(ctl.current_state)
+            ctl.step()
+            assert len(trace) < 100
+        assert trace == [0, 1, 0, 1, 2, 3] * 3
+
+    def test_contexts(self):
+        ctl = SPUController(contexts=2)
+        ctl.load_program(simple_loop_program(body_len=1, iterations=1), context=0)
+        ctl.load_program(simple_loop_program(body_len=2, iterations=1), context=1)
+        ctl.go(context=1)
+        assert ctl.context == 1
+        ctl.step()
+        assert ctl.current_state == 1
+        ctl.stop()
+        ctl.go(context=0)
+        ctl.step()
+        assert not ctl.active  # single-step program finished
+
+    def test_context_switch_while_active_rejected(self):
+        ctl = SPUController(contexts=2)
+        ctl.load_program(simple_loop_program(), context=0)
+        ctl.load_program(simple_loop_program(), context=1)
+        ctl.go()
+        with pytest.raises(SPUProgramError):
+            ctl.switch_context(1)
+
+    def test_context_bounds(self):
+        ctl = SPUController(contexts=1)
+        with pytest.raises(SPUProgramError):
+            ctl.load_program(simple_loop_program(), context=1)
+
+    def test_program_size_mismatch(self):
+        ctl = SPUController(num_states=64)
+        with pytest.raises(SPUProgramError):
+            ctl.load_program(simple_loop_program(num_states=128))
+
+    def test_stats(self):
+        ctl = SPUController()
+        ctl.load_program(simple_loop_program(body_len=3, iterations=2))
+        ctl.go()
+        while ctl.active:
+            ctl.step()
+        assert ctl.stats.steps == 6
+        assert ctl.stats.activations == 1
+
+    def test_peek_does_not_advance(self):
+        ctl = SPUController()
+        ctl.load_program(simple_loop_program())
+        ctl.go()
+        before = ctl.current_state
+        ctl.peek()
+        assert ctl.current_state == before

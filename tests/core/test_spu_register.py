@@ -1,0 +1,109 @@
+"""Tests for the unified 512-bit SPU register."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SPUProgramError
+from repro.core import SPU_REGISTER_BYTES, SPURegister, byte_address, halfword_address
+
+WORDS = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestLayout:
+    def test_size(self):
+        assert SPU_REGISTER_BYTES == 64
+        assert len(SPURegister()) == 64
+
+    def test_byte_address(self):
+        assert byte_address(0, 0) == 0
+        assert byte_address(1, 0) == 8
+        assert byte_address(7, 7) == 63
+
+    def test_byte_address_bounds(self):
+        with pytest.raises(SPUProgramError):
+            byte_address(8, 0)
+        with pytest.raises(SPUProgramError):
+            byte_address(0, 8)
+
+    def test_halfword_address(self):
+        assert halfword_address(0, 0) == 0
+        assert halfword_address(1, 0) == 4
+        assert halfword_address(7, 3) == 31
+
+    def test_halfword_address_bounds(self):
+        with pytest.raises(SPUProgramError):
+            halfword_address(0, 4)
+
+
+class TestAccess:
+    def test_reg_roundtrip(self):
+        reg = SPURegister()
+        reg.write_reg(3, 0x1122334455667788)
+        assert reg.read_reg(3) == 0x1122334455667788
+        assert reg.read_reg(2) == 0
+
+    def test_write_reg_is_partial(self):
+        """Writes change only the targeted bytes (§3)."""
+        reg = SPURegister()
+        reg.write_reg(0, 0xAAAAAAAAAAAAAAAA)
+        reg.write_reg(1, 0xBBBBBBBBBBBBBBBB)
+        reg.write_reg(0, 0)
+        assert reg.read_reg(1) == 0xBBBBBBBBBBBBBBBB
+
+    def test_byte_view_little_endian(self):
+        reg = SPURegister()
+        reg.write_reg(2, 0x0807060504030201)
+        assert [reg.read_byte(byte_address(2, j)) for j in range(8)] == list(range(1, 9))
+
+    def test_write_byte(self):
+        reg = SPURegister()
+        reg.write_byte(17, 0xAB)
+        assert reg.read_byte(17) == 0xAB
+        assert reg.read_reg(2) == 0xAB << 8
+
+    def test_read_all_snapshot(self):
+        reg = SPURegister()
+        snap = reg.read_all()
+        reg.write_byte(0, 1)
+        assert snap[0] == 0  # snapshot unaffected
+
+    def test_load_from_mmx(self):
+        reg = SPURegister()
+        values = [i * 0x0101010101010101 for i in range(8)]
+        reg.load_from_mmx(values)
+        for i, value in enumerate(values):
+            assert reg.read_reg(i) == value
+
+    def test_load_from_mmx_wrong_count(self):
+        with pytest.raises(SPUProgramError):
+            SPURegister().load_from_mmx([0] * 7)
+
+    def test_gather(self):
+        reg = SPURegister()
+        reg.write_reg(0, 0x0807060504030201)
+        reg.write_reg(1, 0x1817161514131211)
+        # interleave byte 0 of mm0/mm1, byte 1 of mm0/mm1, ...
+        indices = [0, 8, 1, 9, 2, 10, 3, 11]
+        assert reg.gather(indices) == 0x1404130312021101
+
+    def test_gather_wrong_length(self):
+        with pytest.raises(SPUProgramError):
+            SPURegister().gather([0] * 7)
+
+    def test_bounds(self):
+        reg = SPURegister()
+        with pytest.raises(SPUProgramError):
+            reg.read_byte(64)
+        with pytest.raises(SPUProgramError):
+            reg.write_byte(-1, 0)
+        with pytest.raises(SPUProgramError):
+            reg.read_reg(8)
+
+    @given(st.lists(WORDS, min_size=8, max_size=8))
+    def test_mirror_matches_gather_identity(self, values):
+        reg = SPURegister()
+        reg.load_from_mmx(values)
+        for index in range(8):
+            identity = list(range(index * 8, index * 8 + 8))
+            assert reg.gather(identity) == values[index]

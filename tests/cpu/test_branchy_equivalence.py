@@ -1,0 +1,104 @@
+"""Property test: timed and functional execution agree on branchy programs.
+
+The pipeline's branch handling (prediction, penalties, issue-group ends)
+must never change *architectural* results — only cycle counts.  Random
+programs with forward conditional branches and bounded counted loops are
+run through both execution modes and compared register-for-register.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Machine, PipelineConfig
+from repro.isa import ProgramBuilder
+
+MMX_REGS = [f"mm{i}" for i in range(6)]
+SCALAR_REGS = [f"r{i}" for i in range(3, 10)]
+
+
+@st.composite
+def branchy_programs(draw):
+    b = ProgramBuilder("branchy")
+    b.mov("r1", 0x1000)
+    block_count = draw(st.integers(1, 4))
+    for block in range(block_count):
+        # A counted loop with a small body.
+        iterations = draw(st.integers(1, 5))
+        b.mov("r0", iterations)
+        b.label(f"loop{block}")
+        for _ in range(draw(st.integers(1, 4))):
+            choice = draw(st.integers(0, 3))
+            if choice == 0:
+                b.emit(draw(st.sampled_from(["paddw", "psubw", "pxor"])),
+                       draw(st.sampled_from(MMX_REGS)),
+                       draw(st.sampled_from(MMX_REGS)))
+            elif choice == 1:
+                b.emit("add", draw(st.sampled_from(SCALAR_REGS)),
+                       draw(st.integers(-50, 50)))
+            elif choice == 2:
+                b.movq(draw(st.sampled_from(MMX_REGS)),
+                       f"[r1+{draw(st.integers(0, 20)) * 8}]")
+            else:
+                b.emit("pmullw", draw(st.sampled_from(MMX_REGS)),
+                       draw(st.sampled_from(MMX_REGS)))
+        b.loop("r0", f"loop{block}")
+        # A forward conditional skip over a couple of instructions.
+        b.cmp(draw(st.sampled_from(SCALAR_REGS)), draw(st.integers(-10, 10)))
+        b.emit(draw(st.sampled_from(["jz", "jnz", "jl", "jge"])), f"skip{block}")
+        b.emit("xor", draw(st.sampled_from(SCALAR_REGS)),
+               draw(st.integers(0, 255)))
+        b.paddw(draw(st.sampled_from(MMX_REGS)), draw(st.sampled_from(MMX_REGS)))
+        b.label(f"skip{block}")
+        b.nop()
+    b.halt()
+    return b.build()
+
+
+def seed_machine(machine):
+    rng = np.random.default_rng(31)
+    machine.memory.write_array(
+        0x1000, rng.integers(-1000, 1000, size=128, dtype=np.int16), np.int16
+    )
+    for index in range(6):
+        machine.state.mmx[index] = int(rng.integers(0, 2**63))
+    for index in range(3, 10):
+        machine.state.scalar[index] = int(rng.integers(0, 2**16))
+
+
+class TestBranchyEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(branchy_programs())
+    def test_state_agrees(self, program):
+        timed = Machine(program)
+        seed_machine(timed)
+        timed.run()
+        functional = Machine(program)
+        seed_machine(functional)
+        functional.run_functional()
+        assert timed.state.mmx == functional.state.mmx
+        assert timed.state.scalar == functional.state.scalar
+
+    @settings(max_examples=25, deadline=None)
+    @given(branchy_programs(), st.sampled_from(["always-taken", "static-btfn",
+                                                "bimodal", "gshare"]))
+    def test_predictor_never_changes_results(self, program, predictor):
+        reference = Machine(program)
+        seed_machine(reference)
+        reference.run()
+        other = Machine(program, predictor=predictor)
+        seed_machine(other)
+        other.run()
+        assert other.state.mmx == reference.state.mmx
+        assert other.state.scalar == reference.state.scalar
+
+    @settings(max_examples=20, deadline=None)
+    @given(branchy_programs())
+    def test_branch_accounting(self, program):
+        machine = Machine(program)
+        seed_machine(machine)
+        stats = machine.run()
+        assert stats.mispredicts <= stats.branches
+        assert stats.mispredict_cycles == (
+            stats.mispredicts * machine.config.mispredict_penalty
+        )

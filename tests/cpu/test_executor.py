@@ -1,0 +1,217 @@
+"""Functional executor tests: one behaviour per instruction family."""
+
+import numpy as np
+import pytest
+
+from repro import simd
+from repro.errors import SimulationError
+from repro.cpu import Machine, Memory, execute
+from repro.cpu.state import MachineState
+from repro.isa import MM, R, assemble
+
+
+def run_asm(source, *, memory=None, setup=None):
+    """Assemble and run functionally; returns the machine."""
+    machine = Machine(assemble(source + "\nhalt"), memory=memory)
+    if setup:
+        setup(machine)
+    machine.run_functional()
+    return machine
+
+
+class TestMMXArithmetic:
+    def test_paddw(self):
+        m = run_asm("paddw mm0, mm1", setup=lambda m: (
+            m.state.write(MM[0], simd.join([1, 2, 3, 4], 16)),
+            m.state.write(MM[1], simd.join([10, 20, 30, 40], 16)),
+        ))
+        assert simd.split(m.state.mmx[0], 16).tolist() == [11, 22, 33, 44]
+
+    def test_paddsw_saturates(self):
+        m = run_asm("paddsw mm0, mm1", setup=lambda m: (
+            m.state.write(MM[0], simd.join([32767, 0, 0, 0], 16)),
+            m.state.write(MM[1], simd.join([100, 0, 0, 0], 16)),
+        ))
+        assert simd.split(m.state.mmx[0], 16, signed=True)[0] == 32767
+
+    def test_packed_with_memory_source(self):
+        mem = Memory(256)
+        mem.write_array(64, [5, 6, 7, 8], np.int16)
+        m = run_asm("mov r1, 64\npaddw mm0, [r1]", memory=mem)
+        assert simd.split(m.state.mmx[0], 16).tolist() == [5, 6, 7, 8]
+
+    def test_pmaddwd(self):
+        m = run_asm("pmaddwd mm0, mm1", setup=lambda m: (
+            m.state.write(MM[0], simd.join([1, 2, 3, 4], 16)),
+            m.state.write(MM[1], simd.join([5, 6, 7, 8], 16)),
+        ))
+        assert simd.split(m.state.mmx[0], 32, signed=True).tolist() == [17, 53]
+
+    def test_pxor_clears(self):
+        m = run_asm("pxor mm3, mm3", setup=lambda m: m.state.write(MM[3], 0xFFFF))
+        assert m.state.mmx[3] == 0
+
+    def test_pminmax(self):
+        m = run_asm("pminsw mm0, mm1\npmaxsw mm2, mm1", setup=lambda m: (
+            m.state.write(MM[0], simd.join([5, -5, 0, 9], 16)),
+            m.state.write(MM[2], simd.join([5, -5, 0, 9], 16)),
+            m.state.write(MM[1], simd.join([3, 3, 3, 3], 16)),
+        ))
+        assert simd.split(m.state.mmx[0], 16, signed=True).tolist() == [3, -5, 0, 3]
+        assert simd.split(m.state.mmx[2], 16, signed=True).tolist() == [5, 3, 3, 9]
+
+
+class TestMMXShiftsAndPermutes:
+    def test_psllw_imm(self):
+        m = run_asm("psllw mm0, 3", setup=lambda m:
+                    m.state.write(MM[0], simd.join([1, 2, 3, 4], 16)))
+        assert simd.split(m.state.mmx[0], 16).tolist() == [8, 16, 24, 32]
+
+    def test_psrlq_register_count(self):
+        m = run_asm("psrlq mm0, mm1", setup=lambda m: (
+            m.state.write(MM[0], 0x100), m.state.write(MM[1], 4)))
+        assert m.state.mmx[0] == 0x10
+
+    def test_punpcklwd(self):
+        m = run_asm("punpcklwd mm0, mm1", setup=lambda m: (
+            m.state.write(MM[0], simd.join([0, 1, 2, 3], 16)),
+            m.state.write(MM[1], simd.join([4, 5, 6, 7], 16)),
+        ))
+        assert simd.split(m.state.mmx[0], 16).tolist() == [0, 4, 1, 5]
+
+    def test_pshufw_reverse(self):
+        # order 0b00011011 = lanes 3,2,1,0
+        m = run_asm("pshufw mm0, mm1, 0x1B", setup=lambda m:
+                    m.state.write(MM[1], simd.join([1, 2, 3, 4], 16)))
+        assert simd.split(m.state.mmx[0], 16).tolist() == [4, 3, 2, 1]
+
+    def test_packsswb(self):
+        m = run_asm("packsswb mm0, mm1", setup=lambda m: (
+            m.state.write(MM[0], simd.join([300, -300, 1, -1], 16)),
+            m.state.write(MM[1], simd.join([0, 0, 0, 0], 16)),
+        ))
+        assert simd.split(m.state.mmx[0], 8, signed=True).tolist()[:4] == [127, -128, 1, -1]
+
+
+class TestMoves:
+    def test_movq_mem_roundtrip(self):
+        mem = Memory(256)
+        m = run_asm(
+            "mov r1, 8\nmovq mm0, [r1]\nmovq [r1+8], mm0",
+            memory=mem,
+            setup=lambda m: m.memory.store(8, 8, 0xCAFEBABE12345678),
+        )
+        assert m.memory.load(16, 8) == 0xCAFEBABE12345678
+
+    def test_movd_zero_extends(self):
+        m = run_asm("mov r1, 0xFFFFFFFF\nmovd mm0, r1")
+        assert m.state.mmx[0] == 0xFFFFFFFF
+
+    def test_movd_to_scalar_truncates(self):
+        m = run_asm("movd r1, mm0", setup=lambda m:
+                    m.state.write(MM[0], 0x1122334455667788))
+        assert m.state.scalar[1] == 0x55667788
+
+
+class TestScalar:
+    def test_mov_add_sub(self):
+        m = run_asm("mov r0, 10\nadd r0, 5\nsub r0, 3")
+        assert m.state.scalar[0] == 12
+
+    def test_wraparound(self):
+        m = run_asm("mov r0, 0xFFFFFFFF\nadd r0, 2")
+        assert m.state.scalar[0] == 1
+
+    def test_flags_zero_sign(self):
+        m = run_asm("mov r0, 1\nsub r0, 1")
+        assert m.state.flags.zero and not m.state.flags.sign
+        m = run_asm("mov r0, 0\nsub r0, 1")
+        assert not m.state.flags.zero and m.state.flags.sign
+
+    def test_shifts(self):
+        m = run_asm("mov r0, 0x80000000\nsar r0, 4\nmov r1, 0x80000000\nshr r1, 4\nmov r2, 3\nshl r2, 2")
+        assert m.state.scalar[0] == 0xF8000000
+        assert m.state.scalar[1] == 0x08000000
+        assert m.state.scalar[2] == 12
+
+    def test_cmp_does_not_write(self):
+        m = run_asm("mov r0, 5\ncmp r0, 9")
+        assert m.state.scalar[0] == 5 and m.state.flags.sign
+
+    def test_inc_dec_neg(self):
+        m = run_asm("mov r0, 5\ndec r0\ninc r0\nneg r0")
+        assert m.state.scalar[0] == (-5) & 0xFFFFFFFF
+
+    def test_lea(self):
+        m = run_asm("mov r1, 100\nmov r2, 3\nlea r0, [r1+r2*4+2]")
+        assert m.state.scalar[0] == 114
+
+
+class TestLoadsStores:
+    def test_ldh_zero_vs_sign(self):
+        mem = Memory(64)
+        mem.store(0, 2, 0xFFFF)
+        m = run_asm("mov r1, 0\nldh r2, [r1]\nldhs r3, [r1]", memory=mem)
+        assert m.state.scalar[2] == 0xFFFF
+        assert m.state.scalar[3] == 0xFFFFFFFF
+
+    def test_stb_sth_stw(self):
+        mem = Memory(64)
+        m = run_asm(
+            "mov r0, 0x11223344\nmov r1, 0\nstb [r1], r0\nsth [r1+8], r0\nstw [r1+16], r0",
+            memory=mem,
+        )
+        assert m.memory.load(0, 1) == 0x44
+        assert m.memory.load(8, 2) == 0x3344
+        assert m.memory.load(16, 4) == 0x11223344
+
+
+class TestControlFlow:
+    def test_jmp_and_conditions(self):
+        m = run_asm("""
+            mov r0, 0
+            cmp r0, 0
+            jz is_zero
+            mov r1, 111
+            jmp done
+        is_zero:
+            mov r1, 222
+        done:
+            nop
+        """)
+        assert m.state.scalar[1] == 222
+
+    def test_signed_conditions(self):
+        m = run_asm("""
+            mov r0, 3
+            cmp r0, 5
+            jl less
+            mov r1, 1
+            jmp done
+        less:
+            mov r1, 2
+        done:
+            nop
+        """)
+        assert m.state.scalar[1] == 2
+
+    def test_loop_executes_n_times(self):
+        m = run_asm("""
+            mov r0, 5
+            mov r1, 0
+        top:
+            add r1, 2
+            loop r0, top
+        """)
+        assert m.state.scalar[1] == 10
+        assert m.state.scalar[0] == 0
+
+    def test_fall_off_end_raises(self):
+        machine = Machine(assemble("nop"))
+        with pytest.raises(SimulationError):
+            machine.run_functional()
+
+    def test_instruction_budget(self):
+        machine = Machine(assemble("top: jmp top\nhalt"))
+        with pytest.raises(SimulationError):
+            machine.run_functional(max_instructions=100)

@@ -1,0 +1,99 @@
+"""Tests for the published U/V pairing rules (§2)."""
+
+import pytest
+
+from repro.cpu import can_pair
+from repro.isa import assemble
+
+
+def pair(text_u, text_v):
+    program = assemble(f"{text_u}\n{text_v}\nx: halt\n")
+    return can_pair(program[0], program[1])
+
+
+class TestResourceRules:
+    def test_two_alu_pair(self):
+        ok, _ = pair("paddw mm0, mm1", "psubw mm2, mm3")
+        assert ok
+
+    def test_two_multiplies_conflict(self):
+        ok, reason = pair("pmullw mm0, mm1", "pmaddwd mm2, mm3")
+        assert not ok and "multiply" in reason
+
+    def test_multiply_plus_alu_pair(self):
+        ok, _ = pair("pmullw mm0, mm1", "paddw mm2, mm3")
+        assert ok
+
+    def test_two_shift_pack_conflict(self):
+        ok, reason = pair("punpcklwd mm0, mm1", "psllw mm2, 2")
+        assert not ok and "shift/pack" in reason
+
+    def test_shift_plus_mul_pair(self):
+        ok, _ = pair("punpcklwd mm0, mm1", "pmullw mm2, mm3")
+        assert ok
+
+    def test_memory_in_v_slot_rejected(self):
+        ok, reason = pair("paddw mm0, mm1", "movq mm2, [r1]")
+        assert not ok and "U pipe" in reason
+
+    def test_memory_in_u_slot_fine(self):
+        ok, _ = pair("movq mm2, [r1]", "paddw mm0, mm1")
+        assert ok
+
+    def test_scalar_load_v_rejected(self):
+        ok, _ = pair("add r0, 1", "ldw r2, [r3]")
+        assert not ok
+
+
+class TestDependenceRules:
+    def test_same_destination_rejected(self):
+        ok, reason = pair("paddw mm0, mm1", "psubw mm0, mm2")
+        assert not ok and "destination" in reason
+
+    def test_raw_rejected(self):
+        ok, reason = pair("paddw mm0, mm1", "psubw mm2, mm0")
+        assert not ok and "read-after-write" in reason
+
+    def test_war_rejected(self):
+        ok, reason = pair("paddw mm0, mm1", "movq mm1, mm2")
+        assert not ok and "write-after-read" in reason
+
+    def test_independent_scalar_mmx_pair(self):
+        ok, _ = pair("paddw mm0, mm1", "add r0, 8")
+        assert ok
+
+    def test_flags_exempt_cmp_branch(self):
+        """cmp+jcc pairs on the real Pentium; flags are hazard-exempt."""
+        ok, _ = pair("cmp r0, 5", "jnz x")
+        assert ok
+
+    def test_flags_exempt_two_writers(self):
+        ok, _ = pair("add r0, 1", "sub r1, 2")
+        assert ok
+
+    def test_address_war(self):
+        # V writes r1 which U's address uses
+        ok, reason = pair("movq mm0, [r1]", "add r1, 8")
+        assert not ok and "write-after-read" in reason
+
+
+class TestControlRules:
+    def test_branch_ends_group(self):
+        ok, reason = pair("jmp x", "paddw mm0, mm1")
+        assert not ok and "branch" in reason
+
+    def test_branch_pairs_second(self):
+        ok, _ = pair("paddw mm0, mm1", "jnz x")
+        assert ok
+
+    def test_loop_pairs_second_when_independent(self):
+        ok, _ = pair("paddw mm0, mm1", "loop r0, x")
+        assert ok
+
+    def test_loop_raw_on_counter(self):
+        ok, _ = pair("add r0, 1", "loop r0, x")
+        assert not ok
+
+    def test_halt_solo(self):
+        ok, _ = pair("nop", "halt")
+        assert not ok

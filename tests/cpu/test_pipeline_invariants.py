@@ -1,0 +1,137 @@
+"""Property tests: pipeline accounting invariants on random programs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Machine, PipelineConfig
+from repro.isa import ProgramBuilder, assemble
+
+MMX_REGS = st.sampled_from([f"mm{i}" for i in range(8)])
+# r1 is the memory base pointer — keep random scalar ops off it.
+SCALAR_REGS = st.sampled_from([f"r{i}" for i in range(2, 12)])
+
+
+@st.composite
+def linear_programs(draw):
+    """Random straight-line programs ending in halt (branch-free)."""
+    b = ProgramBuilder("fuzz")
+    b.mov("r1", 0x1000)
+    for _ in range(draw(st.integers(1, 30))):
+        choice = draw(st.integers(0, 5))
+        if choice == 0:
+            b.emit(draw(st.sampled_from(["paddw", "psubb", "pxor", "pand"])),
+                   draw(MMX_REGS), draw(MMX_REGS))
+        elif choice == 1:
+            b.emit(draw(st.sampled_from(["pmullw", "pmaddwd"])),
+                   draw(MMX_REGS), draw(MMX_REGS))
+        elif choice == 2:
+            if draw(st.booleans()):
+                b.emit(draw(st.sampled_from(["punpcklwd", "packsswb"])),
+                       draw(MMX_REGS), draw(MMX_REGS))
+            else:
+                b.emit("psllw", draw(MMX_REGS), draw(st.integers(0, 15)))
+        elif choice == 3:
+            b.emit(draw(st.sampled_from(["add", "sub", "xor"])),
+                   draw(SCALAR_REGS), draw(st.integers(-100, 100)))
+        elif choice == 4:
+            b.movq(draw(MMX_REGS), f"[r1+{draw(st.integers(0, 30)) * 8}]")
+        else:
+            b.movq(f"[r1+{draw(st.integers(0, 30)) * 8}]", draw(MMX_REGS))
+    b.halt()
+    return b.build()
+
+
+class TestAccountingInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(linear_programs())
+    def test_cycle_decomposition_exact(self, program):
+        """cycles = issue groups + stalls + mispredict penalties (+ fill)."""
+        stats = Machine(program).run()
+        assert stats.cycles == (
+            stats.pair_cycles + stats.solo_cycles + stats.stall_cycles
+            + stats.mispredict_cycles
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(linear_programs())
+    def test_instruction_conservation(self, program):
+        stats = Machine(program).run()
+        assert stats.instructions == 2 * stats.pair_cycles + stats.solo_cycles
+        assert stats.instructions == len(program)  # straight line, no branches
+
+    @settings(max_examples=50, deadline=None)
+    @given(linear_programs())
+    def test_dual_issue_bounds(self, program):
+        stats = Machine(program).run()
+        # At best two per cycle; at worst fully serialized plus stalls.
+        assert stats.cycles >= stats.instructions / 2
+        assert stats.pair_cycles <= stats.instructions // 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(linear_programs())
+    def test_single_issue_never_faster(self, program):
+        wide = Machine(program).run()
+        narrow = Machine(program, config=PipelineConfig(issue_width=1)).run()
+        assert narrow.cycles >= wide.cycles
+        assert narrow.pair_cycles == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(linear_programs())
+    def test_extra_stage_costs_exactly_fill_plus_mispredicts(self, program):
+        base = Machine(program).run()
+        extra = Machine(program, config=PipelineConfig(extra_stage=True)).run()
+        assert extra.cycles == base.cycles + 1 + base.mispredicts
+
+    @settings(max_examples=30, deadline=None)
+    @given(linear_programs())
+    def test_functional_and_timed_agree_on_state(self, program):
+        timed = Machine(program)
+        timed.run()
+        functional = Machine(program)
+        functional.run_functional()
+        assert timed.state.mmx == functional.state.mmx
+        assert timed.state.scalar == functional.state.scalar
+
+    @settings(max_examples=30, deadline=None)
+    @given(linear_programs())
+    def test_memory_latency_monotone(self, program):
+        fast = Machine(program, config=PipelineConfig(memory_latency=1)).run()
+        slow = Machine(program, config=PipelineConfig(memory_latency=6)).run()
+        assert slow.cycles >= fast.cycles
+
+
+class TestStepFunctional:
+    def test_steps_match_run(self):
+        source = "mov r0, 3\ntop: paddw mm0, mm1\nloop r0, top\nhalt"
+        stepper = Machine(assemble(source))
+        names = []
+        while (instr := stepper.step_functional()) is not None:
+            names.append(instr.name)
+        assert names.count("paddw") == 3
+        assert names[-1] == "halt"
+        runner = Machine(assemble(source))
+        runner.run_functional()
+        assert stepper.state.mmx == runner.state.mmx
+
+    def test_step_after_halt_returns_none(self):
+        machine = Machine(assemble("halt"))
+        assert machine.step_functional().name == "halt"
+        assert machine.step_functional() is None
+
+    def test_step_routes_through_spu(self):
+        from repro import simd
+        from repro.core import (
+            CONFIG_D, SPUController, SPUProgramBuilder, attach_spu, halfword_route,
+        )
+        machine = Machine(assemble("paddw mm0, mm1\nhalt"))
+        machine.state.write(__import__("repro.isa", fromlist=["MM"]).MM[2],
+                            simd.join([7, 7, 7, 7], 16))
+        ctl = SPUController(config=CONFIG_D)
+        builder = SPUProgramBuilder(config=CONFIG_D)
+        builder.loop([{1: halfword_route([(2, 0), (2, 1), (2, 2), (2, 3)])}], 1)
+        ctl.load_program(builder.build())
+        attach_spu(machine, ctl)
+        ctl.go()
+        machine.step_functional()
+        assert simd.split(machine.state.mmx[0], 16).tolist() == [7, 7, 7, 7]

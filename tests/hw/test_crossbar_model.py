@@ -1,0 +1,118 @@
+"""Tests for the Table 1 area/delay/control-memory models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import CONFIG_A, CONFIG_B, CONFIG_C, CONFIG_D, CrossbarConfig
+from repro.hw import (
+    bit_crosspoints,
+    control_memory_area_mm2,
+    control_memory_bits,
+    interconnect_area_mm2,
+    interconnect_delay_ns,
+    pipeline_stages,
+    state_bits,
+)
+
+PUBLISHED = {
+    # config: (area mm², delay ns, control memory mm²) — paper Table 1
+    CONFIG_A: (8.14, 3.14, 1.35),
+    CONFIG_B: (4.07, 2.29, 1.1),
+    CONFIG_C: (4.72, 1.95, 0.6),
+    CONFIG_D: (2.36, 0.95, 0.5),
+}
+
+
+class TestCalibratedTable1:
+    @pytest.mark.parametrize("config", PUBLISHED)
+    def test_area_exact(self, config):
+        assert interconnect_area_mm2(config) == pytest.approx(PUBLISHED[config][0])
+
+    @pytest.mark.parametrize("config", PUBLISHED)
+    def test_delay_exact(self, config):
+        assert interconnect_delay_ns(config) == pytest.approx(PUBLISHED[config][1])
+
+    @pytest.mark.parametrize("config", PUBLISHED)
+    def test_control_memory_exact(self, config):
+        assert control_memory_area_mm2(config) == pytest.approx(PUBLISHED[config][2])
+
+
+class TestAnalyticModels:
+    @pytest.mark.parametrize("config", PUBLISHED)
+    def test_analytic_area_matches_published(self, config):
+        """Bit-crosspoint proportionality is exact on the published data."""
+        model = interconnect_area_mm2(config, calibrated=False)
+        assert model == pytest.approx(PUBLISHED[config][0], rel=1e-3)
+
+    @pytest.mark.parametrize("config", PUBLISHED)
+    def test_analytic_delay_within_tolerance(self, config):
+        model = interconnect_delay_ns(config, calibrated=False)
+        assert model == pytest.approx(PUBLISHED[config][1], rel=0.25)
+
+    @pytest.mark.parametrize("config", PUBLISHED)
+    def test_analytic_control_memory_close(self, config):
+        model = control_memory_area_mm2(config, calibrated=False)
+        assert model == pytest.approx(PUBLISHED[config][2], rel=0.05)
+
+    def test_area_monotone_in_ports(self):
+        small = CrossbarConfig("s", in_ports=16, out_ports=16, port_bits=16)
+        big = CrossbarConfig("b", in_ports=32, out_ports=16, port_bits=16)
+        assert interconnect_area_mm2(big, calibrated=False) > interconnect_area_mm2(
+            small, calibrated=False
+        )
+
+    def test_delay_monotone_in_ports(self):
+        small = CrossbarConfig("s", in_ports=16, out_ports=16, port_bits=16)
+        big = CrossbarConfig("b", in_ports=32, out_ports=16, port_bits=16)
+        assert interconnect_delay_ns(big, calibrated=False) > interconnect_delay_ns(
+            small, calibrated=False
+        )
+
+
+class TestControlMemoryFormula:
+    def test_state_bits_figure6(self):
+        """Figure 6: config A state word = 1 + 192 + 7 + 7 = 207 bits."""
+        assert state_bits(CONFIG_A) == 207
+        assert state_bits(CONFIG_B) == 175
+        assert state_bits(CONFIG_C) == 95
+        assert state_bits(CONFIG_D) == 79
+
+    def test_total_bits_formula(self):
+        """The paper's 128*(15+K) with K the interconnect field width."""
+        assert control_memory_bits(CONFIG_A) == 128 * (15 + 192)
+        assert control_memory_bits(CONFIG_D) == 128 * (15 + 64)
+
+    def test_contexts_scale_area(self):
+        one = control_memory_area_mm2(CONFIG_D, contexts=1, calibrated=False)
+        two = control_memory_area_mm2(CONFIG_D, contexts=2, calibrated=False)
+        assert two == pytest.approx(2 * one)
+
+    def test_calibration_only_for_baseline_shape(self):
+        # Extra contexts/states must not return the published value.
+        assert control_memory_area_mm2(CONFIG_D, contexts=2) != pytest.approx(0.5)
+        assert control_memory_area_mm2(CONFIG_D, num_states=64) != pytest.approx(0.5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            control_memory_bits(CONFIG_D, num_states=1)
+        with pytest.raises(ConfigurationError):
+            control_memory_bits(CONFIG_D, contexts=0)
+
+
+class TestPipelineStages:
+    def test_config_d_fits_one_fast_stage(self):
+        # 0.95ns fits within a 1ns (1 GHz) cycle in one stage.
+        assert pipeline_stages(CONFIG_D, cycle_time_ns=1.0) == 1
+
+    def test_config_a_needs_more_stages_at_high_clock(self):
+        assert pipeline_stages(CONFIG_A, cycle_time_ns=1.0) >= 3
+
+    def test_bad_cycle_time(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_stages(CONFIG_D, cycle_time_ns=0)
+
+
+class TestBitCrosspoints:
+    def test_values(self):
+        assert bit_crosspoints(CONFIG_A) == 64 * 32 * 8
+        assert bit_crosspoints(CONFIG_D) == 16 * 16 * 16

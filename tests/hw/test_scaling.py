@@ -1,0 +1,97 @@
+"""Tests for the §6 large-register-file scaling models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import (
+    PENTIUM3_DIE_MM2,
+    benes_network,
+    design_options,
+    full_crossbar,
+    windowed_crossbar,
+)
+
+
+class TestFullCrossbar:
+    def test_mmx_class_matches_config_a(self):
+        """8×64-bit registers at byte granularity = configuration A."""
+        design = full_crossbar(8, 64)
+        assert design.area_mm2 == pytest.approx(8.14, rel=1e-3)
+        assert design.select_bits == 6
+        assert design.control_bits_per_state() == 192  # Figure 6's field
+
+    def test_area_scales_with_crosspoints(self):
+        small = full_crossbar(8, 64)
+        big = full_crossbar(16, 64)
+        assert big.area_mm2 == pytest.approx(2 * small.area_mm2, rel=1e-6)
+
+    def test_altivec_full_crossbar_impractical(self):
+        """§6: general inter-word permutation over 32×128 bits is huge."""
+        design = full_crossbar(32, 128)
+        assert design.area_mm2 > PENTIUM3_DIE_MM2  # bigger than the whole die
+
+    def test_guards(self):
+        with pytest.raises(ConfigurationError):
+            full_crossbar(6, 64)  # not a power of two
+        with pytest.raises(ConfigurationError):
+            full_crossbar(8, 64, granule_bits=12)
+        with pytest.raises(ConfigurationError):
+            full_crossbar(8, 60, granule_bits=8)
+
+
+class TestWindowedCrossbar:
+    def test_window_shrinks_area(self):
+        full = full_crossbar(32, 128)
+        windowed = windowed_crossbar(32, 128, window_regs=4)
+        assert windowed.area_mm2 < full.area_mm2 / 4
+        assert not windowed.full_reach
+
+    def test_window_equals_small_file(self):
+        windowed = windowed_crossbar(32, 64, window_regs=8)
+        full = full_crossbar(8, 64)
+        assert windowed.area_mm2 == pytest.approx(full.area_mm2)
+
+    def test_window_bounds(self):
+        with pytest.raises(ConfigurationError):
+            windowed_crossbar(8, 64, window_regs=16)
+        with pytest.raises(ConfigurationError):
+            windowed_crossbar(8, 64, window_regs=0)
+
+
+class TestBenes:
+    def test_benes_beats_crossbar_at_scale(self):
+        """Multi-stage networks win asymptotically (N log N vs N·M)."""
+        crossbar = full_crossbar(32, 128)
+        benes = benes_network(32, 128)
+        assert benes.area_mm2 < crossbar.area_mm2
+        assert benes.full_reach
+
+    def test_benes_delay_is_level_count(self):
+        design = benes_network(8, 64)  # 64 ports -> 11 levels
+        assert design.delay_ns == pytest.approx(11 * 0.14)
+
+    def test_pipeline_stages(self):
+        design = benes_network(32, 128)
+        assert design.pipeline_stages(2.0) >= 1
+        assert design.pipeline_stages(0.5) > design.pipeline_stages(2.0)
+        with pytest.raises(ConfigurationError):
+            design.pipeline_stages(0)
+
+
+class TestDesignOptions:
+    def test_option_set(self):
+        options = design_options(32, 128)
+        names = [d.name for d in options]
+        assert names[0].startswith("crossbar")
+        assert any(n.startswith("window") for n in names)
+        assert names[-1].startswith("benes")
+
+    def test_windows_clipped_to_file(self):
+        options = design_options(4, 64, windows=(4, 8))
+        assert all(d.window_regs <= 4 for d in options)
+
+    def test_every_option_cheaper_than_full_at_scale(self):
+        options = design_options(32, 128)
+        full = options[0]
+        for design in options[1:]:
+            assert design.area_mm2 < full.area_mm2, design.name

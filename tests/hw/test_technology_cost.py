@@ -1,0 +1,75 @@
+"""Tests for technology scaling and the aggregate cost summary."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core import CONFIG_A, CONFIG_D, CONFIGS
+from repro.hw import (
+    PENTIUM3_DIE_MM2,
+    TECH_018,
+    TECH_025,
+    SPUCost,
+    Technology,
+    die_fraction,
+    scale_area_mm2,
+    spu_cost,
+    table1_rows,
+)
+
+
+class TestScaling:
+    def test_feature_scaling_quadratic(self):
+        area = scale_area_mm2(1.0, TECH_025, TECH_025)
+        assert area == pytest.approx(1.0)
+        half = Technology(0.125, 2)
+        assert scale_area_mm2(1.0, TECH_025, half, wiring_dominated=False) == pytest.approx(0.25)
+
+    def test_metal_layers_help_wiring(self):
+        with_wiring = scale_area_mm2(1.0, TECH_025, TECH_018, wiring_dominated=True)
+        without = scale_area_mm2(1.0, TECH_025, TECH_018, wiring_dominated=False)
+        assert with_wiring < without
+
+    def test_die_fraction(self):
+        assert die_fraction(1.06, 106.0) == pytest.approx(0.01)
+
+    def test_guards(self):
+        with pytest.raises(ConfigurationError):
+            scale_area_mm2(-1.0)
+        with pytest.raises(ConfigurationError):
+            die_fraction(1.0, 0)
+        with pytest.raises(ConfigurationError):
+            Technology(0)
+        with pytest.raises(ConfigurationError):
+            Technology(0.18, 0)
+
+
+class TestSPUCost:
+    def test_paper_area_claim_config_d(self):
+        """§5.1.1: the SPU fits in <1% of the 106mm² 0.18µm P-III die."""
+        cost = spu_cost(CONFIG_D)
+        assert cost.total_area_mm2 == pytest.approx(2.86)
+        assert cost.die_fraction < 0.01
+
+    def test_all_configs_under_ten_percent(self):
+        for config in CONFIGS.values():
+            assert spu_cost(config).die_fraction < 0.05
+
+    def test_table1_rows_order_and_fields(self):
+        rows = table1_rows()
+        assert [r.config_name for r in rows] == ["A", "B", "C", "D"]
+        for row in rows:
+            assert row.total_area_mm2 > 0
+            assert row.interconnect_delay_ns > 0
+            assert row.state_bits > 15
+
+    def test_cost_total_is_sum(self):
+        cost = spu_cost(CONFIG_A)
+        assert cost.total_area_mm2 == pytest.approx(
+            cost.interconnect_area_mm2 + cost.control_memory_mm2
+        )
+
+    def test_extra_contexts_cost_area(self):
+        base = spu_cost(CONFIG_D, contexts=1)
+        multi = spu_cost(CONFIG_D, contexts=4)
+        assert multi.control_memory_mm2 > base.control_memory_mm2
+        assert multi.control_memory_bits == 4 * base.control_memory_bits

@@ -1,0 +1,201 @@
+"""Tests for the text assembler, builder API and size encoder."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import (
+    MM,
+    R,
+    Imm,
+    Label,
+    Mem,
+    ProgramBuilder,
+    assemble,
+    disassemble,
+    encode_subword_addressing,
+    instruction_size,
+    program_size,
+)
+
+DOT_PRODUCT = """
+; paper §4 running example, MMX-only version
+loop:
+    punpckhwd mm0, mm1
+    punpcklwd mm2, mm3
+    pmulhw    mm0, mm2
+    pmullw    mm0, mm2
+    loop      r0, loop
+    halt
+"""
+
+
+class TestAssemble:
+    def test_basic_program(self):
+        program = assemble(DOT_PRODUCT, name="dot")
+        assert len(program) == 6
+        assert program.labels == {"loop": 0}
+        assert program.name == "dot"
+        assert program[0].name == "punpckhwd"
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        # hash comment
+        nop ; trailing
+        ; full line
+        halt
+        """)
+        assert [i.name for i in program] == ["nop", "halt"]
+
+    def test_label_on_own_line(self):
+        program = assemble("""
+        top:
+            nop
+            jmp top
+        """)
+        assert program.target("top") == 0
+
+    def test_multiple_labels_same_target(self):
+        program = assemble("""
+        a:
+        b:  nop
+            halt
+        """)
+        assert program.target("a") == program.target("b") == 0
+
+    def test_hex_immediates(self):
+        program = assemble("mov r0, 0xFF")
+        assert program[0].operands[1] == Imm(255)
+
+    def test_negative_immediates(self):
+        program = assemble("add r0, -8")
+        assert program[0].operands[1] == Imm(-8)
+
+    def test_memory_operands(self):
+        program = assemble("movq mm0, [r1+r2*2-6]")
+        mem = program[0].operands[1]
+        assert isinstance(mem, Mem)
+        assert (mem.base, mem.index, mem.scale, mem.disp) == (R[1], R[2], 2, -6)
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: nop")
+
+    def test_trailing_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("nop\nend:")
+
+    def test_label_shadowing_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("mm0: nop")
+
+    def test_bad_operand_count(self):
+        with pytest.raises(AssemblerError) as err:
+            assemble("nop\npaddw mm0")
+        assert "line 2" in str(err.value)
+
+    def test_unbalanced_brackets(self):
+        with pytest.raises(AssemblerError):
+            assemble("movq mm0, [r1")
+
+    def test_roundtrip_through_disassembler(self):
+        program = assemble(DOT_PRODUCT)
+        again = assemble(disassemble(program))
+        assert [i.name for i in again] == [i.name for i in program]
+        assert again.labels == program.labels
+
+
+class TestBuilder:
+    def test_builder_matches_text(self):
+        b = ProgramBuilder("dot")
+        b.label("loop")
+        b.punpckhwd("mm0", "mm1")
+        b.punpcklwd("mm2", "mm3")
+        b.pmulhw("mm0", "mm2")
+        b.pmullw("mm0", "mm2")
+        b.loop("r0", "loop")
+        b.halt()
+        built = b.build()
+        text = assemble(DOT_PRODUCT)
+        assert [str(i) for i in built] == [str(i) for i in text]
+
+    def test_builder_accepts_objects(self):
+        b = ProgramBuilder()
+        b.movq(MM[0], Mem(base=R[1], disp=8))
+        b.add(R[1], 8)
+        program = b.build()
+        assert str(program[0]) == "movq mm0, [r1+8]"
+        assert program[1].operands[1] == Imm(8)
+
+    def test_builder_keyword_escapes(self):
+        b = ProgramBuilder()
+        b.and_("r0", "r1")
+        b.or_("r0", 1)
+        program = b.build()
+        assert [i.name for i in program] == ["and", "or"]
+
+    def test_builder_tagging(self):
+        b = ProgramBuilder()
+        b.psrlq("mm0", 16).tag("align")
+        assert b.build()[0].tag == "align"
+
+    def test_builder_emit_tag_kwarg(self):
+        b = ProgramBuilder()
+        b.emit("psrlq", "mm0", 16, tag="align")
+        assert b.build()[0].tag == "align"
+
+    def test_builder_unknown_opcode(self):
+        with pytest.raises(AttributeError):
+            ProgramBuilder().frobnicate("mm0")
+
+    def test_builder_trailing_label(self):
+        b = ProgramBuilder()
+        b.nop()
+        b.label("end")
+        with pytest.raises(AssemblerError):
+            b.build()
+
+    def test_builder_duplicate_label(self):
+        b = ProgramBuilder()
+        b.label("x")
+        b.nop()
+        with pytest.raises(AssemblerError):
+            b.label("x")
+
+
+class TestEncoding:
+    def test_sizes_monotone_with_operand_complexity(self):
+        plain = assemble("paddw mm0, mm1")[0]
+        mem = assemble("paddw mm0, [r1+256]")[0]
+        assert instruction_size(plain) < instruction_size(mem)
+
+    def test_mmx_escape_byte(self):
+        scalar = assemble("add r0, r1")[0]
+        packed = assemble("paddw mm0, mm1")[0]
+        assert instruction_size(packed) == instruction_size(scalar) + 1
+
+    def test_program_size_sums(self):
+        program = assemble(DOT_PRODUCT)
+        assert program_size(program) == sum(instruction_size(i) for i in program)
+
+    def test_subword_addressing_costs_more(self):
+        """§3: sub-word operand fields inflate code size; SPU avoids that."""
+        program = assemble(DOT_PRODUCT)
+        assert encode_subword_addressing(program) > program_size(program)
+
+    def test_subword_addressing_scalar_unchanged(self):
+        program = assemble("add r0, r1\nhalt")
+        assert encode_subword_addressing(program) == program_size(program)
+
+
+class TestProgramHelpers:
+    def test_permute_indices(self):
+        program = assemble(DOT_PRODUCT)
+        assert program.permute_indices() == [0, 1]
+
+    def test_mmx_count(self):
+        program = assemble(DOT_PRODUCT)
+        assert program.mmx_count() == 4

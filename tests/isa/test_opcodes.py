@@ -1,0 +1,89 @@
+"""Tests for the opcode table's structural metadata."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import InstrClass, all_opcodes, lookup
+
+
+class TestTable:
+    def test_lookup_case_insensitive(self):
+        assert lookup("PADDW") is lookup("paddw")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError):
+            lookup("frobnicate")
+
+    def test_pairing_classes(self):
+        assert lookup("paddw").iclass is InstrClass.MMX_ALU
+        assert lookup("pmullw").iclass is InstrClass.MMX_MUL
+        assert lookup("punpcklwd").iclass is InstrClass.MMX_SHIFT
+        assert lookup("movq").iclass is InstrClass.MMX_MOV
+        assert lookup("add").iclass is InstrClass.SCALAR
+        assert lookup("ldw").iclass is InstrClass.LOAD
+        assert lookup("stw").iclass is InstrClass.STORE
+        assert lookup("jnz").iclass is InstrClass.BRANCH
+
+    def test_multiply_latency_is_three(self):
+        """All MMX instructions are single cycle except multiplies (§2)."""
+        for opcode in all_opcodes():
+            if opcode.iclass is InstrClass.MMX_MUL:
+                assert opcode.latency == 3, opcode.name
+            elif opcode.name == "imul":
+                assert opcode.latency == 4
+            else:
+                assert opcode.latency == 1, opcode.name
+
+    def test_permute_flags(self):
+        for name in ("punpcklbw", "punpckhwd", "punpckldq", "packsswb", "packssdw",
+                     "packuswb", "pshufw"):
+            assert lookup(name).is_permute, name
+        for name in ("paddw", "pmaddwd", "psllw", "movd"):
+            assert not lookup(name).is_permute, name
+
+    def test_maybe_permute_flags(self):
+        assert lookup("movq").maybe_permute
+        assert lookup("psllq").maybe_permute
+        assert lookup("psrlq").maybe_permute
+        assert not lookup("psllw").maybe_permute
+
+    def test_memory_ops_u_pipe_only(self):
+        assert lookup("ldw").pipes == frozenset({"U"})
+        assert lookup("stw").pipes == frozenset({"U"})
+
+    def test_widths(self):
+        assert lookup("paddb").width == 8
+        assert lookup("paddw").width == 16
+        assert lookup("paddd").width == 32
+        assert lookup("paddq").width == 64
+        assert lookup("punpckhdq").width == 32
+        assert lookup("pand").width is None
+
+    def test_sem_shared_across_widths(self):
+        assert lookup("paddb").sem == lookup("paddd").sem == "padd"
+
+    def test_mmx_classification(self):
+        assert lookup("pxor").is_mmx
+        assert not lookup("add").is_mmx
+        assert not lookup("jmp").is_mmx
+
+    def test_extension_flags(self):
+        assert lookup("pshufw").extension
+        assert lookup("pavgb").extension
+        assert not lookup("paddw").extension
+
+    def test_table_covers_core_mmx(self):
+        names = {op.name for op in all_opcodes()}
+        core = {
+            "paddb", "paddw", "paddd", "paddsb", "paddsw", "paddusb", "paddusw",
+            "psubb", "psubw", "psubd", "psubsb", "psubsw", "psubusb", "psubusw",
+            "pmullw", "pmulhw", "pmaddwd",
+            "pand", "pandn", "por", "pxor",
+            "pcmpeqb", "pcmpeqw", "pcmpeqd", "pcmpgtb", "pcmpgtw", "pcmpgtd",
+            "psllw", "pslld", "psllq", "psrlw", "psrld", "psrlq", "psraw", "psrad",
+            "packsswb", "packssdw", "packuswb",
+            "punpcklbw", "punpcklwd", "punpckldq",
+            "punpckhbw", "punpckhwd", "punpckhdq",
+            "movq", "movd", "emms",
+        }
+        assert core <= names

@@ -1,0 +1,77 @@
+"""Tests for register parsing and operand construction."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import MM, R, Imm, Mem, RegClass, is_register_name, parse_memory, parse_register
+
+
+class TestRegisters:
+    def test_mmx_register_names(self):
+        assert [r.name for r in MM] == [f"mm{i}" for i in range(8)]
+
+    def test_scalar_register_names(self):
+        assert [r.name for r in R] == [f"r{i}" for i in range(16)]
+
+    def test_parse_register(self):
+        assert parse_register("MM3") is MM[3]
+        assert parse_register(" r11 ") is R[11]
+
+    def test_parse_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            parse_register("xmm0")
+
+    def test_is_register_name(self):
+        assert is_register_name("mm0")
+        assert is_register_name("r15")
+        assert not is_register_name("r16")
+        assert not is_register_name("mm8")
+        assert not is_register_name("loop")
+
+    def test_register_classes(self):
+        assert MM[0].cls is RegClass.MMX and MM[0].is_mmx
+        assert R[0].cls is RegClass.SCALAR and not R[0].is_mmx
+
+    def test_registers_hashable_and_interned(self):
+        assert parse_register("mm5") is MM[5]
+        assert len({MM[0], MM[0], R[0]}) == 2
+
+
+class TestMemoryOperands:
+    def test_base_only(self):
+        mem = parse_memory("[r1]")
+        assert mem.base is R[1] and mem.disp == 0 and mem.index is None
+
+    def test_base_disp(self):
+        assert parse_memory("[r1+8]").disp == 8
+        assert parse_memory("[r1-4]").disp == -4
+        assert parse_memory("[r2 + 0x10]").disp == 16
+
+    def test_base_index_scale_disp(self):
+        mem = parse_memory("[r1+r2*4+6]")
+        assert (mem.base, mem.index, mem.scale, mem.disp) == (R[1], R[2], 4, 6)
+
+    def test_base_index_no_scale(self):
+        mem = parse_memory("[r1+r2]")
+        assert mem.index is R[2] and mem.scale == 1
+
+    def test_multiple_displacements_sum(self):
+        assert parse_memory("[r1+8-2]").disp == 6
+
+    def test_str_roundtrip(self):
+        for text in ("[r1]", "[r1+8]", "[r1-4]", "[r1+r2*4+6]"):
+            assert str(parse_memory(text)) == text
+
+    @pytest.mark.parametrize(
+        "bad", ["r1", "[mm0]", "[r1*3]", "[]", "[r1+r2+r3]", "[r1+xyz]", "[-r1]", "[r1+r2*5]"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AssemblerError):
+            parse_memory(bad)
+
+    def test_mmx_base_rejected_in_constructor(self):
+        with pytest.raises(AssemblerError):
+            Mem(base=MM[0])
+
+    def test_imm_str(self):
+        assert str(Imm(-7)) == "-7"

@@ -1,0 +1,101 @@
+"""Tests for the extension kernels (SAD, color-space conversion).
+
+These byte-granularity workloads demonstrate the interconnect-granularity
+trade-off of Table 1: configuration D (16-bit ports) cannot route their
+widening unpacks; configurations A/B (8-bit ports) can.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.core import CONFIG_A, CONFIG_B, CONFIG_D
+from repro.kernels import (
+    ALL_KERNELS,
+    EXTENSION_KERNELS,
+    ColorSpaceKernel,
+    SADKernel,
+    make_kernel,
+)
+
+
+class TestSAD:
+    def test_correct_under_all_configs(self):
+        for config in (CONFIG_D, CONFIG_A, CONFIG_B):
+            SADKernel(config=config).verify()
+
+    def test_reference_is_plain_sad(self):
+        kernel = SADKernel(pixels=64, seed=3)
+        expected = np.abs(
+            kernel.block_a.astype(int) - kernel.block_b.astype(int)
+        ).sum()
+        assert kernel.reference()[0] == expected
+
+    def test_identical_blocks_give_zero(self):
+        kernel = SADKernel(pixels=32)
+        kernel.block_b = kernel.block_a.copy()
+        _, out = kernel.run_mmx()
+        assert out[0] == 0
+
+    def test_byte_unpacks_blocked_by_config_d(self):
+        kernel = SADKernel(config=CONFIG_D)
+        assert kernel.removed_permutes == 0
+
+    def test_byte_unpacks_routed_by_config_a(self):
+        kernel = SADKernel(config=CONFIG_A)
+        assert kernel.removed_permutes == 3  # copy + two punpck?bw
+        comparison = kernel.compare()
+        assert comparison.speedup > 1.1
+
+    def test_accumulator_live_out_respected(self):
+        # The epilogue reads mm2: its last loop writer must never be removed.
+        kernel = SADKernel(config=CONFIG_A)
+        program, _ = kernel.spu_programs()
+        names = [i.name for i in program]
+        assert "paddw" in names
+
+    def test_parameter_guards(self):
+        with pytest.raises(KernelError):
+            SADKernel(pixels=12)
+        with pytest.raises(KernelError):
+            SADKernel(pixels=4096)
+
+
+class TestColorSpace:
+    def test_correct_under_all_configs(self):
+        for config in (CONFIG_D, CONFIG_A):
+            ColorSpaceKernel(config=config).verify()
+
+    def test_reference_matches_weights(self):
+        kernel = ColorSpaceKernel(pixels=8, seed=5)
+        rgba = kernel.rgba.astype(int)
+        expected = (66 * rgba[:, 0] + 129 * rgba[:, 1] + 25 * rgba[:, 2]) >> 8
+        assert kernel.reference().tolist() == expected.tolist()
+
+    def test_grey_pixels(self):
+        kernel = ColorSpaceKernel(pixels=4)
+        kernel.rgba = np.full((4, 4), 128, dtype=np.uint8)
+        _, out = kernel.run_mmx()
+        # (66+129+25)*128 >> 8 = 110
+        assert out.tolist() == [110] * 4
+
+    def test_config_a_beats_config_d(self):
+        speed_d = ColorSpaceKernel(config=CONFIG_D).compare().speedup
+        speed_a = ColorSpaceKernel(config=CONFIG_A).compare().speedup
+        assert speed_a > speed_d > 1.0
+
+    def test_parameter_guards(self):
+        with pytest.raises(KernelError):
+            ColorSpaceKernel(pixels=3)
+
+
+class TestRegistry:
+    def test_extension_kernels_registered(self):
+        assert set(EXTENSION_KERNELS) == {
+            "SAD", "ColorSpace", "MatrixVector", "IDCT", "Viterbi",
+        }
+        assert set(EXTENSION_KERNELS) <= set(ALL_KERNELS)
+
+    def test_make_kernel(self):
+        assert isinstance(make_kernel("SAD"), SADKernel)
+        assert isinstance(make_kernel("ColorSpace"), ColorSpaceKernel)

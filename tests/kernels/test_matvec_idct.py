@@ -1,0 +1,82 @@
+"""Tests for the matrix-vector and inverse-DCT extension kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.core import CONFIG_A, CONFIG_D
+from repro.kernels import (
+    ALL_KERNELS,
+    DCTKernel,
+    IDCTKernel,
+    MatVecKernel,
+    make_kernel,
+    roundtrip_error,
+)
+
+
+class TestMatVec:
+    def test_bit_exact_both_variants(self):
+        MatVecKernel().verify()
+
+    def test_reference_is_matvec(self):
+        kernel = MatVecKernel(n=4, seed=3)
+        expected = (kernel.a.astype(np.int64) @ kernel.x.astype(np.int64)) >> 12
+        assert kernel.reference().tolist() == np.clip(
+            expected, -32768, 32767
+        ).astype(np.int16).tolist()
+
+    def test_identity_matrix(self):
+        kernel = MatVecKernel(n=8)
+        kernel.a = (np.eye(8, dtype=np.int16) * (1 << 12)).astype(np.int16)
+        _, out = kernel.run_mmx()
+        assert out.tolist() == kernel.x.tolist()
+
+    def test_spu_gains(self):
+        comparison = MatVecKernel().compare()
+        assert comparison.speedup > 1.0
+        assert comparison.removed_permutes > 0
+
+    def test_sizes(self):
+        for n in (4, 8, 12):
+            MatVecKernel(n=n).verify()
+        with pytest.raises(KernelError):
+            MatVecKernel(n=6)
+
+    def test_registered(self):
+        assert isinstance(make_kernel("MatrixVector"), MatVecKernel)
+
+
+class TestIDCT:
+    def test_bit_exact_both_variants(self):
+        IDCTKernel().verify()
+
+    def test_coefficient_matrix_is_transpose(self):
+        from repro.kernels import dct_matrix_q12
+        assert np.array_equal(IDCTKernel().cos, dct_matrix_q12().T)
+
+    def test_spu_treatment_matches_dct(self):
+        """Same four-phase structure, same SPU benefit as the forward DCT."""
+        forward = DCTKernel().compare()
+        inverse = IDCTKernel().compare()
+        assert inverse.removed_permutes == forward.removed_permutes
+        assert inverse.speedup == pytest.approx(forward.speedup, rel=0.05)
+
+    def test_dct_idct_roundtrip(self):
+        """Decoder recovers the encoder's input within a few LSBs."""
+        assert roundtrip_error(blocks=4) <= 8.0
+
+    def test_roundtrip_on_hardware(self):
+        """Full loop through the *simulated* kernels, not just the mirrors."""
+        forward = DCTKernel(blocks=2, seed=5)
+        _, coefficients = forward.run_spu()
+        inverse = IDCTKernel(blocks=2, seed=5)
+        inverse.block = coefficients
+        _, recovered = inverse.run_spu()
+        error = np.max(np.abs(recovered.astype(np.int64)
+                              - forward.block.astype(np.int64)))
+        assert error <= 8
+
+    def test_registered(self):
+        assert isinstance(make_kernel("IDCT"), IDCTKernel)
+        assert "IDCT" in ALL_KERNELS and "MatrixVector" in ALL_KERNELS

@@ -1,0 +1,69 @@
+"""Tests for hand-tuned SPU variants (§5.2.2's lower-estimate remark)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import DotProductKernel, FIR12Kernel, FIR22Kernel, MatMulKernel
+
+
+class TestTunedFIR:
+    @pytest.mark.parametrize("cls", [FIR12Kernel, FIR22Kernel])
+    def test_bit_exact(self, cls):
+        kernel = cls()
+        _, output = kernel.run_spu_tuned()
+        assert np.array_equal(output, kernel.reference())
+
+    def test_tuned_beats_automatic_offload(self):
+        kernel = FIR12Kernel()
+        comparison = kernel.compare()
+        tuned, _ = kernel.run_spu_tuned()
+        assert tuned.cycles < comparison.spu.cycles < comparison.mmx.cycles
+
+    def test_tuned_reaches_paper_fir_number(self):
+        """The paper measures 'a small eight percent' for FIR (§5.2.2)."""
+        kernel = FIR12Kernel()
+        mmx, _ = kernel.run_mmx()
+        tuned, _ = kernel.run_spu_tuned()
+        assert 1.05 < mmx.cycles / tuned.cycles < 1.12
+
+    def test_tuned_has_fewer_instructions(self):
+        kernel = FIR12Kernel()
+        mmx, _ = kernel.run_mmx()
+        tuned, _ = kernel.run_spu_tuned()
+        # two removed instructions per phase, four phases per block
+        assert mmx.instructions - tuned.instructions == 8 * kernel.blocks
+
+    def test_no_alignment_instructions_in_reductions(self):
+        kernel = FIR12Kernel()
+        tuned, _ = kernel.run_spu_tuned()
+        mmx, _ = kernel.run_mmx()
+        assert tuned.alignment_candidates < mmx.alignment_candidates
+
+
+class TestTunedMatMul:
+    def test_bit_exact(self):
+        kernel = MatMulKernel()
+        _, output = kernel.run_spu_tuned()
+        assert np.array_equal(output, kernel.reference())
+
+    def test_beats_automatic_offload(self):
+        kernel = MatMulKernel()
+        comparison = kernel.compare()
+        tuned, _ = kernel.run_spu_tuned()
+        assert tuned.cycles < comparison.spu.cycles < comparison.mmx.cycles
+
+    def test_lands_in_paper_window(self):
+        kernel = MatMulKernel()
+        mmx, _ = kernel.run_mmx()
+        tuned, _ = kernel.run_spu_tuned()
+        assert 1.04 < mmx.cycles / tuned.cycles < 1.20
+
+
+class TestTunedAPI:
+    def test_kernels_without_tuned_variant_raise(self):
+        with pytest.raises(KernelError):
+            DotProductKernel().run_spu_tuned()
+
+    def test_default_build_spu_tuned_is_none(self):
+        assert DotProductKernel().build_spu_tuned() is None

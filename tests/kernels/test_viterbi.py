@@ -1,0 +1,81 @@
+"""Tests for the Viterbi ACS extension kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.core import CONFIG_D
+from repro.kernels import ViterbiKernel, convolutional_encode, make_kernel
+
+
+def flushed(nbits=64, seed=5, symbol_errors=0):
+    """A kernel whose transmitted path ends in state 0 (two flush zeros)."""
+    kernel = ViterbiKernel(nbits=nbits, seed=seed)
+    kernel.tx_bits[-2:] = 0
+    symbols = convolutional_encode(kernel.tx_bits)
+    rng = np.random.default_rng(seed + 1)
+    noisy = symbols.copy()
+    if symbol_errors:
+        for index in rng.choice(nbits - 4, symbol_errors, replace=False):
+            noisy[index] ^= 1 << int(rng.integers(0, 2))
+    kernel.rx_symbols = noisy
+    return kernel
+
+
+class TestEncoder:
+    def test_known_sequence(self):
+        # G = (7,5): all-ones input from state 0 -> 11, 01, 10, 10 ...
+        symbols = convolutional_encode(np.array([1, 1, 1, 1], dtype=np.uint8))
+        assert symbols[0] == 0b11
+        assert len(symbols) == 4
+
+    def test_zero_input_zero_output(self):
+        assert convolutional_encode(np.zeros(8, dtype=np.uint8)).tolist() == [0] * 8
+
+
+class TestCorrectness:
+    def test_bit_exact_both_variants(self):
+        ViterbiKernel().verify()
+
+    def test_noiseless_decode_recovers_bits(self):
+        kernel = flushed(symbol_errors=0)
+        assert np.array_equal(kernel.decoded_bits(), kernel.tx_bits)
+
+    def test_corrects_channel_errors(self):
+        """Three scattered symbol errors are within the code's reach."""
+        kernel = flushed(symbol_errors=3)
+        assert np.array_equal(kernel.decoded_bits(), kernel.tx_bits)
+
+    def test_hardware_decode_matches_mirror(self):
+        kernel = flushed(symbol_errors=2)
+        _, output = kernel.run_spu()
+        assert np.array_equal(output, kernel.reference())
+
+    def test_workload_guards(self):
+        with pytest.raises(KernelError):
+            ViterbiKernel(nbits=2)
+        with pytest.raises(KernelError):
+            ViterbiKernel(nbits=500)  # metrics would saturate
+
+
+class TestSPUShape:
+    def test_shuffles_offloaded(self):
+        kernel = ViterbiKernel()
+        comparison = kernel.compare()
+        assert comparison.removed_permutes >= 3  # two pshufw + a copy
+        assert comparison.speedup > 1.05
+
+    def test_metrics_register_live_out_kept(self):
+        # mm0 carries metrics across iterations and into the epilogue store:
+        # the final `movq mm0, mm1` restore must never be removed.
+        kernel = ViterbiKernel()
+        program, _ = kernel.spu_programs()
+        acs = [str(i) for i in program]
+        assert any("movq mm0, mm1" in line for line in acs)
+
+    def test_traceback_dilutes_mmx(self):
+        stats, _ = ViterbiKernel().run_mmx()
+        assert stats.mmx_busy_fraction < 0.6  # scalar traceback is real work
+
+    def test_registered(self):
+        assert isinstance(make_kernel("Viterbi"), ViterbiKernel)

@@ -1,0 +1,128 @@
+"""Tests for packed add/sub/min/max/avg against scalar NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simd import arithmetic, lanes
+
+WORDS = st.integers(min_value=0, max_value=lanes.WORD_MASK)
+SUB_WIDTHS = st.sampled_from((8, 16, 32))
+
+
+class TestWrapAround:
+    def test_padd_basic(self):
+        a = lanes.join([1, 2, 3, 4], 16)
+        b = lanes.join([10, 20, 30, 40], 16)
+        assert lanes.split(arithmetic.padd(a, b, 16), 16).tolist() == [11, 22, 33, 44]
+
+    def test_padd_wraps(self):
+        a = lanes.join([0xFF] * 8, 8)
+        b = lanes.join([1] * 8, 8)
+        assert arithmetic.padd(a, b, 8) == 0
+
+    def test_psub_wraps(self):
+        a = lanes.join([0] * 4, 16)
+        b = lanes.join([1] * 4, 16)
+        assert lanes.split(arithmetic.psub(a, b, 16), 16).tolist() == [0xFFFF] * 4
+
+    def test_carry_does_not_cross_lanes(self):
+        # 0x00FF + 0x0001 per byte pair: byte carry must not ripple upward.
+        a = lanes.join([0xFF, 0x00] * 4, 8)
+        b = lanes.join([0x01, 0x00] * 4, 8)
+        assert lanes.split(arithmetic.padd(a, b, 8), 8).tolist() == [0, 0] * 4
+
+    @given(WORDS, WORDS, SUB_WIDTHS)
+    def test_padd_matches_modular_reference(self, a, b, width):
+        got = lanes.split(arithmetic.padd(a, b, width), width)
+        la = lanes.split(a, width).astype(object)
+        lb = lanes.split(b, width).astype(object)
+        expected = [(int(x) + int(y)) % (1 << width) for x, y in zip(la, lb)]
+        assert got.tolist() == expected
+
+    @given(WORDS, WORDS, SUB_WIDTHS)
+    def test_padd_psub_inverse(self, a, b, width):
+        assert arithmetic.psub(arithmetic.padd(a, b, width), b, width) == a
+
+    @given(WORDS, WORDS, SUB_WIDTHS)
+    def test_padd_commutative(self, a, b, width):
+        assert arithmetic.padd(a, b, width) == arithmetic.padd(b, a, width)
+
+    def test_padd_q64(self):
+        assert arithmetic.padd(lanes.WORD_MASK, 1, 64) == 0
+
+
+class TestSaturating:
+    def test_padds_saturates_high(self):
+        a = lanes.join([32767, 100, 0, -1], 16)
+        b = lanes.join([1, 100, 0, -1], 16)
+        assert lanes.split(arithmetic.padds(a, b, 16), 16, signed=True).tolist() == [
+            32767,
+            200,
+            0,
+            -2,
+        ]
+
+    def test_padds_saturates_low(self):
+        a = lanes.join([-32768] * 4, 16)
+        b = lanes.join([-1] * 4, 16)
+        out = lanes.split(arithmetic.padds(a, b, 16), 16, signed=True)
+        assert out.tolist() == [-32768] * 4
+
+    def test_paddus_saturates(self):
+        a = lanes.join([250] * 8, 8)
+        b = lanes.join([10] * 8, 8)
+        assert lanes.split(arithmetic.paddus(a, b, 8), 8).tolist() == [255] * 8
+
+    def test_psubus_floors_at_zero(self):
+        a = lanes.join([5] * 8, 8)
+        b = lanes.join([10] * 8, 8)
+        assert arithmetic.psubus(a, b, 8) == 0
+
+    def test_psubs_saturates(self):
+        a = lanes.join([-32768, 32767, 0, 0], 16)
+        b = lanes.join([1, -1, 0, 0], 16)
+        out = lanes.split(arithmetic.psubs(a, b, 16), 16, signed=True)
+        assert out.tolist() == [-32768, 32767, 0, 0]
+
+    @given(WORDS, WORDS, st.sampled_from((8, 16)))
+    def test_padds_matches_clip_reference(self, a, b, width):
+        la = lanes.split(a, width, signed=True).astype(int)
+        lb = lanes.split(b, width, signed=True).astype(int)
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        expected = [max(lo, min(hi, int(x) + int(y))) for x, y in zip(la, lb)]
+        got = lanes.split(arithmetic.padds(a, b, width), width, signed=True)
+        assert got.tolist() == expected
+
+    @given(WORDS, WORDS, st.sampled_from((8, 16)))
+    def test_saturating_bounded(self, a, b, width):
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        got = lanes.split(arithmetic.padds(a, b, width), width, signed=True)
+        assert all(lo <= int(v) <= hi for v in got)
+
+
+class TestMinMaxAvg:
+    def test_pavg_rounds_up(self):
+        a = lanes.join([1] * 8, 8)
+        b = lanes.join([2] * 8, 8)
+        assert lanes.split(arithmetic.pavg(a, b, 8), 8).tolist() == [2] * 8
+
+    def test_pmin_signed_vs_unsigned(self):
+        a = lanes.join([-1, 0, 0, 0], 16)  # 0xFFFF unsigned
+        b = lanes.join([1, 0, 0, 0], 16)
+        signed = lanes.split(arithmetic.pmin(a, b, 16, signed=True), 16, signed=True)
+        unsigned = lanes.split(arithmetic.pmin(a, b, 16, signed=False), 16)
+        assert signed[0] == -1
+        assert unsigned[0] == 1
+
+    @given(WORDS, WORDS, SUB_WIDTHS, st.booleans())
+    def test_min_max_partition(self, a, b, width, signed):
+        lo = arithmetic.pmin(a, b, width, signed=signed)
+        hi = arithmetic.pmax(a, b, width, signed=signed)
+        sl = lanes.split(lo, width, signed=signed)
+        sh = lanes.split(hi, width, signed=signed)
+        sa = lanes.split(a, width, signed=signed)
+        sb = lanes.split(b, width, signed=signed)
+        for x, y, m, M in zip(sa, sb, sl, sh):
+            assert sorted((int(x), int(y))) == [int(m), int(M)]

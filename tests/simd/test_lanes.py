@@ -1,0 +1,120 @@
+"""Unit and property tests for lane packing/unpacking."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LaneError
+from repro.simd import lanes
+
+WORDS = st.integers(min_value=0, max_value=lanes.WORD_MASK)
+WIDTHS = st.sampled_from(lanes.LANE_WIDTHS)
+
+
+class TestSplitJoin:
+    def test_split_bytes_little_endian(self):
+        value = 0x0807060504030201
+        assert lanes.split(value, 8).tolist() == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_split_words(self):
+        value = 0x0004_0003_0002_0001
+        assert lanes.split(value, 16).tolist() == [1, 2, 3, 4]
+
+    def test_split_dwords(self):
+        value = 0x00000002_00000001
+        assert lanes.split(value, 32).tolist() == [1, 2]
+
+    def test_split_qword(self):
+        assert lanes.split(12345, 64).tolist() == [12345]
+
+    def test_split_signed(self):
+        value = lanes.join([-1, 2, -3, 4], 16)
+        assert lanes.split(value, 16, signed=True).tolist() == [-1, 2, -3, 4]
+
+    def test_join_negative_wraps(self):
+        assert lanes.join([-1] * 8, 8) == lanes.WORD_MASK
+
+    def test_join_rejects_wrong_count(self):
+        with pytest.raises(LaneError):
+            lanes.join([1, 2, 3], 16)
+
+    def test_split_rejects_bad_width(self):
+        with pytest.raises(LaneError):
+            lanes.split(0, 12)
+
+    def test_split_rejects_oversized_word(self):
+        with pytest.raises(LaneError):
+            lanes.split(1 << 64, 8)
+
+    def test_split_rejects_negative_word(self):
+        with pytest.raises(LaneError):
+            lanes.split(-1, 8)
+
+    def test_split_returns_writable_copy(self):
+        arr = lanes.split(0, 8)
+        arr[0] = 7  # must not raise (frombuffer alone would be read-only)
+        assert arr[0] == 7
+
+    @given(WORDS, WIDTHS)
+    def test_roundtrip_unsigned(self, value, width):
+        assert lanes.join(lanes.split(value, width), width) == value
+
+    @given(WORDS, WIDTHS)
+    def test_roundtrip_signed(self, value, width):
+        assert lanes.join(lanes.split(value, width, signed=True), width) == value
+
+    @given(WORDS, WIDTHS)
+    def test_lane_count_matches(self, value, width):
+        assert len(lanes.split(value, width)) == lanes.lane_count(width)
+
+
+class TestSignConversion:
+    @pytest.mark.parametrize(
+        "value,width,expected",
+        [(0xFF, 8, -1), (0x7F, 8, 127), (0x80, 8, -128), (0xFFFF, 16, -1), (0x8000, 16, -32768)],
+    )
+    def test_to_signed(self, value, width, expected):
+        assert lanes.to_signed(value, width) == expected
+
+    @given(st.integers(-(2**15), 2**15 - 1))
+    def test_sign_roundtrip16(self, value):
+        assert lanes.to_signed(lanes.to_unsigned(value, 16), 16) == value
+
+
+class TestHelpers:
+    def test_replicate(self):
+        assert lanes.replicate(0xAB, 8) == 0xABABABABABABABAB
+        assert lanes.replicate(-1, 16) == lanes.WORD_MASK
+
+    def test_extract_insert_roundtrip(self):
+        value = 0x1122334455667788
+        for i in range(4):
+            lane = lanes.extract_lane(value, i, 16)
+            assert lanes.insert_lane(value, i, 16, lane) == value
+
+    def test_insert_lane_changes_only_target(self):
+        out = lanes.insert_lane(0, 2, 16, 0xBEEF)
+        assert lanes.split(out, 16).tolist() == [0, 0, 0xBEEF, 0]
+
+    def test_extract_signed(self):
+        value = lanes.join([-5, 0, 0, 0], 16)
+        assert lanes.extract_lane(value, 0, 16, signed=True) == -5
+
+    def test_extract_out_of_range(self):
+        with pytest.raises(LaneError):
+            lanes.extract_lane(0, 8, 16)
+
+    def test_bytes_roundtrip(self):
+        value = 0xDEADBEEFCAFEF00D
+        assert lanes.from_bytes(lanes.bytes_of(value)) == value
+
+    def test_from_bytes_rejects_short(self):
+        with pytest.raises(LaneError):
+            lanes.from_bytes(b"\x00" * 4)
+
+    @given(WORDS, WIDTHS)
+    def test_extract_matches_split(self, value, width):
+        arr = lanes.split(value, width)
+        for i in range(lanes.lane_count(width)):
+            assert lanes.extract_lane(value, i, width) == arr[i]

@@ -1,0 +1,97 @@
+"""Tests for packed multiply semantics, including the pmaddwd FIR core."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LaneError
+from repro.simd import lanes, multiply
+
+WORDS = st.integers(min_value=0, max_value=lanes.WORD_MASK)
+INT16 = st.integers(min_value=-(2**15), max_value=2**15 - 1)
+
+
+class TestPmullwPmulhw:
+    def test_pmullw_basic(self):
+        a = lanes.join([3, -4, 100, 0], 16)
+        b = lanes.join([7, 5, 300, 9], 16)
+        out = lanes.split(multiply.pmullw(a, b), 16, signed=True)
+        assert out.tolist() == [21, -20, (100 * 300) - 65536 * ((100 * 300 + 2**15) // 65536), 0] or True
+        # the third lane wraps: 30000 fits in 16 bits signed? 30000 <= 32767 → no wrap
+        assert out.tolist() == [21, -20, 30000, 0]
+
+    def test_pmulhw_basic(self):
+        a = lanes.join([0x4000, -0x4000, 1, 0], 16)
+        b = lanes.join([0x4000, 0x4000, 1, 5], 16)
+        out = lanes.split(multiply.pmulhw(a, b), 16, signed=True)
+        # 0x4000*0x4000 = 2^28, high 16 bits = 2^12
+        assert out.tolist() == [0x1000, -0x1000, 0, 0]
+
+    def test_pmulhuw_unsigned(self):
+        a = lanes.join([0xFFFF, 0, 0, 0], 16)
+        b = lanes.join([0xFFFF, 0, 0, 0], 16)
+        out = lanes.split(multiply.pmulhuw(a, b), 16)
+        assert out[0] == (0xFFFF * 0xFFFF) >> 16
+
+    @given(st.lists(INT16, min_size=4, max_size=4), st.lists(INT16, min_size=4, max_size=4))
+    def test_low_high_reconstruct_product(self, xs, ys):
+        a, b = lanes.join(xs, 16), lanes.join(ys, 16)
+        low = lanes.split(multiply.pmullw(a, b), 16)
+        high = lanes.split(multiply.pmulhw(a, b), 16, signed=True)
+        for x, y, lo, hi in zip(xs, ys, low, high):
+            assert int(hi) * 65536 + int(lo) == x * y
+
+
+class TestPmaddwd:
+    def test_paper_figure1(self):
+        """Figure 1: four 16-bit products, adjacent pairs summed to 32 bits."""
+        x = lanes.join([7, -2, 3, 11], 16)
+        c = lanes.join([5, 6, -4, 2], 16)
+        out = lanes.split(multiply.pmaddwd(x, c), 32, signed=True)
+        assert out.tolist() == [7 * 5 + (-2) * 6, 3 * (-4) + 11 * 2]
+
+    def test_fir_tap_pair(self):
+        """pmaddwd + a 32-bit add realizes a four-tap FIR (paper §2)."""
+        samples = [100, -50, 25, 12]
+        coeffs = [1, 2, 3, 4]
+        acc = lanes.split(
+            multiply.pmaddwd(lanes.join(samples, 16), lanes.join(coeffs, 16)), 32, signed=True
+        )
+        assert int(acc[0]) + int(acc[1]) == sum(s * c for s, c in zip(samples, coeffs))
+
+    def test_extreme_no_python_overflow(self):
+        a = lanes.join([-32768] * 4, 16)
+        out = lanes.split(multiply.pmaddwd(a, a), 32, signed=True)
+        # (-32768)^2 * 2 = 2^31 wraps to -2^31 in 32-bit arithmetic
+        assert out.tolist() == [-(2**31), -(2**31)]
+
+    @given(st.lists(INT16, min_size=4, max_size=4), st.lists(INT16, min_size=4, max_size=4))
+    def test_matches_reference(self, xs, ys):
+        out = lanes.split(
+            multiply.pmaddwd(lanes.join(xs, 16), lanes.join(ys, 16)), 32, signed=True
+        )
+        ref0 = xs[0] * ys[0] + xs[1] * ys[1]
+        ref1 = xs[2] * ys[2] + xs[3] * ys[3]
+        wrap = lambda v: (v + 2**31) % 2**32 - 2**31
+        assert out.tolist() == [wrap(ref0), wrap(ref1)]
+
+
+class TestWideningAndQuad:
+    def test_pmuludq(self):
+        a = lanes.join([0xFFFFFFFF, 7], 32)
+        b = lanes.join([2, 9], 32)
+        assert multiply.pmuludq(a, b) == 0xFFFFFFFF * 2
+
+    def test_widening_rejects_64(self):
+        with pytest.raises(LaneError):
+            multiply.pmul_widening(0, 0, 64)
+
+    @given(WORDS, WORDS, st.sampled_from((8, 16, 32)))
+    def test_widening_reconstructs(self, a, b, width):
+        low, high = multiply.pmul_widening(a, b, width, signed=True)
+        ll = lanes.split(low, width)
+        hh = lanes.split(high, width, signed=True)
+        la = lanes.split(a, width, signed=True)
+        lb = lanes.split(b, width, signed=True)
+        for x, y, lo, hi in zip(la, lb, ll, hh):
+            assert int(hi) * (1 << width) + int(lo) == int(x) * int(y)

@@ -1,0 +1,188 @@
+"""Tests for pack/unpack, shifts, compares and logicals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LaneError
+from repro.simd import compare, lanes, logical, pack, shift
+
+WORDS = st.integers(min_value=0, max_value=lanes.WORD_MASK)
+SUB_WIDTHS = st.sampled_from((8, 16, 32))
+
+
+class TestUnpack:
+    def test_punpckl_paper_figure2(self):
+        """Figure 2: punpcklwd interleaves low 16-bit halves of MM0/MM1."""
+        mm0 = lanes.join([0xD0, 0xC0, 0xB0, 0xA0], 16)
+        mm1 = lanes.join([0xD1, 0xC1, 0xB1, 0xA1], 16)
+        out = lanes.split(pack.punpckl(mm0, mm1, 16), 16)
+        assert out.tolist() == [0xD0, 0xD1, 0xC0, 0xC1]
+
+    def test_punpckh(self):
+        mm0 = lanes.join([0, 1, 2, 3], 16)
+        mm1 = lanes.join([4, 5, 6, 7], 16)
+        out = lanes.split(pack.punpckh(mm0, mm1, 16), 16)
+        assert out.tolist() == [2, 6, 3, 7]
+
+    def test_punpckl_bytes(self):
+        a = lanes.join(list(range(8)), 8)
+        b = lanes.join(list(range(8, 16)), 8)
+        out = lanes.split(pack.punpckl(a, b, 8), 8)
+        assert out.tolist() == [0, 8, 1, 9, 2, 10, 3, 11]
+
+    def test_punpckl_dq(self):
+        a = lanes.join([111, 222], 32)
+        b = lanes.join([333, 444], 32)
+        assert lanes.split(pack.punpckl(a, b, 32), 32).tolist() == [111, 333]
+        assert lanes.split(pack.punpckh(a, b, 32), 32).tolist() == [222, 444]
+
+    def test_unpack_rejects_64(self):
+        with pytest.raises(LaneError):
+            pack.punpckl(0, 0, 64)
+
+    @given(WORDS, WORDS, SUB_WIDTHS)
+    def test_unpack_covers_both_sources(self, a, b, width):
+        lo = lanes.split(pack.punpckl(a, b, width), width)
+        hi = lanes.split(pack.punpckh(a, b, width), width)
+        la, lb = lanes.split(a, width), lanes.split(b, width)
+        combined = sorted(lo.tolist() + hi.tolist())
+        assert combined == sorted(la.tolist() + lb.tolist())
+
+
+class TestPack:
+    def test_packss_16_to_8(self):
+        a = lanes.join([300, -300, 5, -5], 16)
+        b = lanes.join([127, -128, 0, 1], 16)
+        out = lanes.split(pack.packss(a, b, 16), 8, signed=True)
+        assert out.tolist() == [127, -128, 5, -5, 127, -128, 0, 1]
+
+    def test_packus_clamps_negative_to_zero(self):
+        a = lanes.join([-1, 256, 100, 0], 16)
+        out = lanes.split(pack.packus(a, a, 16), 8)
+        assert out.tolist() == [0, 255, 100, 0] * 2
+
+    def test_packss_32_to_16(self):
+        a = lanes.join([100000, -100000], 32)
+        b = lanes.join([1, -1], 32)
+        out = lanes.split(pack.packss(a, b, 32), 16, signed=True)
+        assert out.tolist() == [32767, -32768, 1, -1]
+
+    def test_pack_rejects_8(self):
+        with pytest.raises(LaneError):
+            pack.packss(0, 0, 8)
+
+    @given(WORDS, WORDS)
+    def test_pack_unpack_identity_when_in_range(self, a, b):
+        """Saturating pack is the identity on lanes already in range."""
+        la = lanes.split(a, 16, signed=True)
+        clamped = [max(-128, min(127, int(v))) for v in la]
+        aa = lanes.join(clamped, 16)
+        out = lanes.split(pack.packss(aa, aa, 16), 8, signed=True)
+        assert out.tolist() == clamped * 2
+
+
+class TestPermuteWord:
+    def test_reverse(self):
+        v = lanes.join([1, 2, 3, 4], 16)
+        out = pack.permute_word(v, [3, 2, 1, 0], 16)
+        assert lanes.split(out, 16).tolist() == [4, 3, 2, 1]
+
+    def test_none_keeps_lane(self):
+        v = lanes.join([1, 2, 3, 4], 16)
+        out = pack.permute_word(v, [None, 0, None, 0], 16)
+        assert lanes.split(out, 16).tolist() == [1, 1, 3, 1]
+
+    def test_rejects_bad_selector(self):
+        with pytest.raises(LaneError):
+            pack.permute_word(0, [0, 1], 16)
+        with pytest.raises(LaneError):
+            pack.permute_word(0, [0, 1, 2, 9], 16)
+
+
+class TestShifts:
+    def test_psll_per_lane(self):
+        v = lanes.join([1, 2, 3, 4], 16)
+        assert lanes.split(shift.psll(v, 4, 16), 16).tolist() == [16, 32, 48, 64]
+
+    def test_psll_no_cross_lane_leak(self):
+        v = lanes.join([0x8000, 0, 0, 0], 16)
+        assert shift.psll(v, 1, 16) == 0  # MSB must not spill into lane 1
+
+    def test_psrl_logical(self):
+        v = lanes.join([0x8000] * 4, 16)
+        assert lanes.split(shift.psrl(v, 15, 16), 16).tolist() == [1] * 4
+
+    def test_psra_sign_fill(self):
+        v = lanes.join([-2, 4, -8, 16], 16)
+        assert lanes.split(shift.psra(v, 1, 16), 16, signed=True).tolist() == [-1, 2, -4, 8]
+
+    def test_oversized_counts(self):
+        v = lanes.join([-2, 4, -8, 16], 16)
+        assert shift.psll(v, 16, 16) == 0
+        assert shift.psrl(v, 99, 16) == 0
+        out = lanes.split(shift.psra(v, 99, 16), 16, signed=True)
+        assert out.tolist() == [-1, 0, -1, 0]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(LaneError):
+            shift.psll(0, -1, 16)
+
+    def test_byte_shifts(self):
+        v = 0x1122334455667788
+        assert shift.psllq_bytes(v, 2) == 0x3344556677880000
+        assert shift.psrlq_bytes(v, 2) == 0x0000112233445566
+        assert shift.psllq_bytes(v, 8) == 0
+        assert shift.psrlq_bytes(v, 9) == 0
+
+    def test_psrlq_no_sign_smear(self):
+        """Regression: 64-bit logical right shift of an MSB-set word must
+        zero-fill (found by the off-load differential fuzzer)."""
+        assert shift.psrl(0x844BC482D2289600, 8, 64) == 0x00844BC482D2289600 >> 8
+        assert shift.psrl(0xFFFFFFFFFFFFFFFF, 8, 64) == 0x00FFFFFFFFFFFFFF
+
+    def test_psllq_msb_set(self):
+        assert shift.psll(0xFF00000000000001, 8, 64) == 0x0000000000000100
+
+    @given(WORDS, st.integers(0, 63))
+    def test_q64_shifts_match_python_semantics(self, v, count):
+        assert shift.psrl(v, count, 64) == v >> count
+        assert shift.psll(v, count, 64) == (v << count) & lanes.WORD_MASK
+
+    @given(WORDS, st.integers(0, 15))
+    def test_psll_psrl_inverse_on_clean_lanes(self, v, count):
+        cleared = shift.psrl(shift.psll(v, count, 16), count, 16)
+        masked = lanes.join(
+            [(int(x) << count & 0xFFFF) >> count for x in lanes.split(v, 16)], 16
+        )
+        assert cleared == masked
+
+
+class TestCompareLogical:
+    def test_pcmpeq(self):
+        a = lanes.join([1, 2, 3, 4], 16)
+        b = lanes.join([1, 0, 3, 0], 16)
+        assert lanes.split(compare.pcmpeq(a, b, 16), 16).tolist() == [0xFFFF, 0, 0xFFFF, 0]
+
+    def test_pcmpgt_signed(self):
+        a = lanes.join([1, -1, 5, 0], 16)
+        b = lanes.join([0, 1, 5, -9], 16)
+        assert lanes.split(compare.pcmpgt(a, b, 16), 16).tolist() == [0xFFFF, 0, 0, 0xFFFF]
+
+    def test_pxor_self_clears(self):
+        assert logical.pxor(0xDEADBEEF, 0xDEADBEEF) == 0
+
+    def test_pandn(self):
+        assert logical.pandn(0xF0F0, 0xFFFF) == 0x0F0F
+
+    @given(WORDS, WORDS)
+    def test_demorgan(self, a, b):
+        lhs = logical.pandn(logical.por(a, b), lanes.WORD_MASK)
+        rhs = logical.pand(
+            logical.pandn(a, lanes.WORD_MASK), logical.pandn(b, lanes.WORD_MASK)
+        )
+        assert lhs == rhs
+
+    @given(WORDS, WORDS, SUB_WIDTHS)
+    def test_cmpeq_reflexive(self, a, b, width):
+        assert compare.pcmpeq(a, a, width) == lanes.WORD_MASK

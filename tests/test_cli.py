@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "FIR12" in out and "MatrixTranspose" in out
+
+    def test_cost_default(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "2.36 mm2" in out and "0.91%" in out
+
+    def test_cost_config_a(self, capsys):
+        assert main(["cost", "--config", "A"]) == 0
+        assert "8.14 mm2" in capsys.readouterr().out
+
+    def test_cost_contexts(self, capsys):
+        assert main(["cost", "--contexts", "2"]) == 0
+        assert "20224 bits" in capsys.readouterr().out
+
+    def test_run_kernel(self, capsys):
+        assert main(["run", "DotProduct"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exactly" in out and "speedup" in out
+
+    def test_run_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "Sobel"])
+
+    def test_offload(self, capsys):
+        assert main(["offload", "DotProduct"]) == 0
+        out = capsys.readouterr().out
+        assert "punpcklwd" in out and "SPU program" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_fig9_fast(self, capsys):
+        assert main(["fig9", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "MatrixTranspose" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCompileCommand:
+    def test_compile_file(self, capsys, tmp_path):
+        source = tmp_path / "demo.asm"
+        source.write_text(
+            "mov r0, 4\nloop:\nmovq mm1, mm0\npunpcklwd mm1, mm0\n"
+            "movq [r2], mm1\nadd r2, 8\nloop r0, loop\nhalt\n"
+        )
+        assert main(["compile", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "accelerated loops: loop" in out
+        assert "controller context 0" in out
+        assert "punpcklwd" not in out.split("; ---")[0].split("accelerated")[1]
+
+    def test_compile_nothing_to_do(self, capsys, tmp_path):
+        source = tmp_path / "plain.asm"
+        source.write_text("mov r0, 2\ntop: paddw mm0, mm1\nloop r0, top\nhalt\n")
+        assert main(["compile", str(source)]) == 1
+        assert "no loops accelerated" in capsys.readouterr().out
