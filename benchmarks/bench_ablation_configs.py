@@ -37,12 +37,14 @@ def _sweep():
 
 def test_config_sweep(benchmark):
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    headers = ["Config", "Kernel", "Permutes removed", "Speedup", "SPU mm2",
+               "Delay ns"]
     text = format_table(
-        ["Config", "Kernel", "Permutes removed", "Speedup", "SPU mm2", "Delay ns"],
+        headers,
         rows,
         title="Ablation: interconnect configuration vs off-load coverage",
     )
-    emit("ablation_configs", text)
+    emit("ablation_configs", text, headers=headers, rows=rows)
 
     by_key = {(row[0], row[1]): row for row in rows}
     # All paper kernels work under configuration D (the paper's claim).

@@ -52,14 +52,18 @@ def test_controller_depth_ablation(benchmark):
             ratio(control_memory_area_mm2(CONFIG_D, num_states=num_states,
                                           calibrated=False), 3),
         ])
+    headers = ["Kernel", "Controller states needed"]
+    depth_headers = ["K", "Kernels covered", "Control bits", "Area mm2"]
     text = (
-        format_table(["Kernel", "Controller states needed"], rows,
+        format_table(headers, rows,
                      title="Ablation: controller state usage per kernel")
         + "\n\n"
-        + format_table(["K", "Kernels covered", "Control bits", "Area mm2"],
-                       depth_rows, title="Controller depth sweep (config D)")
+        + format_table(depth_headers, depth_rows,
+                       title="Controller depth sweep (config D)")
     )
-    emit("ablation_controller", text)
+    emit("ablation_controller", text, headers=headers, rows=rows,
+         data={"depth_headers": depth_headers,
+               "depth_rows": [list(row) for row in depth_rows]})
 
     # Every paper kernel fits the paper's K=128 design point.
     assert all(states <= 128 for states in usage.values())

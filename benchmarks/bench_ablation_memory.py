@@ -36,12 +36,13 @@ def test_memory_latency_ablation(benchmark):
          ratio(comparison.speedup)]
         for (name, latency), comparison in results.items()
     ]
+    headers = ["Kernel", "Load latency", "MMX cycles", "SPU cycles", "Speedup"]
     text = format_table(
-        ["Kernel", "Load latency", "MMX cycles", "SPU cycles", "Speedup"],
+        headers,
         rows,
         title="Ablation: SPU benefit vs load-to-use latency (L1 assumption)",
     )
-    emit("ablation_memory", text)
+    emit("ablation_memory", text, headers=headers, rows=rows)
 
     for cls in KERNELS:
         name = cls().name

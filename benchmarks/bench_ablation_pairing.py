@@ -39,13 +39,14 @@ def test_pairing_ablation(benchmark):
             ratio(dual[name].speedup),
             ratio(single[name].speedup),
         ])
+    headers = ["Kernel", "Dual cycles", "Single cycles", "Pairing gain",
+               "SPU speedup (dual)", "SPU speedup (single)"]
     text = format_table(
-        ["Kernel", "Dual cycles", "Single cycles", "Pairing gain",
-         "SPU speedup (dual)", "SPU speedup (single)"],
+        headers,
         rows,
         title="Ablation: U/V pairing vs SPU benefit",
     )
-    emit("ablation_pairing", text)
+    emit("ablation_pairing", text, headers=headers, rows=rows)
 
     for name in dual:
         # Pairing always helps the baseline...

@@ -35,13 +35,14 @@ def test_pipe_stage_ablation(benchmark):
             name, without.cycles, with_stage.cycles, pct(overhead),
             with_stage.mispredicts,
         ])
+    headers = ["Kernel", "SPU cycles (no stage)", "SPU cycles (+stage)",
+               "Overhead", "Mispredicts"]
     text = format_table(
-        ["Kernel", "SPU cycles (no stage)", "SPU cycles (+stage)", "Overhead",
-         "Mispredicts"],
+        headers,
         rows,
         title="Ablation: extra pipeline stage for the SPU interconnect",
     )
-    emit("ablation_pipe_stage", text)
+    emit("ablation_pipe_stage", text, headers=headers, rows=rows)
 
     for name, (with_stage, without) in results.items():
         overhead = with_stage.cycles / without.cycles - 1

@@ -33,12 +33,13 @@ def test_predictor_ablation(benchmark):
         [name, predictor, stats.branches, stats.mispredicts, pct(stats.mispredict_rate)]
         for (name, predictor), stats in results.items()
     ]
+    headers = ["Kernel", "Predictor", "Branches", "Missed", "Missed%"]
     text = format_table(
-        ["Kernel", "Predictor", "Branches", "Missed", "Missed%"],
+        headers,
         rows,
         title="Ablation: Table 2 under different branch predictors",
     )
-    emit("ablation_predictor", text)
+    emit("ablation_predictor", text, headers=headers, rows=rows)
 
     for (name, predictor), stats in results.items():
         # Loop-dominated media code: dynamic predictors miss only exits.

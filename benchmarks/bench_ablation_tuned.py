@@ -36,13 +36,14 @@ def test_tuned_vs_offload(benchmark):
             ratio(comparison.speedup),
             ratio(comparison.mmx.cycles / tuned.cycles),
         ])
+    headers = ["Kernel", "MMX", "SPU (auto off-load)", "SPU (hand-tuned)",
+               "auto speedup", "tuned speedup"]
     text = format_table(
-        ["Kernel", "MMX", "SPU (auto off-load)", "SPU (hand-tuned)",
-         "auto speedup", "tuned speedup"],
+        headers,
         rows,
         title="Ablation: SPU-aware recoding (paper's 'lower estimate' remark)",
     )
-    emit("ablation_tuned", text)
+    emit("ablation_tuned", text, headers=headers, rows=rows)
 
     for name, (comparison, tuned) in results.items():
         assert tuned.cycles < comparison.spu.cycles, name

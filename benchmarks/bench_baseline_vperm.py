@@ -27,13 +27,14 @@ def test_vperm_baseline(benchmark):
             f"{result.mmx.instructions} / {result.vperm.instructions} / {result.spu.instructions}",
             f"{result.mmx_bytes} / {result.vperm_bytes} / {result.spu_bytes}",
         ])
+    headers = ["Kernel", "cycles (MMX/vperm/SPU)", "dyn. instr (MMX/vperm/SPU)",
+               "code bytes (MMX/vperm/SPU)"]
     text = format_table(
-        ["Kernel", "cycles (MMX/vperm/SPU)", "dyn. instr (MMX/vperm/SPU)",
-         "code bytes (MMX/vperm/SPU)"],
+        headers,
         rows,
         title="Baseline: explicit permutes vs the SPU (§6 comparison)",
     )
-    emit("baseline_vperm", text)
+    emit("baseline_vperm", text, headers=headers, rows=rows)
 
     for result in results:
         # The SPU wins on every axis: fewer cycles, fewer instructions,

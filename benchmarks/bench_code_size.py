@@ -33,13 +33,14 @@ def _measure():
 
 def test_code_size_comparison(benchmark):
     rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    headers = ["Kernel", "MMX bytes", "MMX+SPU bytes", "Subword-addr bytes",
+               "SPU delta", "Subword delta"]
     text = format_table(
-        ["Kernel", "MMX bytes", "MMX+SPU bytes", "Subword-addr bytes",
-         "SPU delta", "Subword delta"],
+        headers,
         rows,
         title="Ablation: static code size (paper §3's ISA-change argument)",
     )
-    emit("code_size", text)
+    emit("code_size", text, headers=headers, rows=rows)
 
     for row in rows:
         name, mmx_size, spu_size, subword_size = row[0], row[1], row[2], row[3]

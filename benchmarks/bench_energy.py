@@ -40,13 +40,14 @@ def test_energy_accounting(benchmark):
             ratio(comparison.spu.controller_pj / 1e3, 2),
             pct(comparison.savings_fraction, 1),
         ])
+    headers = ["Kernel", "MMX nJ", "MMX+SPU nJ", "crossbar nJ", "controller nJ",
+               "savings"]
     text = format_table(
-        ["Kernel", "MMX nJ", "MMX+SPU nJ", "crossbar nJ", "controller nJ",
-         "savings"],
+        headers,
         rows,
         title="Energy extension: fetch/decode savings vs SPU routing energy (§7)",
     )
-    emit("energy", text)
+    emit("energy", text, headers=headers, rows=rows)
 
     by_name = {r.name: r for r in results}
     # Permute-heavy kernels save the most energy; IIR is ~neutral.

@@ -43,13 +43,14 @@ def _sweep():
 
 def test_extension_kernels(benchmark):
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    headers = ["Kernel", "Config", "Granularity", "Permutes removed", "Speedup",
+               "SPU mm2"]
     text = format_table(
-        ["Kernel", "Config", "Granularity", "Permutes removed", "Speedup",
-         "SPU mm2"],
+        headers,
         rows,
         title="Extension kernels: byte-granularity workloads need configs A/B",
     )
-    emit("extension_kernels", text)
+    emit("extension_kernels", text, headers=headers, rows=rows)
 
     by_key = {(row[0], row[1]): row for row in rows}
     # Config D cannot route SAD's byte unpacks at all.

@@ -6,7 +6,7 @@ benchmark times a full MMX-vs-SPU comparison on the transpose kernel, the
 paper's strongest case.
 """
 
-from conftest import emit
+from conftest import emit_experiment
 
 from repro.analysis import fig9_chart
 from repro.experiments import fig9, paper_data
@@ -16,7 +16,8 @@ from repro.kernels import TransposeKernel
 def test_fig9_regeneration(suite, benchmark):
     benchmark.pedantic(lambda: TransposeKernel().compare(), rounds=3, iterations=1)
     experiment = fig9(suite)
-    emit("fig9", experiment.text + "\n\n" + fig9_chart(suite.comparisons()))
+    emit_experiment("fig9", experiment,
+                    extra_text="\n\n" + fig9_chart(suite.comparisons()))
 
     speedups = {row[0]: float(row[3]) for row in experiment.rows}
     # The SPU never loses.

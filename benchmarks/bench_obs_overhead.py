@@ -1,0 +1,209 @@
+"""Guard: the event bus costs nothing when nobody is listening.
+
+The pipeline's emission sites are all guarded by a subscriber-list emptiness
+test (``if bus.issue: ...``), so an unobserved run should match pre-bus
+throughput.  :class:`PreBusMachine` reproduces the pre-bus hot loop exactly
+— the current ``run``/``_issue``/``_branch_cost`` with every bus statement
+deleted — and this bench asserts the instrumented, zero-subscriber machine
+stays within 5% of it (median of several runs; the two loops differ only in
+the guard tests).  A fully-subscribed run is measured too, for the record.
+"""
+
+import statistics
+import time
+
+from conftest import emit
+
+from repro.analysis import format_table, ratio
+from repro.cpu import Machine
+from repro.cpu.executor import execute
+from repro.cpu.pairing import can_pair
+from repro.cpu.stats import RunStats
+from repro.errors import SimulationError
+from repro.isa import assemble
+from repro.isa.registers import Register
+
+#: ~0.4s per run at typical CPython speed: long enough to time stably.
+ITERATIONS = 8_000
+SOURCE = (
+    f"mov r0, {ITERATIONS}\n"
+    "top: paddw mm0, mm1\n"
+    "psubw mm2, mm3\n"
+    "pxor mm4, mm5\n"
+    "loop r0, top\n"
+    "halt"
+)
+ROUNDS = 5
+
+
+class PreBusMachine(Machine):
+    """The pre-telemetry pipeline: identical cycle model, no emission sites."""
+
+    def _issue(self, instr, cycle, reg_ready, stats, pipe="U"):
+        routes = self._spu_routes(instr)
+        if routes is not None:
+            stats.spu_routed += 1
+        outcome = execute(instr, self.state, self.memory, self.program, routes)
+        stats.record_issue(instr)
+        latency = instr.opcode.latency
+        if instr.reads_memory:
+            latency = max(latency, self.config.memory_latency)
+        for reg in instr.regs_written():
+            if isinstance(reg, Register):
+                reg_ready[reg] = cycle + latency
+        return outcome
+
+    def _branch_cost(self, instr, pc, outcome, stats, cycle=0):
+        stats.branches += 1
+        if instr.opcode.sem == "jmp":
+            predicted = True
+        else:
+            predicted = self.predictor.predict(
+                pc, outcome.target if outcome.target is not None else pc
+            )
+            self.predictor.update(pc, outcome.target or pc, outcome.taken)
+        penalty = 0
+        if predicted != outcome.taken:
+            stats.mispredicts += 1
+            penalty = self.config.mispredict_penalty + (
+                1 if self.config.extra_stage else 0
+            )
+            stats.mispredict_cycles += penalty
+        return penalty
+
+    def run(self, max_cycles=None):
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        stats = RunStats()
+        state = self.state
+        program = self.program
+        reg_ready = {}
+        fill = 1 if self.config.extra_stage else 0
+        stats.drain_cycles = fill
+        cycle = fill
+        pc = state.pc
+
+        while not state.halted:
+            if cycle > limit:
+                stats.cycles = cycle
+                raise SimulationError(f"cycle budget exceeded ({limit})")
+            if not 0 <= pc < len(program):
+                raise SimulationError(f"fell off program (pc={pc})")
+            instr = program[pc]
+
+            ready = self._ready_cycle(instr, reg_ready)
+            if ready > cycle:
+                stats.stall_cycles += ready - cycle
+                cycle = ready
+
+            state.pc = pc
+            outcome = self._issue(instr, cycle, reg_ready, stats)
+            mmx_busy = instr.is_mmx
+
+            if state.halted:
+                cycle += 1
+                stats.solo_cycles += 1
+                break
+
+            if outcome.is_branch:
+                cycle += 1 + self._branch_cost(instr, pc, outcome, stats, cycle)
+                stats.solo_cycles += 1
+                if mmx_busy:
+                    stats.mmx_busy_cycles += 1
+                pc = outcome.next_pc
+                continue
+
+            pc = outcome.next_pc
+            paired = False
+            if self.config.issue_width >= 2 and 0 <= pc < len(program):
+                follower = program[pc]
+                key = (state.pc, pc)
+                cached = self._pair_cache.get(key)
+                if cached is None:
+                    cached = can_pair(instr, follower)
+                    self._pair_cache[key] = cached
+                ok, reason = cached
+                if ok:
+                    if self._ready_cycle(follower, reg_ready) <= cycle:
+                        state.pc = pc
+                        outcome2 = self._issue(follower, cycle, reg_ready, stats, "V")
+                        paired = True
+                        mmx_busy = mmx_busy or follower.is_mmx
+                        extra = 0
+                        if outcome2.is_branch:
+                            extra = self._branch_cost(follower, pc, outcome2, stats, cycle)
+                        pc = outcome2.next_pc
+                        cycle += 1 + extra
+                    else:
+                        stats.pair_fail_reasons["operands not ready"] += 1
+                        cycle += 1
+                else:
+                    stats.pair_fail_reasons[reason] += 1
+                    cycle += 1
+            else:
+                cycle += 1
+
+            if paired:
+                stats.pair_cycles += 1
+            else:
+                stats.solo_cycles += 1
+            if mmx_busy:
+                stats.mmx_busy_cycles += 1
+
+        stats.cycles = cycle
+        stats.finished = state.halted
+        return stats
+
+
+def _timed(factory, subscribe=None):
+    times = []
+    for _ in range(ROUNDS):
+        machine = factory()
+        if subscribe is not None:
+            subscribe(machine)
+        start = time.perf_counter()
+        stats = machine.run()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), stats
+
+
+def test_zero_subscriber_overhead(benchmark):
+    program = assemble(SOURCE)
+
+    # The replica must be cycle-identical before its timing means anything.
+    instrumented_stats = Machine(program).run()
+    prebus_stats = PreBusMachine(program).run()
+    assert instrumented_stats.as_dict() == prebus_stats.as_dict()
+
+    prebus_time, _ = _timed(lambda: PreBusMachine(program))
+    idle_time, idle_stats = benchmark.pedantic(
+        lambda: _timed(lambda: Machine(program)), rounds=1, iterations=1
+    )
+    counter = []
+    observed_time, _ = _timed(
+        lambda: Machine(program),
+        subscribe=lambda machine: machine.bus.subscribe("issue", counter.append),
+    )
+
+    idle_overhead = idle_time / prebus_time - 1
+    observed_overhead = observed_time / prebus_time - 1
+    rows = [
+        ["pre-bus baseline", f"{prebus_time * 1e3:.1f}", "-"],
+        ["event bus, no subscribers", f"{idle_time * 1e3:.1f}",
+         ratio(idle_overhead * 100, 2) + "%"],
+        ["event bus, issue subscriber", f"{observed_time * 1e3:.1f}",
+         ratio(observed_overhead * 100, 2) + "%"],
+    ]
+    headers = ["pipeline", "median ms/run", "overhead"]
+    text = format_table(
+        headers, rows,
+        title=f"Observability overhead ({idle_stats.instructions} dynamic instructions)",
+    )
+    emit("obs_overhead", text, headers=headers, rows=rows,
+         data={"prebus_s": prebus_time, "idle_s": idle_time,
+               "observed_s": observed_time, "idle_overhead": idle_overhead,
+               "observed_overhead": observed_overhead})
+
+    # The guard: an unobserved instrumented run is within 5% of pre-bus.
+    assert idle_overhead < 0.05, (
+        f"zero-subscriber bus overhead {idle_overhead:.1%} exceeds the 5% budget"
+    )

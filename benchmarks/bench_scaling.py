@@ -33,13 +33,14 @@ def _sweep():
 
 def test_scaling_study(benchmark):
     rows = benchmark(_sweep)
+    headers = ["Register file", "Design", "Area mm2", "Delay ns", "Stages@2ns",
+               "Ctl bits/state", "Reach"]
     text = format_table(
-        ["Register file", "Design", "Area mm2", "Delay ns", "Stages@2ns",
-         "Ctl bits/state", "Reach"],
+        headers,
         rows,
         title="§6 scaling study: interconnect options for large register files",
     )
-    emit("scaling", text)
+    emit("scaling", text, headers=headers, rows=rows)
 
     altivec = [row for row in rows if row[0] == "Altivec-class"]
     full = next(row for row in altivec if row[1].startswith("crossbar"))

@@ -33,13 +33,14 @@ def test_startup_cost(benchmark):
          ratio(cost.break_even_invocations, 2)]
         for cost in costs
     ]
+    headers = ["Kernel", "State words", "Upload instr", "Upload cycles",
+               "Saved/invocation", "Break-even invocations"]
     text = format_table(
-        ["Kernel", "State words", "Upload instr", "Upload cycles",
-         "Saved/invocation", "Break-even invocations"],
+        headers,
         rows,
         title="§4 start-up cost: programming the SPU vs per-invocation savings",
     )
-    emit("startup_cost", text)
+    emit("startup_cost", text, headers=headers, rows=rows)
 
     for cost in costs:
         # The paper's claim: trivially amortized for well-defined workloads.

@@ -6,7 +6,7 @@ points, and the 0.18µm die-fraction claim (<1% for configuration D) is
 rechecked.
 """
 
-from conftest import emit
+from conftest import emit, emit_experiment
 
 from repro.core import CONFIG_D
 from repro.experiments import table1
@@ -15,7 +15,7 @@ from repro.hw import spu_cost
 
 def test_table1_regeneration(benchmark):
     experiment = benchmark(table1)
-    emit("table1", experiment.text)
+    emit_experiment("table1", experiment)
     # Published area reproduced by the analytic model.
     for row in experiment.rows:
         assert abs(float(row[1]) - float(row[2])) / float(row[2]) < 0.01
@@ -29,5 +29,8 @@ def test_die_area_claim(benchmark):
         f"{cost.scaled_area_mm2:.3f} mm2 @0.18um 6LM = "
         f"{cost.die_fraction:.2%} of the 106 mm2 Pentium III die "
         "(paper claim: <1%)",
+        data={"total_area_mm2": cost.total_area_mm2,
+              "scaled_area_mm2": cost.scaled_area_mm2,
+              "die_fraction": cost.die_fraction},
     )
     assert cost.die_fraction < 0.01

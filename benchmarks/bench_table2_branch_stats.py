@@ -6,7 +6,7 @@ cycles) gives the side-by-side comparison.  The benchmark itself times the
 simulator on the FIR12 workload — the harness's bread-and-butter run.
 """
 
-from conftest import emit
+from conftest import emit_experiment
 
 from repro.experiments import table2
 from repro.kernels import FIR12Kernel
@@ -16,7 +16,7 @@ def test_table2_regeneration(suite, benchmark):
     kernel = FIR12Kernel()
     benchmark.pedantic(lambda: kernel.run_mmx(), rounds=3, iterations=1)
     experiment = table2(suite)
-    emit("table2", experiment.text)
+    emit_experiment("table2", experiment)
     # Media kernels mispredict only at loop exits; with the published run
     # lengths the rates stay tiny (the paper's <0.16% observation).
     for row in experiment.rows:

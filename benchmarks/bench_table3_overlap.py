@@ -6,7 +6,7 @@ the off-load pass actually moved onto the SPU (the paper's 11-93% range).
 The benchmark times the off-load compiler pass itself.
 """
 
-from conftest import emit
+from conftest import emit_experiment
 
 from repro.core import CONFIG_D, offload_loop
 from repro.experiments import paper_data, table3
@@ -22,7 +22,7 @@ def test_table3_regeneration(suite, benchmark):
         iterations=1,
     )
     experiment = table3(suite)
-    emit("table3", experiment.text)
+    emit_experiment("table3", experiment)
 
     shares = {row[0]: float(row[3].rstrip("%")) / 100 for row in experiment.rows}
     totals = {row[0]: float(row[5].rstrip("%")) / 100 for row in experiment.rows}

@@ -1,8 +1,12 @@
 """Shared fixtures for the benchmark harness.
 
-Every bench regenerates one paper table/figure: the rendered comparison is
-printed and also written to ``benchmarks/results/<name>.txt`` so the output
-survives pytest's capture.  The full (paper-faithful) workload sizes are
+Every bench regenerates one paper table/figure.  :func:`emit` persists each
+result twice: the rendered text under ``benchmarks/results/<name>.txt`` (for
+humans and git diffs) and a schema-versioned, machine-readable document under
+``benchmarks/results/BENCH_<name>.json`` (``kind: "benchmark"``, see
+``docs/observability.md``).  Pass ``headers``/``rows`` — or an ``Experiment``
+via :func:`emit_experiment` — so downstream tooling gets structured values
+rather than re-parsing tables.  The full (paper-faithful) workload sizes are
 used; the experiment suite is built once per session.
 """
 
@@ -13,15 +17,42 @@ import pathlib
 import pytest
 
 from repro.experiments import ExperimentSuite
+from repro.obs.export import envelope, write_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def emit(name: str, text: str) -> None:
+def emit(
+    name: str,
+    text: str,
+    headers: list | None = None,
+    rows: list | None = None,
+    data: dict | None = None,
+) -> None:
     """Print a regenerated table and persist it under benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    body: dict = {"name": name, "text": text}
+    if headers is not None:
+        body["headers"] = list(headers)
+    if rows is not None:
+        body["rows"] = [list(row) for row in rows]
+    if data:
+        body.update(data)
+    write_json(RESULTS_DIR / f"BENCH_{name}.json", envelope("benchmark", body))
     print("\n" + text)
+
+
+def emit_experiment(name: str, experiment, extra_text: str = "",
+                    data: dict | None = None) -> None:
+    """:func:`emit` an ``Experiment`` with its headers/rows carried along."""
+    emit(
+        name,
+        experiment.text + extra_text,
+        headers=experiment.headers,
+        rows=experiment.rows,
+        data=data,
+    )
 
 
 @pytest.fixture(scope="session")

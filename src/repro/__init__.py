@@ -19,7 +19,8 @@ Quick start::
 Sub-packages: :mod:`repro.simd` (packed arithmetic), :mod:`repro.isa`
 (assembler/IR), :mod:`repro.cpu` (dual-pipe cycle model), :mod:`repro.core`
 (the SPU), :mod:`repro.hw` (area/delay models), :mod:`repro.kernels`,
-:mod:`repro.analysis`, :mod:`repro.experiments`.
+:mod:`repro.analysis`, :mod:`repro.obs` (event bus, cycle attribution,
+exporters), :mod:`repro.experiments`.
 """
 
 from repro.errors import (
@@ -68,6 +69,13 @@ from repro.kernels import (
     make_kernel,
 )
 from repro.analysis import profile
+from repro.obs import (
+    ControllerTrace,
+    CycleAttribution,
+    EventBus,
+    MetricsRegistry,
+    kernel_profile_report,
+)
 from repro.experiments import ExperimentSuite, fig9, table1, table2, table3
 
 __version__ = "1.0.0"
@@ -123,6 +131,11 @@ __all__ = [
     "TransposeKernel",
     "make_kernel",
     "profile",
+    "ControllerTrace",
+    "CycleAttribution",
+    "EventBus",
+    "MetricsRegistry",
+    "kernel_profile_report",
     "ExperimentSuite",
     "fig9",
     "table1",

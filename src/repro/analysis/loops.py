@@ -98,25 +98,21 @@ def profile_loops(machine: Machine, max_cycles: int | None = None) -> LoopProfil
                     best = region
         return best
 
-    previous_hook = machine.on_issue
-
-    def hook(instr) -> None:
+    def on_issue(event) -> None:
         profile.total += 1
-        region = innermost(machine.state.pc)
+        region = innermost(event.pc)
         if region is None:
             profile.outside += 1
         else:
             region.instructions += 1
-            if instr.is_mmx:
+            if event.instr.is_mmx:
                 region.mmx_instructions += 1
-            if instr.is_alignment_candidate:
+            if event.instr.is_alignment_candidate:
                 region.alignment_instructions += 1
-        if previous_hook is not None:
-            previous_hook(instr)
 
-    machine.on_issue = hook
+    unsubscribe = machine.bus.subscribe("issue", on_issue)
     try:
         machine.run(max_cycles=max_cycles)
     finally:
-        machine.on_issue = previous_hook
+        unsubscribe()
     return profile

@@ -63,20 +63,33 @@ class InstructionProfile:
             )
         }
 
+    def as_dict(self) -> dict:
+        """JSON-friendly instruction-mix summary (for repro.obs.export)."""
+        return {
+            "total": self.total,
+            "mmx_fraction": self.mmx_fraction,
+            "permute_fraction_of_mmx": self.permute_fraction_of_mmx,
+            "permute_fraction_of_total": self.permute_fraction_of_total,
+            "by_opcode": dict(self.by_opcode.most_common()),
+            "class_mix": self.class_mix(),
+        }
+
 
 def profile(machine: Machine, max_cycles: int | None = None) -> InstructionProfile:
-    """Run *machine* to completion while collecting the instruction mix."""
+    """Run *machine* to completion while collecting the instruction mix.
+
+    A plain event-bus subscription — it composes with any other observer
+    on the same run (tracer, timeline, more profilers) and detaches itself
+    without disturbing them.
+    """
     by_opcode: Counter = Counter()
-    previous_hook = machine.on_issue
 
-    def hook(instr) -> None:
-        by_opcode[instr.name] += 1
-        if previous_hook is not None:
-            previous_hook(instr)
+    def on_issue(event) -> None:
+        by_opcode[event.instr.name] += 1
 
-    machine.on_issue = hook
+    unsubscribe = machine.bus.subscribe("issue", on_issue)
     try:
         stats = machine.run(max_cycles=max_cycles)
     finally:
-        machine.on_issue = previous_hook
+        unsubscribe()
     return InstructionProfile(stats=stats, by_opcode=by_opcode)

@@ -14,6 +14,16 @@ Commands
     Print the SPU hardware cost summary (Table 1 row + die fraction).
 ``offload KERNEL``
     Show the off-load pass's transformation for a kernel's first loop.
+``profile KERNEL [--json PATH]``
+    VTune-style dynamic profile: instruction mix, per-stage cycle
+    attribution and SPU controller occupancy (``--json -`` for stdout;
+    schema in docs/observability.md).
+``trace KERNEL [--jsonl PATH]``
+    Issue-by-issue pipeline listing; ``--jsonl`` exports one record per
+    issued instruction.
+
+``profile`` and ``trace`` resolve kernel names forgivingly
+(``dotprod`` → ``DotProduct``).
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ import sys
 
 from repro.analysis import format_table, pct, ratio
 from repro.core import get_config, offload_loop
+from repro.errors import KernelError
 from repro.experiments import ExperimentSuite, fig9, table1, table2, table3
 from repro.hw import spu_cost
 from repro.kernels import ALL_KERNELS, make_kernel
@@ -132,6 +143,71 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.export import kernel_profile_report, resolve_kernel_name, write_json
+
+    name = resolve_kernel_name(args.kernel)
+    kernel = make_kernel(name)
+    variants = ("mmx", "spu") if args.variant == "both" else (args.variant,)
+    report = kernel_profile_report(kernel, variants)
+    if args.json is not None:
+        target = write_json(args.json, report)
+        if target is not None:
+            print(f"wrote {target}")
+        return 0
+    # Human-readable rendering of the same data.
+    body = report["data"]
+    print(f"{body['kernel']} ({body['description']}), config {body['config']}")
+    for variant in variants:
+        section = body["variants"][variant]
+        stats = section["stats"]
+        attribution = section["cycle_attribution"]
+        print(f"\n[{variant}] {stats['cycles']} cycles, "
+              f"{stats['instructions']} instructions, ipc {stats['ipc']:.2f}")
+        rows = [[category, cycles, pct(cycles / stats["cycles"] if stats["cycles"] else 0.0, 1)]
+                for category, cycles in stats["cycle_attribution"].items()]
+        print(format_table(["cycle attribution", "cycles", "share"], rows))
+        mix = section["instruction_mix"]
+        top = list(mix["by_opcode"].items())[:8]
+        print(format_table(["top opcodes", "dynamic count"], [list(kv) for kv in top]))
+        print(f"MMX fraction {pct(mix['mmx_fraction'], 1)}, "
+              f"alignment/MMX {pct(mix['permute_fraction_of_mmx'], 1)}")
+        controller = section.get("controller")
+        if controller:
+            hottest = sorted(controller["state_occupancy"].items(),
+                             key=lambda kv: -kv[1])[:6]
+            print(f"SPU controller: {controller['steps']} steps, GO occupancy "
+                  f"{pct(controller['go_occupancy'], 1)}, "
+                  f"{controller['idle_entries']} idle entries")
+            print(format_table(["state", "steps"], [list(kv) for kv in hottest]))
+        del attribution
+    comparison = body.get("comparison")
+    if comparison:
+        print(f"\nspeedup: {ratio(comparison['speedup'])}x "
+              f"({comparison['removed_permutes']} static permutes off-loaded)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cpu import trace_run
+    from repro.obs.export import resolve_kernel_name, trace_records, write_jsonl
+
+    name = resolve_kernel_name(args.kernel)
+    kernel = make_kernel(name)
+    machine = kernel.machine(args.variant)
+    trace = trace_run(machine, max_entries=args.max_entries)
+    if args.jsonl is not None:
+        target = write_jsonl(args.jsonl, trace_records(trace))
+        if target is not None:
+            print(f"wrote {target} ({len(trace)} records)")
+        return 0
+    print(trace.render(limit=args.limit))
+    stats = trace.stats
+    print(f"\n{stats.cycles} cycles, {stats.instructions} instructions, "
+          f"{stats.spu_routed} SPU-routed")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import write_report
 
@@ -176,6 +252,32 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--config", default="D", help="configuration A-D")
     compile_parser.set_defaults(func=_cmd_compile)
 
+    profile_parser = sub.add_parser(
+        "profile", help="instruction mix + cycle attribution + SPU occupancy"
+    )
+    profile_parser.add_argument("kernel", help="kernel name (forgiving match)")
+    profile_parser.add_argument("--variant", choices=("mmx", "spu", "both"),
+                                default="both")
+    profile_parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the schema-versioned JSON report ('-' or no value: stdout)",
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
+
+    trace_parser = sub.add_parser(
+        "trace", help="issue-by-issue pipeline listing for one kernel"
+    )
+    trace_parser.add_argument("kernel", help="kernel name (forgiving match)")
+    trace_parser.add_argument("--variant", choices=("mmx", "spu"), default="spu")
+    trace_parser.add_argument("--limit", type=int, default=64,
+                              help="max listing lines (text mode)")
+    trace_parser.add_argument("--max-entries", type=int, default=100_000)
+    trace_parser.add_argument(
+        "--jsonl", nargs="?", const="-", default=None, metavar="PATH",
+        help="write one JSON record per issued instruction ('-': stdout)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
     report_parser = sub.add_parser(
         "report", help="run the full evaluation and write REPORT.md"
     )
@@ -187,7 +289,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KernelError as error:
+        print(f"repro {args.command}: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

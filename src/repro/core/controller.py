@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.errors import SPUProgramError
 from repro.core.interconnect import CONFIG_D, CrossbarConfig
 from repro.core.program import DEFAULT_NUM_STATES, SPUProgram, SPUState
+from repro.obs.events import ControllerStepEvent
 
 
 @dataclass
@@ -54,6 +55,9 @@ class SPUController:
         self._current_by_ctx: list[int] = [num_states - 1] * contexts
         self._counters_by_ctx: list[list[int]] = [[0, 0] for _ in range(contexts)]
         self.stats = ControllerStats()
+        #: Telemetry: set by attach_spu to the machine's EventBus; each
+        #: step() then emits a ``controller_step`` event when observed.
+        self.bus = None
 
     # ---- structural properties ------------------------------------------------
 
@@ -184,7 +188,8 @@ class SPUController:
         if not self._active:
             return None
         program = self._programs[self.context]
-        state = program.states[self._current]
+        emitted_index = self._current
+        state = program.states[emitted_index]
         self.stats.steps += 1
         if state.routes:
             self.stats.routed_steps += 1
@@ -203,4 +208,17 @@ class SPUController:
             self._counters = list(program.counter_init)
         else:
             self._current = next_index
+        bus = self.bus
+        if bus is not None and bus.controller_step:
+            bus.dispatch(
+                "controller_step",
+                ControllerStepEvent(
+                    context=self.context,
+                    state_index=emitted_index,
+                    next_index=next_index,
+                    counters=(self._counters[0], self._counters[1]),
+                    routed=bool(state.routes),
+                    went_idle=next_index == self.idle_state,
+                ),
+            )
         return state

@@ -23,6 +23,7 @@ from repro.cpu.pipeline import Machine
 from repro.cpu.state import MachineState
 from repro.isa.instructions import Instruction
 from repro.isa.registers import Register
+from repro.obs.events import SPURouteEvent
 
 
 @dataclass
@@ -41,6 +42,8 @@ class AttachedSPU:
         self.controller = controller
         self.register = SPURegister()
         self.stats = AttachmentStats()
+        #: Telemetry: set by attach_spu to the machine's EventBus.
+        self.bus = None
 
     @property
     def active(self) -> bool:
@@ -50,6 +53,7 @@ class AttachedSPU:
         """Advance the controller for one dynamic instruction; route operands."""
         if not self.controller.active:
             return None
+        emitting_state = self.controller.current_state
         spu_state = self.controller.step()
         self.stats.instructions_seen += 1
         if spu_state is None or spu_state.is_straight or not instr.is_mmx:
@@ -71,6 +75,17 @@ class AttachedSPU:
             return None
         self.stats.routed_operands += len(values)
         self.stats.routed_instructions += 1
+        bus = self.bus
+        if bus is not None and bus.spu_route:
+            bus.dispatch(
+                "spu_route",
+                SPURouteEvent(
+                    pc=state.pc,
+                    instr=instr.name,
+                    slots=tuple(sorted(values)),
+                    state_index=emitting_state,
+                ),
+            )
         return values
 
 
@@ -87,6 +102,8 @@ def attach_spu(
     Pass ``mmio_base=None`` for host-side-only control.
     """
     spu = AttachedSPU(controller)
+    spu.bus = machine.bus
+    controller.bus = machine.bus
     machine.spu = spu
     if mmio_base is not None:
         machine.memory.map_device(mmio_base, MMIO_WINDOW_BYTES, SPUMMIO(controller))

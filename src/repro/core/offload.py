@@ -410,22 +410,17 @@ def offload_loop(
             return False
         return _keep(max(pool) if earlier else pool[-1], f"(fallback) {reason}")
 
-    # Live-out rule: the last writer of a live-out register must be kept.
-    last_writer: dict[int, int] = {}
-    for position, instr in enumerate(body):
-        dst = mmx_dest(instr)
-        if dst is not None:
-            last_writer[dst.index] = position
-    for reg in live_out:
-        _keep(last_writer.get(reg.index), "last writer of a live-out register")
+    def _validate(trial_removed: set[int]):
+        """Walk the transformed body under *trial_removed*.
 
-    # Fixed point: verify every kept instruction's operands are reachable.
-    while True:
-        changed = False
+        Returns ``(routes, failure)``: the per-position slot routes when the
+        transformation is valid (``failure is None``), or ``failure =
+        (blame, near, reason)`` naming the candidate to keep.
+        """
         bmap = _ByteMap(known_zero)
         routes: dict[int, dict[int, tuple]] = {}
         for position, instr in enumerate(body):
-            if position in removed_set:
+            if position in trial_removed:
                 continue  # removed instructions change nothing
             for slot, required in needed[position].items():
                 reg = instr.operands[slot]
@@ -453,28 +448,18 @@ def offload_loop(
                         failed = f"route illegal for config {config.name}: {exc}"
                 if failed is not None:
                     blame = def_of_slot[position].get(slot)
-                    if not _keep_fallback(blame, position, failed):
-                        raise OffloadError(
-                            f"cannot reroute {instr.name} (body position {position},"
-                            f" slot {slot}): {failed}; nothing left to keep"
-                        )
-                    changed = True
-                    break
+                    return routes, (blame, position, failed, instr, slot)
                 if any(sel is not None for sel in byte_route):
                     routes.setdefault(position, {})[slot] = tuple(byte_route)
-            if changed:
-                break
             # Kept instructions produce their original values (routes make
             # their operands the original ones), so replay original symbols.
             dst = mmx_dest(instr)
             if dst is not None:
                 bmap.set_dst(dst, out_syms[position])
-        if changed:
-            continue
         # Back-edge check: live-in registers must reach the loop end holding
         # exactly what the original body left there.
         last_removed_writer: dict[int, int] = {}
-        for position in removed_set:
+        for position in trial_removed:
             dst = mmx_dest(body[position])
             if dst is not None:
                 prev = last_removed_writer.get(dst.index, -1)
@@ -486,16 +471,68 @@ def offload_loop(
             )
             if mismatch:
                 blame = last_removed_writer.get(reg_index)
-                if not _keep_fallback(
-                    blame, len(body), "feeds the next iteration through the back edge"
-                ):
-                    raise OffloadError(
-                        f"live-in register mm{reg_index} diverges at the back edge"
-                        " with nothing left to keep"
-                    )
-                changed = True
-                break
-        if not changed:
+                return routes, (
+                    blame,
+                    len(body),
+                    "feeds the next iteration through the back edge",
+                    None,
+                    reg_index,
+                )
+        return routes, None
+
+    # Live-out rule: the last writer of a live-out register must be kept.
+    # These keeps are pinned: re-expansion below must never undo them.
+    last_writer: dict[int, int] = {}
+    for position, instr in enumerate(body):
+        dst = mmx_dest(instr)
+        if dst is not None:
+            last_writer[dst.index] = position
+    pinned: set[int] = set()
+    for reg in live_out:
+        position = last_writer.get(reg.index)
+        if _keep(position, "last writer of a live-out register"):
+            pinned.add(position)
+
+    # Fixed point: verify every kept instruction's operands are reachable,
+    # keeping one more candidate per failing walk.
+    while True:
+        routes, failure = _validate(removed_set)
+        if failure is None:
+            break
+        blame, near, reason, instr, detail = failure
+        if not _keep_fallback(blame, near, reason):
+            if instr is not None:
+                raise OffloadError(
+                    f"cannot reroute {instr.name} (body position {near},"
+                    f" slot {detail}): {reason}; nothing left to keep"
+                )
+            raise OffloadError(
+                f"live-in register mm{detail} diverges at the back edge"
+                " with nothing left to keep"
+            )
+
+    # Re-expansion: the fixed point only ever grows the keep set (that is
+    # what makes it terminate), but blame ordering is path-dependent — a
+    # candidate kept early may become removable once the *real* culprit is
+    # kept later (e.g. once the permute producing a zero byte stays, its
+    # consumers route from it again).  Without this pass a more flexible
+    # interconnect could paradoxically off-load less than a stricter one.
+    # Greedily try returning each unpinned kept candidate to the removal
+    # set; accept whenever the whole walk (including the back edge) still
+    # validates.  Removals only grow here, so the loop terminates.
+    while True:
+        reexpanded = False
+        for position in sorted(kept_reasons, reverse=True):
+            if position in pinned:
+                continue
+            trial = removed_set | {position}
+            trial_routes, failure = _validate(trial)
+            if failure is None:
+                removed_set.add(position)
+                del kept_reasons[position]
+                routes = trial_routes
+                reexpanded = True
+        if not reexpanded:
             break
 
     # --- emit the transformed program -------------------------------------------

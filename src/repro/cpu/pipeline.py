@@ -12,10 +12,17 @@ An SPU can be attached (:mod:`repro.core.integration`); when active it
 reroutes the source operands of each dynamic MMX instruction through the
 crossbar and advances its decoupled controller — the pipeline only asks for
 the routed values, keeping this module independent of the SPU internals.
+
+Telemetry flows through :attr:`Machine.bus` (:mod:`repro.obs.events`): the
+run loop publishes ``run_start``, ``issue``, ``stall``, ``branch`` and
+``run_end`` events, each guarded by a subscriber-list emptiness test so an
+unobserved run pays no event-construction cost.  The legacy single-slot
+``Machine.on_issue`` hook survives as a deprecated shim over the bus.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -28,6 +35,14 @@ from repro.cpu.state import MachineState
 from repro.cpu.stats import RunStats
 from repro.isa.instructions import Instruction, Program
 from repro.isa.registers import Register
+from repro.obs.events import (
+    BranchEvent,
+    EventBus,
+    IssueEvent,
+    RunEndEvent,
+    RunStartEvent,
+    StallEvent,
+)
 
 
 class SPUAttachment(Protocol):
@@ -87,12 +102,49 @@ class Machine:
         self.config = config if config is not None else PipelineConfig()
         self.spu = spu
         self.state = MachineState()
-        #: Optional observer called with each issued instruction, in program
-        #: order (used by the profiler; None = no tracing overhead).
-        self.on_issue = None
+        #: Telemetry: every observer attaches here (see repro.obs.events).
+        #: With no subscribers the per-issue cost is one emptiness test.
+        self.bus = EventBus()
+        self._on_issue_legacy = None
+        self._on_issue_adapter = None
         # Pairing decisions depend only on the two static instructions; the
         # program never changes under a machine, so memoize per pc pair.
         self._pair_cache: dict[tuple[int, int], tuple[bool, str]] = {}
+
+    # ---- legacy hook shim ------------------------------------------------
+
+    @property
+    def on_issue(self):
+        """Deprecated single-slot issue hook (``machine.bus`` replaces it).
+
+        Reads back whatever was assigned (None by default).  Assigning a
+        callable subscribes an adapter to the bus's ``issue`` topic that
+        calls it with the bare instruction, preserving the old signature;
+        assigning ``None`` detaches it.  Only one legacy hook exists at a
+        time — new code should call ``machine.bus.subscribe("issue", fn)``,
+        which supports any number of concurrent observers.
+        """
+        return self._on_issue_legacy
+
+    @on_issue.setter
+    def on_issue(self, fn) -> None:
+        if self._on_issue_adapter is not None:
+            self.bus.unsubscribe("issue", self._on_issue_adapter)
+            self._on_issue_adapter = None
+        self._on_issue_legacy = fn
+        if fn is not None:
+            warnings.warn(
+                "Machine.on_issue is deprecated; use "
+                "machine.bus.subscribe('issue', fn) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+
+            def adapter(event, _fn=fn):
+                _fn(event.instr)
+
+            self._on_issue_adapter = adapter
+            self.bus.subscribe("issue", adapter)
 
     # ---- helpers ---------------------------------------------------------
 
@@ -120,14 +172,26 @@ class Machine:
         cycle: int,
         reg_ready: dict[Register, int],
         stats: RunStats,
+        pipe: str = "U",
     ) -> ExecOutcome:
         routes = self._spu_routes(instr)
         if routes is not None:
             stats.spu_routed += 1
         outcome = execute(instr, self.state, self.memory, self.program, routes)
         stats.record_issue(instr)
-        if self.on_issue is not None:
-            self.on_issue(instr)
+        bus = self.bus
+        if bus.issue:
+            bus.dispatch(
+                "issue",
+                IssueEvent(
+                    seq=stats.instructions - 1,
+                    cycle=cycle,
+                    pc=self.state.pc,
+                    instr=instr,
+                    pipe=pipe,
+                    routed=routes is not None,
+                ),
+            )
         latency = instr.opcode.latency
         if instr.reads_memory:
             latency = max(latency, self.config.memory_latency)
@@ -137,7 +201,7 @@ class Machine:
         return outcome
 
     def _branch_cost(self, instr: Instruction, pc: int, outcome: ExecOutcome,
-                     stats: RunStats) -> int:
+                     stats: RunStats, cycle: int = 0) -> int:
         """Predictor bookkeeping; returns extra cycles for a mispredict."""
         stats.branches += 1
         if instr.opcode.sem == "jmp":
@@ -145,11 +209,24 @@ class Machine:
         else:
             predicted = self.predictor.predict(pc, outcome.target if outcome.target is not None else pc)
             self.predictor.update(pc, outcome.target or pc, outcome.taken)
-        if predicted == outcome.taken:
-            return 0
-        stats.mispredicts += 1
-        penalty = self.config.mispredict_penalty + (1 if self.config.extra_stage else 0)
-        stats.mispredict_cycles += penalty
+        penalty = 0
+        if predicted != outcome.taken:
+            stats.mispredicts += 1
+            penalty = self.config.mispredict_penalty + (1 if self.config.extra_stage else 0)
+            stats.mispredict_cycles += penalty
+        bus = self.bus
+        if bus.branch:
+            bus.dispatch(
+                "branch",
+                BranchEvent(
+                    cycle=cycle,
+                    pc=pc,
+                    taken=outcome.taken,
+                    predicted_taken=predicted,
+                    mispredict=predicted != outcome.taken,
+                    penalty=penalty,
+                ),
+            )
         return penalty
 
     # ---- main loop ---------------------------------------------------------
@@ -164,10 +241,16 @@ class Machine:
         stats = RunStats()
         state = self.state
         program = self.program
+        bus = self.bus
         reg_ready: dict[Register, int] = {}
-        # Pipeline fill for the added SPU interconnect stage (§5.1.1).
-        cycle = 1 if self.config.extra_stage else 0
+        # Pipeline fill for the added SPU interconnect stage (§5.1.1) — the
+        # timeline's initial "drain" cycles.
+        fill = 1 if self.config.extra_stage else 0
+        stats.drain_cycles = fill
+        cycle = fill
         pc = state.pc
+        if bus.run_start:
+            bus.dispatch("run_start", RunStartEvent(program=program.name, fill_cycles=fill))
 
         while not state.halted:
             if cycle > limit:
@@ -183,6 +266,8 @@ class Machine:
 
             ready = self._ready_cycle(instr, reg_ready)
             if ready > cycle:
+                if bus.stall:
+                    bus.dispatch("stall", StallEvent(cycle=cycle, pc=pc, cycles=ready - cycle))
                 stats.stall_cycles += ready - cycle
                 cycle = ready
 
@@ -196,7 +281,7 @@ class Machine:
                 break
 
             if outcome.is_branch:
-                cycle += 1 + self._branch_cost(instr, pc, outcome, stats)
+                cycle += 1 + self._branch_cost(instr, pc, outcome, stats, cycle)
                 stats.solo_cycles += 1
                 if mmx_busy:
                     stats.mmx_busy_cycles += 1
@@ -216,12 +301,12 @@ class Machine:
                 if ok:
                     if self._ready_cycle(follower, reg_ready) <= cycle:
                         state.pc = pc
-                        outcome2 = self._issue(follower, cycle, reg_ready, stats)
+                        outcome2 = self._issue(follower, cycle, reg_ready, stats, "V")
                         paired = True
                         mmx_busy = mmx_busy or follower.is_mmx
                         extra = 0
                         if outcome2.is_branch:
-                            extra = self._branch_cost(follower, pc, outcome2, stats)
+                            extra = self._branch_cost(follower, pc, outcome2, stats, cycle)
                         pc = outcome2.next_pc
                         cycle += 1 + extra
                     else:
@@ -242,6 +327,16 @@ class Machine:
 
         stats.cycles = cycle
         stats.finished = state.halted
+        if bus.run_end:
+            bus.dispatch(
+                "run_end",
+                RunEndEvent(
+                    program=program.name,
+                    cycles=stats.cycles,
+                    instructions=stats.instructions,
+                    finished=stats.finished,
+                ),
+            )
         return stats
 
     def step_functional(self) -> Instruction | None:
@@ -260,8 +355,20 @@ class Machine:
         instr = self.program[state.pc]
         routes = self._spu_routes(instr)
         outcome = execute(instr, state, self.memory, self.program, routes)
-        if self.on_issue is not None:
-            self.on_issue(instr)
+        bus = self.bus
+        if bus.issue:
+            # Functional stepping has no timing model: cycle/seq are -1.
+            bus.dispatch(
+                "issue",
+                IssueEvent(
+                    seq=-1,
+                    cycle=-1,
+                    pc=state.pc,
+                    instr=instr,
+                    pipe="U",
+                    routed=routes is not None,
+                ),
+            )
         state.pc = outcome.next_pc
         return instr
 

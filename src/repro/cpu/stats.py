@@ -30,6 +30,9 @@ class RunStats:
     mispredict_cycles: int = 0
     #: Cycles lost waiting on not-yet-ready source registers.
     stall_cycles: int = 0
+    #: Pipeline-fill cycles charged before the first issue (the SPU's extra
+    #: interconnect stage, §5.1.1) — the attribution timeline's "drain".
+    drain_cycles: int = 0
     #: Issue cycles in which two instructions paired / one issued alone.
     pair_cycles: int = 0
     solo_cycles: int = 0
@@ -74,6 +77,32 @@ class RunStats:
         """Permutation instructions as a fraction of all instructions."""
         return self.permutes / self.instructions if self.instructions else 0.0
 
+    @property
+    def attributed_cycles(self) -> int:
+        """Sum of the per-stage cycle attribution categories.
+
+        Invariant: equals :attr:`cycles` for every completed run — each
+        simulated cycle is exactly one of pair-issue, solo-issue, data-stall,
+        mispredict-bubble or drain (see ``docs/observability.md``).
+        """
+        return (
+            self.pair_cycles
+            + self.solo_cycles
+            + self.stall_cycles
+            + self.mispredict_cycles
+            + self.drain_cycles
+        )
+
+    def attribution(self) -> dict[str, int]:
+        """Cycles per attribution category (keys match obs.CATEGORIES)."""
+        return {
+            "pair_issue": self.pair_cycles,
+            "solo_issue": self.solo_cycles,
+            "data_stall": self.stall_cycles,
+            "mispredict_bubble": self.mispredict_cycles,
+            "drain": self.drain_cycles,
+        }
+
     def record_issue(self, instr) -> None:
         """Account one issued instruction (class, permute and MMX counts)."""
         self.instructions += 1
@@ -96,8 +125,10 @@ class RunStats:
             "mispredict_rate": self.mispredict_rate,
             "mispredict_cycles": self.mispredict_cycles,
             "stall_cycles": self.stall_cycles,
+            "drain_cycles": self.drain_cycles,
             "pair_cycles": self.pair_cycles,
             "solo_cycles": self.solo_cycles,
+            "cycle_attribution": self.attribution(),
             "mmx_busy_cycles": self.mmx_busy_cycles,
             "mmx_busy_fraction": self.mmx_busy_fraction,
             "ipc": self.ipc,

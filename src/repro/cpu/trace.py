@@ -1,9 +1,15 @@
 """Execution tracing: a human-readable issue-by-issue pipeline log.
 
-Wraps a :class:`~repro.cpu.pipeline.Machine` run and records, per issued
-instruction: the dynamic index, program counter, rendered instruction, and
-whether the SPU routed its operands.  Intended for debugging kernels and the
-off-load pass — the textual rendering reads like a pipeline listing.
+Subscribes to the machine's event bus (``issue`` topic) and records, per
+issued instruction: the dynamic index, issue cycle, pipe, program counter,
+rendered instruction, and whether the SPU routed its operands.  Intended for
+debugging kernels and the off-load pass — the textual rendering reads like a
+pipeline listing, and :func:`repro.obs.export.trace_records` turns a trace
+into JSONL.
+
+Routed-ness comes straight from the pipeline's :class:`IssueEvent` (the
+pipeline knows whether the SPU returned routes for the instruction), not
+from the fragile counter-delta inference the pre-bus tracer used.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ class TraceEntry:
     text: str
     is_mmx: bool
     routed: bool
+    cycle: int = -1
+    pipe: str = "U"
 
     def render(self) -> str:
         flag = "R" if self.routed else ("M" if self.is_mmx else " ")
@@ -59,35 +67,29 @@ def trace_run(machine: Machine, max_cycles: int | None = None,
               max_entries: int = 100_000) -> Trace:
     """Run *machine* to completion while recording a :class:`Trace`.
 
-    Routed-ness is derived from the attached SPU's routed-instruction
-    counter delta, so the trace needs no changes to the pipeline.
+    A plain bus subscription: any number of other observers (profiler,
+    timeline, legacy ``on_issue`` hooks) can watch the same run, and they
+    all detach independently.
     """
     trace = Trace()
-    previous_hook = machine.on_issue
-    spu = machine.spu
 
-    def hook(instr) -> None:
-        routed = False
-        if spu is not None and hasattr(spu, "stats"):
-            routed = spu.stats.routed_instructions > hook.last_routed
-            hook.last_routed = spu.stats.routed_instructions
+    def on_issue(event) -> None:
         if len(trace.entries) < max_entries:
             trace.entries.append(
                 TraceEntry(
-                    seq=len(trace.entries),
-                    pc=machine.state.pc,
-                    text=str(instr).split(": ")[-1],
-                    is_mmx=instr.is_mmx,
-                    routed=routed,
+                    seq=event.seq,
+                    pc=event.pc,
+                    text=str(event.instr).split(": ")[-1],
+                    is_mmx=event.instr.is_mmx,
+                    routed=event.routed,
+                    cycle=event.cycle,
+                    pipe=event.pipe,
                 )
             )
-        if previous_hook is not None:
-            previous_hook(instr)
 
-    hook.last_routed = spu.stats.routed_instructions if spu is not None and hasattr(spu, "stats") else 0
-    machine.on_issue = hook
+    unsubscribe = machine.bus.subscribe("issue", on_issue)
     try:
         trace.stats = machine.run(max_cycles=max_cycles)
     finally:
-        machine.on_issue = previous_hook
+        unsubscribe()
     return trace

@@ -45,3 +45,34 @@ class ExperimentSuite:
         """Bit-exact verification of every kernel in the suite."""
         for name in self.kernel_names:
             self.kernel(name).verify()
+
+    # ---- observability ------------------------------------------------------
+
+    def profile(self, name: str, variants: tuple[str, ...] = ("mmx", "spu")):
+        """Schema-versioned profile report for one suite kernel.
+
+        Same document as ``repro profile <name> --json`` (kind
+        ``kernel-profile``): instruction mix, cycle attribution and SPU
+        controller occupancy per variant.
+        """
+        from repro.obs.export import kernel_profile_report
+
+        return kernel_profile_report(self.kernel(name), variants)
+
+    def metrics(self, namespace: str = "suite"):
+        """Flatten every cached comparison into a :class:`MetricsRegistry`.
+
+        Exports ``<namespace>.<kernel>.{mmx,spu}.*`` counters plus the
+        derived speedup, ready for ``envelope("metrics", ...)`` export.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(namespace=namespace)
+        for name, comparison in self.comparisons().items():
+            registry.observe_stats(f"{name}.mmx", comparison.mmx)
+            registry.observe_stats(f"{name}.spu", comparison.spu)
+            registry.set(f"{name}.speedup", comparison.speedup, unit="x",
+                         help="MMX cycles / MMX+SPU cycles")
+            registry.set(f"{name}.removed_permutes", comparison.removed_permutes,
+                         help="static permutes off-loaded to the SPU")
+        return registry

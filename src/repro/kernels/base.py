@@ -208,6 +208,21 @@ class Kernel(abc.ABC):
         self.prepare(machine)
         return machine
 
+    def machine(self, variant: str = "mmx",
+                pipeline: PipelineConfig | None = None) -> Machine:
+        """A prepared, unrun :class:`Machine` for one variant.
+
+        The public entry point for observers: build the machine, subscribe
+        to ``machine.bus``, then drive it yourself (used by ``repro
+        profile`` / ``repro trace`` and :mod:`repro.obs.export`).
+        """
+        if variant == "mmx":
+            return self._machine(self.mmx_program(), None, pipeline)
+        if variant == "spu":
+            program, controller_programs = self.spu_programs()
+            return self._machine(program, controller_programs, pipeline)
+        raise KernelError(f"unknown variant {variant!r}; use 'mmx' or 'spu'")
+
     def run_mmx(self, pipeline: PipelineConfig | None = None) -> tuple[RunStats, np.ndarray]:
         """Run the MMX-only variant; returns (stats, output)."""
         machine = self._machine(self.mmx_program(), None, pipeline)

@@ -1,0 +1,69 @@
+"""repro.obs — the instrumentation subsystem.
+
+A unified telemetry layer for the simulator: a multi-subscriber event bus
+(:mod:`repro.obs.events`) replaces the old single-slot ``Machine.on_issue``
+hook; per-stage cycle attribution (:mod:`repro.obs.attribution`) tags every
+simulated cycle as pair-issue / solo-issue / data-stall / mispredict-bubble /
+drain; SPU controller tracing (:mod:`repro.obs.spu`) records the microprogram
+state machine's transitions, loop counters and GO/idle occupancy; a metrics
+registry plus JSON/JSONL exporters (:mod:`repro.obs.metrics`,
+:mod:`repro.obs.export`) turn all of it into machine-readable reports.
+
+The modules here deliberately avoid module-level imports from the simulator
+packages (``repro.cpu``, ``repro.core``, ``repro.kernels``): the pipeline's
+hot loop imports :mod:`repro.obs.events`, so everything else stays lazy to
+keep the import graph acyclic.
+
+See ``docs/observability.md`` for the event and schema reference.
+"""
+
+from repro.obs.events import (
+    TOPICS,
+    BranchEvent,
+    ControllerStepEvent,
+    EventBus,
+    IssueEvent,
+    RunEndEvent,
+    RunStartEvent,
+    SPURouteEvent,
+    StallEvent,
+    SubscriberError,
+)
+from repro.obs.attribution import CATEGORIES, CycleAttribution, CycleSegment
+from repro.obs.spu import ControllerTrace
+from repro.obs.metrics import Metric, MetricsRegistry
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    envelope,
+    kernel_profile_report,
+    resolve_kernel_name,
+    trace_records,
+    write_json,
+    write_jsonl,
+)
+
+__all__ = [
+    "TOPICS",
+    "BranchEvent",
+    "ControllerStepEvent",
+    "EventBus",
+    "IssueEvent",
+    "RunEndEvent",
+    "RunStartEvent",
+    "SPURouteEvent",
+    "StallEvent",
+    "SubscriberError",
+    "CATEGORIES",
+    "CycleAttribution",
+    "CycleSegment",
+    "ControllerTrace",
+    "Metric",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "envelope",
+    "kernel_profile_report",
+    "resolve_kernel_name",
+    "trace_records",
+    "write_json",
+    "write_jsonl",
+]

@@ -1,0 +1,188 @@
+"""Per-stage cycle attribution: a timeline built from bus events.
+
+Every simulated cycle belongs to exactly one category:
+
+``pair_issue``
+    An issue cycle in which both the U and the V pipe executed.
+``solo_issue``
+    An issue cycle with a single instruction (pairing failed, a branch, the
+    final ``halt``, or ``issue_width=1``).
+``data_stall``
+    Cycles spent waiting on a not-yet-ready source register.
+``mispredict_bubble``
+    Pipeline-refill cycles after a mispredicted branch.
+``drain``
+    Pipeline-fill cycles charged before the first issue (the SPU's extra
+    interconnect stage).
+
+The per-category sums live in :class:`repro.cpu.stats.RunStats`
+(``pair_cycles``, ``solo_cycles``, ``stall_cycles``, ``mispredict_cycles``,
+``drain_cycles``; see :meth:`RunStats.attribution`) and always satisfy the
+invariant ``sum(categories) == RunStats.cycles`` for a completed run.  This
+module adds the *timeline* view: an ordered, run-length-encoded list of
+:class:`CycleSegment` reconstructed by subscribing to the ``run_start``,
+``issue``, ``stall`` and ``branch`` topics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.events import BranchEvent, IssueEvent, RunStartEvent, StallEvent
+
+#: Attribution categories, in timeline-priority order.
+CATEGORIES = (
+    "pair_issue",
+    "solo_issue",
+    "data_stall",
+    "mispredict_bubble",
+    "drain",
+)
+
+
+@dataclass(slots=True)
+class CycleSegment:
+    """A run of consecutive cycles with one attribution category."""
+
+    start: int
+    length: int
+    category: str
+
+    @property
+    def end(self) -> int:
+        """One past the last cycle of the segment."""
+        return self.start + self.length
+
+    def as_dict(self) -> dict:
+        return {"start": self.start, "length": self.length, "category": self.category}
+
+
+class CycleAttribution:
+    """Event-bus subscriber reconstructing the cycle timeline of one run.
+
+    Usage::
+
+        timeline = CycleAttribution().attach(machine)
+        stats = machine.run()
+        assert timeline.total_cycles() == stats.cycles
+        timeline.detach()
+
+    Issue cycles are recorded as ``solo_issue`` when the first (U-pipe) issue
+    of a cycle arrives and upgraded in place to ``pair_issue`` if a V-pipe
+    issue follows at the same cycle.  Adjacent same-category segments merge,
+    so tight loops compress to a handful of segments.
+    """
+
+    def __init__(self, max_segments: int = 1_000_000) -> None:
+        self.segments: list[CycleSegment] = []
+        self.max_segments = max_segments
+        #: Segments dropped after :attr:`max_segments` was reached (their
+        #: cycles are still counted in :attr:`overflow_totals`).
+        self.truncated = False
+        self.overflow_totals: dict[str, int] = {}
+        self._last_issue_cycle = -1
+        self._unsubscribes: list = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, machine) -> "CycleAttribution":
+        """Subscribe to *machine*'s bus; returns ``self`` for chaining."""
+        bus = machine.bus
+        self._unsubscribes = [
+            bus.subscribe("run_start", self._on_run_start),
+            bus.subscribe("issue", self._on_issue),
+            bus.subscribe("stall", self._on_stall),
+            bus.subscribe("branch", self._on_branch),
+        ]
+        return self
+
+    def detach(self) -> None:
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes = []
+
+    # -- event handlers -------------------------------------------------------
+
+    def _on_run_start(self, event: RunStartEvent) -> None:
+        self.segments.clear()
+        self.overflow_totals.clear()
+        self.truncated = False
+        self._last_issue_cycle = -1
+        if event.fill_cycles:
+            self._append(0, event.fill_cycles, "drain")
+
+    def _on_issue(self, event: IssueEvent) -> None:
+        if event.cycle == self._last_issue_cycle:
+            # V-pipe partner: upgrade the cycle recorded for the U issue.
+            self._upgrade_to_pair(event.cycle)
+            return
+        self._last_issue_cycle = event.cycle
+        self._append(event.cycle, 1, "solo_issue")
+
+    def _on_stall(self, event: StallEvent) -> None:
+        self._append(event.cycle, event.cycles, "data_stall")
+
+    def _on_branch(self, event: BranchEvent) -> None:
+        if event.penalty:
+            # The bubble follows the branch's own issue cycle.
+            self._append(event.cycle + 1, event.penalty, "mispredict_bubble")
+
+    # -- segment bookkeeping --------------------------------------------------
+
+    def _append(self, start: int, length: int, category: str) -> None:
+        segments = self.segments
+        if segments:
+            last = segments[-1]
+            if last.category == category and last.end == start:
+                last.length += length
+                return
+        if len(segments) >= self.max_segments:
+            self.truncated = True
+            totals = self.overflow_totals
+            totals[category] = totals.get(category, 0) + length
+            return
+        segments.append(CycleSegment(start, length, category))
+
+    def _upgrade_to_pair(self, cycle: int) -> None:
+        last = self.segments[-1] if self.segments else None
+        if last is None or last.end != cycle + 1:
+            # The solo cycle overflowed into overflow_totals; recategorize.
+            totals = self.overflow_totals
+            if totals.get("solo_issue", 0) > 0:
+                totals["solo_issue"] -= 1
+                totals["pair_issue"] = totals.get("pair_issue", 0) + 1
+            return
+        if last.length == 1:
+            last.category = "pair_issue"
+            # Merge backwards if the previous segment is also pair_issue.
+            if len(self.segments) >= 2:
+                prev = self.segments[-2]
+                if prev.category == "pair_issue" and prev.end == last.start:
+                    prev.length += last.length
+                    self.segments.pop()
+        else:
+            last.length -= 1
+            self.segments.append(CycleSegment(cycle, 1, "pair_issue"))
+
+    # -- views ----------------------------------------------------------------
+
+    def totals(self) -> dict[str, int]:
+        """Cycles per category (timeline + any overflowed remainder)."""
+        totals = {category: 0 for category in CATEGORIES}
+        for segment in self.segments:
+            totals[segment.category] += segment.length
+        for category, length in self.overflow_totals.items():
+            totals[category] += length
+        return totals
+
+    def total_cycles(self) -> int:
+        return sum(self.totals().values())
+
+    def as_dict(self) -> dict:
+        """JSON-friendly timeline summary."""
+        return {
+            "totals": self.totals(),
+            "total_cycles": self.total_cycles(),
+            "segments": [segment.as_dict() for segment in self.segments],
+            "truncated": self.truncated,
+        }

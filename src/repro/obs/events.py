@@ -1,0 +1,213 @@
+"""The simulator's event bus and its event types.
+
+The bus replaces the old single-slot ``Machine.on_issue`` hook: any number of
+subscribers can observe a run concurrently, subscribers can attach and detach
+mid-run, and a subscriber that raises does not corrupt the simulation (the
+error is recorded on :attr:`EventBus.errors` and the offender is dropped).
+
+Dispatch is designed around the pipeline's hot issue loop: each topic is a
+plain list attribute on the bus, so the no-subscriber case costs one
+attribute load plus an emptiness test per emission site — no event object is
+even constructed.  Emitters follow the pattern::
+
+    bus = self.bus
+    if bus.issue:
+        bus.dispatch("issue", IssueEvent(...))
+
+This module must stay import-light: :mod:`repro.cpu.pipeline` imports it, so
+nothing here may import from ``repro.cpu``/``repro.core``/``repro.kernels``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Every topic the simulator emits, in rough pipeline order.
+TOPICS = (
+    "run_start",
+    "issue",
+    "stall",
+    "branch",
+    "spu_route",
+    "controller_step",
+    "run_end",
+)
+
+
+# ---- event payloads ----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RunStartEvent:
+    """A :meth:`Machine.run` invocation began."""
+
+    program: str
+    #: Pipeline-fill cycles charged before the first issue (the SPU's extra
+    #: interconnect stage, §5.1.1) — the timeline's initial ``drain`` segment.
+    fill_cycles: int
+
+
+@dataclass(frozen=True, slots=True)
+class IssueEvent:
+    """One dynamic instruction issued (U or V pipe)."""
+
+    seq: int
+    cycle: int
+    pc: int
+    instr: Any
+    #: ``"U"`` for the first issue of a cycle, ``"V"`` for a paired follower.
+    pipe: str
+    #: True when the SPU rerouted at least one source operand.
+    routed: bool
+
+
+@dataclass(frozen=True, slots=True)
+class StallEvent:
+    """The next instruction waited on a not-yet-ready source register."""
+
+    cycle: int
+    pc: int
+    cycles: int
+
+
+@dataclass(frozen=True, slots=True)
+class BranchEvent:
+    """A branch resolved (every branch, mispredicted or not)."""
+
+    cycle: int
+    pc: int
+    taken: bool
+    predicted_taken: bool
+    mispredict: bool
+    #: Bubble cycles charged (0 on a correct prediction).
+    penalty: int
+
+
+@dataclass(frozen=True, slots=True)
+class SPURouteEvent:
+    """The attached SPU rerouted operands of one dynamic instruction."""
+
+    pc: int
+    instr: str
+    #: Operand slots that received crossbar values.
+    slots: tuple[int, ...]
+    #: Controller state that emitted the routes.
+    state_index: int
+
+
+@dataclass(frozen=True, slots=True)
+class ControllerStepEvent:
+    """The decoupled controller advanced one dynamic MMX instruction."""
+
+    context: int
+    state_index: int
+    next_index: int
+    #: Loop-counter values *after* the step (post-decrement / post-reload).
+    counters: tuple[int, int]
+    #: True when the emitted state carried operand routes.
+    routed: bool
+    #: True when this step landed on the idle state (SPU disabled itself).
+    went_idle: bool
+
+
+@dataclass(frozen=True, slots=True)
+class RunEndEvent:
+    """A :meth:`Machine.run` invocation finished (also on abort)."""
+
+    program: str
+    cycles: int
+    instructions: int
+    finished: bool
+
+
+@dataclass(frozen=True, slots=True)
+class SubscriberError:
+    """A subscriber raised during dispatch; it has been unsubscribed."""
+
+    topic: str
+    subscriber: Callable
+    error: BaseException
+
+
+# ---- the bus -----------------------------------------------------------------
+
+
+class EventBus:
+    """Multi-subscriber dispatch with per-topic subscriber lists."""
+
+    __slots__ = TOPICS + ("errors",)
+
+    def __init__(self) -> None:
+        for topic in TOPICS:
+            setattr(self, topic, [])
+        #: :class:`SubscriberError` records, oldest first.
+        self.errors: list[SubscriberError] = []
+
+    # -- subscription management --------------------------------------------
+
+    def subscribers(self, topic: str) -> list:
+        """The live subscriber list for *topic* (raises on unknown topics)."""
+        if topic not in TOPICS:
+            raise ValueError(f"unknown topic {topic!r}; choose from {TOPICS}")
+        return getattr(self, topic)
+
+    def subscribe(self, topic: str, fn: Callable) -> Callable[[], None]:
+        """Attach *fn* to *topic*; returns a zero-arg unsubscribe callable.
+
+        The same callable may be subscribed to several topics (or twice to
+        one — it will then run twice per event).  Unsubscribing is idempotent.
+        """
+        listeners = self.subscribers(topic)
+        listeners.append(fn)
+
+        def unsubscribe() -> None:
+            try:
+                listeners.remove(fn)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def unsubscribe(self, topic: str, fn: Callable) -> None:
+        """Detach *fn* from *topic* (no-op when not subscribed)."""
+        try:
+            self.subscribers(topic).remove(fn)
+        except ValueError:
+            pass
+
+    def has_subscribers(self, topic: str | None = None) -> bool:
+        if topic is not None:
+            return bool(self.subscribers(topic))
+        return any(getattr(self, name) for name in TOPICS)
+
+    def clear(self, topic: str | None = None) -> None:
+        """Drop all subscribers of *topic* (or of every topic)."""
+        for name in TOPICS if topic is None else (topic,):
+            del self.subscribers(name)[:]
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, topic: str, event) -> None:
+        """Deliver *event* to every subscriber of *topic*.
+
+        Iterates over a snapshot, so subscribers may unsubscribe (themselves
+        or others) mid-dispatch.  A raising subscriber is recorded on
+        :attr:`errors` and dropped — one faulty observer cannot corrupt the
+        run or storm the error log.
+        """
+        listeners = getattr(self, topic)
+        for fn in tuple(listeners):
+            try:
+                fn(event)
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                self.errors.append(SubscriberError(topic, fn, exc))
+                try:
+                    listeners.remove(fn)
+                except ValueError:
+                    pass
+
+    def emit(self, topic: str, event) -> None:
+        """Validated dispatch for cold paths (hot paths inline the check)."""
+        if self.subscribers(topic):
+            self.dispatch(topic, event)

@@ -1,0 +1,175 @@
+"""Machine-readable exporters: schema-versioned JSON and JSONL.
+
+Every exported document is wrapped in an :func:`envelope`::
+
+    {"schema": "repro.obs/1", "kind": "<document kind>", "data": {...}}
+
+so consumers can dispatch on ``kind`` and detect format drift via ``schema``.
+The documented kinds are:
+
+``kernel-profile``
+    :func:`kernel_profile_report` — per-variant instruction mix, cycle
+    attribution and SPU controller occupancy for one kernel (the payload of
+    ``repro profile <kernel> --json``).
+``trace``
+    One JSONL record per issued instruction (``repro trace --jsonl``).
+``benchmark``
+    Structured benchmark results (``benchmarks/results/BENCH_*.json``).
+``metrics``
+    A flat :class:`repro.obs.metrics.MetricsRegistry` dump.
+
+See ``docs/observability.md`` for the field-level schema.
+
+Imports from the simulator packages happen inside functions: the pipeline
+imports :mod:`repro.obs.events`, so this module must not import
+``repro.kernels``/``repro.analysis`` at import time.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator
+
+SCHEMA_VERSION = "repro.obs/1"
+
+
+def envelope(kind: str, data: dict, **extra) -> dict:
+    """Wrap *data* in the versioned export envelope."""
+    return {"schema": SCHEMA_VERSION, "kind": kind, **extra, "data": data}
+
+
+def write_json(path: str | Path, payload: dict, indent: int = 2) -> Path | None:
+    """Serialize *payload* to *path* (``"-"`` writes to stdout; returns None)."""
+    text = json.dumps(payload, indent=indent, sort_keys=False, default=str)
+    if str(path) == "-":
+        sys.stdout.write(text + "\n")
+        return None
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text + "\n")
+    return target
+
+
+def write_jsonl(path: str | Path, records: Iterable[dict]) -> Path | None:
+    """One compact JSON document per line (``"-"`` streams to stdout)."""
+    lines = (json.dumps(record, separators=(",", ":"), default=str) for record in records)
+    if str(path) == "-":
+        for line in lines:
+            sys.stdout.write(line + "\n")
+        return None
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as fp:
+        for line in lines:
+            fp.write(line + "\n")
+    return target
+
+
+# ---- kernel name resolution ---------------------------------------------------
+
+
+def resolve_kernel_name(text: str) -> str:
+    """Resolve a forgiving kernel spelling to its registry name.
+
+    Accepts the exact registry name, any case-insensitive form, or a unique
+    case-insensitive prefix — so ``repro profile dotprod`` finds
+    ``DotProduct``.
+    """
+    from repro.errors import KernelError
+    from repro.kernels import ALL_KERNELS
+
+    if text in ALL_KERNELS:
+        return text
+    folded = text.casefold()
+    matches = [name for name in ALL_KERNELS if name.casefold() == folded]
+    if not matches:
+        matches = [name for name in ALL_KERNELS if name.casefold().startswith(folded)]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        raise KernelError(f"kernel {text!r} is ambiguous: {sorted(matches)}")
+    raise KernelError(
+        f"unknown kernel {text!r}; choose from {sorted(ALL_KERNELS)}"
+    )
+
+
+# ---- kernel profile reports ---------------------------------------------------
+
+
+def variant_report(kernel, variant: str) -> dict:
+    """Profile one kernel variant (``"mmx"`` or ``"spu"``) end to end.
+
+    Runs the variant once with an instruction profiler, the cycle-attribution
+    timeline and (for the SPU variant) the controller tracer all subscribed
+    to the same bus — the multi-subscriber path the event bus exists for.
+    """
+    from repro.analysis.profiler import profile
+    from repro.obs.attribution import CycleAttribution
+    from repro.obs.spu import ControllerTrace
+
+    machine = kernel.machine(variant)
+    timeline = CycleAttribution().attach(machine)
+    controller_trace = ControllerTrace().attach(machine) if variant == "spu" else None
+    prof = profile(machine)
+    stats = prof.stats
+
+    report = {
+        "variant": variant,
+        "stats": stats.as_dict(),
+        "instruction_mix": prof.as_dict(),
+        "cycle_attribution": {
+            **stats.attribution(),
+            "total_cycles": stats.cycles,
+            "attributed_cycles": stats.attributed_cycles,
+            "timeline": {
+                "totals": timeline.totals(),
+                "segments": len(timeline.segments),
+                "truncated": timeline.truncated,
+            },
+        },
+    }
+    if controller_trace is not None:
+        report["controller"] = controller_trace.as_dict()
+    timeline.detach()
+    if controller_trace is not None:
+        controller_trace.detach()
+    return report
+
+
+def kernel_profile_report(kernel, variants: tuple[str, ...] = ("mmx", "spu")) -> dict:
+    """The full ``kernel-profile`` document body for one kernel."""
+    body: dict = {
+        "kernel": kernel.name,
+        "description": kernel.description,
+        "config": kernel.config.name,
+        "variants": {variant: variant_report(kernel, variant) for variant in variants},
+    }
+    if {"mmx", "spu"} <= set(variants):
+        mmx = body["variants"]["mmx"]["stats"]
+        spu = body["variants"]["spu"]["stats"]
+        body["comparison"] = {
+            "speedup": mmx["cycles"] / spu["cycles"] if spu["cycles"] else 0.0,
+            "cycles_saved": mmx["cycles"] - spu["cycles"],
+            "instructions_saved": mmx["instructions"] - spu["instructions"],
+            "removed_permutes": kernel.removed_permutes,
+        }
+    return envelope("kernel-profile", body)
+
+
+# ---- trace export -------------------------------------------------------------
+
+
+def trace_records(trace) -> Iterator[dict]:
+    """Per-issue JSONL records for a :class:`repro.cpu.trace.Trace`."""
+    for entry in trace.entries:
+        yield {
+            "seq": entry.seq,
+            "cycle": entry.cycle,
+            "pc": entry.pc,
+            "pipe": entry.pipe,
+            "text": entry.text,
+            "is_mmx": entry.is_mmx,
+            "routed": entry.routed,
+        }

@@ -1,0 +1,86 @@
+"""A small metrics registry: named, documented, JSON-exportable values.
+
+Benchmarks and experiments register their headline numbers here instead of
+formatting ad-hoc text, so every run can be exported through
+:mod:`repro.obs.export` and diffed across commits.  Metrics are flat
+name → value pairs with optional unit and help strings; namespacing is by
+dotted prefix convention (``fig9.MatrixTranspose.speedup``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Metric:
+    """One registered value."""
+
+    name: str
+    value: object
+    unit: str = ""
+    help: str = ""
+
+    def as_dict(self) -> dict:
+        data = {"name": self.name, "value": self.value}
+        if self.unit:
+            data["unit"] = self.unit
+        if self.help:
+            data["help"] = self.help
+        return data
+
+
+@dataclass
+class MetricsRegistry:
+    """Ordered name → :class:`Metric` mapping."""
+
+    namespace: str = ""
+    _metrics: dict[str, Metric] = field(default_factory=dict)
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.namespace}.{name}" if self.namespace else name
+
+    def set(self, name: str, value, unit: str = "", help: str = "") -> Metric:
+        """Register (or overwrite) one metric; returns it."""
+        metric = Metric(self._qualify(name), value, unit, help)
+        self._metrics[metric.name] = metric
+        return metric
+
+    def inc(self, name: str, amount: int = 1) -> Metric:
+        """Increment a counter metric (created at 0 when missing)."""
+        qualified = self._qualify(name)
+        metric = self._metrics.get(qualified)
+        if metric is None:
+            metric = Metric(qualified, 0)
+            self._metrics[qualified] = metric
+        metric.value += amount
+        return metric
+
+    def get(self, name: str):
+        return self._metrics[self._qualify(name)].value
+
+    def observe_stats(self, prefix: str, stats) -> None:
+        """Flatten a :class:`RunStats`-like object (``as_dict``) into metrics."""
+        for key, value in stats.as_dict().items():
+            if isinstance(value, dict):
+                for inner, count in value.items():
+                    self.set(f"{prefix}.{key}.{inner}", count)
+            else:
+                self.set(f"{prefix}.{key}", value)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return self._qualify(name) in self._metrics
+
+    def as_dict(self) -> dict:
+        """Flat ``{name: value}`` view (the JSON export payload)."""
+        return {name: metric.value for name, metric in self._metrics.items()}
+
+    def describe(self) -> list[dict]:
+        """Full metric records including units and help strings."""
+        return [metric.as_dict() for metric in self._metrics.values()]

@@ -1,0 +1,117 @@
+"""Cycle attribution: every simulated cycle lands in exactly one category."""
+
+import pytest
+
+from repro.cpu import Bimodal, Machine, PipelineConfig
+from repro.isa import assemble
+from repro.kernels import make_kernel
+from repro.obs import CATEGORIES, CycleAttribution
+
+
+def attributed_run(source, **kwargs):
+    machine = Machine(assemble(source), **kwargs)
+    timeline = CycleAttribution().attach(machine)
+    stats = machine.run()
+    return stats, timeline
+
+
+def assert_consistent(stats, timeline):
+    """The central invariant: categories partition RunStats.cycles."""
+    assert stats.attributed_cycles == stats.cycles
+    assert sum(stats.attribution().values()) == stats.cycles
+    assert timeline.totals() == stats.attribution()
+    assert timeline.total_cycles() == stats.cycles
+    # The timeline is an ordered, non-overlapping partition.
+    position = 0
+    for segment in timeline.segments:
+        assert segment.category in CATEGORIES
+        assert segment.length > 0
+        assert segment.start >= position
+        position = segment.end
+    assert position <= stats.cycles
+
+
+class TestSmallPrograms:
+    def test_solo_only(self):
+        stats, timeline = attributed_run("nop\nnop\nhalt")
+        assert_consistent(stats, timeline)
+        assert timeline.totals()["solo_issue"] == stats.cycles
+
+    def test_pairing_cycles(self):
+        stats, timeline = attributed_run("paddw mm0, mm1\npsubw mm2, mm3\nhalt")
+        assert_consistent(stats, timeline)
+        assert timeline.totals()["pair_issue"] == stats.pair_cycles == 1
+
+    def test_data_stall_cycles(self):
+        stats, timeline = attributed_run("pmullw mm0, mm1\npaddw mm2, mm0\nhalt")
+        assert_consistent(stats, timeline)
+        assert timeline.totals()["data_stall"] == stats.stall_cycles == 2
+
+    def test_mispredict_bubbles(self):
+        stats, timeline = attributed_run(
+            "mov r0, 100\ntop: nop\nloop r0, top\nhalt", predictor=Bimodal()
+        )
+        assert_consistent(stats, timeline)
+        assert stats.mispredicts == 1
+        assert timeline.totals()["mispredict_bubble"] == stats.mispredict_cycles > 0
+
+    def test_extra_stage_charges_drain(self):
+        stats, timeline = attributed_run(
+            "nop\nhalt", config=PipelineConfig(extra_stage=True)
+        )
+        assert_consistent(stats, timeline)
+        assert stats.drain_cycles == 1
+        assert timeline.segments[0].category == "drain"
+
+    def test_no_extra_stage_no_drain(self):
+        stats, timeline = attributed_run("nop\nhalt")
+        assert stats.drain_cycles == 0
+        assert timeline.totals()["drain"] == 0
+
+    def test_reattached_run_resets_timeline(self):
+        machine = Machine(assemble("nop\nnop\nhalt"))
+        timeline = CycleAttribution().attach(machine)
+        machine.run()
+        machine.reset()
+        stats = machine.run()
+        assert_consistent(stats, timeline)
+
+    def test_detach_stops_recording(self):
+        machine = Machine(assemble("nop\nnop\nhalt"))
+        timeline = CycleAttribution().attach(machine)
+        timeline.detach()
+        machine.run()
+        assert timeline.segments == []
+
+
+class TestTruncation:
+    def test_overflow_preserves_totals(self):
+        source = "mov r0, 40\ntop: pmullw mm0, mm1\npaddw mm2, mm0\nloop r0, top\nhalt"
+        machine = Machine(assemble(source))
+        timeline = CycleAttribution(max_segments=4).attach(machine)
+        stats = machine.run()
+        assert timeline.truncated
+        assert len(timeline.segments) == 4
+        assert timeline.totals() == stats.attribution()
+        assert timeline.total_cycles() == stats.cycles
+
+    def test_as_dict_reports_truncation(self):
+        machine = Machine(assemble("nop\n" * 10 + "halt"))
+        timeline = CycleAttribution(max_segments=1).attach(machine)
+        machine.run()
+        data = timeline.as_dict()
+        assert data["total_cycles"] == sum(data["totals"].values())
+        # nop runs merge, so one segment may suffice; totals must still agree.
+        assert set(data["totals"]) == set(CATEGORIES)
+
+
+@pytest.mark.parametrize("name", ["DotProduct", "MatrixTranspose", "FIR12"])
+@pytest.mark.parametrize("variant", ["mmx", "spu"])
+class TestKernelInvariant:
+    def test_attribution_partitions_cycles(self, name, variant):
+        machine = make_kernel(name).machine(variant)
+        timeline = CycleAttribution().attach(machine)
+        stats = machine.run()
+        assert_consistent(stats, timeline)
+        if variant == "spu":
+            assert stats.drain_cycles == 1  # the extra interconnect stage

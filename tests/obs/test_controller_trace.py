@@ -1,0 +1,84 @@
+"""SPU controller tracing: occupancy, transitions and loop counters."""
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.obs import ControllerTrace
+
+
+@pytest.fixture(scope="module")
+def traced_dotprod():
+    machine = make_kernel("DotProduct").machine("spu")
+    trace = ControllerTrace().attach(machine)
+    stats = machine.run()
+    return machine, trace, stats
+
+
+class TestControllerTrace:
+    def test_steps_once_per_active_instruction(self, traced_dotprod):
+        machine, trace, stats = traced_dotprod
+        assert 0 < trace.steps <= trace.issues == stats.instructions
+        assert 0.0 < trace.go_occupancy <= 1.0
+        assert sum(trace.steps_by_context.values()) == trace.steps
+
+    def test_occupancy_and_transitions_account_every_step(self, traced_dotprod):
+        _, trace, _ = traced_dotprod
+        assert sum(trace.state_occupancy.values()) == trace.steps
+        assert sum(trace.transitions.values()) == trace.steps
+
+    def test_routed_instructions_match_stats(self, traced_dotprod):
+        _, trace, stats = traced_dotprod
+        assert trace.routed_instructions == stats.spu_routed > 0
+        assert trace.routed_steps >= trace.routed_instructions > 0
+        assert sum(trace.routed_slots.values()) >= trace.routed_instructions
+
+    def test_controller_goes_idle_after_each_loop(self, traced_dotprod):
+        machine, trace, _ = traced_dotprod
+        assert trace.idle_entries >= 1
+        assert trace.idle_entries == machine.spu.controller.stats.activations
+
+    def test_counter_log_records_countdown(self, traced_dotprod):
+        _, trace, _ = traced_dotprod
+        assert trace.counter_log
+        assert all(len(entry) == 3 for entry in trace.counter_log)
+        # CNTR0 must actually move (zero-overhead looping, §4).
+        values = {cntr0 for _, cntr0, _ in trace.counter_log}
+        assert len(values) > 1
+
+    def test_hottest_states(self, traced_dotprod):
+        _, trace, _ = traced_dotprod
+        hottest = trace.hottest_states(2)
+        assert hottest == trace.state_occupancy.most_common(2)
+
+    def test_as_dict_is_json_shaped(self, traced_dotprod):
+        import json
+
+        _, trace, _ = traced_dotprod
+        data = trace.as_dict()
+        json.dumps(data)  # string keys throughout
+        assert data["steps"] == trace.steps
+        assert all("->" in key for key in data["transitions"])
+        assert data["num_states"] == 128
+        assert data["activations"] >= 1
+
+    def test_detach(self):
+        machine = make_kernel("DotProduct").machine("spu")
+        trace = ControllerTrace().attach(machine)
+        trace.detach()
+        machine.run()
+        assert trace.steps == 0 and trace.issues == 0
+
+    def test_counter_log_cap(self):
+        machine = make_kernel("DotProduct").machine("spu")
+        trace = ControllerTrace(counter_log_limit=3).attach(machine)
+        machine.run()
+        assert len(trace.counter_log) == 3
+        assert trace.as_dict()["counter_log_truncated"]
+
+    def test_mmx_variant_sees_no_controller_steps(self):
+        machine = make_kernel("DotProduct").machine("mmx")
+        trace = ControllerTrace().attach(machine)
+        stats = machine.run()
+        assert trace.steps == 0
+        assert trace.issues == stats.instructions
+        assert trace.go_occupancy == 0.0

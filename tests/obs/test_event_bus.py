@@ -1,0 +1,189 @@
+"""Event-bus semantics: fan-out, isolation, mid-run (un)subscription."""
+
+import warnings
+
+import pytest
+
+from repro.cpu import Machine, trace_run
+from repro.isa import assemble
+from repro.obs import (
+    EventBus,
+    IssueEvent,
+    RunEndEvent,
+    RunStartEvent,
+    SubscriberError,
+    TOPICS,
+)
+
+
+def machine_of(source, **kwargs):
+    return Machine(assemble(source), **kwargs)
+
+
+LOOP = "mov r0, 5\ntop: paddw mm0, mm1\nloop r0, top\nhalt"
+
+
+class TestBusUnit:
+    def test_unknown_topic_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError, match="unknown topic"):
+            bus.subscribe("retired", lambda event: None)
+
+    def test_unsubscribe_callable_is_idempotent(self):
+        bus = EventBus()
+        unsubscribe = bus.subscribe("issue", lambda event: None)
+        assert bus.has_subscribers("issue")
+        unsubscribe()
+        unsubscribe()
+        assert not bus.has_subscribers()
+
+    def test_clear_drops_all_topics(self):
+        bus = EventBus()
+        for topic in TOPICS:
+            bus.subscribe(topic, lambda event: None)
+        bus.clear()
+        assert not bus.has_subscribers()
+
+    def test_dispatch_order_is_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("issue", lambda event: order.append("first"))
+        bus.subscribe("issue", lambda event: order.append("second"))
+        bus.dispatch("issue", object())
+        assert order == ["first", "second"]
+
+    def test_raising_subscriber_is_recorded_and_dropped(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("observer bug")
+
+        bus.subscribe("issue", bad)
+        bus.subscribe("issue", seen.append)
+        bus.dispatch("issue", "a")
+        bus.dispatch("issue", "b")
+        assert seen == ["a", "b"]
+        assert len(bus.errors) == 1
+        error = bus.errors[0]
+        assert isinstance(error, SubscriberError)
+        assert error.topic == "issue" and error.subscriber is bad
+        assert isinstance(error.error, RuntimeError)
+        assert bus.subscribers("issue") == [seen.append]
+
+    def test_unsubscribe_during_dispatch_is_safe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribes = []
+
+        def one_shot(event):
+            seen.append(event)
+            unsubscribes[0]()
+
+        unsubscribes.append(bus.subscribe("issue", one_shot))
+        bus.subscribe("issue", lambda event: seen.append(("other", event)))
+        bus.dispatch("issue", 1)
+        bus.dispatch("issue", 2)
+        assert seen == [1, ("other", 1), ("other", 2)]
+
+
+class TestBusOnMachine:
+    def test_multiple_subscribers_see_the_same_run(self):
+        machine = machine_of(LOOP)
+        first, second = [], []
+        machine.bus.subscribe("issue", first.append)
+        machine.bus.subscribe("issue", second.append)
+        stats = machine.run()
+        assert len(first) == stats.instructions
+        assert first == second
+        assert all(isinstance(event, IssueEvent) for event in first)
+
+    def test_run_start_and_end_events(self):
+        machine = machine_of(LOOP)
+        lifecycle = []
+        machine.bus.subscribe("run_start", lifecycle.append)
+        machine.bus.subscribe("run_end", lifecycle.append)
+        stats = machine.run()
+        assert isinstance(lifecycle[0], RunStartEvent)
+        assert isinstance(lifecycle[-1], RunEndEvent)
+        assert lifecycle[-1].cycles == stats.cycles
+        assert lifecycle[-1].finished
+
+    def test_stall_and_branch_topics_fire(self):
+        stall_machine = machine_of("pmullw mm0, mm1\npaddw mm2, mm0\nhalt")
+        stalls = []
+        stall_machine.bus.subscribe("stall", stalls.append)
+        stats = stall_machine.run()
+        assert sum(event.cycles for event in stalls) == stats.stall_cycles == 2
+
+        branch_machine = machine_of(LOOP)
+        branches = []
+        branch_machine.bus.subscribe("branch", branches.append)
+        stats = branch_machine.run()
+        assert len(branches) == stats.branches
+        assert sum(event.penalty for event in branches) == stats.mispredict_cycles
+
+    def test_raising_subscriber_does_not_corrupt_the_run(self):
+        baseline = machine_of(LOOP).run()
+        machine = machine_of(LOOP)
+
+        def bomb(event):
+            raise ValueError("boom")
+
+        machine.bus.subscribe("issue", bomb)
+        stats = machine.run()
+        assert stats.cycles == baseline.cycles
+        assert stats.instructions == baseline.instructions
+        assert machine.bus.errors and machine.bus.errors[0].subscriber is bomb
+        assert not machine.bus.has_subscribers("issue")
+
+    def test_subscriber_can_unsubscribe_mid_run(self):
+        machine = machine_of(LOOP)
+        seen = []
+        unsubscribes = []
+
+        def two_then_done(event):
+            seen.append(event)
+            if len(seen) == 2:
+                unsubscribes[0]()
+
+        unsubscribes.append(machine.bus.subscribe("issue", two_then_done))
+        stats = machine.run()
+        assert len(seen) == 2
+        assert stats.instructions > 2
+
+    def test_profile_and_trace_observe_one_run(self):
+        """The original single-slot hook's failure mode, now supported."""
+        from repro.analysis import profile
+
+        machine = machine_of(LOOP)
+        issues = []
+        machine.bus.subscribe("issue", issues.append)
+        trace = trace_run(machine)
+        assert len(trace) == len(issues) == trace.stats.instructions
+        # And the profiler path still works independently on a fresh machine.
+        prof = profile(machine_of(LOOP))
+        assert prof.total == trace.stats.instructions
+
+
+class TestOnIssueShim:
+    def test_legacy_hook_warns_and_still_fires(self):
+        machine = machine_of(LOOP)
+        seen = []
+        hook = seen.append
+        with pytest.warns(DeprecationWarning, match="on_issue"):
+            machine.on_issue = hook
+        assert machine.on_issue is hook
+        stats = machine.run()
+        assert len(seen) == stats.instructions
+        # The legacy hook receives bare instructions, as before the bus.
+        assert all(hasattr(instr, "opcode") for instr in seen)
+
+    def test_legacy_hook_clears_cleanly(self):
+        machine = machine_of(LOOP)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            machine.on_issue = lambda instr: None
+            machine.on_issue = None
+        assert machine.on_issue is None
+        assert not machine.bus.has_subscribers("issue")

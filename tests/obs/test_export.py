@@ -1,0 +1,152 @@
+"""Exporters: envelope, JSON/JSONL writers, name resolution, metrics."""
+
+import json
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import make_kernel
+from repro.obs import (
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    envelope,
+    kernel_profile_report,
+    resolve_kernel_name,
+    write_json,
+    write_jsonl,
+)
+
+
+class TestEnvelope:
+    def test_fields(self):
+        document = envelope("metrics", {"a": 1})
+        assert document == {"schema": SCHEMA_VERSION, "kind": "metrics",
+                            "data": {"a": 1}}
+
+    def test_extra_metadata(self):
+        document = envelope("benchmark", {}, generator="pytest")
+        assert document["generator"] == "pytest"
+        assert list(document)[-1] == "data"
+
+
+class TestWriters:
+    def test_write_json_roundtrip(self, tmp_path):
+        target = write_json(tmp_path / "nested" / "out.json", envelope("metrics", {"x": 2}))
+        assert target is not None and target.exists()
+        assert json.loads(target.read_text())["data"]["x"] == 2
+
+    def test_write_json_stdout(self, capsys):
+        assert write_json("-", {"k": 1}) is None
+        assert json.loads(capsys.readouterr().out) == {"k": 1}
+
+    def test_write_json_stringifies_unknown_types(self, tmp_path):
+        target = write_json(tmp_path / "o.json", {"path": tmp_path})
+        assert json.loads(target.read_text())["path"] == str(tmp_path)
+
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        records = [{"seq": index} for index in range(3)]
+        target = write_jsonl(tmp_path / "trace.jsonl", iter(records))
+        lines = target.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == records
+
+    def test_write_jsonl_stdout(self, capsys):
+        assert write_jsonl("-", [{"a": 1}, {"b": 2}]) is None
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2 and json.loads(lines[0]) == {"a": 1}
+
+
+class TestKernelNameResolution:
+    def test_exact(self):
+        assert resolve_kernel_name("FIR12") == "FIR12"
+
+    def test_casefold(self):
+        assert resolve_kernel_name("fir12") == "FIR12"
+
+    def test_unique_prefix(self):
+        assert resolve_kernel_name("dotprod") == "DotProduct"
+        assert resolve_kernel_name("matrixt") == "MatrixTranspose"
+
+    def test_ambiguous_prefix_rejected(self):
+        with pytest.raises(KernelError, match="ambiguous"):
+            resolve_kernel_name("m")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            resolve_kernel_name("sobel")
+
+
+class TestMetricsRegistry:
+    def test_set_get_namespacing(self):
+        registry = MetricsRegistry(namespace="bench")
+        registry.set("speedup", 1.25, unit="x", help="MMX/SPU cycle ratio")
+        assert registry.get("speedup") == 1.25
+        assert "speedup" in registry
+        assert registry.as_dict() == {"bench.speedup": 1.25}
+        (record,) = registry.describe()
+        assert record == {"name": "bench.speedup", "value": 1.25, "unit": "x",
+                          "help": "MMX/SPU cycle ratio"}
+
+    def test_inc(self):
+        registry = MetricsRegistry()
+        registry.inc("events")
+        registry.inc("events", 4)
+        assert registry.get("events") == 5
+
+    def test_observe_stats_flattens_runstats(self):
+        machine = make_kernel("DotProduct").machine("mmx")
+        stats = machine.run()
+        registry = MetricsRegistry()
+        registry.observe_stats("dotprod.mmx", stats)
+        flat = registry.as_dict()
+        assert flat["dotprod.mmx.cycles"] == stats.cycles
+        assert flat["dotprod.mmx.cycle_attribution.solo_issue"] == stats.solo_cycles
+        assert all(not isinstance(value, dict) for value in flat.values())
+
+    def test_len_and_iter(self):
+        registry = MetricsRegistry()
+        registry.set("a", 1)
+        registry.set("b", 2)
+        assert len(registry) == 2
+        assert [metric.name for metric in registry] == ["a", "b"]
+
+
+class TestSuiteMetrics:
+    def test_suite_exports_comparisons(self):
+        from repro.experiments import ExperimentSuite
+
+        suite = ExperimentSuite(fast=True)
+        suite.kernel_names = ("DotProduct",)
+        registry = suite.metrics()
+        flat = registry.as_dict()
+        assert flat["suite.DotProduct.speedup"] > 1.0
+        assert flat["suite.DotProduct.spu.cycles"] < flat["suite.DotProduct.mmx.cycles"]
+        document = envelope("metrics", flat)
+        json.dumps(document)
+
+
+class TestKernelProfileReport:
+    def test_report_schema_and_invariants(self):
+        report = kernel_profile_report(make_kernel("DotProduct"))
+        assert report["schema"] == SCHEMA_VERSION
+        assert report["kind"] == "kernel-profile"
+        body = report["data"]
+        assert body["kernel"] == "DotProduct" and body["config"] == "D"
+        for variant in ("mmx", "spu"):
+            section = body["variants"][variant]
+            attribution = section["cycle_attribution"]
+            categories = {key: value for key, value in attribution.items()
+                          if key in section["stats"]["cycle_attribution"]}
+            assert sum(categories.values()) == attribution["total_cycles"]
+            assert attribution["attributed_cycles"] == attribution["total_cycles"]
+            assert attribution["timeline"]["totals"] == categories
+        assert "controller" in body["variants"]["spu"]
+        assert "controller" not in body["variants"]["mmx"]
+        comparison = body["comparison"]
+        assert comparison["speedup"] > 1.0
+        assert comparison["removed_permutes"] > 0
+        json.dumps(report)
+
+    def test_single_variant_report_has_no_comparison(self):
+        report = kernel_profile_report(make_kernel("DotProduct"), variants=("mmx",))
+        assert "comparison" not in report["data"]
+        assert list(report["data"]["variants"]) == ["mmx"]

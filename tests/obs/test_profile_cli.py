@@ -1,0 +1,83 @@
+"""End-to-end: ``repro profile`` / ``repro trace`` and their JSON exports."""
+
+import json
+
+from repro.cli import main
+from repro.obs import SCHEMA_VERSION
+
+
+class TestProfileCommand:
+    def test_json_document(self, capsys):
+        assert main(["profile", "dotprod", "--json", "-"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == SCHEMA_VERSION
+        assert document["kind"] == "kernel-profile"
+        body = document["data"]
+        assert body["kernel"] == "DotProduct"
+        for variant in ("mmx", "spu"):
+            section = body["variants"][variant]
+            stats = section["stats"]
+            # Acceptance invariant: the attribution sums to total cycles.
+            assert sum(stats["cycle_attribution"].values()) == stats["cycles"]
+            mix = section["instruction_mix"]
+            assert mix["total"] == stats["instructions"]
+            assert 0.0 < mix["mmx_fraction"] <= 1.0
+        controller = body["variants"]["spu"]["controller"]
+        assert controller["state_occupancy"]
+        assert sum(controller["state_occupancy"].values()) == controller["steps"]
+        assert body["comparison"]["speedup"] > 1.0
+
+    def test_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "profile.json"
+        assert main(["profile", "DotProduct", "--json", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert json.loads(target.read_text())["kind"] == "kernel-profile"
+
+    def test_human_output(self, capsys):
+        assert main(["profile", "dotprod"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert "top opcodes" in out
+        assert "SPU controller" in out
+        assert "speedup" in out
+
+    def test_single_variant(self, capsys):
+        assert main(["profile", "dotprod", "--variant", "mmx", "--json", "-"]) == 0
+        body = json.loads(capsys.readouterr().out)["data"]
+        assert list(body["variants"]) == ["mmx"]
+        assert "comparison" not in body
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["profile", "sobel"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown kernel" in err and "Traceback" not in err
+
+
+class TestTraceCommand:
+    def test_jsonl_stream(self, capsys):
+        assert main(["trace", "dotprod", "--jsonl", "-"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records, "trace must emit records"
+        assert {"seq", "cycle", "pc", "pipe", "text", "is_mmx", "routed"} <= set(records[0])
+        assert [record["seq"] for record in records] == list(range(len(records)))
+        assert any(record["routed"] for record in records)
+        assert all(record["pipe"] in ("U", "V") for record in records)
+        cycles = [record["cycle"] for record in records]
+        assert cycles == sorted(cycles)
+
+    def test_jsonl_to_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.jsonl"
+        assert main(["trace", "dotprod", "--jsonl", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert target.read_text().strip()
+
+    def test_text_listing(self, capsys):
+        assert main(["trace", "dotprod", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "SPU-routed" in out
+
+    def test_mmx_variant_has_no_routes(self, capsys):
+        assert main(["trace", "dotprod", "--variant", "mmx", "--jsonl", "-"]) == 0
+        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert not any(record["routed"] for record in records)
