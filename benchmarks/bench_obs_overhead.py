@@ -4,15 +4,36 @@ The pipeline's emission sites are all guarded by a subscriber-list emptiness
 test (``if bus.issue: ...``), so an unobserved run should match pre-bus
 throughput.  :class:`PreBusMachine` reproduces the pre-bus hot loop exactly
 — the current ``run``/``_issue``/``_branch_cost`` with every bus statement
-deleted — and this bench asserts the instrumented, zero-subscriber machine
-stays within 5% of it (median of several runs; the two loops differ only in
-the guard tests).  A fully-subscribed run is measured too, for the record.
+and resilience handler deleted — and this bench asserts the instrumented,
+zero-subscriber machine stays within 5% of it.
+
+Measurement shape, each part earned by a failure mode it removes:
+
+* within a process, rounds are *interleaved* across the measured pipelines
+  and the per-pipeline **minimum** is compared — scheduling and frequency
+  drift only ever inflate a round, so minima isolate code cost;
+* every pipeline gets one untimed warm-up run first, so CPython's adaptive
+  specialization has settled before the clock starts;
+* the whole measurement is repeated in ``PROCESSES`` fresh interpreters and
+  the **median** per-process overhead is asserted — a single process can be
+  ±5-9% off purely from code-layout luck (how the allocator and JIT-less
+  specializer happen to land), and that bias is fixed for the process's
+  lifetime, so no amount of in-process repetition averages it away.
+
+A fully-subscribed run is measured too, for the record.
 """
 
+import json
+import os
 import statistics
+import subprocess
+import sys
 import time
 
-from conftest import emit
+if __name__ == "__main__":  # re-entered as a measurement subprocess
+    emit = None
+else:
+    from conftest import emit
 
 from repro.analysis import format_table, ratio
 from repro.cpu import Machine
@@ -33,7 +54,8 @@ SOURCE = (
     "loop r0, top\n"
     "halt"
 )
-ROUNDS = 5
+ROUNDS = 3
+PROCESSES = 5
 
 
 class PreBusMachine(Machine):
@@ -154,16 +176,48 @@ class PreBusMachine(Machine):
         return stats
 
 
-def _timed(factory, subscribe=None):
-    times = []
-    for _ in range(ROUNDS):
+def _cases(program):
+    counter = []
+    return [
+        ("prebus", lambda: PreBusMachine(program), None),
+        ("idle", lambda: Machine(program), None),
+        ("observed", lambda: Machine(program),
+         lambda machine: machine.bus.subscribe("issue", counter.append)),
+    ]
+
+
+def _measure():
+    """One process's estimate: warm-up, then best-of-ROUNDS, interleaved."""
+    program = assemble(SOURCE)
+    cases = _cases(program)
+    for _, factory, subscribe in cases:  # settle adaptive specialization
         machine = factory()
         if subscribe is not None:
             subscribe(machine)
-        start = time.perf_counter()
-        stats = machine.run()
-        times.append(time.perf_counter() - start)
-    return statistics.median(times), stats
+        machine.run()
+    times = {name: [] for name, _, _ in cases}
+    for _ in range(ROUNDS):
+        for name, factory, subscribe in cases:
+            machine = factory()
+            if subscribe is not None:
+                subscribe(machine)
+            start = time.perf_counter()
+            machine.run()
+            times[name].append(time.perf_counter() - start)
+    return {name: min(rounds) for name, rounds in times.items()}
+
+
+def _sample_processes():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    samples = []
+    for _ in range(PROCESSES):
+        out = subprocess.run(
+            [sys.executable, os.path.abspath(__file__)],
+            check=True, capture_output=True, text=True, env=env,
+        )
+        samples.append(json.loads(out.stdout))
+    return samples
 
 
 def test_zero_subscriber_overhead(benchmark):
@@ -174,18 +228,17 @@ def test_zero_subscriber_overhead(benchmark):
     prebus_stats = PreBusMachine(program).run()
     assert instrumented_stats.as_dict() == prebus_stats.as_dict()
 
-    prebus_time, _ = _timed(lambda: PreBusMachine(program))
-    idle_time, idle_stats = benchmark.pedantic(
-        lambda: _timed(lambda: Machine(program)), rounds=1, iterations=1
+    samples = benchmark.pedantic(_sample_processes, rounds=1, iterations=1)
+    prebus_time, idle_time, observed_time = (
+        statistics.median(s[name] for s in samples)
+        for name in ("prebus", "idle", "observed")
     )
-    counter = []
-    observed_time, _ = _timed(
-        lambda: Machine(program),
-        subscribe=lambda machine: machine.bus.subscribe("issue", counter.append),
+    idle_overhead = statistics.median(
+        s["idle"] / s["prebus"] - 1 for s in samples
     )
-
-    idle_overhead = idle_time / prebus_time - 1
-    observed_overhead = observed_time / prebus_time - 1
+    observed_overhead = statistics.median(
+        s["observed"] / s["prebus"] - 1 for s in samples
+    )
     rows = [
         ["pre-bus baseline", f"{prebus_time * 1e3:.1f}", "-"],
         ["event bus, no subscribers", f"{idle_time * 1e3:.1f}",
@@ -196,14 +249,22 @@ def test_zero_subscriber_overhead(benchmark):
     headers = ["pipeline", "median ms/run", "overhead"]
     text = format_table(
         headers, rows,
-        title=f"Observability overhead ({idle_stats.instructions} dynamic instructions)",
+        title=(
+            f"Observability overhead ({instrumented_stats.instructions} dynamic"
+            f" instructions, median of {PROCESSES} processes)"
+        ),
     )
     emit("obs_overhead", text, headers=headers, rows=rows,
          data={"prebus_s": prebus_time, "idle_s": idle_time,
                "observed_s": observed_time, "idle_overhead": idle_overhead,
-               "observed_overhead": observed_overhead})
+               "observed_overhead": observed_overhead,
+               "processes": PROCESSES, "rounds": ROUNDS})
 
     # The guard: an unobserved instrumented run is within 5% of pre-bus.
     assert idle_overhead < 0.05, (
         f"zero-subscriber bus overhead {idle_overhead:.1%} exceeds the 5% budget"
     )
+
+
+if __name__ == "__main__":
+    print(json.dumps(_measure()))

@@ -36,6 +36,7 @@ from repro.errors import (
     SimulationError,
     SPUProgramError,
 )
+from repro.resilience import ResilienceMode
 from repro.isa import MM, R, Program, ProgramBuilder, assemble, disassemble
 from repro.cpu import Machine, Memory, PipelineConfig, RunStats
 from repro.core import (
@@ -92,6 +93,7 @@ __all__ = [
     "RouteError",
     "SimulationError",
     "SPUProgramError",
+    "ResilienceMode",
     "MM",
     "R",
     "Program",

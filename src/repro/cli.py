@@ -21,8 +21,13 @@ Commands
 ``trace KERNEL [--jsonl PATH]``
     Issue-by-issue pipeline listing; ``--jsonl`` exports one record per
     issued instruction.
+``check [KERNEL] [--faults N] [--seed S] [--json PATH]``
+    Differential self-check: replay every kernel (or one) against the
+    NumPy fixed-point reference, optionally under a seeded fault
+    campaign classifying injections as masked/detected/silent
+    (schema in docs/robustness.md).
 
-``profile`` and ``trace`` resolve kernel names forgivingly
+``profile``, ``trace`` and ``check`` resolve kernel names forgivingly
 (``dotprod`` → ``DotProduct``).
 """
 
@@ -208,6 +213,30 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.faults import run_check
+    from repro.faults.report import check_report, render_check
+    from repro.obs.export import resolve_kernel_name, write_json
+
+    kernels = tuple(resolve_kernel_name(name) for name in args.kernel)
+    result = run_check(
+        kernels=kernels,
+        faults=args.faults,
+        seed=args.seed,
+        resilience=args.mode,
+        fast=args.fast,
+    )
+    if args.json is not None:
+        target = write_json(args.json, check_report(result))
+        if target is not None:
+            print(f"wrote {target}")
+    else:
+        print(render_check(result))
+    # Injection outcomes are data, not failures; only a broken clean
+    # differential (simulator vs golden reference) fails the check.
+    return 0 if result.clean_ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import write_report
 
@@ -277,6 +306,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one JSON record per issued instruction ('-': stdout)",
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    check_parser = sub.add_parser(
+        "check",
+        help="differential self-check + seeded fault-injection campaign",
+    )
+    check_parser.add_argument(
+        "kernel", nargs="*",
+        help="kernel(s) to check (forgiving match; default: all)",
+    )
+    check_parser.add_argument("--faults", type=int, default=0, metavar="N",
+                              help="fault injections to run (default: none)")
+    check_parser.add_argument("--seed", type=int, default=0,
+                              help="campaign seed (default: 0)")
+    check_parser.add_argument(
+        "--mode", choices=("strict", "degrade", "halt"), default="degrade",
+        help="resilience mode of the machines under test (default: degrade)",
+    )
+    check_parser.add_argument("--fast", action="store_true",
+                              help="shrink FFT1024 for quick runs")
+    check_parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the fault-campaign JSON report ('-' or no value: stdout)",
+    )
+    check_parser.set_defaults(func=_cmd_check)
 
     report_parser = sub.add_parser(
         "report", help="run the full evaluation and write REPORT.md"

@@ -16,9 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SPUProgramError
+from repro.resilience import ResilienceMode
 from repro.core.interconnect import CONFIG_D, CrossbarConfig
 from repro.core.program import DEFAULT_NUM_STATES, SPUProgram, SPUState
-from repro.obs.events import ControllerStepEvent
+from repro.obs.events import ControllerStepEvent, DegradeEvent, FaultEvent, RecoveryEvent
 
 
 @dataclass
@@ -29,6 +30,8 @@ class ControllerStats:
     activations: int = 0
     routed_steps: int = 0
     context_switches: int = 0
+    #: Faults absorbed by degrade mode (invalid state parked at idle).
+    fault_parks: int = 0
 
 
 class SPUController:
@@ -39,12 +42,20 @@ class SPUController:
         config: CrossbarConfig = CONFIG_D,
         num_states: int = DEFAULT_NUM_STATES,
         contexts: int = 1,
+        resilience: ResilienceMode | str | None = None,
     ) -> None:
         if num_states < 2:
             raise SPUProgramError("controller needs at least 2 states (one + idle)")
         if contexts < 1:
             raise SPUProgramError("controller needs at least one context")
         self.config = config
+        #: Failure posture (see :mod:`repro.resilience`).  ``None`` means
+        #: "inherit from the machine at attach time", falling back to STRICT
+        #: for standalone controllers.
+        self.resilience = None if resilience is None else ResilienceMode.parse(resilience)
+        #: True after degrade mode parked the unit at idle because of a
+        #: fault; cleared (with a ``recovery`` event) by the next go().
+        self.fault_parked = False
         self.num_states = num_states
         self._programs: list[SPUProgram | None] = [None] * contexts
         self.context = 0
@@ -139,6 +150,19 @@ class SPUController:
         self._current = program.entry
         self._active = True
         self.stats.activations += 1
+        if self.fault_parked:
+            # Degrade mode parked the unit on a fault; GO re-arms it (§4's
+            # posture: idle-127 disables, the GO bit brings it back).
+            self.fault_parked = False
+            bus = self.bus
+            if bus is not None and bus.recovery:
+                bus.dispatch(
+                    "recovery",
+                    RecoveryEvent(
+                        component="controller",
+                        detail=f"context {self.context} re-armed after fault park",
+                    ),
+                )
 
     def stop(self) -> None:
         """Force-disable and reset the selected context to its initial state."""
@@ -189,7 +213,18 @@ class SPUController:
             return None
         program = self._programs[self.context]
         emitted_index = self._current
-        state = program.states[emitted_index]
+        state = program.states.get(emitted_index)
+        if state is None:
+            # A corrupted next pointer (or control word) landed on an
+            # undefined state — the paper's hardware has no defined routes
+            # to emit here.  Degrade mode parks the unit at idle-127.
+            return self._fault_park(
+                kind="invalid_state",
+                detail=(
+                    f"controller reached undefined state {emitted_index} "
+                    f"in {program.name!r} (context {self.context})"
+                ),
+            )
         self.stats.steps += 1
         if state.routes:
             self.stats.routed_steps += 1
@@ -202,6 +237,14 @@ class SPUController:
         else:
             next_index = state.next1
 
+        if not 0 <= next_index < self.num_states:
+            return self._fault_park(
+                kind="invalid_next",
+                detail=(
+                    f"state {emitted_index} selected next state {next_index}, "
+                    f"outside K={self.num_states} (context {self.context})"
+                ),
+            )
         if next_index == self.idle_state:
             self._active = False
             self._current = self.idle_state
@@ -222,3 +265,57 @@ class SPUController:
                 ),
             )
         return state
+
+    # ---- failure posture -------------------------------------------------------
+
+    def _fault_park(self, kind: str, detail: str) -> None:
+        """Handle an invalid controller condition per the resilience mode.
+
+        STRICT (and HALT — the machine layer turns the raise into a clean
+        stop) raises :class:`SPUProgramError`; DEGRADE parks the unit at the
+        idle state with reset counters, emitting ``fault`` and ``degrade``
+        events, and leaves re-arming to the next GO.
+        """
+        bus = self.bus
+        if bus is not None and bus.fault:
+            bus.dispatch(
+                "fault",
+                FaultEvent(component="controller", kind=kind, detail=detail),
+            )
+        mode = self.resilience if self.resilience is not None else ResilienceMode.STRICT
+        if mode is not ResilienceMode.DEGRADE:
+            raise SPUProgramError(detail)
+        self._active = False
+        self._current = self.idle_state
+        program = self._programs[self.context]
+        if program is not None:
+            self._counters = list(program.counter_init)
+        self.stats.fault_parks += 1
+        self.fault_parked = True
+        if bus is not None and bus.degrade:
+            bus.dispatch(
+                "degrade",
+                DegradeEvent(component="controller", action="park_idle", detail=detail),
+            )
+        return None
+
+    # ---- fault-injection hooks (repro.faults) ---------------------------------
+
+    def inject_program(self, program: SPUProgram, context: int | None = None) -> None:
+        """Install *program* WITHOUT validation, as corrupted control memory.
+
+        Real control memory holds whatever bits an upset left in it; this is
+        the :mod:`repro.faults` path for modeling that.  Normal code must use
+        :meth:`load_program`, which validates.
+        """
+        self._programs[self.context if context is None else context] = program
+
+    def skew_counter(self, counter: int, delta: int) -> None:
+        """Perturb a live loop counter of the selected context by *delta*.
+
+        Fault-injection hook (:mod:`repro.faults`): models an upset in the
+        counter flip-flops.  The skewed value takes effect on the next step.
+        """
+        if counter not in (0, 1):
+            raise SPUProgramError(f"counter {counter} out of range (0 or 1)")
+        self._counters[counter] += delta

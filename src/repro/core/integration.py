@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import RouteError
+from repro.resilience import ResilienceMode
 from repro.core.controller import SPUController
 from repro.core.mmio import DEFAULT_MMIO_BASE, MMIO_WINDOW_BYTES, SPUMMIO
 from repro.core.spu_register import SPURegister
@@ -23,7 +25,7 @@ from repro.cpu.pipeline import Machine
 from repro.cpu.state import MachineState
 from repro.isa.instructions import Instruction
 from repro.isa.registers import Register
-from repro.obs.events import SPURouteEvent
+from repro.obs.events import DegradeEvent, FaultEvent, SPURouteEvent
 
 
 @dataclass
@@ -33,6 +35,9 @@ class AttachmentStats:
     instructions_seen: int = 0
     routed_operands: int = 0
     routed_instructions: int = 0
+    #: Operands whose route was illegal and fell back to the architectural
+    #: straight-through value (degrade mode only).
+    serialized_operands: int = 0
 
 
 class AttachedSPU:
@@ -48,6 +53,11 @@ class AttachedSPU:
     @property
     def active(self) -> bool:
         return self.controller.active
+
+    def _resilience(self) -> ResilienceMode:
+        """The controller's effective failure posture (STRICT standalone)."""
+        mode = self.controller.resilience
+        return mode if mode is not None else ResilienceMode.STRICT
 
     def routes_for(self, instr: Instruction, state: MachineState) -> dict[int, int] | None:
         """Advance the controller for one dynamic instruction; route operands."""
@@ -70,7 +80,38 @@ class AttachedSPU:
             if not (isinstance(operand, Register) and operand.is_mmx):
                 continue  # only MMX register sources pass through the crossbar
             straight = state.read(operand)
-            values[slot] = config.apply(route, self.register, straight)
+            try:
+                values[slot] = config.apply(route, self.register, straight)
+            except RouteError as error:
+                if self._resilience() is not ResilienceMode.DEGRADE:
+                    raise
+                # Serialize: the crossbar cannot realize this route, so the
+                # operand takes the architectural straight-through path.
+                values[slot] = straight
+                self.stats.serialized_operands += 1
+                bus = self.bus
+                if bus is not None:
+                    if bus.fault:
+                        bus.dispatch(
+                            "fault",
+                            FaultEvent(
+                                component="crossbar",
+                                kind="route_error",
+                                detail=str(error),
+                                pc=state.pc,
+                                error=error,
+                            ),
+                        )
+                    if bus.degrade:
+                        bus.dispatch(
+                            "degrade",
+                            DegradeEvent(
+                                component="crossbar",
+                                action="serialize_operand",
+                                detail=f"slot {slot} of {instr.name} at pc={state.pc}",
+                                pc=state.pc,
+                            ),
+                        )
         if not values:
             return None
         self.stats.routed_operands += len(values)
@@ -104,6 +145,10 @@ def attach_spu(
     spu = AttachedSPU(controller)
     spu.bus = machine.bus
     controller.bus = machine.bus
+    if controller.resilience is None:
+        # Inherit the machine's failure posture unless the controller was
+        # constructed with an explicit mode of its own.
+        controller.resilience = machine.resilience
     machine.spu = spu
     if mmio_base is not None:
         machine.memory.map_device(mmio_base, MMIO_WINDOW_BYTES, SPUMMIO(controller))

@@ -27,14 +27,37 @@ class SPURegister:
 
     def __init__(self) -> None:
         self._bytes = bytearray(SPU_REGISTER_BYTES)
+        # Armed single-event upsets (fault injection): (byte_index, bit_mask)
+        # pairs applied to the flip-flops at the next full-register read.
+        self._pending_flips: list[tuple[int, int]] = []
 
     def __len__(self) -> int:
         return SPU_REGISTER_BYTES
+
+    # ---- fault-injection hook (repro.faults) -----------------------------
+
+    def inject_bit_flip(self, byte_index: int, bit: int) -> None:
+        """Arm a single-event upset: flip one flip-flop at the next read.
+
+        The flip lands between the mirror write and the crossbar's gather —
+        the window in which the paper's D flip-flops actually hold state —
+        and persists until the next :meth:`load_from_mmx` overwrites the
+        affected byte (partial writes of other bytes leave it corrupted).
+        """
+        if not 0 <= byte_index < SPU_REGISTER_BYTES:
+            raise SPUProgramError(f"SPU register byte {byte_index} out of range")
+        if not 0 <= bit < 8:
+            raise SPUProgramError(f"bit {bit} out of range (0..7)")
+        self._pending_flips.append((byte_index, 1 << bit))
 
     # ---- whole-register access -------------------------------------------
 
     def read_all(self) -> bytes:
         """Snapshot of all 64 bytes (the full-register read of §3)."""
+        if self._pending_flips:
+            for byte_index, mask in self._pending_flips:
+                self._bytes[byte_index] ^= mask
+            self._pending_flips.clear()
         return bytes(self._bytes)
 
     def load_from_mmx(self, mmx_values: list[int]) -> None:

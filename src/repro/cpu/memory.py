@@ -29,11 +29,17 @@ class MMIODevice(Protocol):
 class Memory:
     """Byte-addressable little-endian memory of fixed size."""
 
-    def __init__(self, size: int = 1 << 20) -> None:
+    def __init__(self, size: int = 1 << 20, require_alignment: bool = False) -> None:
         if size <= 0:
             raise MemoryFault(0, size, "memory size must be positive")
         self._data = np.zeros(size, dtype=np.uint8)
         self._windows: list[tuple[int, int, MMIODevice]] = []
+        #: When True, multi-byte accesses must be naturally aligned — a
+        #: misaligned packed load/store raises :class:`MemoryFault` (strict)
+        #: or degrades to a no-op issue (see ResilienceMode.DEGRADE).  Off by
+        #: default: MMX tolerates unaligned movq, and the paper's kernels
+        #: assume it.
+        self.require_alignment = require_alignment
 
     @property
     def size(self) -> int:
@@ -65,6 +71,8 @@ class Memory:
     def _check(self, address: int, size: int) -> None:
         if address < 0 or address + size > len(self._data):
             raise MemoryFault(address, size)
+        if self.require_alignment and size > 1 and address % size:
+            raise MemoryFault(address, size, "misaligned access")
 
     def load(self, address: int, size: int) -> int:
         """Load *size* bytes (1/2/4/8) little-endian, unsigned."""

@@ -26,7 +26,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Protocol
 
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
+from repro.resilience import ResilienceMode
 from repro.cpu.branch import BranchPredictor, make_predictor
 from repro.cpu.executor import ExecOutcome, execute
 from repro.cpu.memory import Memory
@@ -37,7 +38,9 @@ from repro.isa.instructions import Instruction, Program
 from repro.isa.registers import Register
 from repro.obs.events import (
     BranchEvent,
+    DegradeEvent,
     EventBus,
+    FaultEvent,
     IssueEvent,
     RunEndEvent,
     RunStartEvent,
@@ -93,8 +96,13 @@ class Machine:
         predictor: BranchPredictor | str = "bimodal",
         config: PipelineConfig | None = None,
         spu: SPUAttachment | None = None,
+        resilience: ResilienceMode | str | None = None,
     ) -> None:
         self.program = program
+        #: Failure posture (see :mod:`repro.resilience`): STRICT raises on
+        #: any fault, DEGRADE absorbs recoverable ones (emitting ``fault``/
+        #: ``degrade`` events), HALT fail-stops the run cleanly.
+        self.resilience = ResilienceMode.parse(resilience)
         self.memory = memory if memory is not None else Memory()
         self.predictor = (
             make_predictor(predictor) if isinstance(predictor, str) else predictor
@@ -200,6 +208,70 @@ class Machine:
                 reg_ready[reg] = cycle + latency
         return outcome
 
+    def _issue_fault_action(self, error: ReproError, pc: int, stats: RunStats) -> str:
+        """Policy + telemetry for a fault raised while issuing an instruction.
+
+        STRICT re-raises *error*.  Otherwise a ``fault`` event is emitted and
+        the returned action is ``"halt"`` (fail-stop the run cleanly) or
+        ``"drop"`` (degrade: the faulting issue executes as a no-op, with a
+        ``degrade`` event).
+        """
+        if self.resilience is ResilienceMode.STRICT:
+            raise error
+        stats.faults += 1
+        bus = self.bus
+        if bus.fault:
+            bus.dispatch(
+                "fault",
+                FaultEvent(
+                    component="machine",
+                    kind=type(error).__name__,
+                    detail=str(error),
+                    pc=pc,
+                    error=error,
+                ),
+            )
+        if self.resilience is ResilienceMode.HALT:
+            return "halt"
+        stats.degraded_issues += 1
+        if bus.degrade:
+            bus.dispatch(
+                "degrade",
+                DegradeEvent(
+                    component="machine",
+                    action="drop_instruction",
+                    detail=str(error),
+                    pc=pc,
+                ),
+            )
+        return "drop"
+
+    def _abort(self, stats: RunStats, cycle: int, kind: str, message: str) -> None:
+        """Watchdog/runaway exit: telemetry + a clean :class:`SimulationError`.
+
+        The partial :class:`RunStats` are finalized, ``fault`` and ``run_end``
+        events fire, and the raised error carries the stats as ``.stats`` so
+        harnesses can report how far the run got.
+        """
+        stats.cycles = cycle
+        stats.finished = False
+        bus = self.bus
+        if bus.fault:
+            bus.dispatch("fault", FaultEvent(component="machine", kind=kind, detail=message))
+        if bus.run_end:
+            bus.dispatch(
+                "run_end",
+                RunEndEvent(
+                    program=self.program.name,
+                    cycles=stats.cycles,
+                    instructions=stats.instructions,
+                    finished=False,
+                ),
+            )
+        error = SimulationError(message)
+        error.stats = stats
+        raise error
+
     def _branch_cost(self, instr: Instruction, pc: int, outcome: ExecOutcome,
                      stats: RunStats, cycle: int = 0) -> int:
         """Predictor bookkeeping; returns extra cycles for a mispredict."""
@@ -254,13 +326,14 @@ class Machine:
 
         while not state.halted:
             if cycle > limit:
-                stats.cycles = cycle
-                raise SimulationError(
-                    f"cycle budget exceeded ({limit}) in {program.name!r} at pc={pc}"
+                self._abort(
+                    stats, cycle, "watchdog",
+                    f"cycle budget exceeded ({limit}) in {program.name!r} at pc={pc}",
                 )
             if not 0 <= pc < len(program):
-                raise SimulationError(
-                    f"fell off program {program.name!r} (pc={pc}); missing halt?"
+                self._abort(
+                    stats, cycle, "runaway_pc",
+                    f"fell off program {program.name!r} (pc={pc}); missing halt?",
                 )
             instr = program[pc]
 
@@ -272,7 +345,16 @@ class Machine:
                 cycle = ready
 
             state.pc = pc
-            outcome = self._issue(instr, cycle, reg_ready, stats)
+            try:
+                outcome = self._issue(instr, cycle, reg_ready, stats)
+            except ReproError as error:
+                action = self._issue_fault_action(error, pc, stats)
+                cycle += 1
+                stats.solo_cycles += 1
+                if action == "halt":
+                    break
+                pc += 1
+                continue
             mmx_busy = instr.is_mmx
 
             if state.halted:
@@ -301,7 +383,18 @@ class Machine:
                 if ok:
                     if self._ready_cycle(follower, reg_ready) <= cycle:
                         state.pc = pc
-                        outcome2 = self._issue(follower, cycle, reg_ready, stats, "V")
+                        try:
+                            outcome2 = self._issue(follower, cycle, reg_ready, stats, "V")
+                        except ReproError as error:
+                            action = self._issue_fault_action(error, pc, stats)
+                            cycle += 1
+                            stats.solo_cycles += 1
+                            if mmx_busy:
+                                stats.mmx_busy_cycles += 1
+                            if action == "halt":
+                                break
+                            pc += 1
+                            continue
                         paired = True
                         mmx_busy = mmx_busy or follower.is_mmx
                         extra = 0

@@ -42,6 +42,11 @@ class RunStats:
     spu_routed: int = 0
     #: Reasons pairing failed (for the pairing ablation).
     pair_fail_reasons: Counter = field(default_factory=Counter)
+    #: Faults the machine observed while issuing (non-STRICT modes only;
+    #: STRICT raises before anything is counted).
+    faults: int = 0
+    #: Faulting issues absorbed as no-ops (DEGRADE mode).
+    degraded_issues: int = 0
     finished: bool = False
 
     @property
@@ -134,5 +139,7 @@ class RunStats:
             "ipc": self.ipc,
             "spu_routed": self.spu_routed,
             "by_class": {iclass.value: count for iclass, count in self.by_class.items()},
+            "faults": self.faults,
+            "degraded_issues": self.degraded_issues,
             "finished": self.finished,
         }

@@ -1,0 +1,57 @@
+"""repro.faults — seeded, deterministic fault injection for the SPU simulator.
+
+The paper's SPU is deployable because its failure posture is explicit: the
+idle state (127) disables the unit, the GO bit re-arms it (§4).  This package
+stress-tests that posture the way hardware-verification campaigns do: flip
+bits in the 512-bit unified register, corrupt control-memory words and
+crossbar routes, race the GO bit and skew the zero-overhead loop counters
+mid-run, then classify each injection as *masked*, *detected* or
+*silently-corrupting* against the kernel's NumPy fixed-point golden
+reference.
+
+Everything is driven by declarative :class:`FaultCampaign` specs and a
+per-injection ``random.Random(f"{seed}:{index}")`` stream, so a campaign is
+bit-identical across runs — ``repro check --faults 100 --seed 7`` twice
+yields byte-identical reports.
+
+Entry points:
+
+- :func:`run_check` — the differential self-check harness behind
+  ``repro check`` (clean replay of every kernel, optional fault campaign).
+- :class:`FaultInjector` — arm one :class:`FaultSpec` on a machine.
+- :func:`generate_spec` — the seeded spec generator.
+
+See ``docs/robustness.md`` for the fault taxonomy and report schema.
+"""
+
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultCampaign,
+    FaultSpec,
+    generate_spec,
+)
+from repro.faults.injector import FaultInjector, clone_spu_program
+from repro.faults.campaign import (
+    OUTCOMES,
+    CheckResult,
+    classify_injection,
+    run_campaign,
+    run_check,
+)
+from repro.faults.report import check_report, render_check
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultCampaign",
+    "FaultSpec",
+    "generate_spec",
+    "FaultInjector",
+    "clone_spu_program",
+    "OUTCOMES",
+    "CheckResult",
+    "classify_injection",
+    "run_campaign",
+    "run_check",
+    "check_report",
+    "render_check",
+]

@@ -1,0 +1,250 @@
+"""The differential self-check harness behind ``repro check``.
+
+Two layers:
+
+- the *clean check* replays every registered kernel's MMX and MMX+SPU
+  variants against the NumPy fixed-point reference (exact equality, same
+  bar as :meth:`repro.kernels.Kernel.verify`), and
+- the *fault campaign* re-runs the SPU variant once per injection with a
+  :class:`~repro.faults.injector.FaultInjector` armed, then classifies the
+  outcome as ``masked`` (output still exact), ``detected`` (an exception,
+  a ``fault`` event or a fail-stop flagged the corruption) or ``silent``
+  (wrong output with no detection — the dangerous quadrant).
+
+Determinism: kernels run in sorted registry order, injection *i* targets
+kernel ``kernels[i % len(kernels)]`` with spec stream ``Random(f"{seed}:{i}")``,
+and reports carry no wall-clock data, so the same campaign is bit-identical
+across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultCampaign, generate_spec
+from repro.resilience import ResilienceMode
+
+#: Injection outcomes, from benign to dangerous.
+OUTCOMES = ("masked", "detected", "silent")
+
+#: Bus topics counted per faulty run.
+_COUNTED_TOPICS = ("fault", "degrade", "recovery")
+
+
+@dataclass
+class CheckResult:
+    """Everything ``repro check`` measured, pre-report."""
+
+    #: Kernel names in run order.
+    kernels: tuple[str, ...]
+    #: Per-kernel clean differential results (dicts keyed by variant).
+    clean: list[dict] = field(default_factory=list)
+    #: Per-injection records, in injection order.
+    injections: list[dict] = field(default_factory=list)
+    #: The campaign that was run, or None for a clean-only check.
+    campaign: FaultCampaign | None = None
+
+    @property
+    def clean_ok(self) -> bool:
+        """Every variant of every kernel matched the golden reference."""
+        return all(
+            entry["variants"][variant]["match"]
+            for entry in self.clean
+            for variant in entry["variants"]
+        )
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for record in self.injections:
+            counts[record["outcome"]] += 1
+        return counts
+
+
+def classify_injection(stats, error, output_matches, event_counts) -> str:
+    """Sort one injection into the masked/detected/silent taxonomy.
+
+    An injection is *detected* when anything flagged it: an exception
+    escaped, a ``fault`` event fired (degrade-mode absorption still
+    detects), or the run fail-stopped short of ``halt``.  Otherwise the
+    output decides: exact match → *masked*, mismatch → *silent*.
+    """
+    if error is not None:
+        return "detected"
+    if event_counts.get("fault", 0) > 0:
+        return "detected"
+    if stats is None or not stats.finished:
+        return "detected"
+    return "masked" if output_matches else "silent"
+
+
+def _count_events(machine) -> dict[str, int]:
+    """Subscribe counters for the fault-related topics; returns the live dict."""
+    counts = {topic: 0 for topic in _COUNTED_TOPICS}
+
+    def _bump(event, topic):
+        counts[topic] += 1
+
+    for topic in _COUNTED_TOPICS:
+        machine.bus.subscribe(topic, lambda event, _t=topic: _bump(event, _t))
+    return counts
+
+
+def _check_output(kernel, machine, reference) -> tuple[bool, int]:
+    """Exact comparison against the golden reference: (match, mismatches)."""
+    output = np.asarray(kernel.extract(machine))
+    if output.shape != reference.shape:
+        return False, -1
+    if np.array_equal(output, reference):
+        return True, 0
+    return False, int(np.sum(output != reference))
+
+
+def _make_kernel(name: str, fast: bool):
+    if fast and name == "FFT1024":
+        # same shrink ExperimentSuite(fast=True) uses: the row stays present
+        # at a test-friendly size
+        from repro.kernels.fft import FFTKernel
+
+        kernel = FFTKernel(n=256)
+        kernel.name = "FFT1024"
+        return kernel
+    from repro.kernels import make_kernel
+
+    return make_kernel(name)
+
+
+def _clean_check(kernel, reference) -> dict:
+    """Run both variants clean; returns the per-kernel clean record."""
+    variants: dict[str, dict] = {}
+    for variant in ("mmx", "spu"):
+        machine = kernel.machine(variant)
+        stats = machine.run()
+        match, mismatches = _check_output(kernel, machine, reference)
+        variants[variant] = {
+            "match": match,
+            "mismatching_elements": mismatches,
+            "cycles": stats.cycles,
+            "instructions": stats.instructions,
+        }
+    return {"kernel": kernel.name, "config": kernel.config.name,
+            "variants": variants}
+
+
+def run_campaign(
+    campaign: FaultCampaign,
+    kernels: dict,
+    references: dict,
+    clean_spu: dict,
+) -> list[dict]:
+    """Execute every injection of *campaign*; returns per-injection records.
+
+    *kernels* maps name → prepared :class:`~repro.kernels.Kernel`,
+    *references* maps name → golden output, *clean_spu* maps name → the
+    clean SPU-variant record (its ``instructions`` scales the trigger
+    window, its ``cycles`` the per-run watchdog).
+    """
+    names = sorted(kernels)
+    records: list[dict] = []
+    for index in range(campaign.faults):
+        name = names[index % len(names)]
+        kernel = kernels[name]
+        spu_clean = clean_spu[name]
+        _, controller_programs = kernel.spu_programs()
+        spec = generate_spec(
+            campaign.rng(index),
+            campaign.kinds,
+            spu_clean["instructions"],
+            controller_programs,
+            kernel.config,
+        )
+
+        machine = kernel.machine("spu", resilience=campaign.resilience)
+        injector = FaultInjector(machine, spec)
+        event_counts = _count_events(machine)
+        watchdog = (
+            spu_clean["cycles"] * campaign.watchdog_factor
+            + campaign.watchdog_slack
+        )
+        stats = None
+        error: BaseException | None = None
+        try:
+            stats = machine.run(max_cycles=watchdog)
+        except ReproError as exc:
+            error = exc
+            stats = getattr(exc, "stats", None)
+        finally:
+            injector.detach()
+
+        output_matches = None
+        mismatches = None
+        if error is None and stats is not None and stats.finished:
+            output_matches, mismatches = _check_output(
+                kernel, machine, references[name]
+            )
+        outcome = classify_injection(stats, error, output_matches, event_counts)
+
+        controller = machine.spu.controller
+        records.append({
+            "index": index,
+            "kernel": name,
+            "spec": spec.as_dict(),
+            "fired": injector.fired,
+            "applied": injector.applied,
+            "inject_error": (
+                f"{type(injector.apply_error).__name__}: {injector.apply_error}"
+                if injector.apply_error is not None else None
+            ),
+            "outcome": outcome,
+            "output_matches": output_matches,
+            "mismatching_elements": mismatches,
+            "events": dict(event_counts),
+            "finished": bool(stats.finished) if stats is not None else False,
+            "cycles": stats.cycles if stats is not None else None,
+            "machine_faults": stats.faults if stats is not None else None,
+            "degraded_issues": (
+                stats.degraded_issues if stats is not None else None
+            ),
+            "fault_parks": controller.stats.fault_parks,
+            "serialized_operands": machine.spu.stats.serialized_operands,
+            "error": f"{type(error).__name__}: {error}" if error else None,
+        })
+    return records
+
+
+def run_check(
+    kernels: tuple[str, ...] = (),
+    faults: int = 0,
+    seed: int = 0,
+    resilience: ResilienceMode | str = ResilienceMode.DEGRADE,
+    fast: bool = False,
+    kinds: tuple[str, ...] | None = None,
+) -> CheckResult:
+    """The full ``repro check`` measurement: clean differential + campaign."""
+    from repro.kernels import ALL_KERNELS
+
+    names = tuple(kernels) if kernels else tuple(sorted(ALL_KERNELS))
+    instances = {name: _make_kernel(name, fast) for name in names}
+    references = {
+        name: np.asarray(instances[name].reference()) for name in names
+    }
+    clean = [_clean_check(instances[name], references[name]) for name in names]
+
+    result = CheckResult(kernels=names, clean=clean)
+    if faults > 0:
+        campaign = FaultCampaign(
+            seed=seed,
+            faults=faults,
+            kernels=names,
+            resilience=resilience,
+            **({"kinds": tuple(kinds)} if kinds else {}),
+        )
+        clean_spu = {entry["kernel"]: entry["variants"]["spu"] for entry in clean}
+        result.campaign = campaign
+        result.injections = run_campaign(
+            campaign, instances, references, clean_spu
+        )
+    return result

@@ -1,0 +1,118 @@
+"""Campaign reports: the ``fault-campaign`` export kind and its text view.
+
+The JSON body rides the same versioned envelope as every other exporter
+(:mod:`repro.obs.export`, ``{"schema": "repro.obs/1", "kind":
+"fault-campaign", "data": ...}``).  Reports deliberately carry no
+wall-clock data: a report is a pure function of (kernel set, seed, fault
+count, resilience mode), which is what makes the CI determinism check —
+run the campaign twice, compare bytes — meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.faults.campaign import OUTCOMES, CheckResult
+from repro.faults.spec import FAULT_KINDS
+from repro.obs.export import envelope
+
+
+def check_report(result: CheckResult) -> dict:
+    """The ``fault-campaign`` document for one :class:`CheckResult`."""
+    body: dict = {
+        "kernels": list(result.kernels),
+        "clean": {
+            "ok": result.clean_ok,
+            "results": result.clean,
+        },
+    }
+    if result.campaign is not None:
+        campaign = result.campaign
+        by_kind: dict[str, dict[str, int]] = {}
+        for record in result.injections:
+            kind = record["spec"]["kind"]
+            per_kind = by_kind.setdefault(
+                kind, {outcome: 0 for outcome in OUTCOMES}
+            )
+            per_kind[record["outcome"]] += 1
+        body["campaign"] = {
+            "seed": campaign.seed,
+            "faults": campaign.faults,
+            "kinds": list(campaign.kinds),
+            "resilience": campaign.resilience.value,
+            "watchdog_factor": campaign.watchdog_factor,
+            "watchdog_slack": campaign.watchdog_slack,
+        }
+        body["injections"] = result.injections
+        body["summary"] = {
+            "outcomes": result.outcome_counts(),
+            "by_kind": {
+                kind: by_kind[kind] for kind in FAULT_KINDS if kind in by_kind
+            },
+            "fired": sum(1 for r in result.injections if r["fired"]),
+            "inject_errors": sum(
+                1 for r in result.injections if r["inject_error"]
+            ),
+        }
+    return envelope("fault-campaign", body)
+
+
+def render_check(result: CheckResult) -> str:
+    """Human-readable ``repro check`` output."""
+    from repro.analysis.report import format_table
+
+    rows = []
+    for entry in result.clean:
+        for variant, record in entry["variants"].items():
+            rows.append([
+                entry["kernel"],
+                variant,
+                "ok" if record["match"] else
+                f"FAIL ({record['mismatching_elements']} mismatches)",
+                record["cycles"],
+                record["instructions"],
+            ])
+    parts = [format_table(
+        ["kernel", "variant", "reference", "cycles", "instructions"],
+        rows,
+        title="Differential self-check (exact vs NumPy fixed-point)",
+    )]
+
+    if result.campaign is not None:
+        campaign = result.campaign
+        counts = result.outcome_counts()
+        by_kind: dict[str, dict[str, int]] = {}
+        for record in result.injections:
+            kind = record["spec"]["kind"]
+            per_kind = by_kind.setdefault(
+                kind, {outcome: 0 for outcome in OUTCOMES}
+            )
+            per_kind[record["outcome"]] += 1
+        kind_rows = [
+            [kind, *[by_kind[kind][outcome] for outcome in OUTCOMES],
+             sum(by_kind[kind].values())]
+            for kind in FAULT_KINDS if kind in by_kind
+        ]
+        kind_rows.append([
+            "total", *[counts[outcome] for outcome in OUTCOMES],
+            len(result.injections),
+        ])
+        parts.append(format_table(
+            ["fault kind", *OUTCOMES, "total"],
+            kind_rows,
+            title=(
+                f"Fault campaign: {campaign.faults} injections, seed "
+                f"{campaign.seed}, mode {campaign.resilience.value}"
+            ),
+        ))
+        silent = [r for r in result.injections if r["outcome"] == "silent"]
+        if silent:
+            parts.append(format_table(
+                ["#", "kernel", "kind", "trigger", "mismatches"],
+                [[r["index"], r["kernel"], r["spec"]["kind"],
+                  r["spec"]["trigger"], r["mismatching_elements"]]
+                 for r in silent],
+                title="Silent corruptions (wrong output, nothing flagged)",
+            ))
+
+    status = "PASS" if result.clean_ok else "FAIL"
+    parts.append(f"clean differential check: {status}")
+    return "\n\n".join(parts)

@@ -1,0 +1,159 @@
+"""Declarative fault specifications and their seeded generator.
+
+A :class:`FaultSpec` fully describes one injection: what to corrupt, where,
+and at which dynamic instruction to fire.  Specs are plain frozen data — the
+injector (:mod:`repro.faults.injector`) interprets them — so a campaign
+report can embed every spec verbatim and any single injection can be
+replayed in isolation.
+
+Generation is deterministic: injection *i* of a campaign draws from
+``random.Random(f"{seed}:{i}")`` and from nothing else, so campaigns are
+bit-identical across runs and independent of execution order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+
+from repro.core.program import SPUProgram, state_word_bits
+from repro.resilience import ResilienceMode
+
+#: The fault taxonomy (see docs/robustness.md):
+#:
+#: ``register_bit``
+#:     Single-event upset in the 512-bit unified SPU register: one flip-flop
+#:     flips between the MMX mirror write and the crossbar's gather.
+#: ``control_word``
+#:     Control-memory corruption: one bit of one encoded state word flips,
+#:     perturbing counter select, next pointers or the route field.
+#: ``route``
+#:     Crossbar-route corruption: one granule selector of one routed state
+#:     is rewritten (possibly outside the configuration's input window).
+#: ``go_race``
+#:     GO-bit race: the unit is spuriously suspended while active, or
+#:     spuriously re-armed while idle/suspended.
+#: ``counter_skew``
+#:     Upset in a zero-overhead loop counter: a live counter is skewed by a
+#:     small delta mid-run, desynchronizing the state machine from the loop.
+FAULT_KINDS = ("register_bit", "control_word", "route", "go_race", "counter_skew")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection, fully resolved (fields unused by *kind* stay at -1/0)."""
+
+    kind: str
+    #: Dynamic-issue sequence number at which the fault fires.
+    trigger: int
+    #: Controller context holding the targeted program (control_word/route).
+    context: int = -1
+    #: Targeted state index (control_word/route).
+    state_index: int = -1
+    #: Bit to flip in the encoded state word (control_word).
+    word_bit: int = -1
+    #: Operand slot / output granule / corrupted selector (route).
+    slot: int = -1
+    granule: int = -1
+    selector: int = -1
+    #: SPU-register byte and bit (register_bit).
+    byte: int = -1
+    bit: int = -1
+    #: Targeted loop counter and skew amount (counter_skew).
+    counter: int = -1
+    delta: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form with the unused ``-1``/``0`` fields dropped."""
+        record = {"kind": self.kind, "trigger": self.trigger}
+        for key, value in asdict(self).items():
+            if key in record or value == -1 or (key == "delta" and value == 0):
+                continue
+            record[key] = value
+        return record
+
+
+@dataclass
+class FaultCampaign:
+    """A declarative campaign: which faults, how many, against what."""
+
+    seed: int = 0
+    faults: int = 25
+    kinds: tuple[str, ...] = FAULT_KINDS
+    #: Kernel registry names; empty means every registered kernel.
+    kernels: tuple[str, ...] = ()
+    #: Failure posture of the machines under test.
+    resilience: ResilienceMode | str = ResilienceMode.DEGRADE
+    #: Faulty-run watchdog: ``clean_cycles * factor + slack`` cycles.
+    watchdog_factor: int = 4
+    watchdog_slack: int = 10_000
+
+    def __post_init__(self) -> None:
+        self.resilience = ResilienceMode.parse(self.resilience)
+        unknown = [kind for kind in self.kinds if kind not in FAULT_KINDS]
+        if unknown:
+            raise ValueError(f"unknown fault kinds {unknown}; choose from {FAULT_KINDS}")
+
+    def rng(self, index: int) -> random.Random:
+        """The per-injection stream; depends only on (seed, index)."""
+        return random.Random(f"{self.seed}:{index}")
+
+
+def generate_spec(
+    rng: random.Random,
+    kinds: tuple[str, ...],
+    instructions: int,
+    controller_programs: list[tuple[int, SPUProgram]],
+    config,
+) -> FaultSpec:
+    """Draw one :class:`FaultSpec` for a kernel's SPU variant.
+
+    *instructions* is the clean run's dynamic instruction count (the trigger
+    is drawn from it so every fault lands inside the run);
+    *controller_programs* are the kernel's ``(context, SPUProgram)`` pairs,
+    used to aim control-memory and route faults at states that exist.
+    """
+    kind = rng.choice(list(kinds))
+    trigger = rng.randrange(max(1, instructions))
+    if kind == "register_bit":
+        return FaultSpec(kind, trigger, byte=rng.randrange(64), bit=rng.randrange(8))
+    if kind == "control_word":
+        targets = [
+            (context, index)
+            for context, program in controller_programs
+            for index in sorted(program.states)
+        ]
+        if not targets:  # no control memory to corrupt: degrade to an SEU
+            return FaultSpec("register_bit", trigger,
+                             byte=rng.randrange(64), bit=rng.randrange(8))
+        context, index = rng.choice(targets)
+        return FaultSpec(
+            kind, trigger, context=context, state_index=index,
+            word_bit=rng.randrange(state_word_bits(config)),
+        )
+    if kind == "route":
+        targets = [
+            (context, index, slot)
+            for context, program in controller_programs
+            for index in sorted(program.states)
+            for slot in sorted(program.states[index].routes)
+        ]
+        if not targets:  # nothing routed: degrade to an SEU
+            return FaultSpec("register_bit", trigger,
+                             byte=rng.randrange(64), bit=rng.randrange(8))
+        context, index, slot = rng.choice(targets)
+        # Corrupt to any selector the field could physically hold — values
+        # beyond in_ports model stuck select lines (detected as RouteError).
+        return FaultSpec(
+            kind, trigger, context=context, state_index=index, slot=slot,
+            granule=rng.randrange(config.granules_per_operand),
+            selector=rng.randrange(config.in_ports + 4),
+        )
+    if kind == "go_race":
+        return FaultSpec(kind, trigger)
+    if kind == "counter_skew":
+        return FaultSpec(
+            kind, trigger, counter=rng.randrange(2),
+            delta=rng.choice([-3, -2, -1, 1, 2, 3]),
+        )
+    raise ValueError(f"unknown fault kind {kind!r}")

@@ -193,11 +193,12 @@ class Kernel(abc.ABC):
         program: Program,
         controller_programs: list[tuple[int, SPUProgram]] | None,
         pipeline: PipelineConfig | None = None,
+        resilience=None,
     ) -> Machine:
         config = pipeline
         if config is None:
             config = PipelineConfig(extra_stage=controller_programs is not None)
-        machine = Machine(program, config=config)
+        machine = Machine(program, config=config, resilience=resilience)
         if controller_programs is not None:
             controller = SPUController(
                 config=self.config, contexts=max(4, len(controller_programs))
@@ -209,18 +210,22 @@ class Kernel(abc.ABC):
         return machine
 
     def machine(self, variant: str = "mmx",
-                pipeline: PipelineConfig | None = None) -> Machine:
+                pipeline: PipelineConfig | None = None,
+                resilience=None) -> Machine:
         """A prepared, unrun :class:`Machine` for one variant.
 
         The public entry point for observers: build the machine, subscribe
         to ``machine.bus``, then drive it yourself (used by ``repro
-        profile`` / ``repro trace`` and :mod:`repro.obs.export`).
+        profile`` / ``repro trace``, :mod:`repro.obs.export` and the
+        :mod:`repro.faults` campaigns).  *resilience* selects the failure
+        posture (:mod:`repro.resilience`); the attached controller inherits
+        it.
         """
         if variant == "mmx":
-            return self._machine(self.mmx_program(), None, pipeline)
+            return self._machine(self.mmx_program(), None, pipeline, resilience)
         if variant == "spu":
             program, controller_programs = self.spu_programs()
-            return self._machine(program, controller_programs, pipeline)
+            return self._machine(program, controller_programs, pipeline, resilience)
         raise KernelError(f"unknown variant {variant!r}; use 'mmx' or 'spu'")
 
     def run_mmx(self, pipeline: PipelineConfig | None = None) -> tuple[RunStats, np.ndarray]:

@@ -21,8 +21,11 @@ from repro.obs.events import (
     TOPICS,
     BranchEvent,
     ControllerStepEvent,
+    DegradeEvent,
     EventBus,
+    FaultEvent,
     IssueEvent,
+    RecoveryEvent,
     RunEndEvent,
     RunStartEvent,
     SPURouteEvent,
@@ -46,8 +49,11 @@ __all__ = [
     "TOPICS",
     "BranchEvent",
     "ControllerStepEvent",
+    "DegradeEvent",
     "EventBus",
+    "FaultEvent",
     "IssueEvent",
+    "RecoveryEvent",
     "RunEndEvent",
     "RunStartEvent",
     "SPURouteEvent",

@@ -23,7 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-#: Every topic the simulator emits, in rough pipeline order.
+#: Every topic the simulator emits, in rough pipeline order.  The three
+#: resilience topics (``fault``/``degrade``/``recovery``) fire only when
+#: something goes wrong, so they are free on healthy runs.
 TOPICS = (
     "run_start",
     "issue",
@@ -31,6 +33,9 @@ TOPICS = (
     "branch",
     "spu_route",
     "controller_step",
+    "fault",
+    "degrade",
+    "recovery",
     "run_end",
 )
 
@@ -109,6 +114,49 @@ class ControllerStepEvent:
     routed: bool
     #: True when this step landed on the idle state (SPU disabled itself).
     went_idle: bool
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """A component hit an invalid state, route, access or control word.
+
+    Emitted in every resilience mode that has a bus attached — STRICT raises
+    right after emitting, DEGRADE pairs it with a :class:`DegradeEvent`,
+    HALT pairs it with a clean run termination.
+    """
+
+    #: Which layer faulted: ``"controller"``, ``"crossbar"``, ``"machine"``.
+    component: str
+    #: Short machine-readable fault class (e.g. ``"invalid_state"``,
+    #: ``"route_error"``, ``"memory_fault"``).
+    kind: str
+    detail: str
+    #: Program counter at the faulting issue (-1 when not applicable).
+    pc: int = -1
+    #: The underlying exception, when one exists (e.g. a
+    #: :class:`repro.errors.MemoryFault` carrying address/size).
+    error: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class DegradeEvent:
+    """A fault was absorbed and the run continues with reduced function."""
+
+    component: str
+    #: What the degradation did: ``"park_idle"`` (controller forced to the
+    #: idle state), ``"serialize_operand"`` (straight-through value used),
+    #: ``"drop_instruction"`` (faulting issue executed as a no-op).
+    action: str
+    detail: str = ""
+    pc: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryEvent:
+    """A previously degraded component was re-armed (e.g. GO after a park)."""
+
+    component: str
+    detail: str = ""
 
 
 @dataclass(frozen=True, slots=True)

@@ -17,6 +17,10 @@ The documented kinds are:
     Structured benchmark results (``benchmarks/results/BENCH_*.json``).
 ``metrics``
     A flat :class:`repro.obs.metrics.MetricsRegistry` dump.
+``fault-campaign``
+    Differential self-check plus fault-injection results
+    (:func:`repro.faults.check_report`, the payload of
+    ``repro check --json``; see docs/robustness.md).
 
 See ``docs/observability.md`` for the field-level schema.
 

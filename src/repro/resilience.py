@@ -1,0 +1,59 @@
+"""Failure posture of the simulated machine and its SPU.
+
+The paper's SPU is deployable because its failure posture is well defined:
+the hard-wired idle state (127) disables the unit and the GO bit re-arms it
+(§4).  :class:`ResilienceMode` makes that posture an explicit, selectable
+policy for the whole simulator instead of an implicit "raise on anything
+unexpected":
+
+``STRICT``
+    Every fault raises immediately (the historical behavior).  Right for
+    unit tests and for debugging kernels, where the first wrong bit should
+    stop the world with a precise exception.
+``DEGRADE``
+    Faults are absorbed the way the hardware would absorb them: an invalid
+    controller state parks the unit at idle-127, an un-routable operand is
+    serialized (the architectural straight-through value is used), a bad
+    MMIO store is dropped, a faulting data access executes as a no-op.
+    Every absorption emits ``fault``/``degrade`` events on the machine's
+    bus, so nothing is silent — the run keeps going with reduced function.
+``HALT``
+    Fail-stop: the first fault ends the run cleanly.  :meth:`Machine.run`
+    returns its :class:`~repro.cpu.stats.RunStats` (``finished=False``)
+    instead of raising, after emitting ``fault`` and ``run_end`` events.
+
+This module is import-light on purpose: :mod:`repro.cpu.pipeline` and
+:mod:`repro.core.controller` both import it, so it must not import from any
+simulator package.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ResilienceMode(enum.Enum):
+    """How the simulator responds to faults (see module docstring)."""
+
+    STRICT = "strict"
+    DEGRADE = "degrade"
+    HALT = "halt"
+
+    @classmethod
+    def parse(cls, value: "ResilienceMode | str | None") -> "ResilienceMode":
+        """Coerce a mode name (``"strict"``/``"degrade"``/``"halt"``) to a mode.
+
+        ``None`` means STRICT, so constructors can take ``resilience=None``
+        and stay backward compatible.
+        """
+        if value is None:
+            return cls.STRICT
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            names = ", ".join(mode.value for mode in cls)
+            raise ValueError(
+                f"unknown resilience mode {value!r}; choose from {names}"
+            ) from exc

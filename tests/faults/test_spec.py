@@ -1,0 +1,100 @@
+"""Fault specs: taxonomy, generation determinism, campaign validation."""
+
+import pytest
+
+from repro.core import CONFIG_D
+from repro.faults import FAULT_KINDS, FaultCampaign, FaultSpec, generate_spec
+from repro.kernels import make_kernel
+from repro.resilience import ResilienceMode
+
+
+class TestFaultSpec:
+    def test_as_dict_drops_unused_fields(self):
+        spec = FaultSpec("register_bit", trigger=7, byte=3, bit=5)
+        assert spec.as_dict() == {
+            "kind": "register_bit", "trigger": 7, "byte": 3, "bit": 5,
+        }
+
+    def test_as_dict_keeps_counter_skew_delta(self):
+        spec = FaultSpec("counter_skew", trigger=0, counter=1, delta=-2)
+        assert spec.as_dict() == {
+            "kind": "counter_skew", "trigger": 0, "counter": 1, "delta": -2,
+        }
+
+
+class TestFaultCampaign:
+    def test_resilience_is_parsed(self):
+        campaign = FaultCampaign(resilience="halt")
+        assert campaign.resilience is ResilienceMode.HALT
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            FaultCampaign(kinds=("register_bit", "cosmic_ray"))
+
+    def test_rng_streams_are_per_injection(self):
+        campaign = FaultCampaign(seed=7)
+        first = campaign.rng(0).random()
+        again = campaign.rng(0).random()
+        other = campaign.rng(1).random()
+        assert first == again
+        assert first != other
+
+
+class TestGenerateSpec:
+    def fixture(self):
+        kernel = make_kernel("DotProduct")
+        _, controller_programs = kernel.spu_programs()
+        return kernel, controller_programs
+
+    def test_deterministic_across_calls(self):
+        kernel, programs = self.fixture()
+        campaign = FaultCampaign(seed=11)
+        specs_a = [
+            generate_spec(campaign.rng(i), FAULT_KINDS, 150, programs, kernel.config)
+            for i in range(20)
+        ]
+        specs_b = [
+            generate_spec(campaign.rng(i), FAULT_KINDS, 150, programs, kernel.config)
+            for i in range(20)
+        ]
+        assert specs_a == specs_b
+
+    def test_specs_are_well_formed(self):
+        kernel, programs = self.fixture()
+        campaign = FaultCampaign(seed=3)
+        states = {
+            (context, index)
+            for context, program in programs
+            for index in program.states
+        }
+        for i in range(40):
+            spec = generate_spec(
+                campaign.rng(i), FAULT_KINDS, 150, programs, kernel.config
+            )
+            assert spec.kind in FAULT_KINDS
+            assert 0 <= spec.trigger < 150
+            if spec.kind == "register_bit":
+                assert 0 <= spec.byte < 64 and 0 <= spec.bit < 8
+            elif spec.kind in ("control_word", "route"):
+                assert (spec.context, spec.state_index) in states
+            elif spec.kind == "counter_skew":
+                assert spec.counter in (0, 1) and spec.delta != 0
+
+    def test_control_word_without_targets_degrades_to_seu(self):
+        kernel, _ = self.fixture()
+        campaign = FaultCampaign(seed=5)
+        spec = generate_spec(
+            campaign.rng(0), ("control_word",), 10, [], kernel.config
+        )
+        assert spec.kind == "register_bit"
+
+    def test_route_selector_can_model_stuck_lines(self):
+        """Selectors are drawn past in_ports: out-of-window models stuck lines."""
+        kernel, programs = self.fixture()
+        campaign = FaultCampaign(seed=1)
+        selectors = [
+            generate_spec(campaign.rng(i), ("route",), 150, programs, kernel.config).selector
+            for i in range(120)
+        ]
+        assert any(s >= CONFIG_D.in_ports for s in selectors)
+        assert any(s < CONFIG_D.in_ports for s in selectors)

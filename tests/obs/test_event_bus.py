@@ -179,6 +179,21 @@ class TestOnIssueShim:
         # The legacy hook receives bare instructions, as before the bus.
         assert all(hasattr(instr, "opcode") for instr in seen)
 
+    def test_legacy_hook_warns_exactly_once_and_forwards_via_bus(self):
+        machine = machine_of(LOOP)
+        seen = []
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            machine.on_issue = seen.append
+            stats = machine.run()
+        deprecations = [w for w in record if w.category is DeprecationWarning]
+        assert len(deprecations) == 1  # assignment warns; running never does
+        assert "on_issue" in str(deprecations[0].message)
+        # The shim is an adapter over the bus: the bus carries the events
+        # and the legacy hook sees every issued instruction.
+        assert machine.bus.has_subscribers("issue")
+        assert len(seen) == stats.instructions
+
     def test_legacy_hook_clears_cleanly(self):
         machine = machine_of(LOOP)
         with warnings.catch_warnings():
