@@ -33,3 +33,46 @@ __all__ += [
 from repro.analysis.startup import StartupCost, measure_startup_cost
 
 __all__ += ["StartupCost", "measure_startup_cost"]
+
+from repro.analysis.findings import Finding, FindingCollector, Severity, sort_findings
+from repro.analysis.rules import RULES, Rule, rule_severity
+from repro.analysis.microprogram import analyze_program, simulate
+from repro.analysis.schedule import analyze_schedule, chain_states
+from repro.analysis.certificate import certificate_findings, resolve_config
+from repro.analysis.suppressions import KNOWN_SILENT, Suppression
+from repro.analysis.lint import (
+    LintResult,
+    exit_code,
+    lint_all,
+    lint_kernel,
+    lint_program,
+    lint_report,
+    render_lint,
+)
+from repro.analysis.verdict import injection_verdict
+
+__all__ += [
+    "Finding",
+    "FindingCollector",
+    "Severity",
+    "sort_findings",
+    "RULES",
+    "Rule",
+    "rule_severity",
+    "analyze_program",
+    "simulate",
+    "analyze_schedule",
+    "chain_states",
+    "certificate_findings",
+    "resolve_config",
+    "KNOWN_SILENT",
+    "Suppression",
+    "LintResult",
+    "exit_code",
+    "lint_all",
+    "lint_kernel",
+    "lint_program",
+    "lint_report",
+    "render_lint",
+    "injection_verdict",
+]

@@ -1,0 +1,142 @@
+"""Findings: the common currency of the static-analysis subsystem.
+
+Every analyzer (:mod:`repro.analysis.microprogram`,
+:mod:`repro.analysis.schedule`, :mod:`repro.analysis.certificate`) reports
+:class:`Finding` records — a rule id from the catalog
+(:mod:`repro.analysis.rules`), a severity, a location string, a message and a
+fix hint.  ``repro lint`` aggregates them, applies suppressions, and exports
+them under the ``repro.analysis/1`` schema (sibling of the observability
+layer's ``repro.obs/1``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Finding severity, ordered so comparisons read naturally.
+
+    ``ERROR`` findings are soundness violations (the microprogram or the
+    kernel/controller agreement is broken); ``WARN`` findings are likely
+    mistakes or modeling-assumption violations; ``INFO`` findings are
+    advisory (e.g. checks that could not run).
+    """
+
+    INFO = 10
+    WARN = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: "Severity | str") -> "Severity":
+        if isinstance(text, Severity):
+            return text
+        try:
+            return cls[str(text).upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; choose from "
+                f"{[name.lower() for name in cls.__members__]}"
+            ) from None
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from a static analyzer.
+
+    ``location`` is a human-readable anchor ("state 12", "body position 3",
+    "context 1"), qualified by the subject the lint run attaches (kernel or
+    program name).  ``suppressed`` carries the suppression id when a
+    documented ``known-silent`` entry covers the finding — suppressed
+    findings are reported but do not affect the exit code.
+    """
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+    fix_hint: str = ""
+    suppressed: str | None = None
+
+    def suppress(self, suppression_id: str) -> "Finding":
+        return Finding(
+            rule=self.rule,
+            severity=self.severity,
+            location=self.location,
+            message=self.message,
+            fix_hint=self.fix_hint,
+            suppressed=suppression_id,
+        )
+
+    def as_dict(self) -> dict:
+        data: dict = {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.fix_hint:
+            data["fix_hint"] = self.fix_hint
+        if self.suppressed is not None:
+            data["suppressed"] = self.suppressed
+        return data
+
+
+#: Deterministic ordering: severity (most severe first), then rule id, then
+#: location, then message — so JSON exports are byte-stable run to run.
+def finding_sort_key(finding: Finding) -> tuple:
+    return (-int(finding.severity), finding.rule, finding.location, finding.message)
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=finding_sort_key)
+
+
+def worst_severity(findings: list[Finding], include_suppressed: bool = False) -> Severity | None:
+    """Highest severity among (by default, unsuppressed) findings."""
+    pool = [
+        finding
+        for finding in findings
+        if include_suppressed or finding.suppressed is None
+    ]
+    if not pool:
+        return None
+    return max(finding.severity for finding in pool)
+
+
+@dataclass
+class FindingCollector:
+    """Mutable accumulator analyzers append to; keeps construction terse."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(
+        self,
+        rule: str,
+        severity: Severity | str,
+        location: str,
+        message: str,
+        fix_hint: str = "",
+    ) -> None:
+        # Rule ids must come from the catalog — typos here would silently
+        # weaken CI gating, so fail loudly.
+        from repro.analysis.rules import RULES
+
+        if rule not in RULES:
+            raise KeyError(f"finding references unknown rule id {rule!r}")
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=Severity.parse(severity),
+                location=location,
+                message=message,
+                fix_hint=fix_hint,
+            )
+        )
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)

@@ -1,0 +1,192 @@
+"""The ``repro lint`` driver: run every analyzer over programs and kernels.
+
+One :class:`LintResult` per subject (a kernel, or a bare controller
+program).  For a kernel the run covers all three analyzer families:
+
+1. every controller context program through the microprogram analyzer
+   (``mp-*``),
+2. the kernel's transformed program against those controller programs
+   through the schedule-agreement analyzer (``sa-*``),
+3. every off-load certificate re-verified and cross-checked against the
+   shipped controller program (``oc-*``).
+
+Ordering is deterministic everywhere (analyzers iterate sorted state
+indexes, results sort by severity/rule/location), so ``repro lint --all
+--json`` output is byte-stable — CI diffs it against a committed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.certificate import certificate_findings
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    sort_findings,
+    worst_severity,
+)
+from repro.analysis.microprogram import analyze_program
+from repro.analysis.schedule import analyze_schedule
+from repro.core.interconnect import CrossbarConfig
+from repro.core.program import SPUProgram
+
+if TYPE_CHECKING:
+    from repro.kernels.base import Kernel
+
+
+@dataclass
+class LintResult:
+    """Everything one lint subject produced."""
+
+    subject: str
+    config: str | None
+    findings: list[Finding] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        counts = {"error": 0, "warn": 0, "info": 0, "suppressed": 0}
+        for finding in self.findings:
+            if finding.suppressed is not None:
+                counts["suppressed"] += 1
+            else:
+                counts[str(finding.severity)] += 1
+        return counts
+
+    @property
+    def worst(self) -> Severity | None:
+        return worst_severity(self.findings)
+
+    def as_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "config": self.config,
+            "counts": self.counts(),
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+
+def lint_program(
+    program: SPUProgram,
+    config: CrossbarConfig | None = None,
+    subject: str | None = None,
+) -> LintResult:
+    """Lint one bare controller program (microprogram family only)."""
+    name = subject if subject is not None else program.name
+    return LintResult(
+        subject=name,
+        config=config.name if config is not None else None,
+        findings=sort_findings(analyze_program(program, config, subject=name)),
+    )
+
+
+def lint_kernel(kernel: Kernel | str) -> LintResult:
+    """Lint one kernel: microprogram + schedule + certificate families.
+
+    Accepts a :class:`~repro.kernels.Kernel` instance or a registry name
+    (forgiving spelling, as everywhere in the CLI).
+    """
+    if isinstance(kernel, str):
+        from repro.kernels import make_kernel
+        from repro.obs.export import resolve_kernel_name
+
+        kernel = make_kernel(resolve_kernel_name(kernel))
+
+    findings: list[Finding] = []
+    _, controller_programs = kernel.spu_programs()
+    for context, spu_program in controller_programs:
+        findings.extend(
+            analyze_program(
+                spu_program,
+                kernel.config,
+                subject=f"{kernel.name}/context{context}",
+            )
+        )
+    findings.extend(analyze_schedule(kernel))
+    for context, report in kernel.offload_reports():
+        if report.certificate is None:
+            continue
+        findings.extend(
+            certificate_findings(
+                report.certificate,
+                report.spu_program,
+                subject=f"{kernel.name}/{report.certificate.loop_label}",
+            )
+        )
+    return LintResult(
+        subject=kernel.name,
+        config=kernel.config.name,
+        findings=sort_findings(findings),
+    )
+
+
+def lint_all() -> list[LintResult]:
+    """Lint every registered kernel, in sorted registry order."""
+    from repro.kernels import ALL_KERNELS, make_kernel
+
+    return [lint_kernel(make_kernel(name)) for name in sorted(ALL_KERNELS)]
+
+
+# --- reporting -----------------------------------------------------------------
+
+
+def lint_report(results: list[LintResult]) -> dict:
+    """The ``lint`` document (schema ``repro.analysis/1``)."""
+    from repro.obs.export import ANALYSIS_SCHEMA_VERSION, envelope
+
+    totals = {"error": 0, "warn": 0, "info": 0, "suppressed": 0}
+    for result in results:
+        for key, value in result.counts().items():
+            totals[key] += value
+    body = {
+        "subjects": [result.as_dict() for result in results],
+        "summary": {
+            "subjects": len(results),
+            "findings": sum(len(result.findings) for result in results),
+            **totals,
+        },
+    }
+    return envelope("lint", body, schema=ANALYSIS_SCHEMA_VERSION)
+
+
+def render_lint(results: list[LintResult]) -> str:
+    """Human-readable lint output."""
+    lines: list[str] = []
+    clean: list[str] = []
+    for result in results:
+        if not result.findings:
+            clean.append(result.subject)
+            continue
+        counts = result.counts()
+        summary = ", ".join(
+            f"{count} {label}" for label, count in counts.items() if count
+        )
+        lines.append(f"{result.subject} ({summary}):")
+        for finding in result.findings:
+            tag = (
+                f"suppressed:{finding.suppressed}"
+                if finding.suppressed is not None
+                else str(finding.severity)
+            )
+            lines.append(f"  [{tag}] {finding.rule} @ {finding.location}")
+            lines.append(f"      {finding.message}")
+            if finding.fix_hint:
+                lines.append(f"      hint: {finding.fix_hint}")
+        lines.append("")
+    if clean:
+        lines.append(f"clean: {', '.join(clean)}")
+    total = sum(len(result.findings) for result in results)
+    lines.append(
+        f"{total} finding(s) across {len(results)} subject(s)"
+    )
+    return "\n".join(lines)
+
+
+def exit_code(results: list[LintResult], fail_on: Severity | str = Severity.ERROR) -> int:
+    """1 when any unsuppressed finding reaches the *fail_on* threshold."""
+    threshold = Severity.parse(fail_on)
+    for result in results:
+        worst = result.worst
+        if worst is not None and worst >= threshold:
+            return 1
+    return 0

@@ -14,7 +14,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.cpu import Machine, RunStats
-from repro.isa.opcodes import InstrClass
 
 
 @dataclass

@@ -1,0 +1,70 @@
+"""The known-silent suppression registry.
+
+The robustness acceptance bar (docs/static-analysis.md) is: every *silent*
+``control_word``/``counter_skew``/``go_race`` injection must be statically
+flagged, or covered by an entry here.  A suppression is a *documented
+argument* that a class of faults is out of the static analyzer's scope — it
+names the fault kinds it covers and why — so the campaign report can
+distinguish "explained silence" from "analyzer gap".
+
+Suppression syntax in reports: a suppressed verdict carries
+``{"verdict": "suppressed", "suppression": "<id>"}``; a suppressed lint
+finding carries ``"suppressed": "<id>"`` and does not affect the
+``--fail-on`` exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One documented known-silent class."""
+
+    id: str
+    #: Fault-taxonomy kinds the suppression may cover.
+    kinds: tuple[str, ...]
+    rationale: str
+
+
+_REGISTRY: tuple[Suppression, ...] = (
+    Suppression(
+        id="seu-data",
+        kinds=("register_bit",),
+        rationale=(
+            "A single-event upset in the unified SPU register corrupts a "
+            "data value, not control state: no microprogram, schedule or "
+            "certificate property changes, so no static rule can see it. "
+            "The differential self-check (repro check) owns this class."
+        ),
+    ),
+    Suppression(
+        id="word-dont-care",
+        kinds=("control_word", "route"),
+        rationale=(
+            "The corrupted bits are don't-cares: the state word decodes to "
+            "the identical control state (e.g. selector/mode bits of a "
+            "granule whose valid bit is clear, or a route rewrite to the "
+            "selector already in place), so the installed program is "
+            "bit-for-bit the program that was already running."
+        ),
+    ),
+    Suppression(
+        id="skew-unused-counter",
+        kinds=("counter_skew",),
+        rationale=(
+            "Skewing a loop counter that no loaded state selects never "
+            "perturbs sequencing: the controller only consults the counter "
+            "a state's CNTRx field names, so the upset is architecturally "
+            "invisible."
+        ),
+    ),
+)
+
+#: id -> Suppression, the importable registry.
+KNOWN_SILENT: dict[str, Suppression] = {entry.id: entry for entry in _REGISTRY}
+
+
+def lookup(suppression_id: str) -> Suppression:
+    return KNOWN_SILENT[suppression_id]

@@ -1,0 +1,120 @@
+"""Static verdicts for fault injections: the lint/fault-campaign cross-check.
+
+For every injection a campaign runs dynamically, this module answers the
+static question: *would ``repro lint`` have flagged the corrupted artifact?*
+For control-memory faults (``control_word``/``route``) it rebuilds the exact
+corrupted program the injector installs — via the injector's own pure
+corruption models, so the two layers cannot drift — and lints it, including
+the certificate cross-check.  For sequencing faults it reasons from the spec
+(``go_race`` is always a flagged hazard; ``counter_skew`` is flagged iff the
+skewed counter is actually consulted).  Faults outside the static scope
+resolve to a documented suppression (:mod:`repro.analysis.suppressions`).
+
+Verdict records are JSON-friendly dicts::
+
+    {"verdict": "flagged",    "rules": ["mp-nontermination", ...]}
+    {"verdict": "suppressed", "suppression": "seu-data"}
+    {"verdict": "unexplained"}
+
+``unexplained`` is the analyzer-gap bucket the robustness bar requires to be
+empty for silent injections.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import RouteError
+from repro.analysis.certificate import certificate_findings
+from repro.analysis.findings import Severity
+from repro.analysis.microprogram import analyze_program
+from repro.analysis.suppressions import KNOWN_SILENT
+from repro.faults.injector import corrupt_control_word, corrupt_route
+from repro.faults.spec import FaultSpec
+
+if TYPE_CHECKING:
+    from repro.core.program import SPUProgram
+    from repro.kernels.base import Kernel
+
+
+def _suppressed(suppression_id: str) -> dict:
+    assert suppression_id in KNOWN_SILENT
+    return {"verdict": "suppressed", "suppression": suppression_id}
+
+
+def _flagged(rules: list[str]) -> dict:
+    return {"verdict": "flagged", "rules": sorted(set(rules))}
+
+
+def _lint_corrupted(kernel: Kernel, context: int, corrupted: SPUProgram) -> dict:
+    """Lint a corrupted controller program, certificate cross-check included."""
+    rules: list[str] = []
+    for finding in analyze_program(corrupted, kernel.config):
+        if finding.severity >= Severity.WARN:
+            rules.append(finding.rule)
+    for report_context, report in kernel.offload_reports():
+        if report_context != context or report.certificate is None:
+            continue
+        for finding in certificate_findings(report.certificate, corrupted):
+            if finding.severity >= Severity.WARN:
+                rules.append(finding.rule)
+    if rules:
+        return _flagged(rules)
+    return {"verdict": "unexplained"}
+
+
+def injection_verdict(kernel: Kernel, spec: FaultSpec) -> dict:
+    """The static-analysis verdict for one injection against *kernel*."""
+    programs = dict(kernel.spu_programs()[1])
+
+    if spec.kind == "register_bit":
+        return _suppressed("seu-data")
+
+    if spec.kind == "go_race":
+        # Any GO/suspend/resume that is not the kernel's own convention
+        # desynchronizes controller steps from loop instructions: always a
+        # schedule hazard, whatever the dynamic outcome.
+        return _flagged(["sa-go-race"])
+
+    if spec.kind == "counter_skew":
+        consulted = any(
+            state.cntr == spec.counter
+            for program in programs.values()
+            for state in program.states.values()
+        )
+        if spec.delta != 0 and consulted:
+            return _flagged(["sa-schedule-drift"])
+        return _suppressed("skew-unused-counter")
+
+    if spec.kind in ("control_word", "route"):
+        program = programs.get(spec.context)
+        if program is None:
+            return {"verdict": "unexplained"}
+        try:
+            if spec.kind == "control_word":
+                corrupted = corrupt_control_word(
+                    program, spec.state_index, spec.word_bit, kernel.config
+                )
+            else:
+                corrupted = corrupt_route(
+                    program, spec.state_index, spec.slot, spec.granule,
+                    spec.selector,
+                )
+        except RouteError:
+            # The corrupted word does not even decode (possible only for
+            # configurations with spare encoding space): the MMIO decoder
+            # itself rejects it, which is a static detection.
+            return _flagged(["mp-encode-roundtrip"])
+        if corrupted is None:
+            return {"verdict": "unexplained"}
+        if (
+            corrupted.states == program.states
+            and corrupted.counter_init == program.counter_init
+            and corrupted.entry == program.entry
+        ):
+            # The flip landed in a don't-care position: the installed
+            # program is identical to the running one.
+            return _suppressed("word-dont-care")
+        return _lint_corrupted(kernel, spec.context, corrupted)
+
+    return {"verdict": "unexplained"}

@@ -26,9 +26,14 @@ Commands
     NumPy fixed-point reference, optionally under a seeded fault
     campaign classifying injections as masked/detected/silent
     (schema in docs/robustness.md).
+``lint [KERNEL ...| --all] [--json PATH] [--fail-on SEV]``
+    Static verifier: microprogram structure, kernel/controller schedule
+    agreement and off-load soundness certificates (rule catalog in
+    docs/static-analysis.md; schema ``repro.analysis/1``).  Exits 1 when
+    any unsuppressed finding reaches the ``--fail-on`` severity.
 
-``profile``, ``trace`` and ``check`` resolve kernel names forgivingly
-(``dotprod`` → ``DotProduct``).
+``profile``, ``trace``, ``check`` and ``lint`` resolve kernel names
+forgivingly (``dotprod`` → ``DotProduct``).
 """
 
 from __future__ import annotations
@@ -184,6 +189,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             print(f"SPU controller: {controller['steps']} steps, GO occupancy "
                   f"{pct(controller['go_occupancy'], 1)}, "
                   f"{controller['idle_entries']} idle entries")
+            if "clean_idle_entries" in controller:
+                print(f"  completions: {controller['clean_idle_entries']} clean"
+                      f" idle entries, {controller['fault_parks']} fault parks,"
+                      f" {controller['park_recoveries']} park recoveries")
             print(format_table(["state", "steps"], [list(kv) for kv in hottest]))
         del attribution
     comparison = body.get("comparison")
@@ -235,6 +244,29 @@ def _cmd_check(args: argparse.Namespace) -> int:
     # Injection outcomes are data, not failures; only a broken clean
     # differential (simulator vs golden reference) fails the check.
     return 0 if result.clean_ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import exit_code, lint_all, lint_kernel, lint_report, render_lint
+    from repro.obs.export import resolve_kernel_name, write_json
+
+    if args.all:
+        results = lint_all()
+    elif args.kernel:
+        results = [
+            lint_kernel(resolve_kernel_name(name)) for name in args.kernel
+        ]
+    else:
+        print("repro lint: name at least one kernel or pass --all",
+              file=sys.stderr)
+        return 2
+    if args.json is not None:
+        target = write_json(args.json, lint_report(results))
+        if target is not None:
+            print(f"wrote {target}")
+    else:
+        print(render_lint(results))
+    return exit_code(results, args.fail_on)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -330,6 +362,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the fault-campaign JSON report ('-' or no value: stdout)",
     )
     check_parser.set_defaults(func=_cmd_check)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static verifier: microprograms, schedule agreement, "
+        "off-load certificates",
+    )
+    lint_parser.add_argument(
+        "kernel", nargs="*",
+        help="kernel(s) to lint (forgiving match)",
+    )
+    lint_parser.add_argument("--all", action="store_true",
+                             help="lint every registered kernel")
+    lint_parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the repro.analysis/1 JSON report ('-': stdout)",
+    )
+    lint_parser.add_argument(
+        "--fail-on", dest="fail_on", choices=("info", "warn", "error"),
+        default="error",
+        help="exit 1 when an unsuppressed finding reaches this severity "
+        "(default: error)",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
 
     report_parser = sub.add_parser(
         "report", help="run the full evaluation and write REPORT.md"

@@ -135,6 +135,28 @@ __all__ += [
     "offload_loop",
 ]
 
+from repro.core.dataflow import (
+    ByteMap,
+    CertIssue,
+    OffloadCertificate,
+    OriginalAnalysis,
+    PermuteWitness,
+    analyze_original,
+    check_certificate,
+    derive_routes,
+)
+
+__all__ += [
+    "ByteMap",
+    "CertIssue",
+    "OffloadCertificate",
+    "OriginalAnalysis",
+    "PermuteWitness",
+    "analyze_original",
+    "check_certificate",
+    "derive_routes",
+]
+
 from repro.core.debug import render_program, render_state
 
 __all__ += ["render_program", "render_state"]

@@ -30,8 +30,14 @@ class ControllerStats:
     activations: int = 0
     routed_steps: int = 0
     context_switches: int = 0
+    #: Normal completions: the state machine followed an edge into idle-127.
+    idle_entries: int = 0
     #: Faults absorbed by degrade mode (invalid state parked at idle).
+    #: Disjoint from :attr:`idle_entries`, so degrade-mode runs are
+    #: distinguishable from clean completions in ``repro profile`` output.
     fault_parks: int = 0
+    #: GO re-arms of a fault-parked context (degrade-mode recoveries).
+    park_recoveries: int = 0
 
 
 class SPUController:
@@ -154,6 +160,7 @@ class SPUController:
             # Degrade mode parked the unit on a fault; GO re-arms it (§4's
             # posture: idle-127 disables, the GO bit brings it back).
             self.fault_parked = False
+            self.stats.park_recoveries += 1
             bus = self.bus
             if bus is not None and bus.recovery:
                 bus.dispatch(
@@ -249,6 +256,7 @@ class SPUController:
             self._active = False
             self._current = self.idle_state
             self._counters = list(program.counter_init)
+            self.stats.idle_entries += 1
         else:
             self._current = next_index
         bus = self.bus

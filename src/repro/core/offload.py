@@ -6,13 +6,20 @@ from the body and synthesizes the SPU controller program that reroutes the
 consumers' operands through the crossbar instead — "the generation of the
 code for the SPU is systematic and can be automated".
 
-Method: symbolic byte provenance.  Every MMX register byte at loop entry gets
-a unique symbol; walking the body, pure permutes relocate symbols while
-computes/loads mint fresh ones.  An instruction's operand can be rerouted iff
-each byte's *original* symbol still lives somewhere in the register file of
-the transformed (permute-less) body at that point, at a location the
-interconnect configuration can address.  Candidates whose consumers cannot be
-rerouted are kept; the analysis iterates to a fixed point.
+Method: symbolic byte provenance (:mod:`repro.core.dataflow`).  Every MMX
+register byte at loop entry gets a unique symbol; walking the body, pure
+permutes relocate symbols while computes/loads mint fresh ones.  An
+instruction's operand can be rerouted iff each byte's *original* symbol
+still lives somewhere in the register file of the transformed (permute-less)
+body at that point, at a location the interconnect configuration can
+address.  Candidates whose consumers cannot be rerouted are kept; the
+analysis iterates to a fixed point.
+
+Every successful run emits an :class:`~repro.core.dataflow.OffloadCertificate`
+— the removal set, the exact byte routes, and per deleted permute the
+consumer routes that reproduce its byte movement — which
+:func:`repro.core.dataflow.check_certificate` (and ``repro lint``) can
+re-verify without re-running the pass.
 
 Saturating packs (``packss*``/``packus*``) are value-transforming, not pure
 routing, so they are never removed — matching the paper's SPU, which only
@@ -23,21 +30,45 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError, RouteError
+from repro.errors import ReproError
 from repro.core.builder import SPUProgramBuilder, StateSpec
+from repro.core.dataflow import (
+    ZERO,
+    ByteMap,
+    OffloadCertificate,
+    PermuteWitness,
+    analyze_original,
+    byte_sources,
+    derive_routes,
+    is_pure_permute,
+    is_zero_idiom,
+    mmx_dest,
+    mmx_source_slots,
+)
 from repro.core.interconnect import CONFIG_D, CrossbarConfig
 from repro.core.program import SPUProgram
 from repro.isa.instructions import Instruction, Program
-from repro.isa.operands import Imm, Mem
-from repro.isa.registers import MMX_BYTES, Register
+from repro.isa.registers import Register
+
+__all__ = [
+    "OffloadError",
+    "OffloadReport",
+    "ZERO",
+    "byte_sources",
+    "find_loop",
+    "is_pure_permute",
+    "is_zero_idiom",
+    "mmx_dest",
+    "mmx_source_slots",
+    "offload_loop",
+]
+
+#: Backwards-compatible alias; the engine now lives in repro.core.dataflow.
+_ByteMap = ByteMap
 
 
 class OffloadError(ReproError):
     """The loop cannot be analyzed (malformed region, inner control flow)."""
-
-
-#: Symbol meaning "architectural zero shifted in" — never routable.
-ZERO = -1
 
 
 @dataclass
@@ -55,6 +86,8 @@ class OffloadReport:
     routes_by_position: dict[int, dict[int, tuple]] = field(default_factory=dict)
     #: Candidates considered but kept, with reasons (diagnostics).
     kept: dict[int, str] = field(default_factory=dict)
+    #: Machine-checkable soundness evidence (see repro.core.dataflow).
+    certificate: OffloadCertificate | None = None
 
     @property
     def removed_count(self) -> int:
@@ -86,239 +119,7 @@ def find_loop(program: Program, label: str) -> tuple[int, int]:
     return start, end
 
 
-# --- per-instruction byte semantics -----------------------------------------------
-
-
-def is_pure_permute(instr: Instruction) -> bool:
-    """True for instructions the pass may delete (pure byte relocation)."""
-    sem = instr.opcode.sem
-    if sem in ("punpckl", "punpckh", "pshufw"):
-        return True
-    if sem == "movq":
-        return all(isinstance(op, Register) and op.is_mmx for op in instr.operands)
-    if sem in ("psll", "psrl") and instr.opcode.width == 64:
-        count = instr.operands[1]
-        return isinstance(count, Imm) and count.value % 8 == 0
-    return False
-
-
-def byte_sources(instr: Instruction) -> list[tuple[str, int] | None]:
-    """Output-byte provenance of a pure permute.
-
-    Each of the 8 entries is ``('a', i)`` (byte *i* of the destination-as-
-    source operand), ``('b', i)`` (byte *i* of the second operand) or ``None``
-    for a shifted-in zero byte.
-    """
-    sem = instr.opcode.sem
-    if sem == "movq":
-        return [("b", i) for i in range(MMX_BYTES)]
-    if sem in ("psll", "psrl"):
-        k = instr.operands[1].value // 8
-        if sem == "psll":
-            return [("a", i - k) if i >= k else None for i in range(MMX_BYTES)]
-        return [("a", i + k) if i + k < MMX_BYTES else None for i in range(MMX_BYTES)]
-    if sem == "pshufw":
-        order = instr.operands[2].value & 0xFF
-        out: list[tuple[str, int] | None] = []
-        for lane in range(4):
-            src_lane = (order >> (2 * lane)) & 3
-            out.extend([("b", 2 * src_lane), ("b", 2 * src_lane + 1)])
-        return out
-    if sem in ("punpckl", "punpckh"):
-        k = instr.opcode.width // 8  # bytes per lane
-        lanes_n = MMX_BYTES // k
-        half = lanes_n // 2
-        base = 0 if sem == "punpckl" else half
-        out = []
-        for j in range(half):
-            out.extend([("a", (base + j) * k + t) for t in range(k)])
-            out.extend([("b", (base + j) * k + t) for t in range(k)])
-        return out
-    raise OffloadError(f"{instr.name} is not a pure permute")
-
-
-def mmx_source_slots(instr: Instruction) -> list[int]:
-    """Operand slots read as routable MMX sources for *instr*."""
-    sem = instr.opcode.sem
-    slots: list[int] = []
-    if not instr.is_mmx:
-        return slots
-    if sem in ("movq", "movd"):
-        op = instr.operands[1]
-        if isinstance(op, Register) and op.is_mmx:
-            slots.append(1)
-        return slots
-    if sem == "pshufw":
-        op = instr.operands[1]
-        if isinstance(op, Register) and op.is_mmx:
-            slots.append(1)
-        return slots
-    if sem in ("psll", "psrl", "psra"):
-        # Route only the data operand; a register shift count stays literal.
-        if isinstance(instr.operands[0], Register):
-            slots.append(0)
-        return slots
-    # Packed read-modify-write forms: destination is also a source.
-    if isinstance(instr.operands[0], Register) and instr.operands[0].is_mmx:
-        slots.append(0)
-    if len(instr.operands) > 1:
-        op = instr.operands[1]
-        if isinstance(op, Register) and op.is_mmx:
-            slots.append(1)
-    return slots
-
-
-def mmx_dest(instr: Instruction) -> Register | None:
-    """MMX register written by *instr*, if any."""
-    dest = instr.dest
-    if dest is not None and dest.is_mmx:
-        return dest
-    return None
-
-
-def is_zero_idiom(instr: Instruction) -> bool:
-    """True for the canonical register-clear idioms (``pxor x,x`` etc.).
-
-    Their result is zero regardless of the register's content, so the
-    analysis can treat the destination as a known-zero source — which both
-    exempts the idiom from operand-routing requirements and lets consumers
-    of shifted-in zeros find a zero byte to route from.
-    """
-    if instr.opcode.sem not in ("pxor", "psub", "psubs", "psubus", "pandn"):
-        return False
-    operands = instr.operands
-    return (
-        len(operands) == 2
-        and isinstance(operands[0], Register)
-        and operands[0] == operands[1]
-    )
-
-
-# --- the symbolic engine ------------------------------------------------------------
-
-
-class _ByteMap:
-    """Maps (reg_index, byte) → symbol; mutated as the walk proceeds."""
-
-    def __init__(self, zero_regs: tuple = ()) -> None:
-        self.map: dict[tuple[int, int], int] = {}
-        self._next = 1
-        zero_indexes = {reg.index for reg in zero_regs}
-        for reg in range(8):
-            for byte in range(MMX_BYTES):
-                # Known-zero registers (pre-loop pxor idioms) seed ZERO
-                # symbols, giving shifted-in zeros a routable source.
-                self.map[(reg, byte)] = ZERO if reg in zero_indexes else self._fresh()
-
-    def _fresh(self) -> int:
-        sym = self._next
-        self._next += 1
-        return sym
-
-    def operand_syms(self, reg: Register) -> list[int]:
-        return [self.map[(reg.index, b)] for b in range(MMX_BYTES)]
-
-    def write_fresh(self, reg: Register) -> None:
-        for byte in range(MMX_BYTES):
-            self.map[(reg.index, byte)] = self._fresh()
-
-    def apply_permute(self, instr: Instruction) -> None:
-        dst = instr.operands[0]
-        a = self.operand_syms(dst)
-        src_op = instr.operands[1] if len(instr.operands) > 1 else None
-        b = (
-            self.operand_syms(src_op)
-            if isinstance(src_op, Register) and src_op.is_mmx
-            else [ZERO] * MMX_BYTES
-        )
-        out = []
-        for source in byte_sources(instr):
-            if source is None:
-                out.append(ZERO)
-            else:
-                which, i = source
-                out.append(a[i] if which == "a" else b[i])
-        for byte, sym in enumerate(out):
-            self.map[(dst.index, byte)] = sym
-
-    def step(self, instr: Instruction, *, removed: bool) -> None:
-        """Advance the map across *instr* (removed permutes change nothing)."""
-        if removed:
-            return
-        dst = mmx_dest(instr)
-        if dst is None:
-            return
-        if is_zero_idiom(instr):
-            for byte in range(MMX_BYTES):
-                self.map[(dst.index, byte)] = ZERO
-        elif is_pure_permute(instr):
-            self.apply_permute(instr)
-        else:
-            self.write_fresh(dst)
-
-    def set_dst(self, reg: Register, syms: list[int]) -> None:
-        """Replay a known output symbol vector into *reg* (transformed walk)."""
-        for byte, sym in enumerate(syms):
-            self.map[(reg.index, byte)] = sym
-
-    def locate(self, sym: int) -> tuple[int, int] | None:
-        """Find any register byte currently holding *sym*."""
-        for location, value in self.map.items():
-            if value == sym:
-                return location
-        return None
-
-    def locate_zero(self, byte: int) -> tuple[int, int] | None:
-        """Find a zero byte, preferring offset *byte* within its register.
-
-        Any ZERO byte is interchangeable at runtime; picking the same offset
-        keeps the route granule-aligned for half-word-port configurations.
-        """
-        for reg in range(8):
-            if self.map.get((reg, byte)) == ZERO:
-                return (reg, byte)
-        return self.locate(ZERO)
-
-
-def _analyze_original(
-    body: list[Instruction],
-    zero_regs: tuple = (),
-) -> tuple[list[dict[int, list[int]]], list[int | None], list[list[int] | None]]:
-    """Walk the original body.
-
-    Returns, per instruction: the required symbols per routable slot, the
-    body position of the last prior write to each source register (for
-    blame assignment), and the destination's symbol vector *after* the
-    instruction (``None`` for instructions without an MMX destination).
-    The transformed walk replays those output vectors for kept
-    instructions — with routing enforced, a kept instruction produces
-    exactly the original values regardless of what its architectural
-    operands currently hold.
-    """
-    bmap = _ByteMap(zero_regs)
-    needed: list[dict[int, list[int]]] = []
-    last_def: dict[int, int] = {}  # reg index -> body position of last write
-    def_of_slot: list[dict[int, int | None]] = []
-    out_syms: list[list[int] | None] = []
-    for position, instr in enumerate(body):
-        slot_syms: dict[int, list[int]] = {}
-        slot_defs: dict[int, int | None] = {}
-        # Zero idioms produce 0 regardless of their inputs: no routing needed.
-        slots = () if is_zero_idiom(instr) else mmx_source_slots(instr)
-        for slot in slots:
-            reg = instr.operands[slot]
-            slot_syms[slot] = bmap.operand_syms(reg)
-            slot_defs[slot] = last_def.get(reg.index)
-        needed.append(slot_syms)
-        def_of_slot.append(slot_defs)
-        bmap.step(instr, removed=False)
-        dst = mmx_dest(instr)
-        if dst is not None:
-            last_def[dst.index] = position
-            out_syms.append(bmap.operand_syms(dst))
-        else:
-            out_syms.append(None)
-    return needed, def_of_slot, out_syms
+# --- the pass -----------------------------------------------------------------
 
 
 def offload_loop(
@@ -360,27 +161,7 @@ def offload_loop(
             raise OffloadError(
                 f"known_zero register {reg} is written inside the loop body"
             )
-    needed, def_of_slot, out_syms = _analyze_original(body, known_zero)
-
-    # Registers live-in to the body (read before any write, in the original):
-    # a removed permute may not leave such a register stale at the back edge,
-    # or the next iteration would observe the wrong value.
-    live_in: set[int] = set()
-    written: set[int] = set()
-    for instr in body:
-        for reg in instr.mmx_regs_read():
-            if reg.index not in written:
-                live_in.add(reg.index)
-        dst = mmx_dest(instr)
-        if dst is not None:
-            written.add(dst.index)
-
-    # End-of-body symbol map of the original (fresh-symbol order aligns with
-    # the transformed walk because permutes never allocate new symbols).
-    orig_map = _ByteMap(known_zero)
-    for instr in body:
-        orig_map.step(instr, removed=False)
-    final_orig = dict(orig_map.map)
+    analysis = analyze_original(body, known_zero)
 
     removed_set = {
         position for position, instr in enumerate(body) if is_pure_permute(instr)
@@ -410,76 +191,6 @@ def offload_loop(
             return False
         return _keep(max(pool) if earlier else pool[-1], f"(fallback) {reason}")
 
-    def _validate(trial_removed: set[int]):
-        """Walk the transformed body under *trial_removed*.
-
-        Returns ``(routes, failure)``: the per-position slot routes when the
-        transformation is valid (``failure is None``), or ``failure =
-        (blame, near, reason)`` naming the candidate to keep.
-        """
-        bmap = _ByteMap(known_zero)
-        routes: dict[int, dict[int, tuple]] = {}
-        for position, instr in enumerate(body):
-            if position in trial_removed:
-                continue  # removed instructions change nothing
-            for slot, required in needed[position].items():
-                reg = instr.operands[slot]
-                byte_route: list[int | None] = []
-                failed: str | None = None
-                for byte, sym in enumerate(required):
-                    if bmap.map[(reg.index, byte)] == sym:
-                        byte_route.append(None)  # already architectural
-                        continue
-                    location = (
-                        bmap.locate_zero(byte) if sym == ZERO else bmap.locate(sym)
-                    )
-                    if location is None:
-                        failed = (
-                            "consumes shifted-in zero bytes with no zero source"
-                            if sym == ZERO
-                            else "source sub-word no longer present in the register file"
-                        )
-                        break
-                    byte_route.append(location[0] * MMX_BYTES + location[1])
-                if failed is None and any(sel is not None for sel in byte_route):
-                    try:
-                        config.check_byte_route(tuple(byte_route))
-                    except RouteError as exc:
-                        failed = f"route illegal for config {config.name}: {exc}"
-                if failed is not None:
-                    blame = def_of_slot[position].get(slot)
-                    return routes, (blame, position, failed, instr, slot)
-                if any(sel is not None for sel in byte_route):
-                    routes.setdefault(position, {})[slot] = tuple(byte_route)
-            # Kept instructions produce their original values (routes make
-            # their operands the original ones), so replay original symbols.
-            dst = mmx_dest(instr)
-            if dst is not None:
-                bmap.set_dst(dst, out_syms[position])
-        # Back-edge check: live-in registers must reach the loop end holding
-        # exactly what the original body left there.
-        last_removed_writer: dict[int, int] = {}
-        for position in trial_removed:
-            dst = mmx_dest(body[position])
-            if dst is not None:
-                prev = last_removed_writer.get(dst.index, -1)
-                last_removed_writer[dst.index] = max(prev, position)
-        for reg_index in sorted(live_in):
-            mismatch = any(
-                bmap.map[(reg_index, byte)] != final_orig[(reg_index, byte)]
-                for byte in range(MMX_BYTES)
-            )
-            if mismatch:
-                blame = last_removed_writer.get(reg_index)
-                return routes, (
-                    blame,
-                    len(body),
-                    "feeds the next iteration through the back edge",
-                    None,
-                    reg_index,
-                )
-        return routes, None
-
     # Live-out rule: the last writer of a live-out register must be kept.
     # These keeps are pinned: re-expansion below must never undo them.
     last_writer: dict[int, int] = {}
@@ -496,18 +207,18 @@ def offload_loop(
     # Fixed point: verify every kept instruction's operands are reachable,
     # keeping one more candidate per failing walk.
     while True:
-        routes, failure = _validate(removed_set)
+        routes, failure = derive_routes(body, removed_set, analysis, known_zero, config)
         if failure is None:
             break
-        blame, near, reason, instr, detail = failure
-        if not _keep_fallback(blame, near, reason):
-            if instr is not None:
+        if not _keep_fallback(failure.blame, failure.near, failure.reason):
+            if failure.instr is not None:
                 raise OffloadError(
-                    f"cannot reroute {instr.name} (body position {near},"
-                    f" slot {detail}): {reason}; nothing left to keep"
+                    f"cannot reroute {failure.instr.name} (body position "
+                    f"{failure.near}, slot {failure.detail}): {failure.reason};"
+                    " nothing left to keep"
                 )
             raise OffloadError(
-                f"live-in register mm{detail} diverges at the back edge"
+                f"live-in register mm{failure.detail} diverges at the back edge"
                 " with nothing left to keep"
             )
 
@@ -526,7 +237,9 @@ def offload_loop(
             if position in pinned:
                 continue
             trial = removed_set | {position}
-            trial_routes, failure = _validate(trial)
+            trial_routes, failure = derive_routes(
+                body, trial, analysis, known_zero, config
+            )
             if failure is None:
                 removed_set.add(position)
                 del kept_reasons[position]
@@ -571,6 +284,34 @@ def offload_loop(
     builder.loop(specs, iterations)
     spu_program = builder.build()
 
+    # --- emit the soundness certificate ------------------------------------------
+    witnesses: list[PermuteWitness] = []
+    for position in sorted(removed_set):
+        consumers = tuple(
+            (consumer, slot)
+            for consumer in sorted(routes)
+            for slot in sorted(routes[consumer])
+            if analysis.def_of_slot[consumer].get(slot) == position
+        )
+        witnesses.append(
+            PermuteWitness(
+                position=position,
+                instr=str(body[position]),
+                consumers=consumers,
+            )
+        )
+    certificate = OffloadCertificate(
+        loop_label=loop_label,
+        config_name=config.name,
+        iterations=iterations,
+        body=tuple(body),
+        removed=tuple(sorted(removed_set)),
+        routes={position: dict(slots) for position, slots in sorted(routes.items())},
+        live_out=tuple(sorted({reg.index for reg in live_out})),
+        known_zero=tuple(sorted({reg.index for reg in known_zero})),
+        witnesses=tuple(witnesses),
+    )
+
     return OffloadReport(
         program=transformed,
         spu_program=spu_program,
@@ -579,4 +320,5 @@ def offload_loop(
         loop_end=end,
         routes_by_position=routes_by_position,
         kept=kept_reasons,
+        certificate=certificate,
     )

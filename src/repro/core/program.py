@@ -81,8 +81,14 @@ class SPUProgram:
             raise SPUProgramError(f"state {index} already defined")
         self.states[index] = state
 
-    def validate(self, config: CrossbarConfig | None = None) -> None:
-        """Structural validation; with *config*, also route legality."""
+    def validate(self, config: CrossbarConfig | None = None) -> list[str]:
+        """Structural validation; with *config*, also route legality.
+
+        Returns the rule ids of checks that were *skipped* because no
+        *config* was supplied (``repro lint`` surfaces these as ``info``
+        findings); an empty list means every check ran.  Raises
+        :class:`SPUProgramError` on the first violation either way.
+        """
         if self.entry == self.idle_state or self.entry not in self.states:
             raise SPUProgramError(
                 f"entry state {self.entry} is undefined or idle in {self.name!r}"
@@ -108,6 +114,11 @@ class SPUProgram:
                     f"counter {cntr} is used but initialized to "
                     f"{self.counter_init[cntr]} (must be positive)"
                 )
+        if config is None:
+            # Crossbar checks need the interconnect geometry; name the rules
+            # skipped so callers cannot mistake "not checked" for "legal".
+            return ["mp-route-illegal", "mp-encode-roundtrip"]
+        return []
 
     def state_count(self) -> int:
         return len(self.states)
@@ -157,7 +168,15 @@ def encode_state(state: SPUState, config: CrossbarConfig) -> int:
 
 
 def decode_state(word: int, config: CrossbarConfig) -> SPUState:
-    """Inverse of :func:`encode_state`."""
+    """Inverse of :func:`encode_state`.
+
+    Rejects malformed words: a selector beyond the configuration's input
+    ports (possible when ``in_ports`` is not a power of two, or on a stuck
+    select line) or a mode index beyond the configured operand modes raises
+    :class:`~repro.errors.RouteError` rather than decoding garbage.
+    """
+    from repro.errors import RouteError
+
     cntr = word & 1
     next0 = (word >> 1) & 0x7F
     next1 = (word >> 8) & 0x7F
@@ -172,11 +191,22 @@ def decode_state(word: int, config: CrossbarConfig) -> SPUState:
             sel = (word >> (bit + 1)) & ((1 << config.select_bits) - 1)
             entry: int | tuple | None = None
             if valid:
+                if sel >= config.in_ports:
+                    raise RouteError(
+                        f"{config.name}: malformed state word — selector {sel} "
+                        f"outside the {config.in_ports}-port input window"
+                    )
                 entry = sel
                 if config.mode_bits:
                     mode_index = (word >> (bit + 1 + config.select_bits)) & (
                         (1 << config.mode_bits) - 1
                     )
+                    if mode_index > len(config.modes):
+                        raise RouteError(
+                            f"{config.name}: malformed state word — mode index "
+                            f"{mode_index} beyond the {len(config.modes)} "
+                            "configured operand modes"
+                        )
                     if mode_index:
                         entry = (sel, config.modes[mode_index - 1])
                 any_valid = True

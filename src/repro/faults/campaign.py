@@ -187,6 +187,14 @@ def run_campaign(
             )
         outcome = classify_injection(stats, error, output_matches, event_counts)
 
+        # Static cross-check (lazy import: repro.analysis imports the kernel
+        # registry, which must not load when the faults package does): would
+        # `repro lint` have flagged this corruption, or does a documented
+        # known-silent suppression cover it?
+        from repro.analysis.verdict import injection_verdict
+
+        verdict = injection_verdict(kernel, spec)
+
         controller = machine.spu.controller
         records.append({
             "index": index,
@@ -199,6 +207,7 @@ def run_campaign(
                 if injector.apply_error is not None else None
             ),
             "outcome": outcome,
+            "analysis": verdict,
             "output_matches": output_matches,
             "mismatching_elements": mismatches,
             "events": dict(event_counts),

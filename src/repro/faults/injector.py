@@ -27,6 +27,45 @@ def clone_spu_program(program: SPUProgram) -> SPUProgram:
     )
 
 
+# -- pure corruption models ----------------------------------------------------
+#
+# The clone-and-corrupt logic is shared with the static-analysis verdict
+# layer (repro.analysis.verdict), which rebuilds the exact artifact an
+# injection would install and lints it — so the corruption model cannot
+# drift between the dynamic campaign and its static cross-check.
+
+
+def corrupt_control_word(
+    program: SPUProgram, state_index: int, word_bit: int, config
+) -> SPUProgram | None:
+    """The program a ``control_word`` injection installs (None if no target)."""
+    if state_index not in program.states:
+        return None
+    clone = clone_spu_program(program)
+    word = encode_state(clone.states[state_index], config)
+    word ^= 1 << word_bit
+    clone.states[state_index] = decode_state(word, config)
+    return clone
+
+
+def corrupt_route(
+    program: SPUProgram, state_index: int, slot: int, granule: int, selector: int
+) -> SPUProgram | None:
+    """The program a ``route`` injection installs (None if no target)."""
+    if state_index not in program.states:
+        return None
+    clone = clone_spu_program(program)
+    state = clone.states[state_index]
+    routes = dict(state.routes)
+    route = list(routes[slot])
+    route[granule] = selector
+    routes[slot] = tuple(route)
+    clone.states[state_index] = SPUState(
+        cntr=state.cntr, routes=routes, next0=state.next0, next1=state.next1
+    )
+    return clone
+
+
 def _apply_register_bit(machine, spec: FaultSpec) -> str:
     machine.spu.register.inject_bit_flip(spec.byte, spec.bit)
     return f"armed flip of SPU register byte {spec.byte} bit {spec.bit}"
@@ -35,12 +74,13 @@ def _apply_register_bit(machine, spec: FaultSpec) -> str:
 def _apply_control_word(machine, spec: FaultSpec) -> str:
     controller = machine.spu.controller
     program = controller.program(spec.context)
-    if program is None or spec.state_index not in program.states:
+    if program is None:
         return "target state no longer loaded; no corruption applied"
-    clone = clone_spu_program(program)
-    word = encode_state(clone.states[spec.state_index], controller.config)
-    word ^= 1 << spec.word_bit
-    clone.states[spec.state_index] = decode_state(word, controller.config)
+    clone = corrupt_control_word(
+        program, spec.state_index, spec.word_bit, controller.config
+    )
+    if clone is None:
+        return "target state no longer loaded; no corruption applied"
     controller.inject_program(clone, spec.context)
     return (
         f"flipped bit {spec.word_bit} of state {spec.state_index} "
@@ -51,17 +91,13 @@ def _apply_control_word(machine, spec: FaultSpec) -> str:
 def _apply_route(machine, spec: FaultSpec) -> str:
     controller = machine.spu.controller
     program = controller.program(spec.context)
-    if program is None or spec.state_index not in program.states:
+    if program is None:
         return "target state no longer loaded; no corruption applied"
-    clone = clone_spu_program(program)
-    state = clone.states[spec.state_index]
-    routes = dict(state.routes)
-    route = list(routes[spec.slot])
-    route[spec.granule] = spec.selector
-    routes[spec.slot] = tuple(route)
-    clone.states[spec.state_index] = SPUState(
-        cntr=state.cntr, routes=routes, next0=state.next0, next1=state.next1
+    clone = corrupt_route(
+        program, spec.state_index, spec.slot, spec.granule, spec.selector
     )
+    if clone is None:
+        return "target state no longer loaded; no corruption applied"
     controller.inject_program(clone, spec.context)
     return (
         f"rewrote state {spec.state_index} slot {spec.slot} granule "

@@ -42,6 +42,13 @@ def check_report(result: CheckResult) -> dict:
             "watchdog_slack": campaign.watchdog_slack,
         }
         body["injections"] = result.injections
+        verdicts = {"flagged": 0, "suppressed": 0, "unexplained": 0}
+        silent_verdicts = {"flagged": 0, "suppressed": 0, "unexplained": 0}
+        for record in result.injections:
+            verdict = record["analysis"]["verdict"]
+            verdicts[verdict] += 1
+            if record["outcome"] == "silent":
+                silent_verdicts[verdict] += 1
         body["summary"] = {
             "outcomes": result.outcome_counts(),
             "by_kind": {
@@ -51,6 +58,18 @@ def check_report(result: CheckResult) -> dict:
             "inject_errors": sum(
                 1 for r in result.injections if r["inject_error"]
             ),
+            # The static cross-check (docs/static-analysis.md): every silent
+            # injection must be flagged by the analyzer or covered by a
+            # known-silent suppression — silent_unexplained is the gap count
+            # the robustness bar requires to be zero.
+            "analysis": {
+                "flagged": verdicts["flagged"],
+                "suppressed": verdicts["suppressed"],
+                "unexplained": verdicts["unexplained"],
+                "silent_flagged": silent_verdicts["flagged"],
+                "silent_suppressed": silent_verdicts["suppressed"],
+                "silent_unexplained": silent_verdicts["unexplained"],
+            },
         }
     return envelope("fault-campaign", body)
 
@@ -105,13 +124,37 @@ def render_check(result: CheckResult) -> str:
         ))
         silent = [r for r in result.injections if r["outcome"] == "silent"]
         if silent:
+            def _verdict(record):
+                analysis = record["analysis"]
+                if analysis["verdict"] == "flagged":
+                    return "flagged: " + ", ".join(analysis["rules"])
+                if analysis["verdict"] == "suppressed":
+                    return f"known-silent: {analysis['suppression']}"
+                return "UNEXPLAINED"
+
             parts.append(format_table(
-                ["#", "kernel", "kind", "trigger", "mismatches"],
+                ["#", "kernel", "kind", "trigger", "mismatches",
+                 "static analysis"],
                 [[r["index"], r["kernel"], r["spec"]["kind"],
-                  r["spec"]["trigger"], r["mismatching_elements"]]
+                  r["spec"]["trigger"], r["mismatching_elements"],
+                  _verdict(r)]
                  for r in silent],
-                title="Silent corruptions (wrong output, nothing flagged)",
+                title="Silent corruptions (wrong output, nothing flagged "
+                "at runtime)",
             ))
+        unexplained = sum(
+            1 for r in silent if r["analysis"]["verdict"] == "unexplained"
+        )
+        parts.append(
+            "static cross-check: "
+            + (
+                "every silent injection is flagged by repro lint or covered "
+                "by a known-silent suppression"
+                if unexplained == 0
+                else f"{unexplained} silent injection(s) UNEXPLAINED by the "
+                "static analyzer (see docs/static-analysis.md)"
+            )
+        )
 
     status = "PASS" if result.clean_ok else "FAIL"
     parts.append(f"clean differential check: {status}")

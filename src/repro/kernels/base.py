@@ -28,6 +28,7 @@ from repro.core import (
     CONFIG_D,
     DEFAULT_MMIO_BASE,
     CrossbarConfig,
+    OffloadReport,
     SPUController,
     SPUProgram,
     attach_spu,
@@ -97,6 +98,7 @@ class Kernel(abc.ABC):
         self.config = config
         self._mmx_program: Program | None = None
         self._spu_build: tuple[Program, list[tuple[int, SPUProgram]]] | None = None
+        self._offload_reports: list[tuple[int, OffloadReport]] | None = None
 
     # ---- to implement per kernel -------------------------------------------
 
@@ -151,6 +153,7 @@ class Kernel(abc.ABC):
                 )
             program = self.mmx_program()
             controller_programs: list[tuple[int, SPUProgram]] = []
+            reports: list[tuple[int, OffloadReport]] = []
             removed_total = 0
             for context, spec in enumerate(loops):
                 report = offload_loop(
@@ -164,9 +167,22 @@ class Kernel(abc.ABC):
                 program = report.program
                 removed_total += report.removed_count
                 controller_programs.append((context, report.spu_program))
+                reports.append((context, report))
             self._removed_permutes = removed_total
+            self._offload_reports = reports
             self._spu_build = (program, controller_programs)
         return self._spu_build
+
+    def offload_reports(self) -> list[tuple[int, OffloadReport]]:
+        """Per-loop ``(context, OffloadReport)`` pairs, including certificates.
+
+        The static analyzer (``repro lint``) re-verifies each report's
+        :class:`~repro.core.dataflow.OffloadCertificate` without re-running
+        the off-load pass.
+        """
+        self.spu_programs()
+        assert self._offload_reports is not None
+        return self._offload_reports
 
     @property
     def removed_permutes(self) -> int:

@@ -38,10 +38,13 @@ from typing import Iterable, Iterator
 
 SCHEMA_VERSION = "repro.obs/1"
 
+#: Schema tag for static-analysis documents (``repro lint --json``).
+ANALYSIS_SCHEMA_VERSION = "repro.analysis/1"
 
-def envelope(kind: str, data: dict, **extra) -> dict:
+
+def envelope(kind: str, data: dict, schema: str = SCHEMA_VERSION, **extra) -> dict:
     """Wrap *data* in the versioned export envelope."""
-    return {"schema": SCHEMA_VERSION, "kind": kind, **extra, "data": data}
+    return {"schema": schema, "kind": kind, **extra, "data": data}
 
 
 def write_json(path: str | Path, payload: dict, indent: int = 2) -> Path | None:

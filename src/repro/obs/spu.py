@@ -143,4 +143,9 @@ class ControllerTrace:
             data["context_switches"] = controller.stats.context_switches
             data["num_states"] = controller.num_states
             data["contexts"] = controller.contexts
+            # Degrade-mode visibility: clean completions vs fault parks vs
+            # GO re-arms are disjoint counters on the controller itself.
+            data["clean_idle_entries"] = controller.stats.idle_entries
+            data["fault_parks"] = controller.stats.fault_parks
+            data["park_recoveries"] = controller.stats.park_recoveries
         return data

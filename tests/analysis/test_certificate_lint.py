@@ -1,0 +1,108 @@
+"""Offload-soundness certifier: re-verify certificates, catch tampering.
+
+The certificate is only worth carrying if ``repro lint`` can re-check it
+without re-running the pass — and if a divergence between the certificate
+and the *shipped* controller program is caught from either side.
+"""
+
+import copy
+
+import pytest
+
+from repro.analysis import certificate_findings, resolve_config
+from repro.core.interconnect import CONFIG_D_MODED, CONFIGS
+from repro.faults.injector import corrupt_route
+from repro.kernels import make_kernel
+
+
+@pytest.fixture()
+def report():
+    kernel = make_kernel("DotProduct")
+    (_, rep), = kernel.offload_reports()
+    return rep
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestResolveConfig:
+    def test_covers_table_rows_and_moded_extension(self):
+        for name in CONFIGS:
+            assert resolve_config(name).name == name
+        assert resolve_config("d").name == "D"
+        assert resolve_config(CONFIG_D_MODED.name) is CONFIG_D_MODED
+
+
+class TestCleanCertificate:
+    def test_shipped_certificate_verifies(self, report):
+        assert certificate_findings(report.certificate, report.spu_program) == []
+
+    def test_certificate_alone_verifies(self, report):
+        assert certificate_findings(report.certificate) == []
+
+
+class TestTamperedCertificate:
+    def test_stale_removed_position(self, report):
+        cert = copy.deepcopy(report.certificate)
+        cert.removed = cert.removed + (99,)
+        findings = certificate_findings(cert)
+        assert "oc-cert-stale" in rules_of(findings)
+
+    def test_byte_movement_tamper_is_caught_by_replay(self, report):
+        cert = copy.deepcopy(report.certificate)
+        position = min(cert.routes)
+        route = list(cert.routes[position][0])
+        # Swap two granule-aligned byte pairs: still a legal route, but it
+        # no longer reproduces the deleted permutes' byte movement.
+        route[0], route[1], route[4], route[5] = (
+            route[4], route[5], route[0], route[1],
+        )
+        cert.routes[position][0] = tuple(route)
+        findings = certificate_findings(cert)
+        assert "oc-byte-mismatch" in rules_of(findings)
+
+    def test_tamper_also_disagrees_with_shipped_program(self, report):
+        cert = copy.deepcopy(report.certificate)
+        position = min(cert.routes)
+        route = list(cert.routes[position][0])
+        route[0], route[1], route[4], route[5] = (
+            route[4], route[5], route[0], route[1],
+        )
+        cert.routes[position][0] = tuple(route)
+        findings = certificate_findings(cert, report.spu_program)
+        assert "oc-program-mismatch" in rules_of(findings)
+
+
+class TestCorruptedProgram:
+    def test_route_flip_in_control_memory_is_caught(self, report):
+        routed_states = [
+            index for index, state in report.spu_program.states.items()
+            if state.routes
+        ]
+        state_index = routed_states[0]
+        current = report.spu_program.states[state_index].routes[0][1]
+        corrupted = corrupt_route(
+            report.spu_program, state_index, slot=0, granule=1,
+            selector=(current + 1) % 8,
+        )
+        findings = certificate_findings(report.certificate, corrupted)
+        mismatches = [f for f in findings if f.rule == "oc-program-mismatch"]
+        assert mismatches
+        assert f"state {state_index}" in mismatches[0].location
+
+    def test_chain_length_disagreement(self, report):
+        from repro.faults.injector import clone_spu_program
+        from repro.analysis import chain_states
+        from repro.core.program import SPUState
+
+        clone = clone_spu_program(report.spu_program)
+        chain = chain_states(clone)
+        first = clone.states[chain[0]]
+        clone.states[chain[0]] = SPUState(
+            cntr=first.cntr, routes=dict(first.routes),
+            next0=first.next0, next1=chain[2],
+        )
+        findings = certificate_findings(report.certificate, clone)
+        assert "oc-program-mismatch" in rules_of(findings)
+        assert any("cannot implement" in f.message for f in findings)

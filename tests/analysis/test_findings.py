@@ -1,0 +1,100 @@
+"""Findings framework: severities, ordering, suppression, rule catalog."""
+
+import pytest
+
+from repro.analysis import RULES, Severity, rule_severity, sort_findings
+from repro.analysis.findings import Finding, FindingCollector, worst_severity
+from repro.analysis.suppressions import KNOWN_SILENT, lookup
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARN < Severity.ERROR
+
+    def test_parse_round_trip(self):
+        for severity in Severity:
+            assert Severity.parse(str(severity)) is severity
+            assert Severity.parse(severity) is severity
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_str_is_lowercase(self):
+        assert str(Severity.ERROR) == "error"
+
+
+class TestFinding:
+    def test_as_dict_omits_empty_fields(self):
+        finding = Finding("mp-entry-invalid", Severity.ERROR, "p: entry 5", "bad")
+        data = finding.as_dict()
+        assert data == {
+            "rule": "mp-entry-invalid",
+            "severity": "error",
+            "location": "p: entry 5",
+            "message": "bad",
+        }
+
+    def test_suppress_is_nondestructive(self):
+        finding = Finding("sa-go-race", Severity.ERROR, "k", "racy")
+        suppressed = finding.suppress("seu-data")
+        assert finding.suppressed is None
+        assert suppressed.suppressed == "seu-data"
+        assert suppressed.as_dict()["suppressed"] == "seu-data"
+
+    def test_sort_most_severe_first_then_stable_keys(self):
+        findings = [
+            Finding("mp-counter-unused", Severity.INFO, "b", "m"),
+            Finding("mp-entry-invalid", Severity.ERROR, "a", "m"),
+            Finding("mp-unreachable-state", Severity.WARN, "a", "m"),
+            Finding("mp-entry-invalid", Severity.ERROR, "A", "m"),
+        ]
+        ordered = sort_findings(findings)
+        assert [f.severity for f in ordered] == [
+            Severity.ERROR, Severity.ERROR, Severity.WARN, Severity.INFO,
+        ]
+        # Within a severity, (rule, location, message) breaks ties.
+        assert [f.location for f in ordered[:2]] == ["A", "a"]
+
+    def test_worst_severity_skips_suppressed(self):
+        findings = [
+            Finding("sa-go-race", Severity.ERROR, "k", "m").suppress("seu-data"),
+            Finding("mp-counter-unused", Severity.INFO, "k", "m"),
+        ]
+        assert worst_severity(findings) is Severity.INFO
+        assert worst_severity(findings, include_suppressed=True) is Severity.ERROR
+        assert worst_severity([]) is None
+
+
+class TestCollectorAndCatalog:
+    def test_collector_rejects_unknown_rule(self):
+        with pytest.raises(KeyError, match="unknown rule id"):
+            FindingCollector().add("mp-bogus", "error", "x", "y")
+
+    def test_catalog_ids_are_namespaced_and_unique(self):
+        assert len(RULES) >= 30
+        for rule_id, rule in RULES.items():
+            assert rule.id == rule_id
+            family = rule_id.split("-")[0]
+            assert family in ("mp", "sa", "oc")
+            assert rule.summary
+
+    def test_rule_severity_lookup(self):
+        assert rule_severity("mp-no-path-to-idle") is Severity.ERROR
+        assert rule_severity("mp-unreachable-state") is Severity.WARN
+        assert rule_severity("mp-validate-skipped") is Severity.INFO
+
+
+class TestSuppressions:
+    def test_registry_entries_document_kinds(self):
+        assert set(KNOWN_SILENT) == {
+            "seu-data", "word-dont-care", "skew-unused-counter",
+        }
+        for entry in KNOWN_SILENT.values():
+            assert entry.kinds
+            assert entry.rationale
+
+    def test_lookup(self):
+        assert lookup("seu-data").kinds == ("register_bit",)
+        with pytest.raises(KeyError):
+            lookup("not-a-suppression")

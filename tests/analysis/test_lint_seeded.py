@@ -1,0 +1,183 @@
+"""Acceptance bar for the microprogram analyzer.
+
+Two halves, mirroring the lint contract:
+
+- *sensitivity*: a bench of deliberately broken controller microprograms —
+  unreachable state, no path to idle, counter underflow, fanout-violating
+  and illegal routes, misaligned/nested counters, dangling next pointers —
+  each flagged with its specific rule; and
+- *specificity*: zero warn-or-worse findings across every registered kernel
+  (the false-positive sweep backing the ``repro lint --all`` CI gate).
+"""
+
+from repro.analysis import (
+    Severity,
+    analyze_program,
+    exit_code,
+    lint_all,
+    lint_kernel,
+    lint_program,
+)
+from repro.core.interconnect import CONFIG_D
+from repro.core.program import SPUProgram, SPUState
+
+
+def make_loop(
+    length: int = 3,
+    iterations: int = 4,
+    cntr: int = 0,
+    routes: dict | None = None,
+) -> SPUProgram:
+    """A well-formed single-loop program in the builder.loop shape."""
+    program = SPUProgram(name="seeded")
+    idle = program.idle_state
+    for index in range(length):
+        program.add_state(index, SPUState(
+            cntr=cntr,
+            routes=dict(routes or {}) if index == 0 else {},
+            next0=idle,
+            next1=(index + 1) % length,
+        ))
+    counter_init = [0, 0]
+    counter_init[cntr] = iterations * length
+    program.counter_init = tuple(counter_init)
+    program.entry = 0
+    return program
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestSeededBrokenPrograms:
+    def test_clean_loop_has_no_findings(self):
+        assert analyze_program(make_loop(), CONFIG_D) == []
+
+    def test_unreachable_state(self):
+        program = make_loop()
+        program.add_state(5, SPUState())  # orphan: nothing links to 5
+        findings = analyze_program(program, CONFIG_D)
+        assert rules_of(findings) == {"mp-unreachable-state"}
+        assert "state 5" in findings[0].location
+
+    def test_no_path_to_idle_and_nontermination(self):
+        program = SPUProgram(name="spin", counter_init=(6, 0))
+        program.add_state(0, SPUState(cntr=0, next0=1, next1=1))
+        program.add_state(1, SPUState(cntr=0, next0=0, next1=0))
+        findings = analyze_program(program, CONFIG_D)
+        assert rules_of(findings) == {"mp-no-path-to-idle", "mp-nontermination"}
+        # Both trapped states are named, not just the first.
+        locations = {
+            f.location for f in findings if f.rule == "mp-no-path-to-idle"
+        }
+        assert locations == {"spin: state 0", "spin: state 1"}
+
+    def test_counter_underflow(self):
+        program = make_loop()
+        program.counter_init = (0, 0)
+        findings = analyze_program(program, CONFIG_D)
+        assert "mp-counter-underflow" in rules_of(findings)
+        assert all(f.severity is Severity.ERROR
+                   for f in findings if f.rule == "mp-counter-underflow")
+
+    def test_route_fanout_budget(self):
+        # One input granule driving all 8 output granules of both operand
+        # buses exceeds CONFIG_D's one-operand (4-granule) fanout budget.
+        program = make_loop(routes={0: (0, 0, 0, 0), 1: (0, 0, 0, 0)})
+        findings = analyze_program(program, CONFIG_D)
+        assert rules_of(findings) == {"mp-route-fanout"}
+
+    def test_route_illegal_selector(self):
+        program = make_loop(routes={0: (99, None, None, None)})
+        findings = analyze_program(program, CONFIG_D)
+        assert rules_of(findings) == {"mp-route-illegal"}
+        assert findings[0].severity is Severity.ERROR
+
+    def test_counter_misaligned(self):
+        program = make_loop(length=2, iterations=4)
+        program.counter_init = (7, 0)  # not a multiple of the 2-state cycle
+        findings = analyze_program(program, CONFIG_D)
+        assert "mp-counter-misaligned" in rules_of(findings)
+
+    def test_counter_nesting_mixed_selects(self):
+        program = SPUProgram(name="mixed", counter_init=(6, 6))
+        idle = program.idle_state
+        program.add_state(0, SPUState(cntr=0, next0=idle, next1=1))
+        program.add_state(1, SPUState(cntr=1, next0=idle, next1=0))
+        findings = analyze_program(program, CONFIG_D)
+        assert "mp-counter-nesting" in rules_of(findings)
+
+    def test_next_undefined(self):
+        program = make_loop()
+        program.states[2] = SPUState(cntr=0, next0=program.idle_state, next1=33)
+        findings = analyze_program(program, CONFIG_D)
+        assert "mp-next-undefined" in rules_of(findings)
+
+    def test_entry_invalid(self):
+        program = make_loop()
+        program.entry = program.idle_state
+        findings = analyze_program(program, CONFIG_D)
+        assert "mp-entry-invalid" in rules_of(findings)
+
+    def test_counter_unused_is_info_only(self):
+        program = make_loop()
+        program.counter_init = (program.counter_init[0], 9)
+        findings = analyze_program(program, CONFIG_D)
+        assert rules_of(findings) == {"mp-counter-unused"}
+        assert findings[0].severity is Severity.INFO
+
+    def test_no_config_reports_skipped_rules(self):
+        findings = analyze_program(make_loop(), config=None)
+        skipped = [f for f in findings if f.rule == "mp-validate-skipped"]
+        assert len(skipped) == 2
+        messages = " ".join(f.message for f in skipped)
+        assert "mp-route-illegal" in messages
+        assert "mp-encode-roundtrip" in messages
+        assert all(f.severity is Severity.INFO for f in skipped)
+
+
+class TestValidateSkipContract:
+    """Satellite: SPUProgram.validate names what it could not check."""
+
+    def test_validate_without_config_returns_skipped_ids(self):
+        assert make_loop().validate(None) == [
+            "mp-route-illegal", "mp-encode-roundtrip",
+        ]
+
+    def test_validate_with_config_returns_empty(self):
+        assert make_loop().validate(CONFIG_D) == []
+
+
+class TestFalsePositiveSweep:
+    def test_every_registered_kernel_is_clean(self):
+        from repro.kernels import ALL_KERNELS
+
+        results = lint_all()
+        assert [r.subject for r in results] == sorted(ALL_KERNELS)
+        noisy = {
+            r.subject: [f.as_dict() for f in r.findings] for r in results
+            if r.findings
+        }
+        assert noisy == {}
+        assert exit_code(results, "info") == 0
+
+    def test_lint_kernel_accepts_forgiving_names(self):
+        result = lint_kernel("dotprod")
+        assert result.subject == "DotProduct"
+        assert result.findings == []
+
+
+class TestExitCode:
+    def test_thresholds(self):
+        broken = make_loop()
+        broken.counter_init = (0, 0)  # error-severity finding
+        results = [lint_program(broken, CONFIG_D)]
+        assert exit_code(results, "error") == 1
+        assert exit_code(results, Severity.WARN) == 1
+
+        warn_only = lint_program(
+            make_loop(routes={0: (0, 0, 0, 0), 1: (0, 0, 0, 0)}), CONFIG_D
+        )
+        assert exit_code([warn_only], "error") == 0
+        assert exit_code([warn_only], "warn") == 1
+        assert exit_code([warn_only], "info") == 1

@@ -1,0 +1,119 @@
+"""Randomized (seeded) encode/decode round-trips for every crossbar config.
+
+The MMIO image is the only transport for control words, so ``decode ∘
+encode`` must be the identity for every legal state — including §6 operand
+modes — and :func:`decode_state` must *reject* malformed words instead of
+decoding garbage.  The shipped Table 1 configurations have exactly-covering
+encodings (every representable selector/mode is legal), which this suite
+also pins down: it is what keeps the fault campaign's control-word flips
+deterministic.
+"""
+
+import random
+
+import pytest
+
+from repro.core.interconnect import (
+    CONFIG_D_MODED,
+    CONFIGS,
+    CrossbarConfig,
+)
+from repro.core.program import (
+    ROUTED_SLOTS,
+    SPUState,
+    decode_state,
+    encode_state,
+    state_word_bits,
+)
+from repro.errors import RouteError
+
+ALL_CONFIGS = [*CONFIGS.values(), CONFIG_D_MODED]
+
+#: A config with deliberate encoding slack: 6 input ports need 3 selector
+#: bits (values 6 and 7 are malformed), 2 modes need 2 mode bits (index 3 is
+#: malformed).  Exercises the rejection paths the shipped configs never hit.
+CONFIG_SPARSE = CrossbarConfig(
+    name="T6", in_ports=6, out_ports=16, port_bits=16,
+    description="test-only: non-power-of-two input window",
+    modes=("neg", "sxb"),
+)
+
+
+def random_state(rng: random.Random, config: CrossbarConfig) -> SPUState:
+    routes = {}
+    for slot in range(ROUTED_SLOTS):
+        if rng.random() < 0.25:
+            continue  # straight slot
+        entries = []
+        for _ in range(config.granules_per_operand):
+            roll = rng.random()
+            if roll < 0.3:
+                entries.append(None)
+                continue
+            sel = rng.randrange(config.in_ports)
+            if config.modes and roll > 0.6:
+                entries.append((sel, rng.choice(config.modes)))
+            else:
+                entries.append(sel)
+        if all(entry is None for entry in entries):
+            entries[0] = rng.randrange(config.in_ports)
+        routes[slot] = tuple(entries)
+    return SPUState(
+        cntr=rng.randrange(2),
+        routes=routes,
+        next0=rng.randrange(128),
+        next1=rng.randrange(128),
+    )
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+class TestRoundTrip:
+    def test_random_states_round_trip(self, config):
+        rng = random.Random(f"roundtrip:{config.name}")
+        for _ in range(200):
+            state = random_state(rng, config)
+            word = encode_state(state, config)
+            assert word < (1 << state_word_bits(config))
+            assert decode_state(word, config) == state
+
+    def test_every_flip_of_a_random_word_decodes_or_rejects(self, config):
+        # Exactly-covering encodings (all shipped configs): any single-bit
+        # flip of a legal word still decodes — no flip can crash the MMIO
+        # path, which the fault campaign's determinism relies on.
+        rng = random.Random(f"flips:{config.name}")
+        state = random_state(rng, config)
+        word = encode_state(state, config)
+        for bit in range(state_word_bits(config)):
+            decoded = decode_state(word ^ (1 << bit), config)
+            assert isinstance(decoded, SPUState)
+
+    def test_shipped_encodings_are_exactly_covering(self, config):
+        assert 1 << config.select_bits == config.in_ports
+        if config.modes:
+            assert (1 << config.mode_bits) - 1 == len(config.modes)
+
+
+class TestMalformedWordRejection:
+    def test_selector_outside_input_window(self):
+        config = CONFIG_SPARSE
+        state = SPUState(routes={0: (0,) + (None,) * 3})
+        word = encode_state(state, config)
+        # Overwrite the first granule's selector field with 7 (>= 6 ports).
+        word |= 0b111 << 16
+        with pytest.raises(RouteError, match="outside the 6-port"):
+            decode_state(word, config)
+
+    def test_mode_index_beyond_configured_modes(self):
+        config = CONFIG_SPARSE
+        state = SPUState(routes={0: ((1, "neg"),) + (None,) * 3})
+        word = encode_state(state, config)
+        # Force the granule's 2-bit mode field to 3 (> 2 configured modes).
+        word |= 0b11 << (16 + config.select_bits)
+        with pytest.raises(RouteError, match="mode index 3"):
+            decode_state(word, config)
+
+    def test_sparse_config_round_trips_legal_states(self):
+        rng = random.Random("sparse")
+        for _ in range(200):
+            state = random_state(rng, CONFIG_SPARSE)
+            assert decode_state(encode_state(state, CONFIG_SPARSE), CONFIG_SPARSE) == state

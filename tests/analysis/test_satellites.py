@@ -1,0 +1,130 @@
+"""Satellite contracts: completion accounting and the lint CLI.
+
+- :class:`ControllerStats` separates clean idle entries from degrade-mode
+  fault parks and their GO re-arms, and ``repro profile`` surfaces all
+  three; and
+- ``repro lint`` wires the analyzers end to end: kernel name resolution,
+  ``--all``, ``--json`` envelopes, ``--fail-on`` exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.controller import SPUController
+from repro.core.program import SPUProgram, SPUState
+from repro.errors import SPUProgramError
+from repro.obs.export import ANALYSIS_SCHEMA_VERSION
+
+
+def two_state_loop(iterations: int = 2) -> SPUProgram:
+    program = SPUProgram(name="two-state", counter_init=(iterations * 2, 0))
+    idle = program.idle_state
+    program.add_state(0, SPUState(cntr=0, next0=idle, next1=1))
+    program.add_state(1, SPUState(cntr=0, next0=idle, next1=0))
+    return program
+
+
+class TestCompletionAccounting:
+    def test_clean_completion_counts_one_idle_entry(self):
+        controller = SPUController()
+        controller.load_program(two_state_loop())
+        controller.go()
+        while controller.active:
+            controller.step()
+        assert controller.stats.idle_entries == 1
+        assert controller.stats.fault_parks == 0
+        assert controller.stats.park_recoveries == 0
+
+    def test_fault_park_and_recovery_stay_disjoint_from_idle_entries(self):
+        controller = SPUController(resilience="degrade")
+        program = two_state_loop(iterations=4)
+        controller.load_program(program)
+        controller.go()
+        controller.step()  # state 0 -> 1
+        # Corrupt control memory post-load: the walk reaches an undefined
+        # state, and degrade mode parks the unit instead of raising.
+        saved = program.states.pop(1)
+        controller.step()
+        assert controller.fault_parked
+        assert not controller.active
+        assert controller.stats.fault_parks == 1
+        assert controller.stats.idle_entries == 0
+        # GO re-arms the parked context: a recovery, not an idle entry.
+        program.states[1] = saved
+        controller.go()
+        assert not controller.fault_parked
+        assert controller.stats.park_recoveries == 1
+        while controller.active:
+            controller.step()
+        assert controller.stats.idle_entries == 1
+        assert controller.stats.fault_parks == 1
+        assert controller.stats.park_recoveries == 1
+
+    def test_strict_mode_raises_instead_of_parking(self):
+        controller = SPUController()  # standalone default: STRICT
+        program = two_state_loop()
+        controller.load_program(program)
+        controller.go()
+        program.states.pop(1)
+        controller.step()
+        with pytest.raises(SPUProgramError, match="undefined state 1"):
+            controller.step()
+        assert controller.stats.fault_parks == 0
+
+    def test_profile_surfaces_completion_split(self, capsys):
+        assert main(["profile", "dotprod", "--variant", "spu"]) == 0
+        out = capsys.readouterr().out
+        assert "clean idle entries" in out
+        assert "park recoveries" in out
+
+    def test_profile_json_exports_completion_counters(self, capsys):
+        assert main(
+            ["profile", "dotprod", "--variant", "spu", "--json", "-"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        controller = document["data"]["variants"]["spu"]["controller"]
+        assert controller["clean_idle_entries"] == 1
+        assert controller["fault_parks"] == 0
+        assert controller["park_recoveries"] == 0
+
+
+class TestLintCommand:
+    def test_lint_named_kernels(self, capsys):
+        assert main(["lint", "dotprod", "fir12"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: DotProduct, FIR12" in out
+
+    def test_lint_requires_a_target(self, capsys):
+        assert main(["lint"]) == 2
+        assert "name at least one kernel" in capsys.readouterr().err
+
+    def test_lint_all_json_envelope(self, capsys):
+        from repro.kernels import ALL_KERNELS
+
+        assert main(["lint", "--all", "--json", "-"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == ANALYSIS_SCHEMA_VERSION
+        assert document["kind"] == "lint"
+        summary = document["data"]["summary"]
+        assert summary["subjects"] == len(ALL_KERNELS)
+        assert summary["error"] == 0
+        assert summary["warn"] == 0
+
+    def test_lint_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "lint.json"
+        assert main(["lint", "dotprod", "--json", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert json.loads(target.read_text())["kind"] == "lint"
+
+    def test_lint_json_is_byte_stable(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(["lint", "--all", "--json", str(first)]) == 0
+        assert main(["lint", "--all", "--json", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_fail_on_choices_accepted(self):
+        for threshold in ("info", "warn", "error"):
+            assert main(["lint", "dotprod", "--fail-on", threshold]) == 0

@@ -1,0 +1,154 @@
+"""The lint/fault-campaign cross-check: every injection gets a static verdict.
+
+Direct :func:`injection_verdict` cases per fault kind, then the integration
+bar from docs/static-analysis.md: in a real campaign, every *silent*
+injection is either flagged by the analyzer or covered by a documented
+known-silent suppression — ``silent_unexplained`` must be zero.
+"""
+
+import pytest
+
+from repro.analysis.verdict import injection_verdict
+from repro.faults.campaign import run_check
+from repro.faults.report import check_report
+from repro.faults.spec import FaultSpec
+from repro.kernels import make_kernel
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return make_kernel("DotProduct")
+
+
+class TestPerKindVerdicts:
+    def test_register_bit_is_documented_out_of_scope(self, kernel):
+        spec = FaultSpec(kind="register_bit", trigger=5, byte=3, bit=2)
+        verdict = injection_verdict(kernel, spec)
+        assert verdict == {"verdict": "suppressed", "suppression": "seu-data"}
+
+    def test_go_race_is_always_a_hazard(self, kernel):
+        spec = FaultSpec(kind="go_race", trigger=5)
+        assert injection_verdict(kernel, spec) == {
+            "verdict": "flagged", "rules": ["sa-go-race"],
+        }
+
+    def test_counter_skew_on_consulted_counter_flags_drift(self, kernel):
+        spec = FaultSpec(kind="counter_skew", trigger=5, counter=0, delta=3)
+        assert injection_verdict(kernel, spec) == {
+            "verdict": "flagged", "rules": ["sa-schedule-drift"],
+        }
+
+    def test_counter_skew_on_unused_counter_is_suppressed(self, kernel):
+        # DotProduct's single loop selects CNTR0 only.
+        spec = FaultSpec(kind="counter_skew", trigger=5, counter=1, delta=3)
+        assert injection_verdict(kernel, spec) == {
+            "verdict": "suppressed", "suppression": "skew-unused-counter",
+        }
+
+    def test_zero_delta_skew_is_suppressed(self, kernel):
+        spec = FaultSpec(kind="counter_skew", trigger=5, counter=0, delta=0)
+        assert injection_verdict(kernel, spec)["verdict"] == "suppressed"
+
+    def test_control_word_flip_in_next_field_is_flagged(self, kernel):
+        # Bit 1 sits in the next0 field of the encoded word: the corrupted
+        # program has a different graph, which the lint pass must flag.
+        spec = FaultSpec(
+            kind="control_word", trigger=5, context=0, state_index=0,
+            word_bit=1,
+        )
+        verdict = injection_verdict(kernel, spec)
+        assert verdict["verdict"] == "flagged"
+        assert verdict["rules"]
+
+    def test_control_word_flip_in_dont_care_bit_is_suppressed(self, kernel):
+        # An unrouted state's selector bits are don't-cares: the flipped
+        # word decodes to the identical control state.
+        _, controller = kernel.spu_programs()
+        program = dict(controller)[0]
+        straight = min(
+            index for index, state in program.states.items()
+            if not state.routes
+        )
+        from repro.core.program import state_word_bits
+
+        spec = FaultSpec(
+            kind="control_word", trigger=5, context=0, state_index=straight,
+            word_bit=state_word_bits(kernel.config) - 1,
+        )
+        assert injection_verdict(kernel, spec) == {
+            "verdict": "suppressed", "suppression": "word-dont-care",
+        }
+
+    def test_route_rewrite_is_flagged_via_certificate(self, kernel):
+        _, controller = kernel.spu_programs()
+        program = dict(controller)[0]
+        routed = min(
+            index for index, state in program.states.items() if state.routes
+        )
+        current = program.states[routed].routes[0][0]
+        spec = FaultSpec(
+            kind="route", trigger=5, context=0, state_index=routed,
+            slot=0, granule=0, selector=(current + 1) % 8,
+        )
+        verdict = injection_verdict(kernel, spec)
+        assert verdict["verdict"] == "flagged"
+        assert "oc-program-mismatch" in verdict["rules"]
+
+    def test_route_rewrite_to_same_selector_is_suppressed(self, kernel):
+        _, controller = kernel.spu_programs()
+        program = dict(controller)[0]
+        routed = min(
+            index for index, state in program.states.items() if state.routes
+        )
+        spec = FaultSpec(
+            kind="route", trigger=5, context=0, state_index=routed,
+            slot=0, granule=0, selector=program.states[routed].routes[0][0],
+        )
+        assert injection_verdict(kernel, spec) == {
+            "verdict": "suppressed", "suppression": "word-dont-care",
+        }
+
+    def test_unloaded_state_target_is_unexplained(self, kernel):
+        spec = FaultSpec(
+            kind="control_word", trigger=5, context=0, state_index=90,
+            word_bit=0,
+        )
+        assert injection_verdict(kernel, spec) == {"verdict": "unexplained"}
+
+
+class TestCampaignCrossCheck:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_check(
+            kernels=("DotProduct", "SAD"), faults=12, seed=7, fast=True,
+        )
+
+    def test_every_injection_carries_a_verdict(self, result):
+        for record in result.injections:
+            assert record["analysis"]["verdict"] in (
+                "flagged", "suppressed", "unexplained",
+            )
+
+    def test_no_silent_injection_is_unexplained(self, result):
+        gaps = [
+            record for record in result.injections
+            if record["outcome"] == "silent"
+            and record["analysis"]["verdict"] == "unexplained"
+        ]
+        assert gaps == []
+
+    def test_report_summarizes_the_cross_check(self, result):
+        body = check_report(result)["data"]
+        analysis = body["summary"]["analysis"]
+        assert analysis["silent_unexplained"] == 0
+        assert (
+            analysis["flagged"] + analysis["suppressed"]
+            + analysis["unexplained"]
+            == len(result.injections)
+        )
+
+    def test_render_mentions_the_cross_check(self, result):
+        from repro.faults.report import render_check
+
+        text = render_check(result)
+        assert "static cross-check" in text
