@@ -6,8 +6,12 @@ Commands
 ``table1`` / ``table2`` / ``table3`` / ``fig9``
     Regenerate the corresponding paper table/figure and print the
     measured-vs-published comparison (``--fast`` shrinks FFT1024).
-``run KERNEL``
-    Verify one kernel and print its MMX vs MMX+SPU comparison.
+``run KERNEL [KERNEL ...] | --all [--jobs N] [--resume PATH]``
+    Verify kernels and print their MMX vs MMX+SPU comparisons.  One kernel
+    runs in-process exactly as before; several (or ``--all``) run as a
+    sweep on the resilient campaign runner — ``--jobs N`` workers,
+    per-task timeouts, retries, circuit breaker, and a crash-consistent
+    ``--resume`` journal (docs/robustness.md, "Campaign orchestration").
 ``list``
     List the available kernels with their Table 2 descriptions.
 ``cost [--config X]``
@@ -21,11 +25,15 @@ Commands
 ``trace KERNEL [--jsonl PATH]``
     Issue-by-issue pipeline listing; ``--jsonl`` exports one record per
     issued instruction.
-``check [KERNEL] [--faults N] [--seed S] [--json PATH]``
+``check [KERNEL] [--faults N] [--seed S] [--json PATH] [--jobs N]
+[--resume PATH]``
     Differential self-check: replay every kernel (or one) against the
     NumPy fixed-point reference, optionally under a seeded fault
     campaign classifying injections as masked/detected/silent
-    (schema in docs/robustness.md).
+    (schema in docs/robustness.md).  ``--jobs N`` runs the campaign on
+    the worker pool; ``--resume PATH`` journals progress there and skips
+    already-completed tasks on re-invocation — the merged report is
+    byte-identical to a serial run either way.
 ``lint [KERNEL ...| --all] [--json PATH] [--fail-on SEV]``
     Static verifier: microprogram structure, kernel/controller schedule
     agreement and off-load soundness certificates (rule catalog in
@@ -64,8 +72,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    kernel = make_kernel(args.kernel)
+def _run_one_kernel(name: str) -> int:
+    kernel = make_kernel(name)
     print(f"Verifying {kernel.name} ({kernel.description}) ...")
     kernel.verify()
     print("  both variants match the fixed-point reference bit-exactly")
@@ -85,6 +93,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"speedup: {ratio(comparison.speedup)}x "
           f"({comparison.removed_permutes} static permutes off-loaded)")
     return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(args.kernel)
+    if args.all:
+        names = sorted(ALL_KERNELS)
+    if not names:
+        print("repro run: name at least one kernel or pass --all",
+              file=sys.stderr)
+        raise SystemExit(2)
+    unknown = [name for name in names if name not in ALL_KERNELS]
+    if unknown:
+        print(f"repro run: error: invalid choice: {unknown} "
+              f"(choose from {sorted(ALL_KERNELS)})", file=sys.stderr)
+        raise SystemExit(2)
+    if len(names) == 1 and args.jobs <= 1 and args.resume is None:
+        return _run_one_kernel(names[0])
+
+    # Sweep: one suite cell per kernel on the campaign runner.
+    from repro.errors import RunnerInterrupted
+    from repro.experiments import ExperimentSuite
+    from repro.runner import RunnerConfig, runner_report
+    from repro.obs.export import write_json
+
+    suite = ExperimentSuite(fast=args.fast, kernel_names=tuple(names))
+    config = RunnerConfig(jobs=args.jobs,
+                          interrupt_after=args.interrupt_after)
+    try:
+        runner, results = suite.prefetch(
+            jobs=args.jobs, journal_path=args.resume, runner_config=config
+        )
+    except RunnerInterrupted as exc:
+        print(f"repro run: {exc}", file=sys.stderr)
+        return 3
+    rows = []
+    failed = 0
+    for name in names:
+        result = results[f"cell:{name}"]
+        if result.ok:
+            record = result.result
+            verified = record.get("verified", True)
+            failed += 0 if verified else 1
+            speedup = (record["mmx"]["cycles"] / record["spu"]["cycles"]
+                       if record["spu"]["cycles"] else 0.0)
+            rows.append([
+                name,
+                "ok" if verified else "MISMATCH",
+                record["mmx"]["cycles"],
+                record["spu"]["cycles"],
+                f"{ratio(speedup)}x",
+                record["removed_permutes"],
+                "cached" if result.cached else f"{result.attempts} attempt(s)",
+            ])
+        else:
+            failed += 1
+            rows.append([name, result.status.upper(), "-", "-", "-", "-",
+                         result.failure or ""])
+    print(format_table(
+        ["kernel", "reference", "MMX cycles", "SPU cycles", "speedup",
+         "permutes off-loaded", "runner"],
+        rows,
+        title=f"Kernel sweep ({args.jobs} job(s))",
+    ))
+    if runner.fallback_reason:
+        print(f"note: pool unavailable, ran serially "
+              f"({runner.fallback_reason})")
+    if args.runner_json is not None:
+        target = write_json(args.runner_json, runner_report(runner))
+        if target is not None:
+            print(f"wrote {target}")
+    return 1 if failed else 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -228,19 +307,52 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.obs.export import resolve_kernel_name, write_json
 
     kernels = tuple(resolve_kernel_name(name) for name in args.kernel)
-    result = run_check(
-        kernels=kernels,
-        faults=args.faults,
-        seed=args.seed,
-        resilience=args.mode,
-        fast=args.fast,
-    )
+    runner = None
+    if args.jobs > 1 or args.resume is not None:
+        from repro.errors import RunnerInterrupted
+        from repro.faults import run_check_parallel
+        from repro.runner import RunnerConfig
+
+        config = RunnerConfig(jobs=args.jobs,
+                              interrupt_after=args.interrupt_after)
+        try:
+            result, runner = run_check_parallel(
+                kernels=kernels,
+                faults=args.faults,
+                seed=args.seed,
+                resilience=args.mode,
+                fast=args.fast,
+                jobs=args.jobs,
+                journal_path=args.resume,
+                runner_config=config,
+            )
+        except RunnerInterrupted as exc:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 3
+    else:
+        result = run_check(
+            kernels=kernels,
+            faults=args.faults,
+            seed=args.seed,
+            resilience=args.mode,
+            fast=args.fast,
+        )
     if args.json is not None:
         target = write_json(args.json, check_report(result))
         if target is not None:
             print(f"wrote {target}")
     else:
         print(render_check(result))
+    if runner is not None:
+        if runner.fallback_reason:
+            print(f"note: pool unavailable, ran serially "
+                  f"({runner.fallback_reason})", file=sys.stderr)
+        if args.runner_json is not None:
+            from repro.runner import runner_report
+
+            target = write_json(args.runner_json, runner_report(runner))
+            if target is not None:
+                print(f"wrote {target}")
     # Injection outcomes are data, not failures; only a broken clean
     # differential (simulator vs golden reference) fails the check.
     return 0 if result.clean_ok else 1
@@ -290,8 +402,39 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="shrink FFT1024 for quick runs")
         table_parser.set_defaults(func=_cmd_table)
 
-    run_parser = sub.add_parser("run", help="verify and compare one kernel")
-    run_parser.add_argument("kernel", choices=sorted(ALL_KERNELS))
+    def add_runner_options(target: argparse.ArgumentParser) -> None:
+        target.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes (default: 1 = serial)")
+        target.add_argument(
+            "--resume", default=None, metavar="PATH",
+            help="crash-consistent journal; re-invoking with the same PATH "
+            "skips already-completed tasks",
+        )
+        target.add_argument(
+            "--interrupt-after", dest="interrupt_after", type=int,
+            default=None, metavar="N",
+            help="stop (exit 3) after N completed tasks, leaving the "
+            "journal resumable (test/ops hook)",
+        )
+        target.add_argument(
+            "--runner-json", dest="runner_json", nargs="?", const="-",
+            default=None, metavar="PATH",
+            help="write the repro.runner/1 execution report ('-': stdout)",
+        )
+
+    run_parser = sub.add_parser(
+        "run", help="verify and compare kernels (sweeps run on the "
+        "resilient campaign runner)",
+    )
+    run_parser.add_argument(
+        "kernel", nargs="*",
+        help=f"kernel(s) to run (choose from {', '.join(sorted(ALL_KERNELS))})",
+    )
+    run_parser.add_argument("--all", action="store_true",
+                            help="run every registered kernel")
+    run_parser.add_argument("--fast", action="store_true",
+                            help="shrink FFT1024 for quick runs")
+    add_runner_options(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     list_parser = sub.add_parser("list", help="list kernels")
@@ -361,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", nargs="?", const="-", default=None, metavar="PATH",
         help="write the fault-campaign JSON report ('-' or no value: stdout)",
     )
+    add_runner_options(check_parser)
     check_parser.set_defaults(func=_cmd_check)
 
     lint_parser = sub.add_parser(

@@ -117,6 +117,38 @@ class RunStats:
         if instr.is_alignment_candidate:
             self.alignment_candidates += 1
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunStats":
+        """Rebuild counters from an :meth:`as_dict` export.
+
+        Derived ratios are recomputed from the counters; the one lossy field
+        is :attr:`pair_fail_reasons`, which ``as_dict`` does not export and
+        comes back empty.  Used by the campaign runner to reconstruct
+        :class:`RunStats` from worker results and resume journals.
+        """
+        return cls(
+            cycles=data["cycles"],
+            instructions=data["instructions"],
+            by_class=Counter({
+                InstrClass(name): count
+                for name, count in data.get("by_class", {}).items()
+            }),
+            permutes=data["permutes"],
+            alignment_candidates=data["alignment_candidates"],
+            branches=data["branches"],
+            mispredicts=data["mispredicts"],
+            mispredict_cycles=data["mispredict_cycles"],
+            stall_cycles=data["stall_cycles"],
+            drain_cycles=data["drain_cycles"],
+            pair_cycles=data["pair_cycles"],
+            solo_cycles=data["solo_cycles"],
+            mmx_busy_cycles=data["mmx_busy_cycles"],
+            spu_routed=data["spu_routed"],
+            faults=data.get("faults", 0),
+            degraded_issues=data.get("degraded_issues", 0),
+            finished=data.get("finished", False),
+        )
+
     def as_dict(self) -> dict:
         """Flat dictionary (JSON-friendly) of all counters and ratios."""
         return {

@@ -64,3 +64,22 @@ class KernelError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid hardware-model or experiment configuration."""
+
+
+class RunnerError(ReproError):
+    """The campaign runner (:mod:`repro.runner`) hit an unrecoverable
+    orchestration problem: an incompatible resume journal, an unknown task
+    kind, or a phase whose required tasks terminally failed."""
+
+
+class RunnerInterrupted(RunnerError):
+    """The runner stopped early on request (``--interrupt-after``).
+
+    The journal on disk is crash-consistent at this point, so the same
+    invocation with ``--resume`` picks up where it left off.  Carries the
+    terminal results recorded so far as :attr:`results`.
+    """
+
+    def __init__(self, message: str, results: dict | None = None) -> None:
+        self.results = results or {}
+        super().__init__(message)

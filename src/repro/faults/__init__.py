@@ -37,8 +37,10 @@ from repro.faults.campaign import (
     classify_injection,
     run_campaign,
     run_check,
+    run_one_injection,
 )
 from repro.faults.report import check_report, render_check
+from repro.faults.parallel import run_check_parallel
 
 __all__ = [
     "FAULT_KINDS",
@@ -52,6 +54,8 @@ __all__ = [
     "classify_injection",
     "run_campaign",
     "run_check",
+    "run_check_parallel",
+    "run_one_injection",
     "check_report",
     "render_check",
 ]

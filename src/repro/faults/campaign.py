@@ -19,6 +19,7 @@ across runs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -60,8 +61,24 @@ class CheckResult:
     def outcome_counts(self) -> dict[str, int]:
         counts = {outcome: 0 for outcome in OUTCOMES}
         for record in self.injections:
-            counts[record["outcome"]] += 1
+            # "skipped" (circuit-breaker degraded slice, parallel runs only)
+            # and any future outcome count too, without disturbing the
+            # canonical masked/detected/silent key order of healthy runs.
+            counts[record["outcome"]] = counts.get(record["outcome"], 0) + 1
         return counts
+
+    def injection_durations(self) -> dict[int, float]:
+        """Per-injection wall-clock seconds, by injection index.
+
+        Surfaced for the campaign runner's timeout calibration; deliberately
+        absent from :func:`repro.faults.check_report`, which must stay a
+        pure function of (kernels, seed, faults, mode).
+        """
+        return {
+            record["index"]: record["duration_s"]
+            for record in self.injections
+            if record.get("duration_s") is not None
+        }
 
 
 def classify_injection(stats, error, output_matches, event_counts) -> str:
@@ -134,6 +151,95 @@ def _clean_check(kernel, reference) -> dict:
             "variants": variants}
 
 
+def run_one_injection(
+    campaign: FaultCampaign,
+    index: int,
+    kernel,
+    reference,
+    spu_clean: dict,
+) -> dict:
+    """Execute injection *index* of *campaign* against *kernel*.
+
+    The record is a deterministic function of (campaign, index, kernel) —
+    plus a ``duration_s`` wall-clock field, which exists for the parallel
+    runner's timeout calibration and is stripped from the byte-stable
+    campaign report.  This is the unit of work the campaign runner ships to
+    worker processes; the serial loop calls it too, so both paths produce
+    identical records by construction.
+
+    *spu_clean* is the kernel's clean SPU-variant record: ``instructions``
+    scales the trigger window, ``cycles`` the per-run watchdog.
+    """
+    started = time.perf_counter()
+    _, controller_programs = kernel.spu_programs()
+    spec = generate_spec(
+        campaign.rng(index),
+        campaign.kinds,
+        spu_clean["instructions"],
+        controller_programs,
+        kernel.config,
+    )
+
+    machine = kernel.machine("spu", resilience=campaign.resilience)
+    injector = FaultInjector(machine, spec)
+    event_counts = _count_events(machine)
+    watchdog = (
+        spu_clean["cycles"] * campaign.watchdog_factor
+        + campaign.watchdog_slack
+    )
+    stats = None
+    error: BaseException | None = None
+    try:
+        stats = machine.run(max_cycles=watchdog)
+    except ReproError as exc:
+        error = exc
+        stats = getattr(exc, "stats", None)
+    finally:
+        injector.detach()
+
+    output_matches = None
+    mismatches = None
+    if error is None and stats is not None and stats.finished:
+        output_matches, mismatches = _check_output(kernel, machine, reference)
+    outcome = classify_injection(stats, error, output_matches, event_counts)
+
+    # Static cross-check (lazy import: repro.analysis imports the kernel
+    # registry, which must not load when the faults package does): would
+    # `repro lint` have flagged this corruption, or does a documented
+    # known-silent suppression cover it?
+    from repro.analysis.verdict import injection_verdict
+
+    verdict = injection_verdict(kernel, spec)
+
+    controller = machine.spu.controller
+    return {
+        "index": index,
+        "kernel": kernel.name,
+        "spec": spec.as_dict(),
+        "fired": injector.fired,
+        "applied": injector.applied,
+        "inject_error": (
+            f"{type(injector.apply_error).__name__}: {injector.apply_error}"
+            if injector.apply_error is not None else None
+        ),
+        "outcome": outcome,
+        "analysis": verdict,
+        "output_matches": output_matches,
+        "mismatching_elements": mismatches,
+        "events": dict(event_counts),
+        "finished": bool(stats.finished) if stats is not None else False,
+        "cycles": stats.cycles if stats is not None else None,
+        "machine_faults": stats.faults if stats is not None else None,
+        "degraded_issues": (
+            stats.degraded_issues if stats is not None else None
+        ),
+        "fault_parks": controller.stats.fault_parks,
+        "serialized_operands": machine.spu.stats.serialized_operands,
+        "error": f"{type(error).__name__}: {error}" if error else None,
+        "duration_s": time.perf_counter() - started,
+    }
+
+
 def run_campaign(
     campaign: FaultCampaign,
     kernels: dict,
@@ -151,76 +257,9 @@ def run_campaign(
     records: list[dict] = []
     for index in range(campaign.faults):
         name = names[index % len(names)]
-        kernel = kernels[name]
-        spu_clean = clean_spu[name]
-        _, controller_programs = kernel.spu_programs()
-        spec = generate_spec(
-            campaign.rng(index),
-            campaign.kinds,
-            spu_clean["instructions"],
-            controller_programs,
-            kernel.config,
-        )
-
-        machine = kernel.machine("spu", resilience=campaign.resilience)
-        injector = FaultInjector(machine, spec)
-        event_counts = _count_events(machine)
-        watchdog = (
-            spu_clean["cycles"] * campaign.watchdog_factor
-            + campaign.watchdog_slack
-        )
-        stats = None
-        error: BaseException | None = None
-        try:
-            stats = machine.run(max_cycles=watchdog)
-        except ReproError as exc:
-            error = exc
-            stats = getattr(exc, "stats", None)
-        finally:
-            injector.detach()
-
-        output_matches = None
-        mismatches = None
-        if error is None and stats is not None and stats.finished:
-            output_matches, mismatches = _check_output(
-                kernel, machine, references[name]
-            )
-        outcome = classify_injection(stats, error, output_matches, event_counts)
-
-        # Static cross-check (lazy import: repro.analysis imports the kernel
-        # registry, which must not load when the faults package does): would
-        # `repro lint` have flagged this corruption, or does a documented
-        # known-silent suppression cover it?
-        from repro.analysis.verdict import injection_verdict
-
-        verdict = injection_verdict(kernel, spec)
-
-        controller = machine.spu.controller
-        records.append({
-            "index": index,
-            "kernel": name,
-            "spec": spec.as_dict(),
-            "fired": injector.fired,
-            "applied": injector.applied,
-            "inject_error": (
-                f"{type(injector.apply_error).__name__}: {injector.apply_error}"
-                if injector.apply_error is not None else None
-            ),
-            "outcome": outcome,
-            "analysis": verdict,
-            "output_matches": output_matches,
-            "mismatching_elements": mismatches,
-            "events": dict(event_counts),
-            "finished": bool(stats.finished) if stats is not None else False,
-            "cycles": stats.cycles if stats is not None else None,
-            "machine_faults": stats.faults if stats is not None else None,
-            "degraded_issues": (
-                stats.degraded_issues if stats is not None else None
-            ),
-            "fault_parks": controller.stats.fault_parks,
-            "serialized_operands": machine.spu.stats.serialized_operands,
-            "error": f"{type(error).__name__}: {error}" if error else None,
-        })
+        records.append(run_one_injection(
+            campaign, index, kernels[name], references[name], clean_spu[name]
+        ))
     return records
 
 
@@ -231,6 +270,8 @@ def run_check(
     resilience: ResilienceMode | str = ResilienceMode.DEGRADE,
     fast: bool = False,
     kinds: tuple[str, ...] | None = None,
+    watchdog_factor: int | None = None,
+    watchdog_slack: int | None = None,
 ) -> CheckResult:
     """The full ``repro check`` measurement: clean differential + campaign."""
     from repro.kernels import ALL_KERNELS
@@ -250,6 +291,10 @@ def run_check(
             kernels=names,
             resilience=resilience,
             **({"kinds": tuple(kinds)} if kinds else {}),
+            **({"watchdog_factor": watchdog_factor}
+               if watchdog_factor is not None else {}),
+            **({"watchdog_slack": watchdog_slack}
+               if watchdog_slack is not None else {}),
         )
         clean_spu = {entry["kernel"]: entry["variants"]["spu"] for entry in clean}
         result.campaign = campaign

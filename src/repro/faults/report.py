@@ -28,11 +28,13 @@ def check_report(result: CheckResult) -> dict:
         campaign = result.campaign
         by_kind: dict[str, dict[str, int]] = {}
         for record in result.injections:
+            if not record.get("spec"):
+                continue  # breaker-skipped: no spec was ever generated
             kind = record["spec"]["kind"]
             per_kind = by_kind.setdefault(
                 kind, {outcome: 0 for outcome in OUTCOMES}
             )
-            per_kind[record["outcome"]] += 1
+            per_kind[record["outcome"]] = per_kind.get(record["outcome"], 0) + 1
         body["campaign"] = {
             "seed": campaign.seed,
             "faults": campaign.faults,
@@ -41,10 +43,20 @@ def check_report(result: CheckResult) -> dict:
             "watchdog_factor": campaign.watchdog_factor,
             "watchdog_slack": campaign.watchdog_slack,
         }
-        body["injections"] = result.injections
+        # ``duration_s`` (surfaced for the runner's timeout calibration) is
+        # wall-clock data: stripping it keeps the report a pure function of
+        # (kernel set, seed, fault count, mode) — the determinism contract
+        # CI compares bytes against.
+        body["injections"] = [
+            {key: value for key, value in record.items()
+             if key != "duration_s"}
+            for record in result.injections
+        ]
         verdicts = {"flagged": 0, "suppressed": 0, "unexplained": 0}
         silent_verdicts = {"flagged": 0, "suppressed": 0, "unexplained": 0}
         for record in result.injections:
+            if not record.get("analysis"):
+                continue  # breaker-skipped: never ran, no static verdict
             verdict = record["analysis"]["verdict"]
             verdicts[verdict] += 1
             if record["outcome"] == "silent":
@@ -99,14 +111,18 @@ def render_check(result: CheckResult) -> str:
         campaign = result.campaign
         counts = result.outcome_counts()
         by_kind: dict[str, dict[str, int]] = {}
+        skipped_count = 0
         for record in result.injections:
+            if not record.get("spec"):
+                skipped_count += 1
+                continue
             kind = record["spec"]["kind"]
             per_kind = by_kind.setdefault(
                 kind, {outcome: 0 for outcome in OUTCOMES}
             )
-            per_kind[record["outcome"]] += 1
+            per_kind[record["outcome"]] = per_kind.get(record["outcome"], 0) + 1
         kind_rows = [
-            [kind, *[by_kind[kind][outcome] for outcome in OUTCOMES],
+            [kind, *[by_kind[kind].get(outcome, 0) for outcome in OUTCOMES],
              sum(by_kind[kind].values())]
             for kind in FAULT_KINDS if kind in by_kind
         ]
@@ -122,6 +138,11 @@ def render_check(result: CheckResult) -> str:
                 f"{campaign.seed}, mode {campaign.resilience.value}"
             ),
         ))
+        if skipped_count:
+            parts.append(
+                f"circuit breaker: {skipped_count} injection(s) recorded as "
+                "skipped (degraded slice; see docs/robustness.md)"
+            )
         silent = [r for r in result.injections if r["outcome"] == "silent"]
         if silent:
             def _verdict(record):

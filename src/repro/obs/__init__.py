@@ -20,6 +20,7 @@ See ``docs/observability.md`` for the event and schema reference.
 from repro.obs.events import (
     TOPICS,
     BranchEvent,
+    BreakerOpenEvent,
     ControllerStepEvent,
     DegradeEvent,
     EventBus,
@@ -31,6 +32,10 @@ from repro.obs.events import (
     SPURouteEvent,
     StallEvent,
     SubscriberError,
+    TaskDoneEvent,
+    TaskRetryEvent,
+    TaskStartEvent,
+    TaskTimeoutEvent,
 )
 from repro.obs.attribution import CATEGORIES, CycleAttribution, CycleSegment
 from repro.obs.spu import ControllerTrace
@@ -48,6 +53,7 @@ from repro.obs.export import (
 __all__ = [
     "TOPICS",
     "BranchEvent",
+    "BreakerOpenEvent",
     "ControllerStepEvent",
     "DegradeEvent",
     "EventBus",
@@ -59,6 +65,10 @@ __all__ = [
     "SPURouteEvent",
     "StallEvent",
     "SubscriberError",
+    "TaskDoneEvent",
+    "TaskRetryEvent",
+    "TaskStartEvent",
+    "TaskTimeoutEvent",
     "CATEGORIES",
     "CycleAttribution",
     "CycleSegment",

@@ -25,7 +25,10 @@ from typing import Any, Callable
 
 #: Every topic the simulator emits, in rough pipeline order.  The three
 #: resilience topics (``fault``/``degrade``/``recovery``) fire only when
-#: something goes wrong, so they are free on healthy runs.
+#: something goes wrong, so they are free on healthy runs.  The five
+#: ``task_*``/``breaker_*`` topics are orchestration-level: they are emitted
+#: by the :mod:`repro.runner` campaign runner (on its own bus instance, one
+#: per :class:`repro.runner.Runner`), never by a simulated machine.
 TOPICS = (
     "run_start",
     "issue",
@@ -37,6 +40,11 @@ TOPICS = (
     "degrade",
     "recovery",
     "run_end",
+    "task_start",
+    "task_retry",
+    "task_timeout",
+    "breaker_open",
+    "task_done",
 )
 
 
@@ -167,6 +175,73 @@ class RunEndEvent:
     cycles: int
     instructions: int
     finished: bool
+
+
+# ---- task lifecycle (repro.runner) -------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TaskStartEvent:
+    """The campaign runner dispatched one attempt of a task."""
+
+    task: str
+    #: 1-based attempt number (``> 1`` means this is a retry attempt).
+    attempt: int
+    #: Worker slot executing the attempt (-1 on the serial in-process path).
+    worker: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRetryEvent:
+    """An attempt failed and the task was rescheduled with backoff."""
+
+    task: str
+    #: The attempt that just failed.
+    attempt: int
+    #: Why it failed: ``"error"``, ``"crash"``, ``"timeout"``, ``"hang"``.
+    reason: str
+    detail: str = ""
+    #: Backoff before the next attempt (exponential, full jitter).
+    delay_s: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class TaskTimeoutEvent:
+    """A worker was killed for exceeding its budget (the attempt failed)."""
+
+    task: str
+    attempt: int
+    #: ``"timeout"`` (wall-clock budget) or ``"hang"`` (heartbeats stopped).
+    kind: str
+    #: Seconds since dispatch (timeout) / since the last heartbeat (hang).
+    seconds: float
+    worker: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerOpenEvent:
+    """A (kernel, config) slice's circuit breaker tripped open.
+
+    Subsequent tasks of the slice are recorded as ``skipped`` instead of
+    executed, so one persistently failing slice cannot sink the campaign.
+    """
+
+    slice: str
+    #: Consecutive attempt-level failures that tripped the breaker.
+    failures: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskDoneEvent:
+    """A task reached a terminal state (every task eventually does)."""
+
+    task: str
+    #: ``"ok"``, ``"failed"`` (retries exhausted) or ``"skipped"`` (breaker).
+    status: str
+    attempts: int
+    duration_s: float
+    #: True when the result was satisfied from a resume journal, not re-run.
+    cached: bool = False
 
 
 @dataclass(frozen=True, slots=True)

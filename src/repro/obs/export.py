@@ -21,6 +21,13 @@ The documented kinds are:
     Differential self-check plus fault-injection results
     (:func:`repro.faults.check_report`, the payload of
     ``repro check --json``; see docs/robustness.md).
+``runner``
+    Campaign-runner execution report — per-task attempts, durations,
+    retry/timeout/hang/crash counters and circuit-breaker state
+    (:func:`repro.runner.runner_report`, schema ``repro.runner/1``;
+    see docs/robustness.md).  Unlike the ``fault-campaign`` document it
+    deliberately carries wall-clock data, so it is *not* byte-stable
+    across runs.
 
 See ``docs/observability.md`` for the field-level schema.
 
@@ -40,6 +47,9 @@ SCHEMA_VERSION = "repro.obs/1"
 
 #: Schema tag for static-analysis documents (``repro lint --json``).
 ANALYSIS_SCHEMA_VERSION = "repro.analysis/1"
+
+#: Schema tag for campaign-runner documents (journal header + runner report).
+RUNNER_SCHEMA_VERSION = "repro.runner/1"
 
 
 def envelope(kind: str, data: dict, schema: str = SCHEMA_VERSION, **extra) -> dict:

@@ -22,6 +22,13 @@ unexpected":
     returns its :class:`~repro.cpu.stats.RunStats` (``finished=False``)
     instead of raising, after emitting ``fault`` and ``run_end`` events.
 
+The same posture exists one level up: the campaign runner
+(:mod:`repro.runner`) absorbs *orchestration* faults — worker crashes,
+hangs, wall-clock timeouts — with retries and a per-slice circuit breaker,
+degrading a persistently broken slice to recorded ``skipped`` outcomes the
+way DEGRADE parks a broken controller at idle instead of sinking the run
+(see ``docs/robustness.md``, "Campaign orchestration").
+
 This module is import-light on purpose: :mod:`repro.cpu.pipeline` and
 :mod:`repro.core.controller` both import it, so it must not import from any
 simulator package.

@@ -1,0 +1,158 @@
+"""Crash-consistent JSONL journal behind ``--resume``.
+
+One record per line, appended with a single ``os.write`` to an ``O_APPEND``
+file descriptor (the line is fully serialized before the write, so a crash
+never interleaves records) and fsync'd in batches (every
+:attr:`Journal.fsync_every` appends, plus on :meth:`flush`/:meth:`close`).
+
+Crash consistency is the *reader's* contract: :func:`load_journal` accepts a
+journal whose final line is truncated or half-written — it keeps the longest
+valid prefix and flags ``truncated``.  A record is therefore durable once
+fsync'd and *atomic* regardless: it is either entirely present in the loaded
+prefix or entirely absent.  Since every ``done`` record carries the task's
+full result, resuming from the prefix re-runs at most the tasks whose
+records were lost — never half of one.
+
+The first line is a header carrying the schema tag (``repro.runner/1``) and
+a caller-supplied *fingerprint* of the campaign (kernels, seed, fault count,
+mode...).  Resuming against a journal whose fingerprint differs from the
+current invocation raises :class:`~repro.errors.RunnerError` instead of
+silently merging results from a different campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import RunnerError
+from repro.obs.export import RUNNER_SCHEMA_VERSION
+
+
+def load_journal(path: str | Path) -> tuple[dict | None, list[dict], bool]:
+    """Read a journal; returns ``(header, records, truncated)``.
+
+    *records* excludes the header.  Parsing stops at the first malformed
+    line (a crash mid-append leaves at most one, at the tail); everything
+    after it is discarded and ``truncated`` is True.  A missing or empty
+    file yields ``(None, [], False)``.
+    """
+    target = Path(path)
+    if not target.exists():
+        return None, [], False
+    raw = target.read_bytes()
+    header: dict | None = None
+    records: list[dict] = []
+    truncated = False
+    for index, line in enumerate(raw.split(b"\n")):
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            truncated = True
+            break
+        if not isinstance(record, dict):
+            truncated = True
+            break
+        if index == 0:
+            header = record
+        else:
+            records.append(record)
+    return header, records, truncated
+
+
+class Journal:
+    """Append-only JSONL task journal with atomic appends and batched fsync."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        fingerprint: dict,
+        fsync_every: int = 8,
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.fsync_every = max(1, fsync_every)
+        self._pending = 0
+        self._completed: dict[str, dict] = {}
+        self.truncated = False
+        self.resumed = False
+
+        header, records, self.truncated = load_journal(self.path)
+        if header is not None:
+            self._validate_header(header)
+            self.resumed = True
+            for record in records:
+                if record.get("type") == "done" and record.get("status") == "ok":
+                    self._completed[record["task"]] = record
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        if header is None:
+            self.append({
+                "type": "header",
+                "schema": RUNNER_SCHEMA_VERSION,
+                "fingerprint": fingerprint,
+            })
+            self.flush()
+
+    def _validate_header(self, header: dict) -> None:
+        schema = header.get("schema")
+        if schema != RUNNER_SCHEMA_VERSION:
+            raise RunnerError(
+                f"{self.path}: journal schema {schema!r} is not "
+                f"{RUNNER_SCHEMA_VERSION!r}"
+            )
+        found = header.get("fingerprint")
+        if found != self.fingerprint:
+            raise RunnerError(
+                f"{self.path}: journal belongs to a different campaign "
+                f"(journal fingerprint {found!r}, this invocation "
+                f"{self.fingerprint!r}); pass a fresh --resume path or rerun "
+                "the original command line"
+            )
+
+    # ---- writing -------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Atomically append one record (single write of the whole line)."""
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        os.write(self._fd, line.encode())
+        if record.get("type") == "done" and record.get("status") == "ok":
+            self._completed[record["task"]] = record
+        self._pending += 1
+        if self._pending >= self.fsync_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Force the pending batch to stable storage."""
+        if self._fd >= 0:
+            os.fsync(self._fd)
+        self._pending = 0
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            self.flush()
+            os.close(self._fd)
+            self._fd = -1
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---- resume --------------------------------------------------------------
+
+    def completed(self) -> dict[str, dict]:
+        """``task id -> done record`` for successfully completed tasks.
+
+        Only ``status == "ok"`` records count: terminally ``failed`` or
+        ``skipped`` tasks get a fresh chance on resume (the failure may have
+        been environmental), which cannot hurt determinism — their recorded
+        outcome was a degraded placeholder, not a result.
+        """
+        return dict(self._completed)

@@ -1,0 +1,261 @@
+"""The multi-process worker pool: heartbeats, hang detection, replacement.
+
+Topology: every worker owns a private task queue (the parent targets a
+specific idle worker per dispatch, so a dying worker can lose at most the
+one task it holds — there is no shared queue a crash could strand work in)
+and all workers share one result queue carrying three message types:
+
+``("start", worker, task, attempt)``
+    The worker picked the task up — execution begins now.
+``("beat", worker, task, attempt)``
+    Liveness heartbeat from a daemon thread inside the worker, every
+    ``heartbeat_s`` while a task runs.  A worker that stops beating without
+    finishing (frozen process, deadlocked interpreter) is *hung*.
+``("done", worker, task, attempt, status, result, detail, duration_s)``
+    Terminal attempt message: ``status`` is ``"ok"`` or ``"error"``.
+
+The parent never joins a suspect worker politely: :meth:`WorkerPool.replace`
+SIGKILLs the process (which also terminates SIGSTOPped ones) and boots a
+fresh worker into the same slot.  Messages from the dead worker's last
+attempt may still sit in the result queue; consumers match them against the
+attempt token and drop stale ones.
+
+Start method: ``fork`` where the platform offers it (workers inherit the
+warm interpreter — kernel builds stay cheap), ``spawn`` otherwise.  Any
+failure to bring the pool up raises :class:`PoolStartError`, which the
+service layer turns into a graceful serial fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import Any
+
+from repro.errors import RunnerError
+from repro.runner.tasks import TaskSpec, resolve_executor
+
+
+class PoolStartError(RunnerError):
+    """The worker pool could not start (callers fall back to serial)."""
+
+
+#: Environment hook for crash-injection tests: ``<task id>`` makes the first
+#: worker that picks the task up die with ``os._exit`` *before* executing it,
+#: once (a marker file at ``$REPRO_RUNNER_CRASH_MARKER`` arms subsequent
+#: attempts to proceed).  Used by the resume-determinism tests to simulate a
+#: worker crash at an exact point of a real campaign.
+CRASH_TASK_ENV = "REPRO_RUNNER_CRASH_TASK"
+CRASH_MARKER_ENV = "REPRO_RUNNER_CRASH_MARKER"
+
+
+def _maybe_injected_crash(task_id: str) -> None:
+    if os.environ.get(CRASH_TASK_ENV) != task_id:
+        return
+    marker = os.environ.get(CRASH_MARKER_ENV)
+    if not marker:
+        return
+    try:
+        fd = os.open(marker, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+    except FileExistsError:
+        return  # already crashed once; let the retry run
+    os.close(fd)
+    os._exit(41)
+
+
+def _heartbeat_loop(result_queue, worker_id: int, task_id: str, attempt: int,
+                    interval: float, stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            result_queue.put(("beat", worker_id, task_id, attempt))
+        except Exception:
+            return  # parent went away; nothing left to report to
+
+
+def worker_main(worker_id: int, task_queue, result_queue,
+                heartbeat_s: float) -> None:
+    """Worker process body: execute tasks off the private queue until None."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        task_id, kind, payload, attempt = item
+        _maybe_injected_crash(task_id)
+        result_queue.put(("start", worker_id, task_id, attempt))
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(result_queue, worker_id, task_id, attempt, heartbeat_s, stop),
+            daemon=True,
+        )
+        beat.start()
+        started = time.perf_counter()
+        status, result, detail = "ok", None, ""
+        try:
+            result = resolve_executor(kind)(dict(payload))
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            status = "error"
+            detail = f"{type(exc).__name__}: {exc}"
+        finally:
+            stop.set()
+        duration = time.perf_counter() - started
+        result_queue.put(
+            ("done", worker_id, task_id, attempt, status, result, detail,
+             duration)
+        )
+
+
+@dataclass
+class WorkerHandle:
+    """Parent-side state of one worker slot."""
+
+    slot: int
+    process: Any
+    queue: Any
+    #: In-flight attempt: ``(task_id, attempt)``; None when idle.
+    busy: tuple[str, int] | None = None
+    dispatched_at: float = 0.0
+    last_beat: float = 0.0
+    #: Monotonically increasing worker id (slots are reused, ids are not).
+    worker_id: int = 0
+
+    @property
+    def idle(self) -> bool:
+        return self.busy is None
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerPool:
+    """A fixed number of replaceable worker processes."""
+
+    def __init__(self, jobs: int, heartbeat_s: float = 0.2,
+                 start_method: str | None = None) -> None:
+        if jobs < 2:
+            raise PoolStartError(f"worker pool needs jobs >= 2, got {jobs}")
+        self.jobs = jobs
+        self.heartbeat_s = heartbeat_s
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        try:
+            self._ctx = multiprocessing.get_context(start_method)
+        except ValueError as exc:
+            raise PoolStartError(f"no usable start method: {exc}") from exc
+        self._next_worker_id = 0
+        self.workers: list[WorkerHandle] = []
+        self.result_queue = None
+        #: Worker replacements by reason: {"timeout": n, "hang": n, "crash": n}.
+        self.replacements: dict[str, int] = {}
+
+    # ---- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        try:
+            self.result_queue = self._ctx.Queue()
+            self.workers = [self._spawn(slot) for slot in range(self.jobs)]
+        except PoolStartError:
+            raise
+        except Exception as exc:  # pragma: no cover - platform-dependent
+            self.stop()
+            raise PoolStartError(f"worker pool failed to start: {exc}") from exc
+
+    def _spawn(self, slot: int) -> WorkerHandle:
+        queue = self._ctx.Queue()
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, queue, self.result_queue, self.heartbeat_s),
+            daemon=True,
+            name=f"repro-runner-{slot}",
+        )
+        process.start()
+        return WorkerHandle(slot=slot, process=process, queue=queue,
+                            worker_id=worker_id)
+
+    def stop(self) -> None:
+        """Tear the pool down (graceful stop, then SIGKILL stragglers)."""
+        for handle in self.workers:
+            if handle.process.is_alive() and handle.idle:
+                try:
+                    handle.queue.put(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + 1.0
+        for handle in self.workers:
+            handle.process.join(max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(1.0)
+        for handle in self.workers:
+            try:
+                handle.queue.close()
+            except Exception:
+                pass
+        self.workers = []
+        if self.result_queue is not None:
+            try:
+                self.result_queue.close()
+            except Exception:
+                pass
+            self.result_queue = None
+
+    # ---- dispatch / monitoring ----------------------------------------------
+
+    def idle_workers(self) -> list[WorkerHandle]:
+        return [h for h in self.workers if h.idle and h.alive]
+
+    def dispatch(self, handle: WorkerHandle, task: TaskSpec,
+                 attempt: int) -> None:
+        now = time.monotonic()
+        handle.busy = (task.id, attempt)
+        handle.dispatched_at = now
+        handle.last_beat = now
+        handle.queue.put((task.id, task.kind, task.payload, attempt))
+
+    def replace(self, handle: WorkerHandle, reason: str) -> WorkerHandle:
+        """SIGKILL *handle*'s process and boot a fresh worker in its slot."""
+        self.replacements[reason] = self.replacements.get(reason, 0) + 1
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(2.0)
+        try:
+            handle.queue.close()
+        except Exception:
+            pass
+        fresh = self._spawn(handle.slot)
+        self.workers[handle.slot] = fresh
+        return fresh
+
+    def poll(self, timeout: float) -> list[tuple]:
+        """Drain available result-queue messages (waits up to *timeout* for
+        the first).  Malformed messages from killed workers are dropped."""
+        messages: list[tuple] = []
+        assert self.result_queue is not None
+        try:
+            messages.append(self.result_queue.get(timeout=timeout))
+        except Empty:
+            return messages
+        except (EOFError, OSError, ValueError):
+            return messages
+        while True:
+            try:
+                messages.append(self.result_queue.get_nowait())
+            except Empty:
+                break
+            except (EOFError, OSError, ValueError):
+                break
+        return [m for m in messages if isinstance(m, tuple) and len(m) >= 4]
+
+    def worker_for(self, worker_id: int) -> WorkerHandle | None:
+        for handle in self.workers:
+            if handle.worker_id == worker_id:
+                return handle
+        return None

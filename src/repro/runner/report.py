@@ -1,0 +1,54 @@
+"""The ``repro.runner/1`` execution report.
+
+Unlike the ``fault-campaign`` document — a pure function of (kernels, seed,
+faults, mode), byte-stable by contract — the runner report is *about* the
+execution: per-task attempts and wall-clock durations, retry/timeout/hang/
+crash counters, breaker state, fallback reason.  It deliberately varies
+between runs; campaign results and timing live in separate documents so the
+determinism guarantee of the former survives the usefulness of the latter.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import RUNNER_SCHEMA_VERSION, envelope
+from repro.runner.service import Runner
+from repro.runner.tasks import TaskResult
+
+
+def runner_report(runner: Runner,
+                  results: dict[str, TaskResult] | None = None) -> dict:
+    """The ``runner`` document for one :class:`Runner`'s completed work.
+
+    *results* defaults to everything the runner has driven terminal
+    (:attr:`Runner.results`, accumulated across ``run()`` calls).
+    """
+    if results is None:
+        results = runner.results
+    ordered = [results[task_id] for task_id in sorted(results)]
+    body = {
+        "jobs": runner.config.jobs,
+        "fallback": runner.fallback_reason,
+        "stats": runner.stats.as_dict(),
+        "retry": {
+            "max_attempts": runner.config.retry.max_attempts,
+            "base_delay_s": runner.config.retry.base_delay_s,
+            "max_delay_s": runner.config.retry.max_delay_s,
+        },
+        "breaker": {
+            "threshold": runner.breaker.threshold,
+            "open_slices": list(runner.breaker.open_slices),
+            "trips": dict(sorted(runner.breaker.trips.items())),
+        },
+        "tasks": [
+            {
+                "task": result.task,
+                "status": result.status,
+                "attempts": result.attempts,
+                "duration_s": result.duration_s,
+                "cached": result.cached,
+                "failure": result.failure,
+            }
+            for result in ordered
+        ],
+    }
+    return envelope("runner", body, schema=RUNNER_SCHEMA_VERSION)

@@ -1,0 +1,397 @@
+"""The resilient campaign runner: retries, breakers, journal, telemetry.
+
+:class:`Runner` drives a set of :class:`~repro.runner.tasks.TaskSpec` to
+*terminal* results — every submitted task ends as exactly one of ``ok``,
+``failed`` (bounded retries exhausted) or ``skipped`` (circuit breaker) — no
+lost tasks, regardless of worker crashes, hangs or wall-clock timeouts.
+
+Execution strategy:
+
+* ``jobs >= 2`` — a :class:`~repro.runner.pool.WorkerPool` with per-task
+  wall-clock timeouts and heartbeat-based hang detection; suspect workers
+  are SIGKILLed and replaced, their task retried elsewhere.
+* ``jobs <= 1``, or the pool failing to start — the serial in-process path
+  (:attr:`Runner.fallback_reason` records why).  Serial execution cannot
+  preempt a task, so wall-clock timeouts are not enforced there; the
+  in-simulation cycle watchdog (docs/robustness.md) still bounds every run.
+
+Results are deterministic data, orchestration is not: retry timing, worker
+assignment and completion order never leak into a :class:`TaskResult`'s
+``result`` payload, which is how a resumed ``--jobs 4`` campaign merges
+byte-identical to a serial one.
+
+Lifecycle telemetry goes to :attr:`Runner.bus` (an
+:class:`repro.obs.EventBus`): ``task_start``, ``task_retry``,
+``task_timeout``, ``breaker_open``, ``task_done``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import RunnerError, RunnerInterrupted
+from repro.obs.events import (
+    BreakerOpenEvent,
+    EventBus,
+    TaskDoneEvent,
+    TaskRetryEvent,
+    TaskStartEvent,
+    TaskTimeoutEvent,
+)
+from repro.runner.journal import Journal
+from repro.runner.policy import CircuitBreaker, RetryPolicy
+from repro.runner.pool import PoolStartError, WorkerPool
+from repro.runner.tasks import TaskResult, TaskSpec
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Tunables of one runner instance."""
+
+    #: Worker processes; ``<= 1`` selects the serial in-process path.
+    jobs: int = 1
+    #: Default per-task wall-clock budget (``None`` = unbounded).
+    timeout_s: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Consecutive attempt-level failures that open a slice's breaker.
+    breaker_threshold: int = 3
+    #: Worker heartbeat period.
+    heartbeat_s: float = 0.2
+    #: Silence (no heartbeat, no completion) that declares a worker hung.
+    hang_timeout_s: float = 5.0
+    #: Parent poll granularity — bounds timeout/hang detection latency.
+    poll_s: float = 0.05
+    #: Seed for backoff jitter (orchestration-only; never affects results).
+    retry_seed: int | None = None
+    #: Stop after this many freshly recorded terminal tasks (test/ops hook
+    #: simulating an interruption; the journal stays resumable).
+    interrupt_after: int | None = None
+    #: Journal fsync batch size.
+    fsync_every: int = 8
+
+
+@dataclass
+class RunnerStats:
+    """Orchestration counters (reported via ``repro.runner/1`` exports)."""
+
+    tasks: int = 0
+    ok: int = 0
+    failed: int = 0
+    skipped: int = 0
+    cached: int = 0
+    attempts: int = 0
+    retries: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    hangs: int = 0
+    crashes: int = 0
+    breaker_trips: int = 0
+    wall_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class Runner:
+    """Resilient task execution with journaling and lifecycle telemetry."""
+
+    def __init__(
+        self,
+        config: RunnerConfig | None = None,
+        bus: EventBus | None = None,
+        journal: Journal | None = None,
+    ) -> None:
+        self.config = config or RunnerConfig()
+        self.bus = bus or EventBus()
+        self.journal = journal
+        self.breaker = CircuitBreaker(self.config.breaker_threshold)
+        self.stats = RunnerStats()
+        self.fallback_reason: str | None = None
+        #: Every terminal result this runner has produced, across run() calls.
+        self.results: dict[str, TaskResult] = {}
+        self._jitter = random.Random(self.config.retry_seed)
+        self._fresh_terminal = 0
+
+    # ---- public entry point --------------------------------------------------
+
+    def run(self, tasks: list[TaskSpec]) -> dict[str, TaskResult]:
+        """Drive *tasks* to terminal results; returns ``{task id: result}``.
+
+        Tasks already completed (``ok``) in the resume journal are returned
+        as cached results without re-running.  Raises
+        :class:`RunnerInterrupted` when the configured ``interrupt_after``
+        budget is hit (the journal is flushed first).
+        """
+        ids = [task.id for task in tasks]
+        if len(set(ids)) != len(ids):
+            raise RunnerError("duplicate task ids submitted to Runner.run")
+        started = time.perf_counter()
+        self.stats.tasks += len(tasks)
+
+        results: dict[str, TaskResult] = {}
+        cached = self.journal.completed() if self.journal is not None else {}
+        fresh: list[TaskSpec] = []
+        for task in tasks:
+            record = cached.get(task.id)
+            if record is not None:
+                result = TaskResult.from_record(record, cached=True)
+                results[task.id] = result
+                self.stats.cached += 1
+                self.stats.ok += 1
+                self._emit_done(result)
+            else:
+                fresh.append(task)
+
+        try:
+            if fresh:
+                if self.config.jobs >= 2:
+                    try:
+                        self._run_pool(fresh, results)
+                    except PoolStartError as exc:
+                        self.fallback_reason = str(exc)
+                        self._run_serial(fresh, results)
+                else:
+                    self._run_serial(fresh, results)
+        finally:
+            if self.journal is not None:
+                self.journal.flush()
+            self.results.update(results)
+            self.stats.wall_s += time.perf_counter() - started
+        return results
+
+    # ---- shared terminal-result handling -------------------------------------
+
+    def _emit_done(self, result: TaskResult) -> None:
+        self.bus.emit("task_done", TaskDoneEvent(
+            task=result.task, status=result.status, attempts=result.attempts,
+            duration_s=result.duration_s, cached=result.cached,
+        ))
+
+    def _terminal(self, results: dict[str, TaskResult],
+                  result: TaskResult) -> None:
+        results[result.task] = result
+        setattr(self.stats, result.status,
+                getattr(self.stats, result.status) + 1)
+        if self.journal is not None:
+            self.journal.append(result.as_record())
+        self._emit_done(result)
+        self._fresh_terminal += 1
+        budget = self.config.interrupt_after
+        if budget is not None and self._fresh_terminal >= budget:
+            if self.journal is not None:
+                self.journal.flush()
+            raise RunnerInterrupted(
+                f"interrupted after {self._fresh_terminal} task(s); resume "
+                "with the same journal to continue", results,
+            )
+
+    def _attempt_failed(self, task: TaskSpec, attempt: int, reason: str,
+                        detail: str, duration: float) -> tuple[bool, float]:
+        """Account one failed attempt.  Returns ``(is_terminal, delay_s)``."""
+        counter = {"error": "errors", "timeout": "timeouts", "hang": "hangs",
+                   "crash": "crashes"}[reason]
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        if self.journal is not None:
+            self.journal.append({
+                "type": "attempt", "task": task.id, "attempt": attempt,
+                "status": reason, "detail": detail, "duration_s": duration,
+            })
+        if self.breaker.record_failure(task.slice):
+            self.stats.breaker_trips += 1
+            self.bus.emit("breaker_open", BreakerOpenEvent(
+                slice=task.slice,
+                failures=self.breaker.consecutive_failures(task.slice),
+            ))
+        if not self.breaker.allow(task.slice):
+            return True, 0.0
+        if self.config.retry.exhausted(attempt):
+            return True, 0.0
+        delay = self.config.retry.delay(attempt, self._jitter)
+        self.stats.retries += 1
+        self.bus.emit("task_retry", TaskRetryEvent(
+            task=task.id, attempt=attempt, reason=reason, detail=detail,
+            delay_s=delay,
+        ))
+        return False, delay
+
+    # ---- serial path ---------------------------------------------------------
+
+    def _run_serial(self, tasks: list[TaskSpec],
+                    results: dict[str, TaskResult]) -> None:
+        for task in tasks:
+            if not self.breaker.allow(task.slice):
+                self._terminal(results, TaskResult(
+                    task=task.id, status="skipped", attempts=0,
+                    failure=f"breaker_open:{task.slice}",
+                ))
+                continue
+            attempt = 0
+            while True:
+                attempt += 1
+                self.stats.attempts += 1
+                self.bus.emit("task_start", TaskStartEvent(
+                    task=task.id, attempt=attempt, worker=-1,
+                ))
+                begun = time.perf_counter()
+                try:
+                    payload = task.execute()
+                except Exception as exc:  # noqa: BLE001 - retried by policy
+                    duration = time.perf_counter() - begun
+                    detail = f"{type(exc).__name__}: {exc}"
+                    terminal, delay = self._attempt_failed(
+                        task, attempt, "error", detail, duration
+                    )
+                    if terminal:
+                        self._terminal(results, TaskResult(
+                            task=task.id, status="failed", attempts=attempt,
+                            duration_s=duration, failure=f"error: {detail}",
+                        ))
+                        break
+                    time.sleep(delay)
+                    continue
+                duration = time.perf_counter() - begun
+                self.breaker.record_success(task.slice)
+                self._terminal(results, TaskResult(
+                    task=task.id, status="ok", result=payload,
+                    attempts=attempt, duration_s=duration,
+                ))
+                break
+
+    # ---- pooled path ---------------------------------------------------------
+
+    def _run_pool(self, tasks: list[TaskSpec],
+                  results: dict[str, TaskResult]) -> None:
+        pool = WorkerPool(self.config.jobs, heartbeat_s=self.config.heartbeat_s)
+        pool.start()
+        try:
+            self._drive(pool, tasks, results)
+        finally:
+            pool.stop()
+
+    def _drive(self, pool: WorkerPool, tasks: list[TaskSpec],
+               results: dict[str, TaskResult]) -> None:
+        specs = {task.id: task for task in tasks}
+        attempts: dict[str, int] = {task.id: 0 for task in tasks}
+        ready: deque[str] = deque(task.id for task in tasks)
+        delayed: list[tuple[float, str]] = []
+        pending = set(specs)
+
+        def fail_attempt(task: TaskSpec, attempt: int, reason: str,
+                         detail: str, duration: float) -> None:
+            terminal, delay = self._attempt_failed(
+                task, attempt, reason, detail, duration
+            )
+            if terminal:
+                self._terminal(results, TaskResult(
+                    task=task.id, status="failed", attempts=attempt,
+                    duration_s=duration, failure=f"{reason}: {detail}",
+                ))
+                pending.discard(task.id)
+            else:
+                delayed.append((time.monotonic() + delay, task.id))
+
+        while pending:
+            now = time.monotonic()
+            if delayed:
+                due = [tid for when, tid in delayed if when <= now]
+                delayed = [(when, tid) for when, tid in delayed
+                           if when > now]
+                ready.extend(due)
+
+            for handle in pool.idle_workers():
+                task = None
+                while ready:
+                    tid = ready.popleft()
+                    if tid not in pending:
+                        continue
+                    candidate = specs[tid]
+                    if not self.breaker.allow(candidate.slice):
+                        self._terminal(results, TaskResult(
+                            task=tid, status="skipped",
+                            attempts=attempts[tid],
+                            failure=f"breaker_open:{candidate.slice}",
+                        ))
+                        pending.discard(tid)
+                        continue
+                    task = candidate
+                    break
+                if task is None:
+                    break
+                attempts[task.id] += 1
+                self.stats.attempts += 1
+                pool.dispatch(handle, task, attempts[task.id])
+                self.bus.emit("task_start", TaskStartEvent(
+                    task=task.id, attempt=attempts[task.id],
+                    worker=handle.worker_id,
+                ))
+
+            for message in pool.poll(self.config.poll_s):
+                kind, worker_id, task_id, attempt = message[:4]
+                handle = pool.worker_for(worker_id)
+                if handle is None or handle.busy != (task_id, attempt):
+                    continue  # stale message from a replaced worker
+                if kind in ("start", "beat"):
+                    handle.last_beat = time.monotonic()
+                    continue
+                if kind != "done":
+                    continue
+                _, _, _, _, status, payload, detail, duration = message
+                handle.busy = None
+                if task_id not in pending:
+                    continue
+                task = specs[task_id]
+                if status == "ok":
+                    self.breaker.record_success(task.slice)
+                    self._terminal(results, TaskResult(
+                        task=task_id, status="ok", result=payload,
+                        attempts=attempt, duration_s=duration,
+                    ))
+                    pending.discard(task_id)
+                else:
+                    fail_attempt(task, attempt, "error", detail, duration)
+
+            now = time.monotonic()
+            for handle in list(pool.workers):
+                if handle.idle:
+                    if not handle.alive:
+                        pool.replace(handle, "crash")
+                    continue
+                task_id, attempt = handle.busy
+                task = specs.get(task_id)
+                if task is None:  # pragma: no cover - defensive
+                    handle.busy = None
+                    continue
+                budget = (task.timeout_s if task.timeout_s is not None
+                          else self.config.timeout_s)
+                since_dispatch = now - handle.dispatched_at
+                since_beat = now - handle.last_beat
+                if not handle.alive:
+                    pool.replace(handle, "crash")
+                    fail_attempt(task, attempt, "crash",
+                                 f"worker {handle.worker_id} died "
+                                 f"(exitcode {handle.process.exitcode})",
+                                 since_dispatch)
+                elif budget is not None and since_dispatch > budget:
+                    self._emit_timeout(task_id, attempt, "timeout",
+                                             since_dispatch, handle.worker_id)
+                    pool.replace(handle, "timeout")
+                    fail_attempt(task, attempt, "timeout",
+                                 f"exceeded {budget:.1f}s wall clock",
+                                 since_dispatch)
+                elif since_beat > self.config.hang_timeout_s:
+                    self._emit_timeout(task_id, attempt, "hang",
+                                             since_beat, handle.worker_id)
+                    pool.replace(handle, "hang")
+                    fail_attempt(task, attempt, "hang",
+                                 f"no heartbeat for {since_beat:.1f}s",
+                                 since_dispatch)
+
+    def _emit_timeout(self, task: str, attempt: int, kind: str,
+                      seconds: float, worker: int) -> None:
+        self.bus.emit("task_timeout", TaskTimeoutEvent(
+            task=task, attempt=attempt, kind=kind, seconds=seconds,
+            worker=worker,
+        ))

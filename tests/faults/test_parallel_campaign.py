@@ -1,0 +1,58 @@
+"""Satellite: the two watchdogs compose — in-simulation detection is an
+*outcome*, never an orchestration failure.
+
+A task whose simulation exceeds the cycle watchdog completes successfully
+with outcome ``detected``: the runner must not retry it and the circuit
+breaker must not count it, no matter how many detections a slice produces.
+"""
+
+import json
+
+from repro.faults import run_check, run_check_parallel
+from repro.faults.report import check_report
+from repro.runner import RunnerConfig
+
+KERNELS = ("DotProduct", "MatrixTranspose")
+
+
+class TestWatchdogVsRunner:
+    def test_watchdog_detections_do_not_retry_or_trip_breaker(self):
+        # watchdog_factor=0 + tiny slack: every injection run exceeds the
+        # in-simulation cycle budget and classifies as detected.
+        result, runner = run_check_parallel(
+            kernels=KERNELS, faults=8, seed=3, fast=True, jobs=2,
+            watchdog_factor=0, watchdog_slack=5,
+        )
+        outcomes = [r["outcome"] for r in result.injections]
+        assert outcomes == ["detected"] * 8
+        # Detection is success at the orchestration layer: one attempt per
+        # task, zero retries, breaker untouched.
+        assert runner.stats.retries == 0
+        assert runner.stats.failed == 0
+        assert runner.stats.skipped == 0
+        assert runner.stats.breaker_trips == 0
+        assert runner.breaker.open_slices == ()
+
+    def test_watchdog_campaign_matches_serial_byte_for_byte(self):
+        kwargs = dict(kernels=KERNELS, faults=8, seed=3, fast=True,
+                      watchdog_factor=0, watchdog_slack=5)
+        serial = run_check(**kwargs)
+        parallel, _ = run_check_parallel(jobs=2, **kwargs)
+        assert (json.dumps(check_report(parallel), sort_keys=True)
+                == json.dumps(check_report(serial), sort_keys=True))
+
+
+class TestDurations:
+    def test_injections_carry_wall_clock_durations(self):
+        result = run_check(kernels=("DotProduct",), faults=4, seed=1,
+                           fast=True)
+        durations = result.injection_durations()
+        assert sorted(durations) == [0, 1, 2, 3]
+        assert all(d > 0.0 for d in durations.values())
+
+    def test_durations_stay_out_of_the_byte_stable_report(self):
+        result = run_check(kernels=("DotProduct",), faults=2, seed=1,
+                           fast=True)
+        report = check_report(result)
+        assert all("duration_s" not in record
+                   for record in report["data"]["injections"])

@@ -1,0 +1,95 @@
+"""Journal: atomic appends, truncated-tail recovery, fingerprint identity."""
+
+import json
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.obs.export import RUNNER_SCHEMA_VERSION
+from repro.runner import Journal, load_journal
+
+FP = {"verb": "test", "seed": 7}
+
+
+class TestRoundTrip:
+    def test_header_then_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, FP) as journal:
+            journal.append({"type": "done", "task": "a", "status": "ok",
+                            "result": {"x": 1}})
+        header, records, truncated = load_journal(path)
+        assert header["schema"] == RUNNER_SCHEMA_VERSION
+        assert header["fingerprint"] == FP
+        assert records == [{"type": "done", "task": "a", "status": "ok",
+                            "result": {"x": 1}}]
+        assert not truncated
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_journal(tmp_path / "absent.jsonl") == (None, [], False)
+
+    def test_each_record_is_one_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, FP) as journal:
+            for index in range(5):
+                journal.append({"type": "done", "task": f"t{index}",
+                                "status": "ok", "result": None})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 6  # header + 5
+        assert all(json.loads(line) for line in lines)
+
+
+class TestCrashConsistency:
+    def test_truncated_tail_keeps_valid_prefix(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, FP) as journal:
+            journal.append({"type": "done", "task": "a", "status": "ok",
+                            "result": 1})
+        # Simulate a crash mid-append: a half-written final line.
+        with open(path, "a") as fp:
+            fp.write('{"type": "done", "task": "b", "stat')
+        header, records, truncated = load_journal(path)
+        assert truncated
+        assert header is not None
+        assert [r["task"] for r in records] == ["a"]
+        # Reopening resumes from the valid prefix and can keep appending.
+        with Journal(path, FP) as journal:
+            assert journal.truncated
+            assert set(journal.completed()) == {"a"}
+
+    def test_completed_only_counts_ok(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, FP) as journal:
+            journal.append({"type": "done", "task": "good", "status": "ok",
+                            "result": 1})
+            journal.append({"type": "done", "task": "bad", "status": "failed",
+                            "result": None})
+            journal.append({"type": "done", "task": "skip", "status": "skipped",
+                            "result": None})
+            journal.append({"type": "attempt", "task": "good", "attempt": 1,
+                            "status": "error"})
+        with Journal(path, FP) as journal:
+            assert set(journal.completed()) == {"good"}
+
+
+class TestFingerprint:
+    def test_mismatched_fingerprint_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        Journal(path, FP).close()
+        with pytest.raises(RunnerError, match="different campaign"):
+            Journal(path, {"verb": "test", "seed": 8})
+
+    def test_mismatched_schema_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"type": "header", "schema": "bogus/9",
+                                    "fingerprint": FP}) + "\n")
+        with pytest.raises(RunnerError, match="schema"):
+            Journal(path, FP)
+
+    def test_resumed_flag(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = Journal(path, FP)
+        assert not first.resumed
+        first.close()
+        second = Journal(path, FP)
+        assert second.resumed
+        second.close()

@@ -1,0 +1,68 @@
+"""Retry backoff (full jitter) and the per-slice circuit breaker."""
+
+import random
+
+from repro.runner import CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_full_jitter_stays_within_growing_cap(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.1, max_delay_s=10.0)
+        rng = random.Random(0)
+        for attempt in range(1, 6):
+            cap = 0.1 * (2 ** (attempt - 1))
+            for _ in range(50):
+                assert 0.0 <= policy.delay(attempt, rng) <= cap
+
+    def test_delay_honours_hard_ceiling(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=1.5)
+        rng = random.Random(1)
+        assert all(policy.delay(10, rng) <= 1.5 for _ in range(100))
+
+    def test_jitter_is_seed_deterministic(self):
+        policy = RetryPolicy()
+        a = [policy.delay(n, random.Random(42)) for n in range(1, 4)]
+        b = [policy.delay(n, random.Random(42)) for n in range(1, 4)]
+        assert a == b
+
+    def test_exhausted(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert not breaker.record_failure("k/D")
+        assert not breaker.record_failure("k/D")
+        assert breaker.record_failure("k/D")  # the trip
+        assert not breaker.allow("k/D")
+        assert breaker.open_slices == ("k/D",)
+
+    def test_trips_at_most_once_per_slice(self):
+        breaker = CircuitBreaker(threshold=1)
+        assert breaker.record_failure("k/D")
+        # Further failures on an open slice never re-trip.
+        assert not breaker.record_failure("k/D")
+        assert breaker.trips == {"k/D": 1}
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("k/D")
+        breaker.record_success("k/D")
+        assert not breaker.record_failure("k/D")
+        assert breaker.allow("k/D")
+
+    def test_slices_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("a/D")
+        assert not breaker.allow("a/D")
+        assert breaker.allow("b/D")
+
+    def test_empty_slice_is_exempt(self):
+        breaker = CircuitBreaker(threshold=1)
+        assert not breaker.record_failure("")
+        assert breaker.allow("")
+        assert breaker.open_slices == ()
