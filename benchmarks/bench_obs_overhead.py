@@ -37,12 +37,11 @@ else:
 
 from repro.analysis import format_table, ratio
 from repro.cpu import Machine
-from repro.cpu.executor import execute
+from repro.cpu.executor import decode, uop_table
 from repro.cpu.pairing import can_pair
 from repro.cpu.stats import RunStats
 from repro.errors import SimulationError
 from repro.isa import assemble
-from repro.isa.registers import Register
 
 #: ~0.4s per run at typical CPython speed: long enough to time stably.
 ITERATIONS = 8_000
@@ -61,18 +60,19 @@ PROCESSES = 5
 class PreBusMachine(Machine):
     """The pre-telemetry pipeline: identical cycle model, no emission sites."""
 
-    def _issue(self, instr, cycle, reg_ready, stats, pipe="U"):
-        routes = self._spu_routes(instr)
+    def _issue_uop(self, uop, cycle, reg_ready, stats, pipe="U"):
+        instr = uop.instr
+        spu = self.spu
+        routes = spu.routes_for(instr, self.state) if spu is not None else None
         if routes is not None:
             stats.spu_routed += 1
-        outcome = execute(instr, self.state, self.memory, self.program, routes)
-        stats.record_issue(instr)
-        latency = instr.opcode.latency
-        if instr.reads_memory:
-            latency = max(latency, self.config.memory_latency)
-        for reg in instr.regs_written():
-            if isinstance(reg, Register):
-                reg_ready[reg] = cycle + latency
+        outcome = uop.run(self.state, self.memory, routes)
+        stats.instructions += 1
+        latency = uop.latency
+        if uop.reads_memory and latency < self.config.memory_latency:
+            latency = self.config.memory_latency
+        for key in uop.written_keys:
+            reg_ready[key] = cycle + latency
         return outcome
 
     def _branch_cost(self, instr, pc, outcome, stats, cycle=0):
@@ -98,7 +98,16 @@ class PreBusMachine(Machine):
         stats = RunStats()
         state = self.state
         program = self.program
+        instructions = program.instructions
+        size = len(instructions)
+        uops = uop_table(program)
+        uops_get = uops.get
         reg_ready = {}
+        reg_ready_get = reg_ready.get
+        issue_counts = {}
+        issue_counts_get = issue_counts.get
+        pair_cache = self._pair_cache
+        dual_issue = self.config.issue_width >= 2
         fill = 1 if self.config.extra_stage else 0
         stats.drain_cycles = fill
         cycle = fill
@@ -108,25 +117,34 @@ class PreBusMachine(Machine):
             if cycle > limit:
                 stats.cycles = cycle
                 raise SimulationError(f"cycle budget exceeded ({limit})")
-            if not 0 <= pc < len(program):
+            if not 0 <= pc < size:
                 raise SimulationError(f"fell off program (pc={pc})")
-            instr = program[pc]
+            instr = instructions[pc]
+            uop = uops_get(pc)
+            if uop is None or uop.instr is not instr:
+                uop = decode(instr, program, pc)
+                uops[pc] = uop
 
-            ready = self._ready_cycle(instr, reg_ready)
+            ready = 0
+            for key in uop.read_keys:
+                when = reg_ready_get(key, 0)
+                if when > ready:
+                    ready = when
             if ready > cycle:
                 stats.stall_cycles += ready - cycle
                 cycle = ready
 
             state.pc = pc
-            outcome = self._issue(instr, cycle, reg_ready, stats)
-            mmx_busy = instr.is_mmx
+            outcome = self._issue_uop(uop, cycle, reg_ready, stats)
+            issue_counts[pc] = issue_counts_get(pc, 0) + 1
+            mmx_busy = uop.is_mmx
 
             if state.halted:
                 cycle += 1
                 stats.solo_cycles += 1
                 break
 
-            if outcome.is_branch:
+            if outcome is not None:
                 cycle += 1 + self._branch_cost(instr, pc, outcome, stats, cycle)
                 stats.solo_cycles += 1
                 if mmx_busy:
@@ -134,26 +152,39 @@ class PreBusMachine(Machine):
                 pc = outcome.next_pc
                 continue
 
-            pc = outcome.next_pc
+            pc += 1
             paired = False
-            if self.config.issue_width >= 2 and 0 <= pc < len(program):
-                follower = program[pc]
+            if dual_issue and pc < size:
+                follower = instructions[pc]
+                fuop = uops_get(pc)
+                if fuop is None or fuop.instr is not follower:
+                    fuop = decode(follower, program, pc)
+                    uops[pc] = fuop
                 key = (state.pc, pc)
-                cached = self._pair_cache.get(key)
+                cached = pair_cache.get(key)
                 if cached is None:
                     cached = can_pair(instr, follower)
-                    self._pair_cache[key] = cached
+                    pair_cache[key] = cached
                 ok, reason = cached
                 if ok:
-                    if self._ready_cycle(follower, reg_ready) <= cycle:
+                    ready = 0
+                    for key in fuop.read_keys:
+                        when = reg_ready_get(key, 0)
+                        if when > ready:
+                            ready = when
+                    if ready <= cycle:
                         state.pc = pc
-                        outcome2 = self._issue(follower, cycle, reg_ready, stats, "V")
+                        outcome2 = self._issue_uop(fuop, cycle, reg_ready, stats, "V")
+                        issue_counts[pc] = issue_counts_get(pc, 0) + 1
                         paired = True
-                        mmx_busy = mmx_busy or follower.is_mmx
+                        mmx_busy = mmx_busy or fuop.is_mmx
                         extra = 0
-                        if outcome2.is_branch:
-                            extra = self._branch_cost(follower, pc, outcome2, stats, cycle)
-                        pc = outcome2.next_pc
+                        if outcome2 is not None:
+                            if outcome2.is_branch:
+                                extra = self._branch_cost(follower, pc, outcome2, stats, cycle)
+                            pc = outcome2.next_pc
+                        else:
+                            pc += 1
                         cycle += 1 + extra
                     else:
                         stats.pair_fail_reasons["operands not ready"] += 1
@@ -171,6 +202,7 @@ class PreBusMachine(Machine):
             if mmx_busy:
                 stats.mmx_busy_cycles += 1
 
+        self._fold_issue_counts(stats, uops, issue_counts)
         stats.cycles = cycle
         stats.finished = state.halted
         return stats

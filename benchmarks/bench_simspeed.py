@@ -1,0 +1,112 @@
+"""Tracked sim-speed benchmark: how fast the simulator simulates.
+
+Reports simulated cycles/sec and instructions/sec (median of
+:data:`ROUNDS` rounds, methodology in :mod:`repro.perf`) for the hot
+kernels, under two comparisons:
+
+* **SWAR vs reference** — the integer data path against the NumPy oracle
+  backend, both on the current decoded micro-op engine.  Reproducible on
+  any machine from the tree alone, so this ratio is the **regression
+  gate**: each kernel must stay within 2x of its committed speedup (and
+  above the absolute :data:`MIN_SPEEDUP` floor).
+* **vs pre-PR** — against :data:`PRE_PR_CYCLES_PER_S`, the throughput of
+  the pre-rewrite engine (NumPy lane kernels, no micro-op cache, commit
+  ``5284192``), recorded once with this same median-of-5 methodology on
+  the same machine as the committed results.  This captures the full
+  rewrite (micro-op cache *and* SWAR); the in-tree reference backend
+  understates it because the oracle also rides the new engine.  The
+  ratio is only meaningful where the live numbers come from comparable
+  hardware, so it is reported, not asserted.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, emit
+
+from repro.analysis import format_table
+from repro.perf import (
+    DEFAULT_ROUNDS,
+    geomean_speedup,
+    measure_simspeed,
+    simspeed_report,
+    simspeed_table,
+)
+
+ROUNDS = DEFAULT_ROUNDS
+
+#: Pre-rewrite engine throughput (simulated cycles/sec, median of 5) at the
+#: benchmark sizes, measured from a worktree of commit ``5284192`` on the
+#: machine that produced the committed BENCH_simspeed.json.
+PRE_PR_COMMIT = "5284192"
+PRE_PR_CYCLES_PER_S = {
+    "DotProduct": 53_689.5,
+    "FIR12": 94_581.8,
+    "SAD": 55_241.1,
+}
+
+#: Absolute floor on the in-tree SWAR-vs-reference speedup: whatever the
+#: committed baseline says, SWAR must still clearly beat the NumPy oracle.
+MIN_SPEEDUP = 1.2
+
+
+def _committed_speedups() -> dict[str, float]:
+    """Per-kernel SWAR-vs-reference speedups from the committed results."""
+    path = RESULTS_DIR / "BENCH_simspeed.json"
+    if not path.exists():
+        return {}
+    document = json.loads(path.read_text())
+    return {
+        entry["kernel"]: entry["speedup"]
+        for entry in document.get("data", {}).get("kernels", ())
+    }
+
+
+def test_simspeed(benchmark):
+    committed = _committed_speedups()  # read before emit() overwrites it
+    results = benchmark.pedantic(
+        lambda: measure_simspeed(rounds=ROUNDS), rounds=1, iterations=1
+    )
+
+    report = simspeed_report(results, ROUNDS)
+    for speed, entry in zip(results, report["kernels"]):
+        recorded = PRE_PR_CYCLES_PER_S[speed.name]
+        entry["pre_pr_cycles_per_s"] = recorded
+        entry["speedup_vs_pre_pr"] = round(
+            speed.swar_cycles_per_s / recorded, 2
+        )
+    report["pre_pr"] = {
+        "commit": PRE_PR_COMMIT,
+        "min_speedup_vs_pre_pr": min(
+            entry["speedup_vs_pre_pr"] for entry in report["kernels"]
+        ),
+    }
+
+    headers, rows = simspeed_table(results)
+    headers.append("vs pre-PR")
+    for row, entry in zip(rows, report["kernels"]):
+        row.append(f"{entry['speedup_vs_pre_pr']:.2f}x")
+    table = format_table(
+        headers, rows,
+        title=(
+            f"Simulation throughput, SWAR vs NumPy reference "
+            f"(median of {ROUNDS} rounds)"
+        ),
+    )
+    text = (
+        f"{table}\n"
+        f"min in-tree speedup {report['min_speedup']:.2f}x "
+        f"(geomean {geomean_speedup(results):.2f}x); "
+        f"min vs pre-PR engine "
+        f"{report['pre_pr']['min_speedup_vs_pre_pr']:.2f}x"
+    )
+    emit("simspeed", text, headers=headers, rows=rows, data=report)
+
+    # The gate: each kernel keeps at least half its committed SWAR-vs-
+    # reference speedup, and always beats the oracle by MIN_SPEEDUP.
+    for speed in results:
+        floor = max(MIN_SPEEDUP, committed.get(speed.name, 0.0) / 2)
+        assert speed.speedup >= floor, (
+            f"{speed.label}: SWAR-vs-reference speedup {speed.speedup:.2f}x "
+            f"fell below the regression floor {floor:.2f}x "
+            f"(committed {committed.get(speed.name, 'n/a')}x)"
+        )

@@ -30,7 +30,10 @@ Commands
     Differential self-check: replay every kernel (or one) against the
     NumPy fixed-point reference, optionally under a seeded fault
     campaign classifying injections as masked/detected/silent
-    (schema in docs/robustness.md).  ``--jobs N`` runs the campaign on
+    (schema in docs/robustness.md).  ``--swar-check`` additionally
+    sample-diffs the SWAR data path against the NumPy reference backend
+    (``summary.swar_mismatches``; opt-in so default reports stay
+    byte-stable).  ``--jobs N`` runs the campaign on
     the worker pool; ``--resume PATH`` journals progress there and skips
     already-completed tasks on re-invocation — the merged report is
     byte-identical to a serial run either way.
@@ -39,6 +42,12 @@ Commands
     agreement and off-load soundness certificates (rule catalog in
     docs/static-analysis.md; schema ``repro.analysis/1``).  Exits 1 when
     any unsuppressed finding reaches the ``--fail-on`` severity.
+``bench [KERNEL ...] [--rounds N] [--json PATH]``
+    Simulation throughput (simulated cycles/sec and instructions/sec):
+    the SWAR integer data path against the NumPy reference backend on
+    the hot kernels (methodology and schema ``repro.simspeed/1`` in
+    docs/performance.md; the tracked variant lives in
+    ``benchmarks/bench_simspeed.py``).
 
 ``profile``, ``trace``, ``check`` and ``lint`` resolve kernel names
 forgivingly (``dotprod`` → ``DotProduct``).
@@ -322,6 +331,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 resilience=args.mode,
                 fast=args.fast,
+                swar_check=args.swar_check,
                 jobs=args.jobs,
                 journal_path=args.resume,
                 runner_config=config,
@@ -336,6 +346,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             seed=args.seed,
             resilience=args.mode,
             fast=args.fast,
+            swar_check=args.swar_check,
         )
     if args.json is not None:
         target = write_json(args.json, check_report(result))
@@ -386,6 +397,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     path = write_report(args.output, fast=args.fast)
     print(f"wrote {path}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.export import envelope, write_json
+    from repro.perf import (
+        SIMSPEED_KERNELS,
+        measure_simspeed,
+        render_simspeed,
+        simspeed_report,
+    )
+
+    cases = SIMSPEED_KERNELS
+    if args.kernel:
+        wanted = {name.lower() for name in args.kernel}
+        cases = tuple(
+            case for case in SIMSPEED_KERNELS if case[0].lower() in wanted
+        )
+        unknown = wanted - {case[0].lower() for case in cases}
+        if unknown:
+            choices = ", ".join(case[0] for case in SIMSPEED_KERNELS)
+            print(f"repro bench: error: invalid choice: {sorted(unknown)} "
+                  f"(choose from {choices})", file=sys.stderr)
+            return 2
+    results = measure_simspeed(rounds=args.rounds, cases=cases)
+    if args.json is not None:
+        payload = envelope("benchmark", simspeed_report(results, args.rounds))
+        target = write_json(args.json, payload)
+        if target is not None:
+            print(f"wrote {target}")
+        return 0
+    print(render_simspeed(results, args.rounds))
     return 0
 
 
@@ -501,6 +544,11 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--fast", action="store_true",
                               help="shrink FFT1024 for quick runs")
     check_parser.add_argument(
+        "--swar-check", dest="swar_check", action="store_true",
+        help="also sample-diff the SWAR data path against the NumPy "
+        "reference backend (adds summary.swar_mismatches to the report)",
+    )
+    check_parser.add_argument(
         "--json", nargs="?", const="-", default=None, metavar="PATH",
         help="write the fault-campaign JSON report ('-' or no value: stdout)",
     )
@@ -536,6 +584,26 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--output", default="REPORT.md")
     report_parser.add_argument("--fast", action="store_true")
     report_parser.set_defaults(func=_cmd_report)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="simulation throughput: SWAR data path vs the NumPy reference",
+    )
+    bench_parser.add_argument(
+        "kernel", nargs="*",
+        help="benchmark kernel(s) (default: DotProduct, FIR12, SAD)",
+    )
+    bench_parser.add_argument(
+        "--rounds", type=int, default=5, metavar="N",
+        help="timed rounds per kernel and backend; the median is reported "
+        "(default: 5)",
+    )
+    bench_parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the repro.simspeed/1 measurement ('-' or no value: "
+        "stdout)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -9,7 +9,14 @@ from repro.cpu.branch import (
     StaticBTFN,
     make_predictor,
 )
-from repro.cpu.executor import ExecOutcome, effective_address, execute
+from repro.cpu.executor import (
+    DecodedOp,
+    ExecOutcome,
+    decode,
+    effective_address,
+    execute,
+    uop_table,
+)
 from repro.cpu.memory import Memory, MMIODevice
 from repro.cpu.pairing import can_pair
 from repro.cpu.pipeline import Machine, PipelineConfig, SPUAttachment
@@ -24,9 +31,12 @@ __all__ = [
     "GShare",
     "StaticBTFN",
     "make_predictor",
+    "DecodedOp",
     "ExecOutcome",
+    "decode",
     "effective_address",
     "execute",
+    "uop_table",
     "Memory",
     "MMIODevice",
     "can_pair",

@@ -23,13 +23,13 @@ unobserved run pays no event-construction cost.  The legacy single-slot
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 from repro.errors import ReproError, SimulationError
 from repro.resilience import ResilienceMode
 from repro.cpu.branch import BranchPredictor, make_predictor
-from repro.cpu.executor import ExecOutcome, execute
+from repro.cpu.executor import DecodedOp, ExecOutcome, decode, uop_table
 from repro.cpu.memory import Memory
 from repro.cpu.pairing import can_pair
 from repro.cpu.state import MachineState
@@ -174,6 +174,21 @@ class Machine:
             return None
         return self.spu.routes_for(instr, self.state)
 
+    def _uop_at(self, pc: int) -> DecodedOp:
+        """Fetch (decoding on first sight) the micro-op for *pc*.
+
+        Entries are validated by instruction identity, so a program whose
+        instruction list was edited in place is re-decoded transparently.
+        """
+        program = self.program
+        instr = program.instructions[pc]
+        uops = uop_table(program)
+        uop = uops.get(pc)
+        if uop is None or uop.instr is not instr:
+            uop = decode(instr, program, pc)
+            uops[pc] = uop
+        return uop
+
     def _issue(
         self,
         instr: Instruction,
@@ -182,11 +197,44 @@ class Machine:
         stats: RunStats,
         pipe: str = "U",
     ) -> ExecOutcome:
-        routes = self._spu_routes(instr)
+        """Issue by bare instruction (compatibility path; the run loop issues
+        decoded micro-ops directly via :meth:`_issue_uop`)."""
+        uop = self._uop_at(self.state.pc)
+        if uop.instr is not instr:
+            uop = decode(instr, self.program, self.state.pc)
+        outcome = self._issue_uop(uop, cycle, reg_ready, stats, pipe)
+        stats.by_class[uop.iclass] += 1
+        if uop.is_permute:
+            stats.permutes += 1
+        if uop.is_alignment_candidate:
+            stats.alignment_candidates += 1
+        return outcome if outcome is not None else uop.fall
+
+    def _issue_uop(
+        self,
+        uop: DecodedOp,
+        cycle: int,
+        reg_ready: dict[int, int],
+        stats: RunStats,
+        pipe: str = "U",
+    ) -> ExecOutcome | None:
+        """Issue one decoded micro-op; returns ``None`` for a fall-through.
+
+        Event order and architectural effects are bit-identical to the
+        pre-decode issue path: SPU routing, execution, dynamic count,
+        ``issue`` event, then scoreboard update.  Per-class/permute counts
+        are *not* bumped here — the run loop accumulates them per pc and
+        folds them into :class:`RunStats` at run exit (see
+        :meth:`_fold_issue_counts`); only the live ``instructions`` counter
+        (the event sequence number) advances per issue.
+        """
+        instr = uop.instr
+        spu = self.spu
+        routes = spu.routes_for(instr, self.state) if spu is not None else None
         if routes is not None:
             stats.spu_routed += 1
-        outcome = execute(instr, self.state, self.memory, self.program, routes)
-        stats.record_issue(instr)
+        outcome = uop.run(self.state, self.memory, routes)
+        stats.instructions += 1
         bus = self.bus
         if bus.issue:
             bus.dispatch(
@@ -200,13 +248,34 @@ class Machine:
                     routed=routes is not None,
                 ),
             )
-        latency = instr.opcode.latency
-        if instr.reads_memory:
-            latency = max(latency, self.config.memory_latency)
-        for reg in instr.regs_written():
-            if isinstance(reg, Register):
-                reg_ready[reg] = cycle + latency
+        latency = uop.latency
+        if uop.reads_memory and latency < self.config.memory_latency:
+            latency = self.config.memory_latency
+        for key in uop.written_keys:
+            reg_ready[key] = cycle + latency
         return outcome
+
+    @staticmethod
+    def _fold_issue_counts(
+        stats: RunStats,
+        uops: dict[int, DecodedOp],
+        issue_counts: dict[int, int],
+    ) -> None:
+        """Fold deferred per-pc issue counts into the class/permute stats.
+
+        Equivalent to having called ``RunStats.record_issue`` per dynamic
+        issue (minus the live ``instructions`` counter, which the issue path
+        maintains), but pays the Counter/enum hashing once per *static*
+        instruction instead of once per dynamic instance.
+        """
+        by_class = stats.by_class
+        for pc, count in issue_counts.items():
+            uop = uops[pc]
+            by_class[uop.iclass] += count
+            if uop.is_permute:
+                stats.permutes += count
+            if uop.is_alignment_candidate:
+                stats.alignment_candidates += count
 
     def _issue_fault_action(self, error: ReproError, pc: int, stats: RunStats) -> str:
         """Policy + telemetry for a fault raised while issuing an instruction.
@@ -314,7 +383,17 @@ class Machine:
         state = self.state
         program = self.program
         bus = self.bus
-        reg_ready: dict[Register, int] = {}
+        instructions = program.instructions
+        size = len(instructions)
+        uops = uop_table(program)
+        uops_get = uops.get
+        reg_ready: dict[int, int] = {}
+        reg_ready_get = reg_ready.get
+        #: pc -> dynamic issues; folded into by_class/permute stats at exit.
+        issue_counts: dict[int, int] = {}
+        issue_counts_get = issue_counts.get
+        pair_cache = self._pair_cache
+        dual_issue = self.config.issue_width >= 2
         # Pipeline fill for the added SPU interconnect stage (§5.1.1) — the
         # timeline's initial "drain" cycles.
         fill = 1 if self.config.extra_stage else 0
@@ -326,18 +405,28 @@ class Machine:
 
         while not state.halted:
             if cycle > limit:
+                self._fold_issue_counts(stats, uops, issue_counts)
                 self._abort(
                     stats, cycle, "watchdog",
                     f"cycle budget exceeded ({limit}) in {program.name!r} at pc={pc}",
                 )
-            if not 0 <= pc < len(program):
+            if not 0 <= pc < size:
+                self._fold_issue_counts(stats, uops, issue_counts)
                 self._abort(
                     stats, cycle, "runaway_pc",
                     f"fell off program {program.name!r} (pc={pc}); missing halt?",
                 )
-            instr = program[pc]
+            instr = instructions[pc]
+            uop = uops_get(pc)
+            if uop is None or uop.instr is not instr:
+                uop = decode(instr, program, pc)
+                uops[pc] = uop
 
-            ready = self._ready_cycle(instr, reg_ready)
+            ready = 0
+            for key in uop.read_keys:
+                when = reg_ready_get(key, 0)
+                if when > ready:
+                    ready = when
             if ready > cycle:
                 if bus.stall:
                     bus.dispatch("stall", StallEvent(cycle=cycle, pc=pc, cycles=ready - cycle))
@@ -346,7 +435,7 @@ class Machine:
 
             state.pc = pc
             try:
-                outcome = self._issue(instr, cycle, reg_ready, stats)
+                outcome = self._issue_uop(uop, cycle, reg_ready, stats)
             except ReproError as error:
                 action = self._issue_fault_action(error, pc, stats)
                 cycle += 1
@@ -355,14 +444,15 @@ class Machine:
                     break
                 pc += 1
                 continue
-            mmx_busy = instr.is_mmx
+            issue_counts[pc] = issue_counts_get(pc, 0) + 1
+            mmx_busy = uop.is_mmx
 
             if state.halted:
                 cycle += 1
                 stats.solo_cycles += 1
                 break
 
-            if outcome.is_branch:
+            if outcome is not None:  # only control flow returns an outcome
                 cycle += 1 + self._branch_cost(instr, pc, outcome, stats, cycle)
                 stats.solo_cycles += 1
                 if mmx_busy:
@@ -370,21 +460,30 @@ class Machine:
                 pc = outcome.next_pc
                 continue
 
-            pc = outcome.next_pc
+            pc += 1
             paired = False
-            if self.config.issue_width >= 2 and 0 <= pc < len(program):
-                follower = program[pc]
+            if dual_issue and pc < size:
+                follower = instructions[pc]
+                fuop = uops_get(pc)
+                if fuop is None or fuop.instr is not follower:
+                    fuop = decode(follower, program, pc)
+                    uops[pc] = fuop
                 key = (state.pc, pc)
-                cached = self._pair_cache.get(key)
+                cached = pair_cache.get(key)
                 if cached is None:
                     cached = can_pair(instr, follower)
-                    self._pair_cache[key] = cached
+                    pair_cache[key] = cached
                 ok, reason = cached
                 if ok:
-                    if self._ready_cycle(follower, reg_ready) <= cycle:
+                    ready = 0
+                    for key in fuop.read_keys:
+                        when = reg_ready_get(key, 0)
+                        if when > ready:
+                            ready = when
+                    if ready <= cycle:
                         state.pc = pc
                         try:
-                            outcome2 = self._issue(follower, cycle, reg_ready, stats, "V")
+                            outcome2 = self._issue_uop(fuop, cycle, reg_ready, stats, "V")
                         except ReproError as error:
                             action = self._issue_fault_action(error, pc, stats)
                             cycle += 1
@@ -395,12 +494,16 @@ class Machine:
                                 break
                             pc += 1
                             continue
+                        issue_counts[pc] = issue_counts_get(pc, 0) + 1
                         paired = True
-                        mmx_busy = mmx_busy or follower.is_mmx
+                        mmx_busy = mmx_busy or fuop.is_mmx
                         extra = 0
-                        if outcome2.is_branch:
-                            extra = self._branch_cost(follower, pc, outcome2, stats, cycle)
-                        pc = outcome2.next_pc
+                        if outcome2 is not None:
+                            if outcome2.is_branch:
+                                extra = self._branch_cost(follower, pc, outcome2, stats, cycle)
+                            pc = outcome2.next_pc
+                        else:
+                            pc += 1
                         cycle += 1 + extra
                     else:
                         stats.pair_fail_reasons["operands not ready"] += 1
@@ -418,6 +521,7 @@ class Machine:
             if mmx_busy:
                 stats.mmx_busy_cycles += 1
 
+        self._fold_issue_counts(stats, uops, issue_counts)
         stats.cycles = cycle
         stats.finished = state.halted
         if bus.run_end:
@@ -445,9 +549,10 @@ class Machine:
             raise SimulationError(
                 f"fell off program {self.program.name!r} (pc={state.pc}); missing halt?"
             )
-        instr = self.program[state.pc]
+        uop = self._uop_at(state.pc)
+        instr = uop.instr
         routes = self._spu_routes(instr)
-        outcome = execute(instr, state, self.memory, self.program, routes)
+        outcome = uop.run(state, self.memory, routes)
         bus = self.bus
         if bus.issue:
             # Functional stepping has no timing model: cycle/seq are -1.
@@ -462,7 +567,7 @@ class Machine:
                     routed=routes is not None,
                 ),
             )
-        state.pc = outcome.next_pc
+        state.pc = outcome.next_pc if outcome is not None else state.pc + 1
         return instr
 
     def run_functional(self, max_instructions: int = 100_000_000) -> int:
@@ -483,9 +588,9 @@ class Machine:
                 raise SimulationError(
                     f"fell off program {program.name!r} (pc={state.pc}); missing halt?"
                 )
-            instr = program[state.pc]
-            routes = self._spu_routes(instr)
-            outcome = execute(instr, state, self.memory, program, routes)
+            uop = self._uop_at(state.pc)
+            routes = self._spu_routes(uop.instr)
+            outcome = uop.run(state, self.memory, routes)
             executed += 1
-            state.pc = outcome.next_pc
+            state.pc = outcome.next_pc if outcome is not None else state.pc + 1
         return executed

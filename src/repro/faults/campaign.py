@@ -28,6 +28,7 @@ from repro.errors import ReproError
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultCampaign, generate_spec
 from repro.resilience import ResilienceMode
+from repro.simd import full_validation
 
 #: Injection outcomes, from benign to dangerous.
 OUTCOMES = ("masked", "detected", "silent")
@@ -48,6 +49,10 @@ class CheckResult:
     injections: list[dict] = field(default_factory=list)
     #: The campaign that was run, or None for a clean-only check.
     campaign: FaultCampaign | None = None
+    #: Opt-in SWAR-vs-reference sample diff (``--swar-check``), or None.
+    #: When None the report carries no trace of it, keeping default
+    #: exports byte-identical to pre-SWAR baselines.
+    swar_check: dict | None = None
 
     @property
     def clean_ok(self) -> bool:
@@ -189,8 +194,14 @@ def run_one_injection(
     )
     stats = None
     error: BaseException | None = None
+    # Faulty runs execute under full per-op word validation (the hot path
+    # skips it, see repro.simd.swar): a corrupted word can then never
+    # propagate silently through the data-path model.  All injected words
+    # are valid 64-bit values, so this cannot change any outcome — records
+    # stay byte-identical to the committed baselines.
     try:
-        stats = machine.run(max_cycles=watchdog)
+        with full_validation():
+            stats = machine.run(max_cycles=watchdog)
     except ReproError as exc:
         error = exc
         stats = getattr(exc, "stats", None)
@@ -272,8 +283,14 @@ def run_check(
     kinds: tuple[str, ...] | None = None,
     watchdog_factor: int | None = None,
     watchdog_slack: int | None = None,
+    swar_check: bool = False,
 ) -> CheckResult:
-    """The full ``repro check`` measurement: clean differential + campaign."""
+    """The full ``repro check`` measurement: clean differential + campaign.
+
+    *swar_check* additionally sample-diffs the SWAR data path against the
+    NumPy reference backend (:func:`repro.simd.selftest.sample_diff`, seeded
+    from *seed*) and surfaces the mismatch count in the report summary.
+    """
     from repro.kernels import ALL_KERNELS
 
     names = tuple(kernels) if kernels else tuple(sorted(ALL_KERNELS))
@@ -301,4 +318,8 @@ def run_check(
         result.injections = run_campaign(
             campaign, instances, references, clean_spu
         )
+    if swar_check:
+        from repro.simd.selftest import sample_diff
+
+        result.swar_check = sample_diff(seed=seed)
     return result

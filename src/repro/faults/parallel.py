@@ -140,6 +140,7 @@ def run_check_parallel(
     kinds: tuple[str, ...] | None = None,
     watchdog_factor: int | None = None,
     watchdog_slack: int | None = None,
+    swar_check: bool = False,
     jobs: int = 2,
     journal_path=None,
     bus: EventBus | None = None,
@@ -249,6 +250,12 @@ def run_check_parallel(
                         index, ordered[index % len(ordered)],
                         task_result.failure or task_result.status,
                     ))
+        if swar_check:
+            # Deterministic and kernel-independent, so it runs in the
+            # parent: the merged report matches a serial --swar-check run.
+            from repro.simd.selftest import sample_diff
+
+            result.swar_check = sample_diff(seed=seed)
         return result, runner
     finally:
         if journal is not None:

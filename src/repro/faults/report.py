@@ -83,6 +83,12 @@ def check_report(result: CheckResult) -> dict:
                 "silent_unexplained": silent_verdicts["unexplained"],
             },
         }
+    # Opt-in (--swar-check) only: absent, the document is byte-identical
+    # to one produced before the SWAR data path existed.
+    if result.swar_check is not None:
+        body["swar_check"] = result.swar_check
+        if "summary" in body:
+            body["summary"]["swar_mismatches"] = result.swar_check["mismatches"]
     return envelope("fault-campaign", body)
 
 
@@ -175,6 +181,14 @@ def render_check(result: CheckResult) -> str:
                 else f"{unexplained} silent injection(s) UNEXPLAINED by the "
                 "static analyzer (see docs/static-analysis.md)"
             )
+        )
+
+    if result.swar_check is not None:
+        diff = result.swar_check
+        parts.append(
+            f"swar check: {diff['samples']} sampled op evaluations vs the "
+            f"NumPy reference (seed {diff['seed']}), "
+            f"{diff['mismatches']} mismatch(es)"
         )
 
     status = "PASS" if result.clean_ok else "FAIL"

@@ -1,0 +1,224 @@
+"""Simulator-throughput measurement: the tracked sim-speed benchmark core.
+
+Measures how fast the simulator retires *simulated* cycles and instructions
+per wall-clock second, comparing the SWAR integer data path (the default)
+against the NumPy reference backend on the paper's hot kernels.  Consumed by
+``benchmarks/bench_simspeed.py`` (the committed, CI-tracked benchmark) and
+the ``repro bench`` CLI command.
+
+Methodology
+-----------
+
+Per kernel and backend: one untimed warm-up run first (it fills the decoded
+micro-op cache and lets CPython's adaptive specialization settle), then
+``rounds`` timed runs on fresh machines, reporting the **median** wall time.
+Reference-backend kernels are built *and* run inside
+``simd.use_backend("reference")`` — packed-op handlers bind at
+instruction-decode time, so a program decoded under one backend keeps that
+backend's handlers forever.
+
+The benchmark sizes in :data:`SIMSPEED_KERNELS` are deliberately larger than
+the Table 2 defaults: short runs are dominated by fixed per-run costs
+(machine construction, workload preparation) and understate the hot-loop
+speedup.  SAD is capped at 2048 pixels by its word accumulators.
+
+Simulated cycle counts are backend-independent (the timing model never
+consults lane values), so each case reports a single ``cycles`` /
+``instructions`` pair; the harness asserts the two backends agree.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro import simd
+from repro.errors import ReproError
+from repro.kernels import make_kernel
+
+#: Measurement-payload schema tag (carried as ``data.measurement`` inside the
+#: standard ``repro.obs/1`` benchmark envelope).
+SIMSPEED_SCHEMA = "repro.simspeed/1"
+
+#: Benchmark cases: ``(kernel name, constructor parameters)``.
+SIMSPEED_KERNELS: tuple[tuple[str, dict[str, int]], ...] = (
+    ("DotProduct", {"blocks": 256}),
+    ("FIR12", {"samples": 304}),
+    ("SAD", {"pixels": 2048}),
+)
+
+#: Default timed rounds per (kernel, backend) pair.
+DEFAULT_ROUNDS = 5
+
+
+@dataclass(frozen=True)
+class KernelSpeed:
+    """Measured simulation throughput for one kernel, both backends."""
+
+    name: str
+    params: dict[str, int] = field(compare=False)
+    #: Simulated work per run (identical across backends and rounds).
+    cycles: int
+    instructions: int
+    #: Median wall-clock seconds per run.
+    swar_s: float
+    reference_s: float
+
+    @property
+    def swar_cycles_per_s(self) -> float:
+        return self.cycles / self.swar_s
+
+    @property
+    def swar_instrs_per_s(self) -> float:
+        return self.instructions / self.swar_s
+
+    @property
+    def reference_cycles_per_s(self) -> float:
+        return self.cycles / self.reference_s
+
+    @property
+    def reference_instrs_per_s(self) -> float:
+        return self.instructions / self.reference_s
+
+    @property
+    def speedup(self) -> float:
+        """SWAR wall-clock speedup over the NumPy reference backend."""
+        return self.reference_s / self.swar_s
+
+    @property
+    def label(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.name}({inner})"
+
+
+def _time_backend(
+    name: str, params: Mapping[str, int], rounds: int
+) -> tuple[int, int, float]:
+    """(cycles, instructions, median seconds/run) under the active backend.
+
+    Builds the kernel here — not in the caller — so its programs are decoded
+    under whatever backend is active when we run.
+    """
+    kernel = make_kernel(name, **params)
+    kernel.machine().run()  # warm-up: decode + adaptive specialization
+    times = []
+    stats = None
+    for _ in range(rounds):
+        machine = kernel.machine()
+        start = time.perf_counter()
+        stats = machine.run()
+        times.append(time.perf_counter() - start)
+    assert stats is not None
+    return stats.cycles, stats.instructions, statistics.median(times)
+
+
+def measure_simspeed(
+    rounds: int = DEFAULT_ROUNDS,
+    cases: Iterable[tuple[str, Mapping[str, int]]] = SIMSPEED_KERNELS,
+) -> list[KernelSpeed]:
+    """Measure SWAR-vs-reference simulation throughput for *cases*."""
+    if rounds < 1:
+        raise ReproError(f"rounds must be >= 1 (got {rounds})")
+    results = []
+    for name, params in cases:
+        cycles, instructions, swar_s = _time_backend(name, params, rounds)
+        with simd.use_backend("reference"):
+            ref_cycles, ref_instructions, reference_s = _time_backend(
+                name, params, rounds
+            )
+        if (cycles, instructions) != (ref_cycles, ref_instructions):
+            raise ReproError(
+                f"{name}: backends disagree on simulated work "
+                f"(swar {cycles}/{instructions}, "
+                f"reference {ref_cycles}/{ref_instructions})"
+            )
+        results.append(
+            KernelSpeed(
+                name=name,
+                params=dict(params),
+                cycles=cycles,
+                instructions=instructions,
+                swar_s=swar_s,
+                reference_s=reference_s,
+            )
+        )
+    return results
+
+
+def min_speedup(results: Sequence[KernelSpeed]) -> float:
+    return min(r.speedup for r in results)
+
+
+def geomean_speedup(results: Sequence[KernelSpeed]) -> float:
+    product = 1.0
+    for r in results:
+        product *= r.speedup
+    return product ** (1.0 / len(results))
+
+
+def simspeed_report(
+    results: Sequence[KernelSpeed], rounds: int
+) -> dict[str, Any]:
+    """Schema-versioned measurement payload (``data`` of the envelope)."""
+    return {
+        "measurement": SIMSPEED_SCHEMA,
+        "rounds": rounds,
+        "backends": list(simd.BACKENDS),
+        "kernels": [
+            {
+                "kernel": r.name,
+                "params": r.params,
+                "cycles": r.cycles,
+                "instructions": r.instructions,
+                "swar_s": round(r.swar_s, 6),
+                "reference_s": round(r.reference_s, 6),
+                "swar_cycles_per_s": round(r.swar_cycles_per_s, 1),
+                "swar_instrs_per_s": round(r.swar_instrs_per_s, 1),
+                "reference_cycles_per_s": round(r.reference_cycles_per_s, 1),
+                "reference_instrs_per_s": round(r.reference_instrs_per_s, 1),
+                "speedup": round(r.speedup, 2),
+            }
+            for r in results
+        ],
+        "min_speedup": round(min_speedup(results), 2),
+        "geomean_speedup": round(geomean_speedup(results), 2),
+    }
+
+
+def simspeed_table(results: Sequence[KernelSpeed]) -> tuple[list, list]:
+    """(headers, rows) for :func:`repro.analysis.format_table`."""
+    headers = [
+        "kernel", "sim cycles", "swar cyc/s", "swar instr/s",
+        "reference cyc/s", "speedup",
+    ]
+    rows = [
+        [
+            r.label,
+            r.cycles,
+            f"{r.swar_cycles_per_s:,.0f}",
+            f"{r.swar_instrs_per_s:,.0f}",
+            f"{r.reference_cycles_per_s:,.0f}",
+            f"{r.speedup:.2f}x",
+        ]
+        for r in results
+    ]
+    return headers, rows
+
+
+def render_simspeed(results: Sequence[KernelSpeed], rounds: int) -> str:
+    """Human-readable sim-speed table plus the summary line."""
+    from repro.analysis import format_table
+
+    headers, rows = simspeed_table(results)
+    table = format_table(
+        headers, rows,
+        title=f"Simulation throughput, SWAR vs NumPy reference "
+        f"(median of {rounds} rounds)",
+    )
+    return (
+        f"{table}\n"
+        f"min speedup {min_speedup(results):.2f}x, "
+        f"geomean {geomean_speedup(results):.2f}x"
+    )

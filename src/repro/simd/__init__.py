@@ -1,9 +1,30 @@
 """Functional semantics of sub-word (packed) arithmetic.
 
 This package is the bit-exact data-path model underneath the simulator: every
-MMX instruction the paper's kernels use is implemented here on plain 64-bit
-integer words, with NumPy doing the lane-level arithmetic.
+MMX instruction the paper's kernels use is implemented here as a pure-integer
+SWAR algorithm on plain 64-bit words (carry-break masking, §2) — no per-op
+array allocation.  The original NumPy lane-vector implementations survive as
+:mod:`repro.simd.reference`, the independent oracle that the property suite,
+``repro check --swar-check`` and the sim-speed benchmark diff against.
+
+Backend selection: the executor resolves packed-op handlers through
+:func:`active_backend` at instruction-decode time, so a whole simulation can
+be pointed at the reference data path with :func:`use_backend` (used by
+``benchmarks/bench_simspeed.py`` to measure the SWAR speedup).  Switching the
+backend does not affect programs whose instructions were already decoded —
+build machines inside the context.
+
+Debug validation: :func:`set_validation` / :func:`full_validation` re-enable
+per-call word range checks inside every packed op (see
+:mod:`repro.simd.swar`); the fault-injection harness campaigns run under it.
 """
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from types import ModuleType
+from typing import Iterator
 
 from repro.simd.lanes import (
     LANE_WIDTHS,
@@ -49,6 +70,57 @@ from repro.simd.pack import packss, packus, permute_word, punpckh, punpckl
 from repro.simd.shift import psll, psllq_bytes, psra, psrl, psrlq_bytes
 from repro.simd.compare import pcmpeq, pcmpgt
 from repro.simd.logical import pand, pandn, por, pxor
+from repro.simd.swar import full_validation, set_validation, validation_enabled
+
+#: Names of the selectable packed-op backends.
+BACKENDS = ("swar", "reference")
+
+_active_backend = "swar"
+
+
+def active_backend() -> ModuleType:
+    """The module currently providing packed-op semantics.
+
+    Either this package itself (the SWAR fast path, the default) or
+    :mod:`repro.simd.reference` (the NumPy oracle).  Consumers resolve ops
+    with ``getattr(active_backend(), "padd")`` etc.; both modules export the
+    same names and signatures.
+    """
+    if _active_backend == "reference":
+        from repro.simd import reference
+
+        return reference
+    return sys.modules[__name__]
+
+
+def backend_name() -> str:
+    """Name of the active packed-op backend (``"swar"`` or ``"reference"``)."""
+    return _active_backend
+
+
+def set_backend(name: str) -> str:
+    """Select the packed-op backend by name; returns the previous name."""
+    global _active_backend
+    if name not in BACKENDS:
+        raise ValueError(f"unknown simd backend {name!r}; choose from {BACKENDS}")
+    previous = _active_backend
+    _active_backend = name
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Context manager running its body with packed-op backend *name*.
+
+    Only affects instructions decoded inside the context (the executor's
+    micro-op cache binds handlers at decode time).
+    """
+    previous = set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
 
 __all__ = [
     "LANE_WIDTHS",
@@ -101,4 +173,12 @@ __all__ = [
     "pandn",
     "por",
     "pxor",
+    "BACKENDS",
+    "active_backend",
+    "backend_name",
+    "set_backend",
+    "use_backend",
+    "full_validation",
+    "set_validation",
+    "validation_enabled",
 ]

@@ -3,83 +3,177 @@
 These implement the MMX semantics described in the paper's §2: standard
 word-precision adders with carry chains optionally broken at sub-word
 boundaries, plus the saturating forms used by the pack/media instructions.
+
+Each op is a pure-integer SWAR algorithm on the packed 64-bit word itself —
+the per-lane MSB column (``high``) is masked out of the machine add so no
+carry can cross a lane boundary, then the true MSB column is patched back in
+with XOR; saturation and compares fall out of the carry/borrow/overflow
+columns the same masking exposes.  No lane vectors are materialized, which is
+what makes the simulator's inner loop allocation-free.
+
+Width-64 note: the NumPy reference model (:mod:`repro.simd.reference`) casts
+lanes through ``int64``, so at width 64 its "unsigned" saturating/average/
+min-max forms inherit signed-reinterpretation artifacts.  The ISA never
+reaches those combinations (no 64-bit saturating/average/min-max opcodes
+exist), but the API keeps them bit-identical to the reference, which is the
+differential oracle.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.simd import swar
+from repro.simd.lanes import WORD_MASK, check_word
+from repro.simd.swar import MASKS, ugt_mask
 
-from repro.simd import lanes
 
-
-def _signed_limits(width: int) -> tuple[int, int]:
-    lo = -(1 << (width - 1))
-    hi = (1 << (width - 1)) - 1
-    return lo, hi
+def _signed64(value: int) -> int:
+    return value - (1 << 64) if value >> 63 else value
 
 
 def padd(a: int, b: int, width: int) -> int:
     """Packed add with wrap-around (``paddb``/``paddw``/``paddd``/``paddq``)."""
-    la = lanes.split(a, width).astype(np.int64)
-    lb = lanes.split(b, width).astype(np.int64)
-    return lanes.join(la + lb, width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        _, _, high, not_high, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        return (a + b) & WORD_MASK
+    return ((a & not_high) + (b & not_high)) ^ ((a ^ b) & high)
 
 
 def psub(a: int, b: int, width: int) -> int:
     """Packed subtract with wrap-around (``psubb``/``psubw``/``psubd``)."""
-    la = lanes.split(a, width).astype(np.int64)
-    lb = lanes.split(b, width).astype(np.int64)
-    return lanes.join(la - lb, width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        _, _, high, not_high, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        return (a - b) & WORD_MASK
+    return ((a | high) - (b & not_high)) ^ ((a ^ b ^ high) & high)
 
 
 def padds(a: int, b: int, width: int) -> int:
     """Packed add with signed saturation (``paddsb``/``paddsw``)."""
-    lo, hi = _signed_limits(width)
-    la = lanes.split(a, width, signed=True).astype(np.int64)
-    lb = lanes.split(b, width, signed=True).astype(np.int64)
-    return lanes.join(np.clip(la + lb, lo, hi), width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        lane_mask, _, high, not_high, signed_max = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        return (a + b) & WORD_MASK  # int64 reference wraps; see module note
+    total = ((a & not_high) + (b & not_high)) ^ ((a ^ b) & high)
+    overflow = ~(a ^ b) & (a ^ total) & high
+    if not overflow:
+        return total
+    full = (overflow >> (width - 1)) * lane_mask
+    saturated = signed_max + ((a & high) >> (width - 1))
+    return (total & ~full) | (saturated & full)
 
 
 def psubs(a: int, b: int, width: int) -> int:
     """Packed subtract with signed saturation (``psubsb``/``psubsw``)."""
-    lo, hi = _signed_limits(width)
-    la = lanes.split(a, width, signed=True).astype(np.int64)
-    lb = lanes.split(b, width, signed=True).astype(np.int64)
-    return lanes.join(np.clip(la - lb, lo, hi), width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        lane_mask, _, high, not_high, signed_max = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        return (a - b) & WORD_MASK  # int64 reference wraps; see module note
+    diff = ((a | high) - (b & not_high)) ^ ((a ^ b ^ high) & high)
+    overflow = (a ^ b) & (a ^ diff) & high
+    if not overflow:
+        return diff
+    full = (overflow >> (width - 1)) * lane_mask
+    saturated = signed_max + ((a & high) >> (width - 1))
+    return (diff & ~full) | (saturated & full)
 
 
 def paddus(a: int, b: int, width: int) -> int:
     """Packed add with unsigned saturation (``paddusb``/``paddusw``)."""
-    hi = (1 << width) - 1
-    la = lanes.split(a, width).astype(np.int64)
-    lb = lanes.split(b, width).astype(np.int64)
-    return lanes.join(np.clip(la + lb, 0, hi), width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        lane_mask, _, high, not_high, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        total = (a + b) & WORD_MASK
+        return 0 if total >> 63 else total  # int64 reference clips at 0
+    total = ((a & not_high) + (b & not_high)) ^ ((a ^ b) & high)
+    carry = ((a & b) | ((a | b) & ~total)) & high
+    return total | ((carry >> (width - 1)) * lane_mask)
 
 
 def psubus(a: int, b: int, width: int) -> int:
     """Packed subtract with unsigned saturation (``psubusb``/``psubusw``)."""
-    hi = (1 << width) - 1
-    la = lanes.split(a, width).astype(np.int64)
-    lb = lanes.split(b, width).astype(np.int64)
-    return lanes.join(np.clip(la - lb, 0, hi), width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        lane_mask, _, high, not_high, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        diff = (a - b) & WORD_MASK
+        return 0 if diff >> 63 else diff  # int64 reference clips at 0
+    diff = ((a | high) - (b & not_high)) ^ ((a ^ b ^ high) & high)
+    borrow = ((~a & b) | ((~a | b) & diff)) & high
+    return diff & ~((borrow >> (width - 1)) * lane_mask) & WORD_MASK
 
 
 def pavg(a: int, b: int, width: int) -> int:
     """Packed unsigned average with rounding (``pavgb``/``pavgw``)."""
-    la = lanes.split(a, width).astype(np.int64)
-    lb = lanes.split(b, width).astype(np.int64)
-    return lanes.join((la + lb + 1) >> 1, width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        _, _, high, not_high, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        total = (a + b + 1) & WORD_MASK
+        return (_signed64(total) >> 1) & WORD_MASK  # int64 reference artifact
+    # Per lane, (a|b) - ((a^b)>>1) equals the rounding average (a+b+1)>>1;
+    # masking the shifted term with ~high drops the bit each upper lane's
+    # LSB leaks into the lane below, and no lane ever borrows.
+    return (a | b) - (((a ^ b) >> 1) & not_high)
 
 
 def pmin(a: int, b: int, width: int, *, signed: bool) -> int:
     """Packed per-lane minimum (``pminub``/``pminsw`` family)."""
-    la = lanes.split(a, width, signed=signed).astype(np.int64)
-    lb = lanes.split(b, width, signed=signed).astype(np.int64)
-    return lanes.join(np.minimum(la, lb), width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        _, _, high, _, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        # int64 reference compares signed regardless of the flag.
+        return b if _signed64(a) > _signed64(b) else a
+    if signed:
+        gt = ugt_mask(a ^ high, b ^ high, width)
+    else:
+        gt = ugt_mask(a, b, width)
+    return (b & gt) | (a & ~gt & WORD_MASK)
 
 
 def pmax(a: int, b: int, width: int, *, signed: bool) -> int:
     """Packed per-lane maximum (``pmaxub``/``pmaxsw`` family)."""
-    la = lanes.split(a, width, signed=signed).astype(np.int64)
-    lb = lanes.split(b, width, signed=signed).astype(np.int64)
-    return lanes.join(np.maximum(la, lb), width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        _, _, high, _, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        # int64 reference compares signed regardless of the flag.
+        return a if _signed64(a) > _signed64(b) else b
+    if signed:
+        gt = ugt_mask(a ^ high, b ^ high, width)
+    else:
+        gt = ugt_mask(a, b, width)
+    return (a & gt) | (b & ~gt & WORD_MASK)

@@ -1,23 +1,44 @@
-"""Packed compare instructions producing all-ones / all-zeros lane masks."""
+"""Packed compare instructions producing all-ones / all-zeros lane masks.
+
+SWAR forms: equality comes from a zero-detect on ``a ^ b`` (a lane's MSB
+column catches any set bit once the low bits are summed against the all-ones
+pattern), and signed greater-than is an unsigned borrow extraction after
+flipping the sign columns.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.simd import lanes
+from repro.simd import swar
+from repro.simd.lanes import WORD_MASK, check_word
+from repro.simd.swar import MASKS, ugt_mask
 
 
 def pcmpeq(a: int, b: int, width: int) -> int:
     """Per-lane equality: lanes become ``0xFF..F`` when equal, else 0."""
-    la = lanes.split(a, width)
-    lb = lanes.split(b, width)
-    mask = np.where(la == lb, -1, 0)
-    return lanes.join(mask, width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        lane_mask, _, high, not_high, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        return WORD_MASK if a == b else 0
+    diff = a ^ b
+    # A lane's MSB in `nonzero` is set iff any bit of that lane differs.
+    nonzero = (((diff & not_high) + not_high) | diff) & high
+    return ((high ^ nonzero) >> (width - 1)) * lane_mask
 
 
 def pcmpgt(a: int, b: int, width: int) -> int:
     """Per-lane *signed* greater-than: ``a > b`` lanes become all ones."""
-    la = lanes.split(a, width, signed=True)
-    lb = lanes.split(b, width, signed=True)
-    mask = np.where(la > lb, -1, 0)
-    return lanes.join(mask, width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        _, _, high, _, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    if width == 64:
+        sa = a - (1 << 64) if a >> 63 else a
+        sb = b - (1 << 64) if b >> 63 else b
+        return WORD_MASK if sa > sb else 0
+    return ugt_mask(a ^ high, b ^ high, width)

@@ -143,13 +143,15 @@ def from_bytes(raw: bytes) -> int:
 
 
 def replicate(scalar: int, width: int) -> int:
-    """Broadcast *scalar* (truncated to *width* bits) into every lane."""
+    """Broadcast *scalar* (truncated to *width* bits) into every lane.
+
+    Multiplying the lane value by the lane-repeat constant (``0x0101...``
+    pattern: ``WORD_MASK // lane_mask``) copies it into every lane in one
+    machine op — the classic SWAR broadcast.
+    """
     check_width(width)
-    lane = to_unsigned(int(scalar), width)
-    out = 0
-    for i in range(lane_count(width)):
-        out |= lane << (i * width)
-    return out
+    mask = (1 << width) - 1
+    return (int(scalar) & mask) * (WORD_MASK // mask)
 
 
 def extract_lane(value: int, index: int, width: int, *, signed: bool = False) -> int:

@@ -1,25 +1,40 @@
-"""Bitwise logical instructions on full 64-bit words."""
+"""Bitwise logical instructions on full 64-bit words.
+
+These were always single machine ops; the SWAR rewrite only moved their
+range validation behind the debug toggle (:func:`repro.simd.set_validation`)
+so the simulator's hot loop pays nothing for values the register file already
+guarantees are in range.
+"""
 
 from __future__ import annotations
 
-from repro.simd import lanes
+from repro.simd import swar
+from repro.simd.lanes import WORD_MASK, check_word
 
 
 def pand(a: int, b: int) -> int:
     """Bitwise AND (``pand``)."""
-    return lanes.check_word(a) & lanes.check_word(b)
+    if swar._validate:
+        check_word(a), check_word(b)
+    return a & b
 
 
 def pandn(a: int, b: int) -> int:
     """AND-NOT: ``(~a) & b`` — destination operand is inverted (``pandn``)."""
-    return (~lanes.check_word(a) & lanes.WORD_MASK) & lanes.check_word(b)
+    if swar._validate:
+        check_word(a), check_word(b)
+    return (a ^ WORD_MASK) & b
 
 
 def por(a: int, b: int) -> int:
     """Bitwise OR (``por``)."""
-    return lanes.check_word(a) | lanes.check_word(b)
+    if swar._validate:
+        check_word(a), check_word(b)
+    return a | b
 
 
 def pxor(a: int, b: int) -> int:
     """Bitwise XOR (``pxor``); ``pxor r, r`` is the canonical register clear."""
-    return lanes.check_word(a) ^ lanes.check_word(b)
+    if swar._validate:
+        check_word(a), check_word(b)
+    return a ^ b

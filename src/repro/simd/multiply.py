@@ -3,35 +3,59 @@
 ``pmaddwd`` is the workhorse of the paper's FIR/DCT/matrix kernels (§2,
 Figure 1): four 16-bit products are formed lane-by-lane and adjacent pairs of
 32-bit products are summed into two 32-bit results.
+
+Unlike the add/compare family, lane products genuinely widen, so there is no
+single-expression SWAR trick; each op walks the (at most four) lanes with
+shift-and-mask extraction on the packed word — still allocation-free, still
+plain Python ints.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import LaneError
-from repro.simd import lanes
+from repro.simd import swar
+from repro.simd.lanes import WORD_MASK, check_word
+from repro.simd.swar import MASKS
 
 
 def pmullw(a: int, b: int) -> int:
-    """Low 16 bits of the four signed 16-bit products."""
-    la = lanes.split(a, 16, signed=True).astype(np.int64)
-    lb = lanes.split(b, 16, signed=True).astype(np.int64)
-    return lanes.join(la * lb, 16)
+    """Low 16 bits of the four signed 16-bit products.
+
+    Signedness cannot affect the low half modulo 2^16, so no sign extension
+    is needed.
+    """
+    if swar._validate:
+        check_word(a), check_word(b)
+    out = 0
+    for shift in (0, 16, 32, 48):
+        prod = ((a >> shift) & 0xFFFF) * ((b >> shift) & 0xFFFF)
+        out |= (prod & 0xFFFF) << shift
+    return out
 
 
 def pmulhw(a: int, b: int) -> int:
     """High 16 bits of the four signed 16-bit products."""
-    la = lanes.split(a, 16, signed=True).astype(np.int64)
-    lb = lanes.split(b, 16, signed=True).astype(np.int64)
-    return lanes.join((la * lb) >> 16, 16)
+    if swar._validate:
+        check_word(a), check_word(b)
+    out = 0
+    for shift in (0, 16, 32, 48):
+        x = (a >> shift) & 0xFFFF
+        y = (b >> shift) & 0xFFFF
+        x -= (x & 0x8000) << 1
+        y -= (y & 0x8000) << 1
+        out |= (((x * y) >> 16) & 0xFFFF) << shift
+    return out
 
 
 def pmulhuw(a: int, b: int) -> int:
     """High 16 bits of the four unsigned 16-bit products."""
-    la = lanes.split(a, 16).astype(np.int64)
-    lb = lanes.split(b, 16).astype(np.int64)
-    return lanes.join((la * lb) >> 16, 16)
+    if swar._validate:
+        check_word(a), check_word(b)
+    out = 0
+    for shift in (0, 16, 32, 48):
+        prod = ((a >> shift) & 0xFFFF) * ((b >> shift) & 0xFFFF)
+        out |= ((prod >> 16) & 0xFFFF) << shift
+    return out
 
 
 def pmaddwd(a: int, b: int) -> int:
@@ -40,18 +64,27 @@ def pmaddwd(a: int, b: int) -> int:
     Result lane 0 = ``a0*b0 + a1*b1`` and lane 1 = ``a2*b2 + a3*b3`` as 32-bit
     values (wrap-around on the theoretical overflow case ``(-32768)**2 * 2``).
     """
-    la = lanes.split(a, 16, signed=True).astype(np.int64)
-    lb = lanes.split(b, 16, signed=True).astype(np.int64)
-    prod = la * lb
-    sums = prod[0::2] + prod[1::2]
-    return lanes.join(sums, 32)
+    if swar._validate:
+        check_word(a), check_word(b)
+    out = 0
+    for shift in (0, 32):
+        x0 = (a >> shift) & 0xFFFF
+        y0 = (b >> shift) & 0xFFFF
+        x1 = (a >> (shift + 16)) & 0xFFFF
+        y1 = (b >> (shift + 16)) & 0xFFFF
+        x0 -= (x0 & 0x8000) << 1
+        y0 -= (y0 & 0x8000) << 1
+        x1 -= (x1 & 0x8000) << 1
+        y1 -= (y1 & 0x8000) << 1
+        out |= ((x0 * y0 + x1 * y1) & 0xFFFFFFFF) << shift
+    return out
 
 
 def pmuludq(a: int, b: int) -> int:
     """Unsigned multiply of the low 32-bit lanes into a 64-bit product."""
-    la = int(lanes.split(a, 32)[0])
-    lb = int(lanes.split(b, 32)[0])
-    return (la * lb) & lanes.WORD_MASK
+    if swar._validate:
+        check_word(a), check_word(b)
+    return ((a & 0xFFFFFFFF) * (b & 0xFFFFFFFF)) & WORD_MASK
 
 
 def pmul_widening(a: int, b: int, width: int, *, signed: bool = True) -> tuple[int, int]:
@@ -63,9 +96,25 @@ def pmul_widening(a: int, b: int, width: int, *, signed: bool = True) -> tuple[i
     """
     if width >= 64:
         raise LaneError("widening multiply requires width < 64")
-    la = lanes.split(a, width, signed=signed).astype(np.int64)
-    lb = lanes.split(b, width, signed=signed).astype(np.int64)
-    prod = la * lb
-    low = prod & ((1 << width) - 1)
-    high = (prod >> width) & ((1 << width) - 1)
-    return lanes.join(low, width), lanes.join(high, width)
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        lane_mask = MASKS[width][0]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    sign_bit = 1 << (width - 1)
+    wrap = 1 << width
+    low_word = 0
+    high_word = 0
+    for shift in range(0, 64, width):
+        x = (a >> shift) & lane_mask
+        y = (b >> shift) & lane_mask
+        if signed:
+            if x & sign_bit:
+                x -= wrap
+            if y & sign_bit:
+                y -= wrap
+        prod = x * y
+        low_word |= (prod & lane_mask) << shift
+        high_word |= ((prod >> width) & lane_mask) << shift
+    return low_word, high_word

@@ -5,14 +5,17 @@ transparent: ``punpckl*``/``punpckh*`` interleave the low or high halves of
 two registers (Figure 2), and ``packss*``/``packus*`` narrow lanes with
 saturation.  Over 23% of dynamic instructions in EEMBC consumer benchmarks on
 TriMedia are such pack/merge operations (§1).
+
+Pure lane rearrangement has no arithmetic to vectorize, so these walk the
+lanes with shift-and-mask extraction on the packed 64-bit int directly.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import LaneError
-from repro.simd import lanes
+from repro.simd import swar
+from repro.simd.lanes import check_word
+from repro.simd.swar import MASKS
 
 
 def punpckl(a: int, b: int, width: int) -> int:
@@ -21,36 +24,66 @@ def punpckl(a: int, b: int, width: int) -> int:
     Result lanes: ``a0, b0, a1, b1, ...`` — the MMX ``punpcklbw`` /
     ``punpcklwd`` / ``punpckldq`` family (destination ``a``, source ``b``).
     """
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        lane_mask = MASKS[width][0]
+    except KeyError:
+        raise swar.bad_width(width) from None
     if width == 64:
         raise LaneError("unpack requires sub-word width < 64")
-    la = lanes.split(a, width)
-    lb = lanes.split(b, width)
-    n = lanes.lane_count(width) // 2
-    out = np.empty(2 * n, dtype=la.dtype)
-    out[0::2] = la[:n]
-    out[1::2] = lb[:n]
-    return lanes.join(out, width)
+    out = 0
+    position = 0
+    for shift in range(0, 32, width):
+        out |= ((a >> shift) & lane_mask) << position
+        position += width
+        out |= ((b >> shift) & lane_mask) << position
+        position += width
+    return out
 
 
 def punpckh(a: int, b: int, width: int) -> int:
     """Interleave the *high* lanes of ``a`` and ``b`` (``punpckh*`` family)."""
+    if swar._validate:
+        check_word(a), check_word(b)
+    try:
+        lane_mask = MASKS[width][0]
+    except KeyError:
+        raise swar.bad_width(width) from None
     if width == 64:
         raise LaneError("unpack requires sub-word width < 64")
-    la = lanes.split(a, width)
-    lb = lanes.split(b, width)
-    n = lanes.lane_count(width) // 2
-    out = np.empty(2 * n, dtype=la.dtype)
-    out[0::2] = la[n:]
-    out[1::2] = lb[n:]
-    return lanes.join(out, width)
+    out = 0
+    position = 0
+    for shift in range(32, 64, width):
+        out |= ((a >> shift) & lane_mask) << position
+        position += width
+        out |= ((b >> shift) & lane_mask) << position
+        position += width
+    return out
 
 
 def _pack(a: int, b: int, src_width: int, lo: int, hi: int) -> int:
+    if swar._validate:
+        check_word(a), check_word(b)
     dst_width = src_width // 2
-    la = lanes.split(a, src_width, signed=True).astype(np.int64)
-    lb = lanes.split(b, src_width, signed=True).astype(np.int64)
-    vals = np.concatenate([la, lb])
-    return lanes.join(np.clip(vals, lo, hi), dst_width)
+    src_mask = (1 << src_width) - 1
+    dst_mask = (1 << dst_width) - 1
+    sign_bit = 1 << (src_width - 1)
+    wrap = 1 << src_width
+    out = 0
+    position = 0
+    for word in (a, b):
+        for shift in range(0, 64, src_width):
+            value = (word >> shift) & src_mask
+            if value & sign_bit:
+                value -= wrap
+            if value < lo:
+                value = lo
+            elif value > hi:
+                value = hi
+            out |= (value & dst_mask) << position
+            position += dst_width
+    return out
 
 
 def packss(a: int, b: int, src_width: int) -> int:
@@ -80,15 +113,22 @@ def permute_word(value: int, selector: "list[int | None]", width: int) -> int:
     single-register special case of what the SPU interconnect provides across
     the whole register file.
     """
-    src = lanes.split(value, width)
-    n = lanes.lane_count(width)
+    if swar._validate:
+        check_word(value)
+    try:
+        lane_mask = MASKS[width][0]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    n = 64 // width
     if len(selector) != n:
         raise LaneError(f"selector must have {n} entries for width {width}")
-    out = src.copy()
+    out = 0
     for i, sel in enumerate(selector):
         if sel is None:
-            continue
-        if not 0 <= sel < n:
-            raise LaneError(f"selector entry {sel} out of range for width {width}")
-        out[i] = src[sel]
-    return lanes.join(out, width)
+            lane = (value >> (i * width)) & lane_mask
+        else:
+            if not 0 <= sel < n:
+                raise LaneError(f"selector entry {sel} out of range for width {width}")
+            lane = (value >> (sel * width)) & lane_mask
+        out |= lane << (i * width)
+    return out

@@ -1,0 +1,318 @@
+"""NumPy reference semantics for every packed operation — the oracle.
+
+These are the original lane-vector implementations of the :mod:`repro.simd`
+API, preserved verbatim when the production ops were rewritten as pure-integer
+SWAR algorithms.  They stay the independent ground truth: the property suite
+(``tests/simd/test_swar_equivalence.py``), the ``repro check --swar-check``
+campaign guard, and the sim-speed benchmark all diff the SWAR path against
+this module, and :func:`repro.simd.use_backend` can point the executor at it
+to measure or debug against the pre-SWAR data path.
+
+Every public function here carries the same name and signature as its SWAR
+twin, so either module satisfies the executor's dispatch tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LaneError
+from repro.simd import lanes
+
+# --- arithmetic --------------------------------------------------------------
+
+
+def _signed_limits(width: int) -> tuple[int, int]:
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return lo, hi
+
+
+def padd(a: int, b: int, width: int) -> int:
+    """Packed add with wrap-around (``paddb``/``paddw``/``paddd``/``paddq``)."""
+    la = lanes.split(a, width).astype(np.int64)
+    lb = lanes.split(b, width).astype(np.int64)
+    return lanes.join(la + lb, width)
+
+
+def psub(a: int, b: int, width: int) -> int:
+    """Packed subtract with wrap-around (``psubb``/``psubw``/``psubd``)."""
+    la = lanes.split(a, width).astype(np.int64)
+    lb = lanes.split(b, width).astype(np.int64)
+    return lanes.join(la - lb, width)
+
+
+def padds(a: int, b: int, width: int) -> int:
+    """Packed add with signed saturation (``paddsb``/``paddsw``)."""
+    lo, hi = _signed_limits(width)
+    la = lanes.split(a, width, signed=True).astype(np.int64)
+    lb = lanes.split(b, width, signed=True).astype(np.int64)
+    return lanes.join(np.clip(la + lb, lo, hi), width)
+
+
+def psubs(a: int, b: int, width: int) -> int:
+    """Packed subtract with signed saturation (``psubsb``/``psubsw``)."""
+    lo, hi = _signed_limits(width)
+    la = lanes.split(a, width, signed=True).astype(np.int64)
+    lb = lanes.split(b, width, signed=True).astype(np.int64)
+    return lanes.join(np.clip(la - lb, lo, hi), width)
+
+
+def paddus(a: int, b: int, width: int) -> int:
+    """Packed add with unsigned saturation (``paddusb``/``paddusw``)."""
+    hi = (1 << width) - 1
+    la = lanes.split(a, width).astype(np.int64)
+    lb = lanes.split(b, width).astype(np.int64)
+    return lanes.join(np.clip(la + lb, 0, hi), width)
+
+
+def psubus(a: int, b: int, width: int) -> int:
+    """Packed subtract with unsigned saturation (``psubusb``/``psubusw``)."""
+    hi = (1 << width) - 1
+    la = lanes.split(a, width).astype(np.int64)
+    lb = lanes.split(b, width).astype(np.int64)
+    return lanes.join(np.clip(la - lb, 0, hi), width)
+
+
+def pavg(a: int, b: int, width: int) -> int:
+    """Packed unsigned average with rounding (``pavgb``/``pavgw``)."""
+    la = lanes.split(a, width).astype(np.int64)
+    lb = lanes.split(b, width).astype(np.int64)
+    return lanes.join((la + lb + 1) >> 1, width)
+
+
+def pmin(a: int, b: int, width: int, *, signed: bool) -> int:
+    """Packed per-lane minimum (``pminub``/``pminsw`` family)."""
+    la = lanes.split(a, width, signed=signed).astype(np.int64)
+    lb = lanes.split(b, width, signed=signed).astype(np.int64)
+    return lanes.join(np.minimum(la, lb), width)
+
+
+def pmax(a: int, b: int, width: int, *, signed: bool) -> int:
+    """Packed per-lane maximum (``pmaxub``/``pmaxsw`` family)."""
+    la = lanes.split(a, width, signed=signed).astype(np.int64)
+    lb = lanes.split(b, width, signed=signed).astype(np.int64)
+    return lanes.join(np.maximum(la, lb), width)
+
+
+# --- multiplies --------------------------------------------------------------
+
+
+def pmullw(a: int, b: int) -> int:
+    """Low 16 bits of the four signed 16-bit products."""
+    la = lanes.split(a, 16, signed=True).astype(np.int64)
+    lb = lanes.split(b, 16, signed=True).astype(np.int64)
+    return lanes.join(la * lb, 16)
+
+
+def pmulhw(a: int, b: int) -> int:
+    """High 16 bits of the four signed 16-bit products."""
+    la = lanes.split(a, 16, signed=True).astype(np.int64)
+    lb = lanes.split(b, 16, signed=True).astype(np.int64)
+    return lanes.join((la * lb) >> 16, 16)
+
+
+def pmulhuw(a: int, b: int) -> int:
+    """High 16 bits of the four unsigned 16-bit products."""
+    la = lanes.split(a, 16).astype(np.int64)
+    lb = lanes.split(b, 16).astype(np.int64)
+    return lanes.join((la * lb) >> 16, 16)
+
+
+def pmaddwd(a: int, b: int) -> int:
+    """Packed multiply-add: pairwise sums of signed 16-bit products."""
+    la = lanes.split(a, 16, signed=True).astype(np.int64)
+    lb = lanes.split(b, 16, signed=True).astype(np.int64)
+    prod = la * lb
+    sums = prod[0::2] + prod[1::2]
+    return lanes.join(sums, 32)
+
+
+def pmuludq(a: int, b: int) -> int:
+    """Unsigned multiply of the low 32-bit lanes into a 64-bit product."""
+    la = int(lanes.split(a, 32)[0])
+    lb = int(lanes.split(b, 32)[0])
+    return (la * lb) & lanes.WORD_MASK
+
+
+def pmul_widening(a: int, b: int, width: int, *, signed: bool = True) -> tuple[int, int]:
+    """Generic widening multiply, returning ``(low_word, high_word)``."""
+    if width >= 64:
+        raise LaneError("widening multiply requires width < 64")
+    la = lanes.split(a, width, signed=signed).astype(np.int64)
+    lb = lanes.split(b, width, signed=signed).astype(np.int64)
+    prod = la * lb
+    low = prod & ((1 << width) - 1)
+    high = (prod >> width) & ((1 << width) - 1)
+    return lanes.join(low, width), lanes.join(high, width)
+
+
+# --- pack / unpack / permute -------------------------------------------------
+
+
+def punpckl(a: int, b: int, width: int) -> int:
+    """Interleave the *low* lanes of ``a`` and ``b`` (``punpckl*`` family)."""
+    if width == 64:
+        raise LaneError("unpack requires sub-word width < 64")
+    la = lanes.split(a, width)
+    lb = lanes.split(b, width)
+    n = lanes.lane_count(width) // 2
+    out = np.empty(2 * n, dtype=la.dtype)
+    out[0::2] = la[:n]
+    out[1::2] = lb[:n]
+    return lanes.join(out, width)
+
+
+def punpckh(a: int, b: int, width: int) -> int:
+    """Interleave the *high* lanes of ``a`` and ``b`` (``punpckh*`` family)."""
+    if width == 64:
+        raise LaneError("unpack requires sub-word width < 64")
+    la = lanes.split(a, width)
+    lb = lanes.split(b, width)
+    n = lanes.lane_count(width) // 2
+    out = np.empty(2 * n, dtype=la.dtype)
+    out[0::2] = la[n:]
+    out[1::2] = lb[n:]
+    return lanes.join(out, width)
+
+
+def _pack(a: int, b: int, src_width: int, lo: int, hi: int) -> int:
+    dst_width = src_width // 2
+    la = lanes.split(a, src_width, signed=True).astype(np.int64)
+    lb = lanes.split(b, src_width, signed=True).astype(np.int64)
+    vals = np.concatenate([la, lb])
+    return lanes.join(np.clip(vals, lo, hi), dst_width)
+
+
+def packss(a: int, b: int, src_width: int) -> int:
+    """Narrow with signed saturation (``packsswb``: 16→8, ``packssdw``: 32→16)."""
+    if src_width not in (16, 32):
+        raise LaneError(f"packss source width must be 16 or 32, got {src_width}")
+    dst = src_width // 2
+    return _pack(a, b, src_width, -(1 << (dst - 1)), (1 << (dst - 1)) - 1)
+
+
+def packus(a: int, b: int, src_width: int) -> int:
+    """Narrow with unsigned saturation (``packuswb``: signed 16 → unsigned 8)."""
+    if src_width not in (16, 32):
+        raise LaneError(f"packus source width must be 16 or 32, got {src_width}")
+    dst = src_width // 2
+    return _pack(a, b, src_width, 0, (1 << dst) - 1)
+
+
+def permute_word(value: int, selector: "list[int | None]", width: int) -> int:
+    """General single-word lane permutation (``pshufw``-style, generalized)."""
+    src = lanes.split(value, width)
+    n = lanes.lane_count(width)
+    if len(selector) != n:
+        raise LaneError(f"selector must have {n} entries for width {width}")
+    out = src.copy()
+    for i, sel in enumerate(selector):
+        if sel is None:
+            continue
+        if not 0 <= sel < n:
+            raise LaneError(f"selector entry {sel} out of range for width {width}")
+        out[i] = src[sel]
+    return lanes.join(out, width)
+
+
+# --- shifts ------------------------------------------------------------------
+
+
+def _check_count(count: int) -> int:
+    count = int(count)
+    if count < 0:
+        raise LaneError(f"negative shift count {count}")
+    return count
+
+
+def psll(value: int, count: int, width: int) -> int:
+    """Packed shift left logical; counts ≥ width produce zero lanes."""
+    count = _check_count(count)
+    if count >= width:
+        return 0
+    if width == 64:
+        return (lanes.check_word(value) << count) & lanes.WORD_MASK
+    la = lanes.split(value, width).astype(np.int64)
+    return lanes.join(la << count, width)
+
+
+def psrl(value: int, count: int, width: int) -> int:
+    """Packed shift right logical; counts ≥ width produce zero lanes."""
+    count = _check_count(count)
+    if count >= width:
+        return 0
+    if width == 64:
+        return lanes.check_word(value) >> count
+    la = lanes.split(value, width).astype(np.int64)
+    return lanes.join(la >> count, width)
+
+
+def psra(value: int, count: int, width: int) -> int:
+    """Packed shift right arithmetic; counts ≥ width replicate the sign bit."""
+    if width == 64:
+        raise LaneError("MMX has no 64-bit arithmetic right shift")
+    count = _check_count(count)
+    la = lanes.split(value, width, signed=True).astype(np.int64)
+    count = min(count, width - 1)
+    return lanes.join(la >> count, width)
+
+
+def psllq_bytes(value: int, nbytes: int) -> int:
+    """Whole-register byte shift left (``psllq`` with a multiple-of-8 count)."""
+    if nbytes < 0:
+        raise LaneError(f"negative byte shift {nbytes}")
+    if nbytes >= lanes.WORD_BYTES:
+        return 0
+    return (lanes.check_word(value) << (8 * nbytes)) & lanes.WORD_MASK
+
+
+def psrlq_bytes(value: int, nbytes: int) -> int:
+    """Whole-register byte shift right (``psrlq`` with a multiple-of-8 count)."""
+    if nbytes < 0:
+        raise LaneError(f"negative byte shift {nbytes}")
+    if nbytes >= lanes.WORD_BYTES:
+        return 0
+    return lanes.check_word(value) >> (8 * nbytes)
+
+
+# --- compares ----------------------------------------------------------------
+
+
+def pcmpeq(a: int, b: int, width: int) -> int:
+    """Per-lane equality: lanes become ``0xFF..F`` when equal, else 0."""
+    la = lanes.split(a, width)
+    lb = lanes.split(b, width)
+    mask = np.where(la == lb, -1, 0)
+    return lanes.join(mask, width)
+
+
+def pcmpgt(a: int, b: int, width: int) -> int:
+    """Per-lane *signed* greater-than: ``a > b`` lanes become all ones."""
+    la = lanes.split(a, width, signed=True)
+    lb = lanes.split(b, width, signed=True)
+    mask = np.where(la > lb, -1, 0)
+    return lanes.join(mask, width)
+
+
+# --- logicals ----------------------------------------------------------------
+
+
+def pand(a: int, b: int) -> int:
+    """Bitwise AND (``pand``)."""
+    return lanes.check_word(a) & lanes.check_word(b)
+
+
+def pandn(a: int, b: int) -> int:
+    """AND-NOT: ``(~a) & b`` — destination operand is inverted (``pandn``)."""
+    return (~lanes.check_word(a) & lanes.WORD_MASK) & lanes.check_word(b)
+
+
+def por(a: int, b: int) -> int:
+    """Bitwise OR (``por``)."""
+    return lanes.check_word(a) | lanes.check_word(b)
+
+
+def pxor(a: int, b: int) -> int:
+    """Bitwise XOR (``pxor``); ``pxor r, r`` is the canonical register clear."""
+    return lanes.check_word(a) ^ lanes.check_word(b)

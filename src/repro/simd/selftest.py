@@ -1,0 +1,141 @@
+"""Seeded SWAR-vs-reference sample differ (``repro check --swar-check``).
+
+The fault-injection harness validates the *simulator* end to end; this
+module spot-checks the *data-path model itself*: every public packed op is
+evaluated on a seeded stream of operand words through both backends — the
+integer SWAR implementation (:mod:`repro.simd`) and the NumPy lane-vector
+oracle (:mod:`repro.simd.reference`) — and any disagreement is a mismatch.
+
+Operand words mix adversarial patterns (the carry-break corner cases:
+all-zeros, all-ones, the per-lane MSB/sign-max columns, alternating bytes)
+with ``random.Random(seed)`` draws, so campaigns with the same seed diff the
+same samples.  The exhaustive, shrinking version of this check lives in
+``tests/simd/test_swar_equivalence.py``; this one is cheap enough to ride
+along with every ``repro check --swar-check`` run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro import simd
+from repro.simd import reference
+from repro.simd.lanes import LANE_WIDTHS, WORD_MASK
+from repro.simd.swar import MASKS
+
+#: Carry-break corner words every op is tried on (per sampled pair).
+ADVERSARIAL_WORDS = (
+    0,
+    WORD_MASK,
+    0x8080_8080_8080_8080,  # per-lane MSB column (width 8)
+    0x7F7F_7F7F_7F7F_7F7F,  # per-lane signed max (width 8)
+    0x8000_8000_8000_8000,  # per-lane MSB column (width 16)
+    0x0101_0101_0101_0101,  # low-bit column
+    0xAAAA_AAAA_AAAA_AAAA,
+    0x5555_5555_5555_5555,
+    0xFF00_FF00_FF00_FF00,
+    0x0000_0000_FFFF_FFFF,
+)
+
+#: op name -> (argument builder, widths it accepts).  The builder maps a
+#: sampled ``(a, b, rng)`` triple to the op's positional/keyword arguments.
+_TWO_WORDS = lambda a, b, rng: ((a, b), {})  # noqa: E731
+_SHIFT = lambda a, b, rng: ((a, rng.choice((0, 1, 7, 8, 15, 31, 63, 64))), {})  # noqa: E731
+
+_CATALOG: dict[str, tuple[Callable, tuple[int, ...]]] = {
+    # width-taking binary ops, every lane width
+    "padd": (_TWO_WORDS, LANE_WIDTHS),
+    "psub": (_TWO_WORDS, LANE_WIDTHS),
+    "padds": (_TWO_WORDS, LANE_WIDTHS),
+    "psubs": (_TWO_WORDS, LANE_WIDTHS),
+    "paddus": (_TWO_WORDS, LANE_WIDTHS),
+    "psubus": (_TWO_WORDS, LANE_WIDTHS),
+    "pavg": (_TWO_WORDS, LANE_WIDTHS),
+    "pcmpeq": (_TWO_WORDS, LANE_WIDTHS),
+    "pcmpgt": (_TWO_WORDS, LANE_WIDTHS),
+    "punpckl": (_TWO_WORDS, (8, 16, 32)),
+    "punpckh": (_TWO_WORDS, (8, 16, 32)),
+    "packss": (_TWO_WORDS, (16, 32)),
+    "packus": (_TWO_WORDS, (16, 32)),
+    # signed/unsigned min-max
+    "pmin": (lambda a, b, rng: ((a, b), {"signed": rng.random() < 0.5}),
+             LANE_WIDTHS),
+    "pmax": (lambda a, b, rng: ((a, b), {"signed": rng.random() < 0.5}),
+             LANE_WIDTHS),
+    # widthless 16-bit multiplies and logicals
+    "pmullw": (_TWO_WORDS, ()),
+    "pmulhw": (_TWO_WORDS, ()),
+    "pmulhuw": (_TWO_WORDS, ()),
+    "pmaddwd": (_TWO_WORDS, ()),
+    "pmuludq": (_TWO_WORDS, ()),
+    "pand": (_TWO_WORDS, ()),
+    "pandn": (_TWO_WORDS, ()),
+    "por": (_TWO_WORDS, ()),
+    "pxor": (_TWO_WORDS, ()),
+    # shifts: second word is replaced by a sampled count
+    "psll": (_SHIFT, (16, 32, 64)),
+    "psrl": (_SHIFT, (16, 32, 64)),
+    "psra": (_SHIFT, (16, 32)),
+}
+
+
+def _word_stream(rng: random.Random, samples: int):
+    """``samples`` operand pairs: adversarial corners first, then random."""
+    corners = ADVERSARIAL_WORDS
+    for a in corners:
+        for b in (0, WORD_MASK, a, MASKS[8][2]):
+            yield a, b
+    for _ in range(samples):
+        yield rng.getrandbits(64), rng.getrandbits(64)
+
+
+def sample_diff(seed: int = 0, samples: int = 32,
+                max_failures: int = 8) -> dict[str, Any]:
+    """Diff every cataloged op over a seeded operand stream.
+
+    Returns ``{"seed", "samples", "mismatches", "failures"}`` where
+    ``samples`` counts evaluated (op, width, operands) triples and
+    ``failures`` details the first ``max_failures`` disagreements — a
+    mismatched result or an exception raised by exactly one backend.
+    """
+    rng = random.Random(f"swar-check:{seed}")
+    pairs = list(_word_stream(rng, samples))
+    total = 0
+    mismatches = 0
+    failures: list[dict[str, Any]] = []
+
+    def _record(op, width, a, b, got, want):
+        nonlocal mismatches
+        mismatches += 1
+        if len(failures) < max_failures:
+            failures.append({
+                "op": op, "width": width,
+                "a": f"{a:#018x}", "b": f"{b:#018x}",
+                "swar": repr(got), "reference": repr(want),
+            })
+
+    for op, (build, widths) in _CATALOG.items():
+        fast = getattr(simd, op)
+        oracle = getattr(reference, op)
+        for a, b in pairs:
+            args, kwargs = build(a, b, rng)
+            for width in widths or (None,):
+                extra = args if width is None else (*args, width)
+                total += 1
+                try:
+                    got: Any = fast(*extra, **kwargs)
+                except Exception as exc:  # pragma: no cover - equivalence gap
+                    got = f"raised {type(exc).__name__}"
+                try:
+                    want: Any = oracle(*extra, **kwargs)
+                except Exception as exc:  # pragma: no cover - equivalence gap
+                    want = f"raised {type(exc).__name__}"
+                if got != want:
+                    _record(op, width, a, b, got, want)
+    return {
+        "seed": seed,
+        "samples": total,
+        "mismatches": mismatches,
+        "failures": failures,
+    }

@@ -2,14 +2,19 @@
 
 Shift counts ≥ the lane width zero the result (or fill with the sign for
 arithmetic right shifts), matching the Intel semantics.
+
+SWAR forms: one whole-word shift, then a single AND against the per-lane
+"surviving bits" pattern (the shifted lane mask replicated into every lane by
+the ``low`` repeat constant) removes everything that crossed a lane boundary.
+The arithmetic right shift ORs the sign-replication pattern back in.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import LaneError
-from repro.simd import lanes
+from repro.simd import swar
+from repro.simd.lanes import WORD_BYTES, WORD_MASK, check_word
+from repro.simd.swar import MASKS
 
 
 def _check_count(count: int) -> int:
@@ -21,53 +26,72 @@ def _check_count(count: int) -> int:
 
 def psll(value: int, count: int, width: int) -> int:
     """Packed shift left logical; counts ≥ width produce zero lanes."""
+    if swar._validate:
+        check_word(value)
+    try:
+        lane_mask, low, _, _, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
     count = _check_count(count)
     if count >= width:
         return 0
     if width == 64:
-        # Whole-word shift in Python ints: a 64-bit lane does not fit the
-        # signed int64 path without reinterpretation headaches.
-        return (lanes.check_word(value) << count) & lanes.WORD_MASK
-    la = lanes.split(value, width).astype(np.int64)
-    return lanes.join(la << count, width)
+        return (value << count) & WORD_MASK
+    return (value << count) & (low * ((lane_mask << count) & lane_mask))
 
 
 def psrl(value: int, count: int, width: int) -> int:
     """Packed shift right logical; counts ≥ width produce zero lanes."""
+    if swar._validate:
+        check_word(value)
+    try:
+        lane_mask, low, _, _, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
     count = _check_count(count)
     if count >= width:
         return 0
     if width == 64:
-        # Logical shift must not sign-fill: going through int64 would turn
-        # an MSB-set word negative and smear ones into the top bits.
-        return lanes.check_word(value) >> count
-    la = lanes.split(value, width).astype(np.int64)
-    return lanes.join(la >> count, width)
+        return value >> count
+    return (value >> count) & (low * (lane_mask >> count))
 
 
 def psra(value: int, count: int, width: int) -> int:
     """Packed shift right arithmetic; counts ≥ width replicate the sign bit."""
     if width == 64:
         raise LaneError("MMX has no 64-bit arithmetic right shift")
-    count = _check_count(count)
-    la = lanes.split(value, width, signed=True).astype(np.int64)
-    count = min(count, width - 1)
-    return lanes.join(la >> count, width)
+    if swar._validate:
+        check_word(value)
+    try:
+        lane_mask, low, high, _, _ = MASKS[width]
+    except KeyError:
+        raise swar.bad_width(width) from None
+    count = min(_check_count(count), width - 1)
+    shifted = (value >> count) & (low * (lane_mask >> count))
+    # Per-lane sign replication: all-ones lanes where the MSB was set,
+    # restricted to the `count` vacated top bits of each lane.
+    sign = ((value & high) >> (width - 1)) * lane_mask
+    fill = low * (((lane_mask >> (width - count)) << (width - count)) & lane_mask)
+    return shifted | (sign & fill)
 
 
 def psllq_bytes(value: int, nbytes: int) -> int:
     """Whole-register byte shift left (``psllq`` with a multiple-of-8 count)."""
+    if swar._validate:
+        check_word(value)
     if nbytes < 0:
         raise LaneError(f"negative byte shift {nbytes}")
-    if nbytes >= lanes.WORD_BYTES:
+    if nbytes >= WORD_BYTES:
         return 0
-    return (lanes.check_word(value) << (8 * nbytes)) & lanes.WORD_MASK
+    return (value << (8 * nbytes)) & WORD_MASK
 
 
 def psrlq_bytes(value: int, nbytes: int) -> int:
     """Whole-register byte shift right (``psrlq`` with a multiple-of-8 count)."""
+    if swar._validate:
+        check_word(value)
     if nbytes < 0:
         raise LaneError(f"negative byte shift {nbytes}")
-    if nbytes >= lanes.WORD_BYTES:
+    if nbytes >= WORD_BYTES:
         return 0
-    return lanes.check_word(value) >> (8 * nbytes)
+    return value >> (8 * nbytes)

@@ -1,0 +1,100 @@
+"""Shared SWAR machinery: per-width mask constants and the validation toggle.
+
+The packed-op modules (:mod:`repro.simd.arithmetic` and friends) compute every
+lane of a 64-bit word at once on plain Python ints — the same carry-break
+masking tricks the paper's §2 describes MMX hardware using.  All of them need
+the same four per-width constants, precomputed here once:
+
+``lane_mask``
+    All ones across a single lane (``0xFF`` at width 8).
+``low``
+    The low bit of every lane (``0x0101_0101_0101_0101`` at width 8) — the
+    "lane repeat" constant; multiplying a single lane value by it broadcasts
+    the value, and multiplying a lane-MSB column shifted down to bit 0 by it
+    spreads each MSB into an all-ones/all-zeros lane mask.
+``high``
+    The MSB of every lane (``0x8080...``): the carry-break column.
+``not_high``
+    Complement of ``high`` within 64 bits.
+``signed_max``
+    The per-lane signed maximum pattern (``0x7F7F...``); adding the sign
+    column of an operand turns it into the correct saturation value per lane
+    (``0x80`` for negative lanes).
+
+Validation policy (see ``docs/performance.md``): the ops themselves no longer
+range-check their word operands on every call — words coming from the
+register file, memory, or the assembler are validated/masked at those API
+boundaries instead.  :func:`set_validation` (or the :func:`full_validation`
+context manager) re-enables per-call :func:`repro.simd.lanes.check_word`
+validation inside every packed op; the fault-injection harness runs campaigns
+under it so a corrupted value can never propagate silently through the
+data-path model.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import LaneError
+from repro.simd.lanes import LANE_WIDTHS, WORD_MASK
+
+
+def _mask_row(width: int) -> tuple[int, int, int, int, int]:
+    lane_mask = (1 << width) - 1
+    low = WORD_MASK // lane_mask
+    high = low << (width - 1)
+    return (lane_mask, low, high, WORD_MASK ^ high, low * (lane_mask >> 1))
+
+
+#: width -> (lane_mask, low, high, not_high, signed_max); see module docstring.
+MASKS: dict[int, tuple[int, int, int, int, int]] = {
+    width: _mask_row(width) for width in LANE_WIDTHS
+}
+
+
+def bad_width(width: int) -> LaneError:
+    """The error a packed op raises for an unsupported sub-word width."""
+    return LaneError(
+        f"illegal sub-word width {width}; expected one of {LANE_WIDTHS}"
+    )
+
+
+def ugt_mask(a: int, b: int, width: int) -> int:
+    """Per-lane *unsigned* ``a > b`` as all-ones/all-zeros lanes (width < 64).
+
+    Computes ``b - a`` with the borrow chain broken at lane boundaries and
+    extracts the per-lane borrow column: a lane borrows exactly when its
+    ``a`` lane exceeds its ``b`` lane.
+    """
+    lane_mask, _, high, not_high, _ = MASKS[width]
+    diff = ((b | high) - (a & not_high)) ^ ((b ^ a ^ high) & high)
+    borrow = ((~b & a) | ((~b | a) & diff)) & high
+    return (borrow >> (width - 1)) * lane_mask
+
+
+#: When True, every packed op validates its word operands with ``check_word``.
+_validate = False
+
+
+def validation_enabled() -> bool:
+    """True when full per-op word validation is on (debug mode)."""
+    return _validate
+
+
+def set_validation(enabled: bool) -> bool:
+    """Enable/disable per-op word validation; returns the previous setting."""
+    global _validate
+    previous = _validate
+    _validate = bool(enabled)
+    return previous
+
+
+@contextmanager
+def full_validation(enabled: bool = True) -> Iterator[None]:
+    """Context manager running its body with per-op validation *enabled*."""
+    previous = set_validation(enabled)
+    try:
+        yield
+    finally:
+        set_validation(previous)

@@ -1,0 +1,141 @@
+"""Decoded micro-op cache tests: identity, rebinding, and wrapper compat.
+
+The hot-path engine resolves every static instruction once into a
+:class:`~repro.cpu.executor.DecodedOp` stored per-Program
+(:func:`~repro.cpu.executor.uop_table`).  These tests pin the cache
+contracts the pipeline relies on: entries are revalidated by instruction
+identity (the off-load pass reuses Instruction objects under different
+label maps), packed-op handlers bind to the simd backend active at decode
+time, and the classic :func:`~repro.cpu.executor.execute` wrapper still
+behaves as the pre-cache single-step API.
+"""
+
+from repro import simd
+from repro.cpu import Machine, execute
+from repro.cpu.executor import DecodedOp, decode, uop_table
+from repro.isa import MM, assemble
+
+SOURCE = (
+    "mov r0, 3\n"
+    "top: paddw mm0, mm1\n"
+    "loop r0, top\n"
+    "halt"
+)
+
+
+class TestUopTable:
+    def test_cache_is_per_program_and_reused(self):
+        program = assemble(SOURCE)
+        table = uop_table(program)
+        assert table == {}
+        assert uop_table(program) is table
+        assert uop_table(assemble(SOURCE)) is not table
+
+    def test_run_fills_the_cache_with_bound_uops(self):
+        program = assemble(SOURCE)
+        Machine(program).run()
+        table = uop_table(program)
+        assert set(table) == {0, 1, 2, 3}
+        for pc, uop in table.items():
+            assert isinstance(uop, DecodedOp)
+            assert uop.instr is program.instructions[pc]
+
+    def test_stale_entries_are_revalidated_by_identity(self):
+        # The pipeline re-decodes when the cached uop's instruction is not
+        # the one at that pc — the guard that makes instruction-object
+        # reuse (e.g. by the off-load pass) safe.
+        program = assemble(SOURCE)
+        machine = Machine(program)
+        machine.run()
+        table = uop_table(program)
+        stale = table[1]
+        table[1] = decode(program.instructions[2], program, 2)
+        machine = Machine(program)
+        machine.state.write(MM[0], 0)
+        machine.state.write(MM[1], simd.join([1, 0, 0, 0], 16))
+        machine.run()
+        assert table[1].instr is program.instructions[1]
+        assert simd.split(machine.state.mmx[0], 16).tolist()[0] == 3
+        assert stale.instr is program.instructions[1]
+
+    def test_branch_targets_resolve_per_program(self):
+        # Same source, two Programs: each uop jumps within its own program.
+        first = assemble(SOURCE)
+        second = assemble("nop\n" + SOURCE)
+        Machine(first).run()
+        Machine(second).run()
+        loop_first = uop_table(first)[2]
+        loop_second = uop_table(second)[3]
+        assert loop_first.is_branch and loop_second.is_branch
+        assert loop_first.instr.name == loop_second.instr.name == "loop"
+
+
+class TestBackendBinding:
+    def _run(self, backend):
+        with simd.use_backend(backend):
+            program = assemble(
+                "paddsw mm0, mm1\npmullw mm0, mm2\npsubusb mm0, mm3\nhalt"
+            )
+            machine = Machine(program)
+            machine.state.write(MM[0], 0x7FFF_8000_1234_ABCD)
+            machine.state.write(MM[1], 0x0001_FFFF_0101_0101)
+            machine.state.write(MM[2], 0x0002_0003_0004_0005)
+            machine.state.write(MM[3], 0x00FF_0080_0000_0001)
+            stats = machine.run()
+        return machine.state.mmx[0], stats
+
+    def test_backends_agree_on_state_and_stats(self):
+        swar_word, swar_stats = self._run("swar")
+        ref_word, ref_stats = self._run("reference")
+        assert swar_word == ref_word
+        assert swar_stats.as_dict() == ref_stats.as_dict()
+
+    def test_handlers_bind_at_decode_time(self):
+        program = assemble("paddw mm0, mm1\nhalt")
+        Machine(program).run()  # decoded under the default swar backend
+        bound = uop_table(program)[0]
+        with simd.use_backend("reference"):
+            # Already-decoded uops keep their handler; only fresh decodes
+            # see the new backend.
+            rebound = decode(program.instructions[0], program, 0)
+        assert bound.run is not rebound.run
+
+
+class TestExecuteWrapper:
+    def test_single_step_advances_pc(self):
+        program = assemble("mov r1, 7\nhalt")
+        machine = Machine(program)
+        outcome = execute(program.instructions[machine.state.pc],
+                          machine.state, machine.memory, program)
+        assert machine.state.scalar[1] == 7
+        assert outcome.next_pc == 1
+        assert not machine.state.halted
+
+    def test_branch_outcome_reports_target(self):
+        program = assemble("jmp done\nnop\ndone: halt")
+        machine = Machine(program)
+        outcome = execute(program.instructions[machine.state.pc],
+                          machine.state, machine.memory, program)
+        assert outcome.next_pc == 2
+        assert outcome.taken
+
+    def test_halt_pins_pc(self):
+        program = assemble("halt")
+        machine = Machine(program)
+        outcome = execute(program.instructions[machine.state.pc],
+                          machine.state, machine.memory, program)
+        assert machine.state.halted
+        assert outcome.next_pc == 0
+
+    def test_functional_and_pipelined_agree(self):
+        def fresh():
+            machine = Machine(assemble(SOURCE))
+            machine.state.write(MM[1], simd.join([2, 0, 0, 0], 16))
+            return machine
+
+        pipelined = fresh()
+        pipelined.run()
+        functional = fresh()
+        functional.run_functional()
+        assert pipelined.state.mmx[0] == functional.state.mmx[0]
+        assert pipelined.state.scalar[0] == functional.state.scalar[0]

@@ -1,0 +1,163 @@
+"""Property tests: the SWAR data path is bit-identical to the NumPy oracle.
+
+Every public packed op is evaluated through both backends — the integer
+SWAR implementation exported by :mod:`repro.simd` and the NumPy
+lane-vector reference in :mod:`repro.simd.reference` — on hypothesis-drawn
+64-bit words plus the carry-break corner patterns, across every width each
+op accepts.  This is the shrinking, exhaustive sibling of the seeded
+sample differ (:mod:`repro.simd.selftest`) that ``repro check
+--swar-check`` runs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import simd
+from repro.simd import lanes, reference, swar
+from repro.simd.selftest import ADVERSARIAL_WORDS, sample_diff
+
+WORDS = st.one_of(
+    st.sampled_from(ADVERSARIAL_WORDS),
+    st.integers(min_value=0, max_value=lanes.WORD_MASK),
+)
+ALL_WIDTHS = st.sampled_from(lanes.LANE_WIDTHS)
+SUB_WIDTHS = st.sampled_from((8, 16, 32))
+PACK_WIDTHS = st.sampled_from((16, 32))
+SHIFT_WIDTHS = st.sampled_from((16, 32, 64))
+COUNTS = st.integers(min_value=0, max_value=80)
+
+#: (op name, widths strategy) for plain two-word ops.
+BINARY_WIDTH_OPS = [
+    ("padd", ALL_WIDTHS), ("psub", ALL_WIDTHS),
+    ("padds", ALL_WIDTHS), ("psubs", ALL_WIDTHS),
+    ("paddus", ALL_WIDTHS), ("psubus", ALL_WIDTHS),
+    ("pavg", ALL_WIDTHS),
+    ("pcmpeq", ALL_WIDTHS), ("pcmpgt", ALL_WIDTHS),
+    ("punpckl", SUB_WIDTHS), ("punpckh", SUB_WIDTHS),
+    ("packss", PACK_WIDTHS), ("packus", PACK_WIDTHS),
+]
+BINARY_NOWIDTH_OPS = [
+    "pmullw", "pmulhw", "pmulhuw", "pmaddwd", "pmuludq",
+    "pand", "pandn", "por", "pxor",
+]
+
+
+@pytest.mark.parametrize("op,widths", BINARY_WIDTH_OPS)
+@given(a=WORDS, b=WORDS, data=st.data())
+def test_binary_width_ops_match_reference(op, widths, a, b, data):
+    width = data.draw(widths)
+    assert getattr(simd, op)(a, b, width) == \
+        getattr(reference, op)(a, b, width)
+
+
+@pytest.mark.parametrize("op", BINARY_NOWIDTH_OPS)
+@given(a=WORDS, b=WORDS)
+def test_binary_nowidth_ops_match_reference(op, a, b):
+    assert getattr(simd, op)(a, b) == getattr(reference, op)(a, b)
+
+
+@pytest.mark.parametrize("op", ["pmin", "pmax"])
+@given(a=WORDS, b=WORDS, width=ALL_WIDTHS, signed=st.booleans())
+def test_minmax_matches_reference(op, a, b, width, signed):
+    assert getattr(simd, op)(a, b, width, signed=signed) == \
+        getattr(reference, op)(a, b, width, signed=signed)
+
+
+@pytest.mark.parametrize("op", ["psll", "psrl"])
+@given(value=WORDS, count=COUNTS, width=SHIFT_WIDTHS)
+def test_logical_shifts_match_reference(op, value, count, width):
+    assert getattr(simd, op)(value, count, width) == \
+        getattr(reference, op)(value, count, width)
+
+
+@given(value=WORDS, count=COUNTS, width=st.sampled_from((16, 32)))
+def test_psra_matches_reference(value, count, width):
+    assert simd.psra(value, count, width) == \
+        reference.psra(value, count, width)
+
+
+@given(value=WORDS, nbytes=st.integers(min_value=0, max_value=16))
+def test_byte_shifts_match_reference(value, nbytes):
+    assert simd.psllq_bytes(value, nbytes) == \
+        reference.psllq_bytes(value, nbytes)
+    assert simd.psrlq_bytes(value, nbytes) == \
+        reference.psrlq_bytes(value, nbytes)
+
+
+@given(a=WORDS, b=WORDS, width=SUB_WIDTHS, signed=st.booleans())
+def test_widening_multiply_matches_reference(a, b, width, signed):
+    assert simd.pmul_widening(a, b, width, signed=signed) == \
+        reference.pmul_widening(a, b, width, signed=signed)
+
+
+@given(value=WORDS, width=SUB_WIDTHS, data=st.data())
+def test_permute_word_matches_reference(value, width, data):
+    count = lanes.lane_count(width)
+    selector = data.draw(st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=count - 1)),
+        min_size=count, max_size=count,
+    ))
+    assert simd.permute_word(value, selector, width) == \
+        reference.permute_word(value, selector, width)
+
+
+class TestValidationToggle:
+    def test_disabled_by_default_on_the_hot_path(self):
+        assert not simd.validation_enabled()
+
+    def test_full_validation_catches_out_of_range_words(self):
+        bad = lanes.WORD_MASK + 1
+        assert simd.padd(bad, 0, 16) == simd.padd(bad, 0, 16)  # unchecked
+        with simd.full_validation():
+            assert simd.validation_enabled()
+            with pytest.raises(Exception):
+                simd.padd(bad, 0, 16)
+        assert not simd.validation_enabled()
+
+    def test_set_validation_returns_previous(self):
+        assert simd.set_validation(True) is False
+        try:
+            assert simd.validation_enabled()
+        finally:
+            assert simd.set_validation(False) is True
+
+    def test_validation_does_not_change_results(self):
+        a, b = 0x8000_7FFF_0001_FFFF, 0x0123_4567_89AB_CDEF
+        plain = simd.padds(a, b, 16)
+        with simd.full_validation():
+            assert simd.padds(a, b, 16) == plain
+
+
+class TestBackendSwitch:
+    def test_default_is_swar(self):
+        assert simd.backend_name() == "swar"
+        assert simd.active_backend() is simd
+
+    def test_use_backend_scopes_the_switch(self):
+        with simd.use_backend("reference"):
+            assert simd.backend_name() == "reference"
+            assert simd.active_backend() is reference
+        assert simd.backend_name() == "swar"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            simd.set_backend("mmx")
+
+
+class TestReplicate:
+    @given(value=st.integers(min_value=0, max_value=0xFF))
+    def test_replicate_broadcasts_every_byte(self, value):
+        assert lanes.split(lanes.replicate(value, 8), 8).tolist() == [value] * 8
+
+    def test_replicate_uses_the_low_column(self):
+        # The multiply-by-low-column broadcast: one lane value spread to all.
+        assert lanes.replicate(0xAB, 16) == 0x00AB * swar.MASKS[16][1]
+
+
+@settings(deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32))
+def test_sample_diff_is_clean_and_deterministic(seed):
+    first = sample_diff(seed=seed, samples=4)
+    assert first["mismatches"] == 0
+    assert first == sample_diff(seed=seed, samples=4)
