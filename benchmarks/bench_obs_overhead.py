@@ -42,6 +42,7 @@ from repro.cpu.pairing import can_pair
 from repro.cpu.stats import RunStats
 from repro.errors import SimulationError
 from repro.isa import assemble
+from repro.obs import TraceProfiler
 
 #: ~0.4s per run at typical CPython speed: long enough to time stably.
 ITERATIONS = 8_000
@@ -213,6 +214,12 @@ def _cases(program):
     return [
         ("prebus", lambda: PreBusMachine(program), None),
         ("idle", lambda: Machine(program), None),
+        # A trace profiler that was attached and then detached must leave the
+        # machine indistinguishable from one that never saw it: detach drops
+        # the subscriber lists back to empty, so the hot loop's emptiness
+        # guards skip every emission site again.
+        ("tracer_off", lambda: Machine(program),
+         lambda machine: TraceProfiler().attach(machine).detach()),
         ("observed", lambda: Machine(program),
          lambda machine: machine.bus.subscribe("issue", counter.append)),
     ]
@@ -261,12 +268,15 @@ def test_zero_subscriber_overhead(benchmark):
     assert instrumented_stats.as_dict() == prebus_stats.as_dict()
 
     samples = benchmark.pedantic(_sample_processes, rounds=1, iterations=1)
-    prebus_time, idle_time, observed_time = (
+    prebus_time, idle_time, tracer_off_time, observed_time = (
         statistics.median(s[name] for s in samples)
-        for name in ("prebus", "idle", "observed")
+        for name in ("prebus", "idle", "tracer_off", "observed")
     )
     idle_overhead = statistics.median(
         s["idle"] / s["prebus"] - 1 for s in samples
+    )
+    tracer_off_overhead = statistics.median(
+        s["tracer_off"] / s["prebus"] - 1 for s in samples
     )
     observed_overhead = statistics.median(
         s["observed"] / s["prebus"] - 1 for s in samples
@@ -275,6 +285,8 @@ def test_zero_subscriber_overhead(benchmark):
         ["pre-bus baseline", f"{prebus_time * 1e3:.1f}", "-"],
         ["event bus, no subscribers", f"{idle_time * 1e3:.1f}",
          ratio(idle_overhead * 100, 2) + "%"],
+        ["trace profiler attached+detached", f"{tracer_off_time * 1e3:.1f}",
+         ratio(tracer_off_overhead * 100, 2) + "%"],
         ["event bus, issue subscriber", f"{observed_time * 1e3:.1f}",
          ratio(observed_overhead * 100, 2) + "%"],
     ]
@@ -288,13 +300,21 @@ def test_zero_subscriber_overhead(benchmark):
     )
     emit("obs_overhead", text, headers=headers, rows=rows,
          data={"prebus_s": prebus_time, "idle_s": idle_time,
+               "tracer_off_s": tracer_off_time,
                "observed_s": observed_time, "idle_overhead": idle_overhead,
+               "tracer_off_overhead": tracer_off_overhead,
                "observed_overhead": observed_overhead,
                "processes": PROCESSES, "rounds": ROUNDS})
 
     # The guard: an unobserved instrumented run is within 5% of pre-bus.
     assert idle_overhead < 0.05, (
         f"zero-subscriber bus overhead {idle_overhead:.1%} exceeds the 5% budget"
+    )
+    # A detached trace profiler gets the same budget: detach must return the
+    # bus to the zero-subscriber fast path, not leave residual dispatch work.
+    assert tracer_off_overhead < 0.05, (
+        f"detached-tracer overhead {tracer_off_overhead:.1%} exceeds the"
+        " 5% budget"
     )
 
 

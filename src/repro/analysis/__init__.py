@@ -50,8 +50,12 @@ from repro.analysis.lint import (
     render_lint,
 )
 from repro.analysis.verdict import injection_verdict
+from repro.analysis.fusion import FusionVerdict, fusion_verdict, schedule_blockers
 
 __all__ += [
+    "FusionVerdict",
+    "fusion_verdict",
+    "schedule_blockers",
     "Finding",
     "FindingCollector",
     "Severity",

@@ -1,0 +1,125 @@
+"""Fusibility verdicts: which hot traces are superop candidates.
+
+Trace-level superop compilation (ROADMAP item 1) can only fuse a trace whose
+schedule is *provably* stable: the same pc path every execution, matching a
+static loop region, and — for the SPU variant — a controller schedule the
+PR 3 agreement analyzer (:mod:`repro.analysis.schedule`) certifies, since a
+fused body would bake the per-position operand routes in.  This module turns
+a :class:`~repro.obs.traceprof.TraceProfiler`'s dynamic traces plus the
+static analyses into per-trace :class:`FusionVerdict`\\ s.
+
+A trace is **fusible** when all of:
+
+- its body is one exact pass over a labeled loop region (``head ==
+  region.start`` and the pc path is ``start..end`` in order — no internal
+  control flow took a different path);
+- it repeated (``executions >= 2``: entry and exit paths around a loop run
+  once and are never candidates);
+- it is dynamically stable (no sibling body at the same head also repeated);
+- no ``sa-*`` *error* finding blocks its loop (SPU variant; the MMX variant
+  has no controller schedule to agree with, so only the dynamic conditions
+  apply).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.findings import Severity
+from repro.analysis.loops import LoopRegion, find_loop_regions
+
+__all__ = [
+    "FusionVerdict",
+    "find_loop_regions",
+    "fusion_verdict",
+    "schedule_blockers",
+]
+
+
+@dataclass(frozen=True)
+class FusionVerdict:
+    """Why one trace is (or is not) a superop candidate."""
+
+    fusible: bool
+    #: Label of the matched loop region, when the body is a loop pass.
+    loop: str | None
+    #: Empty when fusible; otherwise every disqualifying condition.
+    reasons: tuple[str, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "fusible": self.fusible,
+            "loop": self.loop,
+            "reasons": list(self.reasons),
+        }
+
+
+def schedule_blockers(kernel) -> dict[str, list[str]]:
+    """Loop label -> sorted ``sa-*`` error rules from the agreement analyzer.
+
+    Findings that name no loop (e.g. ``sa-go-before-load``) block every
+    loop under the ``"*"`` key — an orphan GO store can skew any schedule.
+    """
+    from repro.analysis.schedule import analyze_schedule
+
+    blockers: dict[str, set[str]] = {}
+    prefix = f"{kernel.name}/"
+    for finding in analyze_schedule(kernel):
+        if finding.severity < Severity.ERROR:
+            continue
+        location = finding.location
+        if location.startswith(prefix):
+            # "Kernel/label (context 0)" or "Kernel/label+3 (state 5)"
+            label = location[len(prefix):].split(" ")[0].split("+")[0]
+        else:
+            label = "*"
+        blockers.setdefault(label, set()).add(finding.rule)
+    return {label: sorted(rules) for label, rules in blockers.items()}
+
+
+def _matching_region(trace, regions: list[LoopRegion]) -> LoopRegion | None:
+    """The loop region *trace* is one exact pass over, if any."""
+    for region in regions:
+        if region.start != trace.head:
+            continue
+        if trace.body == tuple(range(region.start, region.end + 1)):
+            return region
+    return None
+
+
+def fusion_verdict(
+    trace,
+    regions: list[LoopRegion],
+    stable_heads: set[int],
+    blockers: dict[str, list[str]] | None = None,
+) -> FusionVerdict:
+    """Judge one :class:`~repro.obs.traceprof.TraceStats` trace.
+
+    *blockers* is :func:`schedule_blockers` output for the SPU variant and
+    ``None`` for the MMX variant (no controller schedule applies).
+    """
+    reasons: list[str] = []
+    region = None
+    if trace.truncated:
+        reasons.append("body exceeded the profiler's recording limit")
+    else:
+        region = _matching_region(trace, regions)
+        if region is None:
+            reasons.append("body is not a single pass over a labeled loop")
+    if trace.executions < 2:
+        reasons.append("executed once (loop entry/exit path)")
+    if trace.head not in stable_heads:
+        reasons.append("schedule varies across executions at this head")
+    if blockers is not None and region is not None:
+        blocked = sorted(
+            set(blockers.get(region.label, [])) | set(blockers.get("*", []))
+        )
+        if blocked:
+            reasons.append(
+                "schedule-agreement errors: " + ", ".join(blocked)
+            )
+    return FusionVerdict(
+        fusible=not reasons,
+        loop=region.label if region is not None else None,
+        reasons=tuple(reasons),
+    )

@@ -22,9 +22,16 @@ Commands
     VTune-style dynamic profile: instruction mix, per-stage cycle
     attribution and SPU controller occupancy (``--json -`` for stdout;
     schema in docs/observability.md).
+``top KERNEL [--variant V] [--limit N] [--json PATH]``
+    Hot-trace profile: dynamic traces between backward control transfers,
+    ranked by cycles, with exact per-trace cycle/stall/pairing attribution
+    and fusibility verdicts (stable schedule + clean agreement analysis) —
+    the planning input for trace-level superop compilation (ROADMAP
+    item 1; schema ``repro.obs/2``).
 ``trace KERNEL [--jsonl PATH]``
     Issue-by-issue pipeline listing; ``--jsonl`` exports one record per
-    issued instruction.
+    issued instruction behind a ``trace-header`` record naming the
+    kernel, variant and config.
 ``check [KERNEL] [--faults N] [--seed S] [--json PATH] [--jobs N]
 [--resume PATH]``
     Differential self-check: replay every kernel (or one) against the
@@ -36,7 +43,10 @@ Commands
     byte-stable).  ``--jobs N`` runs the campaign on
     the worker pool; ``--resume PATH`` journals progress there and skips
     already-completed tasks on re-invocation — the merged report is
-    byte-identical to a serial run either way.
+    byte-identical to a serial run either way.  ``--spans PATH`` writes an
+    OTLP-flavored span JSONL timeline (campaign → slice → task → run →
+    phase; wall-clock lives only there, never in the campaign report) and
+    ``--progress`` prints live per-slice progress lines to stderr.
 ``lint [KERNEL ...| --all] [--json PATH] [--fail-on SEV]``
     Static verifier: microprogram structure, kernel/controller schedule
     agreement and off-load soundness certificates (rule catalog in
@@ -129,13 +139,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     suite = ExperimentSuite(fast=args.fast, kernel_names=tuple(names))
     config = RunnerConfig(jobs=args.jobs,
                           interrupt_after=args.interrupt_after)
+    tracer = None
+    if args.spans is not None:
+        from repro.obs.spans import SpanTracer
+
+        tracer = SpanTracer()
     try:
-        runner, results = suite.prefetch(
-            jobs=args.jobs, journal_path=args.resume, runner_config=config
-        )
-    except RunnerInterrupted as exc:
-        print(f"repro run: {exc}", file=sys.stderr)
-        return 3
+        try:
+            runner, results = suite.prefetch(
+                jobs=args.jobs, journal_path=args.resume, runner_config=config,
+                tracer=tracer,
+                progress=sys.stderr if args.progress else None,
+            )
+        except RunnerInterrupted as exc:
+            print(f"repro run: {exc}", file=sys.stderr)
+            return 3
+    finally:
+        if tracer is not None:
+            target = tracer.write(args.spans)
+            if target is not None:
+                print(f"wrote {target} ({len(tracer.spans)} spans)",
+                      file=sys.stderr)
     rows = []
     failed = 0
     for name in names:
@@ -270,6 +294,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(format_table(["top opcodes", "dynamic count"], [list(kv) for kv in top]))
         print(f"MMX fraction {pct(mix['mmx_fraction'], 1)}, "
               f"alignment/MMX {pct(mix['permute_fraction_of_mmx'], 1)}")
+        uop = section.get("uop_cache")
+        if uop:
+            print(f"uop cache: {uop['hits']} hits / {uop['misses']} misses "
+                  f"({pct(uop['hit_rate'], 1)} hit rate), "
+                  f"{uop['rebuilds']} identity rebuilds, "
+                  f"{uop['cached_entries']} entries resident")
         controller = section.get("controller")
         if controller:
             hottest = sorted(controller["state_occupancy"].items(),
@@ -290,16 +320,76 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.export import resolve_kernel_name, trace_profile_report, write_json
+
+    name = resolve_kernel_name(args.kernel)
+    kernel = make_kernel(name)
+    variants = ("mmx", "spu") if args.variant == "both" else (args.variant,)
+    report = trace_profile_report(kernel, variants)
+    if args.json is not None:
+        target = write_json(args.json, report)
+        if target is not None:
+            print(f"wrote {target}")
+        return 0
+    body = report["data"]
+    print(f"{body['kernel']} ({body['description']}), config {body['config']}")
+    for variant in variants:
+        section = body["variants"][variant]
+        total = section["cycles"]
+        summary = section["summary"]
+        print(f"\n[{variant}] {total} cycles over {summary['traces']} trace(s); "
+              f"{summary['fusible_traces']} fusible covering "
+              f"{pct(summary['fusible_share'], 1)} of cycles")
+        uop = section["uop_cache"]
+        print(f"uop cache: {uop['hits']} hits / {uop['misses']} misses "
+              f"({pct(uop['hit_rate'], 1)} hit rate), "
+              f"{uop['rebuilds']} identity rebuilds")
+        shown = section["traces"][:args.limit]
+        rows = []
+        for record in shown:
+            rows.append([
+                record["label"] or f"@{record['head']}",
+                f"{record['head']}+{record['length']}",
+                record["executions"],
+                record["cycles"],
+                pct(record["cycles"] / total if total else 0.0, 1),
+                f"{record['cpi']:.2f}",
+                pct(record["pair_fraction"], 1),
+                record["stall_cycles"],
+                "yes" if record["fusion"]["fusible"] else "-",
+            ])
+        print(format_table(
+            ["trace", "span", "execs", "cycles", "share", "cpi", "pair",
+             "stalls", "fusible"],
+            rows,
+        ))
+        for record in shown:
+            reasons = record["fusion"]["reasons"]
+            if reasons:
+                label = record["label"] or f"@{record['head']}"
+                print(f"  {label}: {reasons[0]}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from itertools import chain
+
     from repro.cpu import trace_run
-    from repro.obs.export import resolve_kernel_name, trace_records, write_jsonl
+    from repro.obs.export import (
+        resolve_kernel_name,
+        trace_header,
+        trace_records,
+        write_jsonl,
+    )
 
     name = resolve_kernel_name(args.kernel)
     kernel = make_kernel(name)
     machine = kernel.machine(args.variant)
     trace = trace_run(machine, max_entries=args.max_entries)
     if args.jsonl is not None:
-        target = write_jsonl(args.jsonl, trace_records(trace))
+        records = chain([trace_header(kernel, args.variant)], trace_records(trace))
+        target = write_jsonl(args.jsonl, records)
         if target is not None:
             print(f"wrote {target} ({len(trace)} records)")
         return 0
@@ -316,38 +406,56 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.obs.export import resolve_kernel_name, write_json
 
     kernels = tuple(resolve_kernel_name(name) for name in args.kernel)
-    runner = None
-    if args.jobs > 1 or args.resume is not None:
-        from repro.errors import RunnerInterrupted
-        from repro.faults import run_check_parallel
-        from repro.runner import RunnerConfig
+    tracer = None
+    if args.spans is not None:
+        from repro.obs.spans import SpanTracer
 
-        config = RunnerConfig(jobs=args.jobs,
-                              interrupt_after=args.interrupt_after)
-        try:
-            result, runner = run_check_parallel(
+        tracer = SpanTracer()
+    progress = sys.stderr if args.progress else None
+    runner = None
+    try:
+        if args.jobs > 1 or args.resume is not None:
+            from repro.errors import RunnerInterrupted
+            from repro.faults import run_check_parallel
+            from repro.runner import RunnerConfig
+
+            config = RunnerConfig(jobs=args.jobs,
+                                  interrupt_after=args.interrupt_after)
+            try:
+                result, runner = run_check_parallel(
+                    kernels=kernels,
+                    faults=args.faults,
+                    seed=args.seed,
+                    resilience=args.mode,
+                    fast=args.fast,
+                    swar_check=args.swar_check,
+                    jobs=args.jobs,
+                    journal_path=args.resume,
+                    runner_config=config,
+                    tracer=tracer,
+                    progress=progress,
+                )
+            except RunnerInterrupted as exc:
+                print(f"repro check: {exc}", file=sys.stderr)
+                return 3
+        else:
+            result = run_check(
                 kernels=kernels,
                 faults=args.faults,
                 seed=args.seed,
                 resilience=args.mode,
                 fast=args.fast,
                 swar_check=args.swar_check,
-                jobs=args.jobs,
-                journal_path=args.resume,
-                runner_config=config,
+                tracer=tracer,
             )
-        except RunnerInterrupted as exc:
-            print(f"repro check: {exc}", file=sys.stderr)
-            return 3
-    else:
-        result = run_check(
-            kernels=kernels,
-            faults=args.faults,
-            seed=args.seed,
-            resilience=args.mode,
-            fast=args.fast,
-            swar_check=args.swar_check,
-        )
+    finally:
+        # Runs on the interrupt path too: an aborted campaign still writes
+        # its spans (open ones export with an aborted status).
+        if tracer is not None:
+            target = tracer.write(args.spans)
+            if target is not None:
+                print(f"wrote {target} ({len(tracer.spans)} spans)",
+                      file=sys.stderr)
     if args.json is not None:
         target = write_json(args.json, check_report(result))
         if target is not None:
@@ -464,6 +572,16 @@ def build_parser() -> argparse.ArgumentParser:
             default=None, metavar="PATH",
             help="write the repro.runner/1 execution report ('-': stdout)",
         )
+        target.add_argument(
+            "--spans", default=None, metavar="PATH",
+            help="write an OTLP-flavored span JSONL timeline of the "
+            "campaign (wall-clock only; the byte-stable report never "
+            "carries it)",
+        )
+        target.add_argument(
+            "--progress", action="store_true",
+            help="print live per-slice progress lines to stderr",
+        )
 
     run_parser = sub.add_parser(
         "run", help="verify and compare kernels (sweeps run on the "
@@ -510,6 +628,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the schema-versioned JSON report ('-' or no value: stdout)",
     )
     profile_parser.set_defaults(func=_cmd_profile)
+
+    top_parser = sub.add_parser(
+        "top",
+        help="hot-trace profile: per-trace cycles, stalls and fusibility "
+        "(the superop-compilation planning input)",
+    )
+    top_parser.add_argument("kernel", help="kernel name (forgiving match)")
+    top_parser.add_argument("--variant", choices=("mmx", "spu", "both"),
+                            default="both")
+    top_parser.add_argument("--limit", type=int, default=10,
+                            help="max traces listed (text mode; default: 10)")
+    top_parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the repro.obs/2 trace-profile JSON ('-' or no value: "
+        "stdout)",
+    )
+    top_parser.set_defaults(func=_cmd_top)
 
     trace_parser = sub.add_parser(
         "trace", help="issue-by-issue pipeline listing for one kernel"

@@ -672,6 +672,47 @@ def uop_table(program: Program) -> dict[int, DecodedOp]:
     return cache
 
 
+def cold_decode(
+    uops: dict[int, DecodedOp], program: Program, pc: int,
+    instr: Instruction, stale: DecodedOp | None,
+) -> DecodedOp:
+    """Decode-and-fill for a cache miss; maintains the program's uop stats.
+
+    Every consumer of :func:`uop_table` routes its miss path through here,
+    so ``decodes`` (first sight of a pc) and ``rebuilds`` (a cached entry
+    failed identity revalidation — the instruction list was edited in
+    place) stay accurate without touching the hot hit path.
+    """
+    uop = decode(instr, program, pc)
+    uops[pc] = uop
+    stats = program.__dict__.get("_uop_stats")
+    if stats is None:
+        stats = {"decodes": 0, "rebuilds": 0}
+        program._uop_stats = stats
+    if stale is None:
+        stats["decodes"] += 1
+    else:
+        stats["rebuilds"] += 1
+    return uop
+
+
+def uop_cache_stats(program: Program) -> dict:
+    """Lifetime decode-cache counters for *program* (all zero before use).
+
+    ``decodes`` counts first-sight misses, ``rebuilds`` counts
+    identity-revalidation misses, ``cached_entries`` is the table's current
+    size.  Dynamic hits are derived by the observers that know the issue
+    count (``hits = issues - misses``); see ``repro profile``.
+    """
+    stats = program.__dict__.get("_uop_stats")
+    cache = program.__dict__.get("_uop_cache")
+    return {
+        "decodes": stats["decodes"] if stats else 0,
+        "rebuilds": stats["rebuilds"] if stats else 0,
+        "cached_entries": len(cache) if cache else 0,
+    }
+
+
 def execute(
     instr: Instruction,
     state: MachineState,
@@ -689,7 +730,6 @@ def execute(
     cache = uop_table(program)
     uop = cache.get(pc)
     if uop is None or uop.instr is not instr:
-        uop = decode(instr, program, pc)
-        cache[pc] = uop
+        uop = cold_decode(cache, program, pc, instr, uop)
     result = uop.run(state, memory, operand_values)
     return result if result is not None else uop.fall

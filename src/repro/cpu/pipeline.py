@@ -16,20 +16,26 @@ the routed values, keeping this module independent of the SPU internals.
 Telemetry flows through :attr:`Machine.bus` (:mod:`repro.obs.events`): the
 run loop publishes ``run_start``, ``issue``, ``stall``, ``branch`` and
 ``run_end`` events, each guarded by a subscriber-list emptiness test so an
-unobserved run pays no event-construction cost.  The legacy single-slot
-``Machine.on_issue`` hook survives as a deprecated shim over the bus.
+unobserved run pays no event-construction cost.  (The legacy single-slot
+``Machine.on_issue`` hook shim has been removed after its deprecation
+window; subscribe to the bus instead.)
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Protocol
 
 from repro.errors import ReproError, SimulationError
 from repro.resilience import ResilienceMode
 from repro.cpu.branch import BranchPredictor, make_predictor
-from repro.cpu.executor import DecodedOp, ExecOutcome, decode, uop_table
+from repro.cpu.executor import (
+    DecodedOp,
+    ExecOutcome,
+    cold_decode,
+    decode,
+    uop_table,
+)
 from repro.cpu.memory import Memory
 from repro.cpu.pairing import can_pair
 from repro.cpu.state import MachineState
@@ -113,46 +119,9 @@ class Machine:
         #: Telemetry: every observer attaches here (see repro.obs.events).
         #: With no subscribers the per-issue cost is one emptiness test.
         self.bus = EventBus()
-        self._on_issue_legacy = None
-        self._on_issue_adapter = None
         # Pairing decisions depend only on the two static instructions; the
         # program never changes under a machine, so memoize per pc pair.
         self._pair_cache: dict[tuple[int, int], tuple[bool, str]] = {}
-
-    # ---- legacy hook shim ------------------------------------------------
-
-    @property
-    def on_issue(self):
-        """Deprecated single-slot issue hook (``machine.bus`` replaces it).
-
-        Reads back whatever was assigned (None by default).  Assigning a
-        callable subscribes an adapter to the bus's ``issue`` topic that
-        calls it with the bare instruction, preserving the old signature;
-        assigning ``None`` detaches it.  Only one legacy hook exists at a
-        time — new code should call ``machine.bus.subscribe("issue", fn)``,
-        which supports any number of concurrent observers.
-        """
-        return self._on_issue_legacy
-
-    @on_issue.setter
-    def on_issue(self, fn) -> None:
-        if self._on_issue_adapter is not None:
-            self.bus.unsubscribe("issue", self._on_issue_adapter)
-            self._on_issue_adapter = None
-        self._on_issue_legacy = fn
-        if fn is not None:
-            warnings.warn(
-                "Machine.on_issue is deprecated; use "
-                "machine.bus.subscribe('issue', fn) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-
-            def adapter(event, _fn=fn):
-                _fn(event.instr)
-
-            self._on_issue_adapter = adapter
-            self.bus.subscribe("issue", adapter)
 
     # ---- helpers ---------------------------------------------------------
 
@@ -185,8 +154,7 @@ class Machine:
         uops = uop_table(program)
         uop = uops.get(pc)
         if uop is None or uop.instr is not instr:
-            uop = decode(instr, program, pc)
-            uops[pc] = uop
+            uop = cold_decode(uops, program, pc, instr, uop)
         return uop
 
     def _issue(
@@ -419,8 +387,7 @@ class Machine:
             instr = instructions[pc]
             uop = uops_get(pc)
             if uop is None or uop.instr is not instr:
-                uop = decode(instr, program, pc)
-                uops[pc] = uop
+                uop = cold_decode(uops, program, pc, instr, uop)
 
             ready = 0
             for key in uop.read_keys:
@@ -466,8 +433,7 @@ class Machine:
                 follower = instructions[pc]
                 fuop = uops_get(pc)
                 if fuop is None or fuop.instr is not follower:
-                    fuop = decode(follower, program, pc)
-                    uops[pc] = fuop
+                    fuop = cold_decode(uops, program, pc, follower, fuop)
                 key = (state.pc, pc)
                 cached = pair_cache.get(key)
                 if cached is None:

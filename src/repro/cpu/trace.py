@@ -68,8 +68,8 @@ def trace_run(machine: Machine, max_cycles: int | None = None,
     """Run *machine* to completion while recording a :class:`Trace`.
 
     A plain bus subscription: any number of other observers (profiler,
-    timeline, legacy ``on_issue`` hooks) can watch the same run, and they
-    all detach independently.
+    timeline, trace profiler) can watch the same run, and they all detach
+    independently.
     """
     trace = Trace()
 

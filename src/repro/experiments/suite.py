@@ -106,7 +106,7 @@ class ExperimentSuite:
         return {name: self.comparison(name) for name in self.kernel_names}
 
     def prefetch(self, jobs: int = 1, journal_path=None, bus=None,
-                 runner_config=None):
+                 runner_config=None, tracer=None, progress=None):
         """Warm the comparison cache on the campaign runner; returns it.
 
         One ``suite_cell`` task per not-yet-cached kernel; with ``jobs >= 2``
@@ -116,6 +116,10 @@ class ExperimentSuite:
         makes the sweep resumable.  Cells that terminally fail or are
         breaker-skipped stay uncached — a later :meth:`comparison` computes
         them serially — so the suite degrades instead of raising.
+
+        *tracer* records the sweep as a ``campaign:suite`` span tree and
+        *progress* gets the runner's live per-slice lines (``repro run
+        --spans/--progress``); neither affects the cached comparisons.
         """
         from repro.runner import Journal, Runner, RunnerConfig, TaskSpec
 
@@ -128,7 +132,12 @@ class ExperimentSuite:
                            "fast": self.fast}
             journal = Journal(journal_path, fingerprint,
                               fsync_every=config.fsync_every)
-        runner = Runner(config, bus=bus, journal=journal)
+        root = None
+        if tracer is not None:
+            root = tracer.begin("campaign:suite", kernels=len(pending),
+                                fast=self.fast, jobs=config.jobs)
+        runner = Runner(config, bus=bus, journal=journal,
+                        tracer=tracer, span_parent=root, progress=progress)
         try:
             results = runner.run([
                 TaskSpec(
@@ -146,6 +155,9 @@ class ExperimentSuite:
             result = results[f"cell:{name}"]
             if result.ok:
                 self._comparisons[name] = comparison_from_record(result.result)
+        # Success only: an interrupt leaves the root open (exports aborted).
+        if root is not None:
+            tracer.end(root)
         return runner, results
 
     def verify_all(self) -> None:

@@ -27,6 +27,7 @@ import numpy as np
 from repro.errors import ReproError
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultCampaign, generate_spec
+from repro.obs.spans import maybe_span
 from repro.resilience import ResilienceMode
 from repro.simd import full_validation
 
@@ -139,13 +140,21 @@ def _make_kernel(name: str, fast: bool):
     return make_kernel(name)
 
 
-def _clean_check(kernel, reference) -> dict:
-    """Run both variants clean; returns the per-kernel clean record."""
+def _clean_check(kernel, reference, tracer=None, parent=None) -> dict:
+    """Run both variants clean; returns the per-kernel clean record.
+
+    *tracer*/*parent* add ``run:<variant>`` and ``phase:compare`` spans
+    (serial ``--spans`` path; the record itself carries no wall-clock).
+    """
     variants: dict[str, dict] = {}
     for variant in ("mmx", "spu"):
         machine = kernel.machine(variant)
-        stats = machine.run()
-        match, mismatches = _check_output(kernel, machine, reference)
+        with maybe_span(tracer, f"run:{variant}", parent=parent,
+                        kernel=kernel.name):
+            stats = machine.run()
+        with maybe_span(tracer, "phase:compare", parent=parent,
+                        kernel=kernel.name, variant=variant):
+            match, mismatches = _check_output(kernel, machine, reference)
         variants[variant] = {
             "match": match,
             "mismatching_elements": mismatches,
@@ -256,21 +265,29 @@ def run_campaign(
     kernels: dict,
     references: dict,
     clean_spu: dict,
+    tracer=None,
+    slices: dict | None = None,
 ) -> list[dict]:
     """Execute every injection of *campaign*; returns per-injection records.
 
     *kernels* maps name → prepared :class:`~repro.kernels.Kernel`,
     *references* maps name → golden output, *clean_spu* maps name → the
     clean SPU-variant record (its ``instructions`` scales the trigger
-    window, its ``cycles`` the per-run watchdog).
+    window, its ``cycles`` the per-run watchdog).  *slices* maps name →
+    open slice span; each injection then gets a ``task:inject:<i>`` span
+    under its kernel's slice.
     """
     names = sorted(kernels)
+    slices = slices or {}
     records: list[dict] = []
     for index in range(campaign.faults):
         name = names[index % len(names)]
-        records.append(run_one_injection(
-            campaign, index, kernels[name], references[name], clean_spu[name]
-        ))
+        with maybe_span(tracer, f"task:inject:{index}",
+                        parent=slices.get(name), kernel=name, index=index):
+            records.append(run_one_injection(
+                campaign, index, kernels[name], references[name],
+                clean_spu[name]
+            ))
     return records
 
 
@@ -284,12 +301,19 @@ def run_check(
     watchdog_factor: int | None = None,
     watchdog_slack: int | None = None,
     swar_check: bool = False,
+    tracer=None,
 ) -> CheckResult:
     """The full ``repro check`` measurement: clean differential + campaign.
 
     *swar_check* additionally sample-diffs the SWAR data path against the
     NumPy reference backend (:func:`repro.simd.selftest.sample_diff`, seeded
     from *seed*) and surfaces the mismatch count in the report summary.
+
+    *tracer* (a :class:`repro.obs.spans.SpanTracer`) records the serial
+    campaign as a ``campaign → slice → task → run → phase`` span tree.
+    Slice spans stay open across both phases — a kernel's injections nest
+    under the same slice as its clean check.  The tracer only observes;
+    the returned :class:`CheckResult` is identical with or without it.
     """
     from repro.kernels import ALL_KERNELS
 
@@ -298,7 +322,25 @@ def run_check(
     references = {
         name: np.asarray(instances[name].reference()) for name in names
     }
-    clean = [_clean_check(instances[name], references[name]) for name in names]
+
+    root = None
+    slices: dict = {}
+    if tracer is not None:
+        root = tracer.begin("campaign:check", kernels=len(names),
+                            faults=faults, seed=seed)
+        slices = {
+            name: tracer.begin(f"slice:{name}", parent=root, kernel=name)
+            for name in names
+        }
+
+    clean = []
+    for name in names:
+        with maybe_span(tracer, f"task:clean:{name}",
+                        parent=slices.get(name), kernel=name):
+            clean.append(_clean_check(
+                instances[name], references[name],
+                tracer=tracer, parent=slices.get(name),
+            ))
 
     result = CheckResult(kernels=names, clean=clean)
     if faults > 0:
@@ -316,10 +358,19 @@ def run_check(
         clean_spu = {entry["kernel"]: entry["variants"]["spu"] for entry in clean}
         result.campaign = campaign
         result.injections = run_campaign(
-            campaign, instances, references, clean_spu
+            campaign, instances, references, clean_spu,
+            tracer=tracer, slices=slices,
         )
     if swar_check:
         from repro.simd.selftest import sample_diff
 
-        result.swar_check = sample_diff(seed=seed)
+        with maybe_span(tracer, "phase:swar-check", parent=root, seed=seed):
+            result.swar_check = sample_diff(seed=seed)
+    # Closed only on success: an exception leaves the spans open, so an
+    # aborted campaign exports them with an aborted status instead of a
+    # fabricated clean one.
+    if tracer is not None:
+        for span in slices.values():
+            tracer.end(span)
+        tracer.end(root)
     return result

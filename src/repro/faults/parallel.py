@@ -145,6 +145,8 @@ def run_check_parallel(
     journal_path=None,
     bus: EventBus | None = None,
     runner_config: RunnerConfig | None = None,
+    tracer=None,
+    progress=None,
 ) -> tuple[CheckResult, Runner]:
     """``repro check`` on the worker pool; merges to serial-identical results.
 
@@ -156,6 +158,14 @@ def run_check_parallel(
     resumable), and :class:`~repro.errors.RunnerError` when a *clean* task
     terminally fails — without clean references there is no campaign to
     calibrate or classify against.
+
+    *tracer* opens a ``campaign:check`` root span and hands it to the
+    runner as the parent of its per-slice and per-task spans; *progress*
+    (a file-like) gets the runner's live per-slice progress lines.  The
+    root span closes only on success — an interrupted campaign exports it
+    (and any in-flight task spans) with an aborted status.  Neither
+    observer touches task payloads, so the merged report stays
+    byte-identical to a serial run.
     """
     from repro.kernels import ALL_KERNELS
 
@@ -173,7 +183,12 @@ def run_check_parallel(
         Journal(journal_path, fingerprint, fsync_every=config.fsync_every)
         if journal_path is not None else None
     )
-    runner = Runner(config, bus=bus, journal=journal)
+    root = None
+    if tracer is not None:
+        root = tracer.begin("campaign:check", kernels=len(names),
+                            faults=faults, seed=seed, jobs=config.jobs)
+    runner = Runner(config, bus=bus, journal=journal,
+                    tracer=tracer, span_parent=root, progress=progress)
 
     try:
         # Phase 1: clean differential checks (also the calibration data).
@@ -256,6 +271,8 @@ def run_check_parallel(
             from repro.simd.selftest import sample_diff
 
             result.swar_check = sample_diff(seed=seed)
+        if root is not None:
+            tracer.end(root)
         return result, runner
     finally:
         if journal is not None:

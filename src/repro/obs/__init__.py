@@ -7,7 +7,11 @@ simulated cycle as pair-issue / solo-issue / data-stall / mispredict-bubble /
 drain; SPU controller tracing (:mod:`repro.obs.spu`) records the microprogram
 state machine's transitions, loop counters and GO/idle occupancy; a metrics
 registry plus JSON/JSONL exporters (:mod:`repro.obs.metrics`,
-:mod:`repro.obs.export`) turn all of it into machine-readable reports.
+:mod:`repro.obs.export`) turn all of it into machine-readable reports; a
+back-edge hot-trace profiler (:mod:`repro.obs.traceprof`) aggregates runs
+into the per-trace cycle attribution behind ``repro top``; and host-side
+span tracing (:mod:`repro.obs.spans`) times campaigns as OTLP-flavored
+hierarchical spans.
 
 The modules here deliberately avoid module-level imports from the simulator
 packages (``repro.cpu``, ``repro.core``, ``repro.kernels``): the pipeline's
@@ -42,13 +46,18 @@ from repro.obs.spu import ControllerTrace
 from repro.obs.metrics import Metric, MetricsRegistry
 from repro.obs.export import (
     SCHEMA_VERSION,
+    SCHEMA_VERSION_2,
     envelope,
     kernel_profile_report,
     resolve_kernel_name,
+    trace_header,
+    trace_profile_report,
     trace_records,
     write_json,
     write_jsonl,
 )
+from repro.obs.spans import Span, SpanTracer, maybe_span
+from repro.obs.traceprof import TraceProfiler, TraceStats
 
 __all__ = [
     "TOPICS",
@@ -76,10 +85,18 @@ __all__ = [
     "Metric",
     "MetricsRegistry",
     "SCHEMA_VERSION",
+    "SCHEMA_VERSION_2",
     "envelope",
     "kernel_profile_report",
     "resolve_kernel_name",
+    "trace_header",
+    "trace_profile_report",
     "trace_records",
     "write_json",
     "write_jsonl",
+    "Span",
+    "SpanTracer",
+    "maybe_span",
+    "TraceProfiler",
+    "TraceStats",
 ]

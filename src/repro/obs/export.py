@@ -28,6 +28,18 @@ The documented kinds are:
     see docs/robustness.md).  Unlike the ``fault-campaign`` document it
     deliberately carries wall-clock data, so it is *not* byte-stable
     across runs.
+``trace-header``
+    Leading record of a ``repro trace --jsonl`` stream (schema, kernel,
+    variant, config, seed) so consumers can validate a stream without
+    out-of-band context.
+``trace-profile``
+    Hot-trace profile (schema ``repro.obs/2``): per-trace dynamic cycle /
+    instruction / pairing / stall attribution with fusibility verdicts —
+    the ``repro top`` payload and the planning input for trace-level
+    superop compilation (ROADMAP item 1).
+``span-header``
+    Leading record of an OTLP-flavored span JSONL stream (schema
+    ``repro.obs/2``; :class:`repro.obs.spans.SpanTracer`).
 
 See ``docs/observability.md`` for the field-level schema.
 
@@ -44,6 +56,10 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 SCHEMA_VERSION = "repro.obs/1"
+
+#: Schema tag for the level-2 observability documents introduced with the
+#: hot-trace profiler: ``trace-profile``, ``trace-header`` and span streams.
+SCHEMA_VERSION_2 = "repro.obs/2"
 
 #: Schema tag for static-analysis documents (``repro lint --json``).
 ANALYSIS_SCHEMA_VERSION = "repro.analysis/1"
@@ -123,13 +139,16 @@ def variant_report(kernel, variant: str) -> dict:
     to the same bus — the multi-subscriber path the event bus exists for.
     """
     from repro.analysis.profiler import profile
+    from repro.cpu.executor import uop_cache_stats
     from repro.obs.attribution import CycleAttribution
     from repro.obs.spu import ControllerTrace
 
     machine = kernel.machine(variant)
     timeline = CycleAttribution().attach(machine)
     controller_trace = ControllerTrace().attach(machine) if variant == "spu" else None
+    uops_before = uop_cache_stats(machine.program)
     prof = profile(machine)
+    uops_after = uop_cache_stats(machine.program)
     stats = prof.stats
 
     report = {
@@ -147,6 +166,7 @@ def variant_report(kernel, variant: str) -> dict:
             },
         },
     }
+    report["uop_cache"] = _uop_cache_delta(uops_before, uops_after, stats.instructions)
     if controller_trace is not None:
         report["controller"] = controller_trace.as_dict()
     timeline.detach()
@@ -175,7 +195,132 @@ def kernel_profile_report(kernel, variants: tuple[str, ...] = ("mmx", "spu")) ->
     return envelope("kernel-profile", body)
 
 
+# ---- hot-trace profile (repro top) --------------------------------------------
+
+#: Traces exported per variant; the long tail aggregates under ``omitted``.
+TRACE_EXPORT_LIMIT = 32
+
+
+def _uop_cache_delta(before: dict, after: dict, instructions: int) -> dict:
+    """Decoded-uop-cache behaviour of one run, from stat snapshots.
+
+    ``misses`` counts cold decodes plus identity-revalidation rebuilds during
+    the run; every other issue replayed a cached micro-op.
+    """
+    decodes = after["decodes"] - before["decodes"]
+    rebuilds = after["rebuilds"] - before["rebuilds"]
+    misses = decodes + rebuilds
+    hits = max(0, instructions - misses)
+    return {
+        "hits": hits,
+        "misses": misses,
+        "rebuilds": rebuilds,
+        "hit_rate": round(hits / instructions, 4) if instructions else 0.0,
+        "cached_entries": after["cached_entries"],
+    }
+
+
+def trace_variant_profile(kernel, variant: str) -> dict:
+    """Hot-trace profile of one kernel variant: the ``repro top`` body.
+
+    Runs the variant once under a :class:`~repro.obs.traceprof.TraceProfiler`,
+    then judges every trace with :func:`repro.analysis.fusion.fusion_verdict`
+    against the static loop regions and — for the SPU variant — the PR 3
+    schedule-agreement analyzer.  Everything here derives from the simulation
+    alone (no wall clock), so the document is byte-stable across reruns.
+    """
+    from repro.analysis.fusion import find_loop_regions, fusion_verdict, schedule_blockers
+    from repro.cpu.executor import uop_cache_stats
+    from repro.obs.traceprof import TraceProfiler
+
+    machine = kernel.machine(variant)
+    profiler = TraceProfiler().attach(machine)
+    uops_before = uop_cache_stats(machine.program)
+    stats = machine.run()
+    uops_after = uop_cache_stats(machine.program)
+    profiler.detach()
+
+    regions = find_loop_regions(machine.program)
+    blockers = schedule_blockers(kernel) if variant == "spu" else None
+    labels = {start: label for label, start in machine.program.labels.items()}
+    stable = profiler.stable_heads()
+
+    records = []
+    fusible_cycles = 0
+    fusible_traces = 0
+    for trace in profiler.sorted_traces():
+        verdict = fusion_verdict(trace, regions, stable, blockers)
+        if verdict.fusible:
+            fusible_cycles += trace.cycles
+            fusible_traces += 1
+        record = trace.as_dict()
+        record["label"] = labels.get(trace.head)
+        record["stable"] = trace.head in stable
+        record["fusion"] = verdict.as_dict()
+        records.append(record)
+
+    exported = records[:TRACE_EXPORT_LIMIT]
+    omitted = records[TRACE_EXPORT_LIMIT:]
+    total_cycles = stats.cycles
+    body: dict = {
+        "variant": variant,
+        "cycles": total_cycles,
+        "instructions": stats.instructions,
+        "attributed_cycles": profiler.attributed_cycles(),
+        "uop_cache": _uop_cache_delta(uops_before, uops_after, stats.instructions),
+        "loop_regions": [
+            {"label": region.label, "start": region.start, "end": region.end}
+            for region in regions
+        ],
+        "stable_heads": sorted(stable),
+        "summary": {
+            "traces": len(records),
+            "fusible_traces": fusible_traces,
+            "fusible_cycles": fusible_cycles,
+            "fusible_share": (
+                round(fusible_cycles / total_cycles, 4) if total_cycles else 0.0
+            ),
+            "dominant_head": records[0]["head"] if records else None,
+            "dominant_label": records[0]["label"] if records else None,
+        },
+        "traces": exported,
+    }
+    if blockers is not None:
+        body["schedule_blockers"] = blockers
+    if omitted:
+        body["omitted"] = {
+            "traces": len(omitted),
+            "cycles": sum(record["cycles"] for record in omitted),
+        }
+    return body
+
+
+def trace_profile_report(kernel, variants: tuple[str, ...] = ("mmx", "spu")) -> dict:
+    """The full ``trace-profile`` document for one kernel (``repro top``)."""
+    body = {
+        "kernel": kernel.name,
+        "description": kernel.description,
+        "config": kernel.config.name,
+        "variants": {
+            variant: trace_variant_profile(kernel, variant) for variant in variants
+        },
+    }
+    return envelope("trace-profile", body, schema=SCHEMA_VERSION_2)
+
+
 # ---- trace export -------------------------------------------------------------
+
+
+def trace_header(kernel, variant: str) -> dict:
+    """Leading ``repro trace --jsonl`` record: stream provenance up front."""
+    return {
+        "schema": SCHEMA_VERSION_2,
+        "kind": "trace-header",
+        "kernel": kernel.name,
+        "variant": variant,
+        "config": kernel.config.name,
+        "seed": getattr(kernel, "seed", None),
+    }
 
 
 def trace_records(trace) -> Iterator[dict]:

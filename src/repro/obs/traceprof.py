@@ -1,0 +1,272 @@
+"""Back-edge-detecting hot-trace profiler (the ``repro top`` engine).
+
+A *trace* is the dynamic instruction path between two backward control
+transfers — the unit trace-level superop compilation would fuse (ROADMAP
+item 1).  The profiler rides the event bus exactly like
+:class:`repro.obs.attribution.CycleAttribution`: it subscribes to
+``run_start``/``issue``/``stall``/``branch``/``run_end``, so an unattached
+machine pays nothing (the pipeline's zero-subscriber guard) and attaching it
+adds no emission sites.
+
+Detection: the pipeline issues in dynamic program order, so any issue whose
+pc is not past the previous one means control moved backward — the taken
+back edge closed a trace and its target (the new pc) is a loop head.  The
+steady-state body of a loop therefore aggregates as one trace keyed by its
+exact pc path, executed once per iteration after the first; the entry path
+(prologue + first iteration) and the exit path (last iteration + epilogue)
+key separately, which is precisely the stability signal a superop compiler
+needs.
+
+Cycle attribution is exact by construction: each trace's cycles are the
+delta between the cycle at which it started and the cycle at which the next
+trace started (``run_end`` closes the final trace at the run's total), so
+the per-trace cycles of one run always sum to ``RunStats.cycles`` —
+including stalls, mispredict bubbles and pipeline fill, each of which is
+also broken out per trace.  A stall event precedes the issue it delays, so
+pending stall cycles are attributed to the trace of the *next* issue, which
+is the trace whose cycle window contains them.
+
+This module must stay import-light (no ``repro.cpu``/``repro.kernels``
+imports): the trace-profile *export* with loop labels and fusibility
+verdicts lives in :mod:`repro.obs.export` / :mod:`repro.analysis.fusion`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import BranchEvent, IssueEvent, RunEndEvent, RunStartEvent, StallEvent
+
+
+class TraceStats:
+    """Aggregate counters for one distinct trace body."""
+
+    __slots__ = (
+        "head", "body", "executions", "instructions", "cycles",
+        "pair_issues", "stall_cycles", "mispredict_cycles",
+        "mmx_instructions", "routed", "cold_decodes", "truncated",
+    )
+
+    def __init__(self, head: int, body: tuple[int, ...], truncated: bool) -> None:
+        self.head = head
+        self.body = body
+        self.truncated = truncated
+        self.executions = 0
+        self.instructions = 0
+        self.cycles = 0
+        self.pair_issues = 0
+        self.stall_cycles = 0
+        self.mispredict_cycles = 0
+        self.mmx_instructions = 0
+        self.routed = 0
+        #: Issues whose pc had not been executed before in this run — the
+        #: per-run cold-start model of the decoded-uop cache (every static
+        #: instruction decodes exactly once; see ``uop_cache_stats``).
+        self.cold_decodes = 0
+
+    @property
+    def length(self) -> int:
+        return len(self.body)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (derived rates included, rounded)."""
+        instructions = self.instructions
+        return {
+            "head": self.head,
+            "length": self.length,
+            "executions": self.executions,
+            "instructions": instructions,
+            "cycles": self.cycles,
+            "cpi": round(self.cycles / instructions, 4) if instructions else 0.0,
+            "pair_issues": self.pair_issues,
+            "pair_fraction": (
+                round(self.pair_issues / instructions, 4) if instructions else 0.0
+            ),
+            "stall_cycles": self.stall_cycles,
+            "mispredict_cycles": self.mispredict_cycles,
+            "mmx_instructions": self.mmx_instructions,
+            "routed": self.routed,
+            "route_utilization": (
+                round(self.routed / self.mmx_instructions, 4)
+                if self.mmx_instructions else 0.0
+            ),
+            "uop_cold_decodes": self.cold_decodes,
+            "uop_hit_rate": (
+                round((instructions - self.cold_decodes) / instructions, 4)
+                if instructions else 0.0
+            ),
+            "truncated": self.truncated,
+        }
+
+
+class TraceProfiler:
+    """Event-bus subscriber aggregating one run into dynamic traces.
+
+    Usage::
+
+        profiler = TraceProfiler().attach(machine)
+        stats = machine.run()
+        profiler.detach()
+        assert sum(t.cycles for t in profiler.traces.values()) == stats.cycles
+    """
+
+    def __init__(self, max_body: int = 4096) -> None:
+        #: ``(head, body) -> TraceStats``, every distinct trace of the run.
+        self.traces: dict[tuple[int, tuple[int, ...]], TraceStats] = {}
+        #: Bodies longer than this stop recording pcs (the trace still
+        #: accumulates counters, keyed by its first *max_body* pcs, and is
+        #: marked truncated — never a fusion candidate).
+        self.max_body = max_body
+        self.total_cycles = 0
+        self.total_instructions = 0
+        self.finished = False
+        self._pcs: list[int] = []
+        self._open = False
+        self._truncated = False
+        self._start_cycle = 0
+        self._prev_pc = -1
+        self._pending_stall = 0
+        self._counters = [0] * 6  # instr, pairs, stalls, mispredicts, mmx, routed
+        self._cold = 0
+        self._seen_pcs: set[int] = set()
+        self._unsubscribes: list = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, machine) -> "TraceProfiler":
+        """Subscribe to *machine*'s bus; returns ``self`` for chaining."""
+        bus = machine.bus
+        self._unsubscribes = [
+            bus.subscribe("run_start", self._on_run_start),
+            bus.subscribe("issue", self._on_issue),
+            bus.subscribe("stall", self._on_stall),
+            bus.subscribe("branch", self._on_branch),
+            bus.subscribe("run_end", self._on_run_end),
+        ]
+        return self
+
+    def detach(self) -> None:
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes = []
+
+    # -- event handlers -------------------------------------------------------
+
+    def _on_run_start(self, event: RunStartEvent) -> None:
+        self.traces.clear()
+        self.total_cycles = 0
+        self.total_instructions = 0
+        self.finished = False
+        self._pcs = []
+        self._open = False
+        self._truncated = False
+        # Pipeline-fill cycles belong to the entry trace, so the first
+        # trace's window opens at cycle 0 and the per-trace cycles sum to
+        # the run's total exactly.
+        self._start_cycle = 0
+        self._prev_pc = -1
+        self._pending_stall = 0
+        self._counters = [0] * 6
+        self._cold = 0
+        self._seen_pcs = set()
+
+    def _on_issue(self, event: IssueEvent) -> None:
+        pc = event.pc
+        if self._open and pc <= self._prev_pc:
+            # Backward control transfer: the back edge closed a trace and
+            # this issue's pc is the (loop-head) start of the next one.
+            self._close(event.cycle)
+        self._open = True
+        self._prev_pc = pc
+        counters = self._counters
+        counters[0] += 1
+        self.total_instructions += 1
+        if self._pending_stall:
+            counters[2] += self._pending_stall
+            self._pending_stall = 0
+        if event.pipe == "V":
+            counters[1] += 1
+        if event.instr.is_mmx:
+            counters[4] += 1
+        if event.routed:
+            counters[5] += 1
+        seen = self._seen_pcs
+        if pc not in seen:
+            seen.add(pc)
+            self._cold += 1
+        pcs = self._pcs
+        if len(pcs) < self.max_body:
+            pcs.append(pc)
+        else:
+            self._truncated = True
+
+    def _on_stall(self, event: StallEvent) -> None:
+        # Fires before the issue it delays; buffered so the cycles land in
+        # the trace whose window contains them (the next issue's trace).
+        self._pending_stall += event.cycles
+
+    def _on_branch(self, event: BranchEvent) -> None:
+        # Fires after the branch's own issue, so the bubble cycles belong
+        # to the currently open trace (its window extends to the next
+        # issue, past the bubble).
+        if event.penalty:
+            self._counters[3] += event.penalty
+
+    def _on_run_end(self, event: RunEndEvent) -> None:
+        if self._open:
+            self._close(event.cycles)
+        self.total_cycles = event.cycles
+        self.finished = event.finished
+
+    # -- trace bookkeeping ----------------------------------------------------
+
+    def _close(self, at_cycle: int) -> None:
+        body = tuple(self._pcs)
+        key = (body[0], body)
+        trace = self.traces.get(key)
+        if trace is None:
+            trace = TraceStats(body[0], body, self._truncated)
+            self.traces[key] = trace
+        counters = self._counters
+        trace.executions += 1
+        trace.instructions += counters[0]
+        trace.cycles += at_cycle - self._start_cycle
+        trace.pair_issues += counters[1]
+        trace.stall_cycles += counters[2]
+        trace.mispredict_cycles += counters[3]
+        trace.mmx_instructions += counters[4]
+        trace.routed += counters[5]
+        trace.cold_decodes += self._cold
+        trace.truncated = trace.truncated or self._truncated
+        self._pcs = []
+        self._open = False
+        self._truncated = False
+        self._start_cycle = at_cycle
+        self._counters = [0] * 6
+        self._cold = 0
+
+    # -- views ----------------------------------------------------------------
+
+    def sorted_traces(self) -> list[TraceStats]:
+        """Traces by descending cycles (head, then length break ties)."""
+        return sorted(
+            self.traces.values(),
+            key=lambda t: (-t.cycles, t.head, t.length, t.body),
+        )
+
+    def stable_heads(self) -> set[int]:
+        """Heads whose *repeating* trace body is unique.
+
+        A head is schedule-stable when at most one of its bodies executed
+        more than once — the entry/exit paths of a well-behaved loop run
+        exactly once each, so only a data-dependent branch inside the body
+        (two distinct repeating paths) breaks stability.
+        """
+        repeating: dict[int, int] = {}
+        for trace in self.traces.values():
+            if trace.executions > 1:
+                repeating[trace.head] = repeating.get(trace.head, 0) + 1
+        heads = {trace.head for trace in self.traces.values()}
+        return {head for head in heads if repeating.get(head, 0) <= 1}
+
+    def attributed_cycles(self) -> int:
+        """Sum of per-trace cycles; equals the run's total for a full run."""
+        return sum(trace.cycles for trace in self.traces.values())

@@ -23,6 +23,16 @@ byte-identical to a serial one.
 Lifecycle telemetry goes to :attr:`Runner.bus` (an
 :class:`repro.obs.EventBus`): ``task_start``, ``task_retry``,
 ``task_timeout``, ``breaker_open``, ``task_done``.
+
+Host-side wall-clock observability is opt-in and rides on top: pass a
+:class:`repro.obs.spans.SpanTracer` (plus an optional parent span) and the
+runner opens one ``slice:<name>`` span per task slice and one
+``task:<id>`` span per fresh task — spans close as tasks reach terminal
+state, so the pooled path's out-of-order completions nest correctly.  A
+*progress* file-like gets one line per terminal task (``[slice] done/total``).
+Both default to ``None`` and cost nothing when absent; wall-clock never
+enters :class:`TaskResult` payloads either way, so merged campaign reports
+stay byte-stable.
 """
 
 from __future__ import annotations
@@ -103,6 +113,9 @@ class Runner:
         config: RunnerConfig | None = None,
         bus: EventBus | None = None,
         journal: Journal | None = None,
+        tracer=None,
+        span_parent=None,
+        progress=None,
     ) -> None:
         self.config = config or RunnerConfig()
         self.bus = bus or EventBus()
@@ -114,6 +127,17 @@ class Runner:
         self.results: dict[str, TaskResult] = {}
         self._jitter = random.Random(self.config.retry_seed)
         self._fresh_terminal = 0
+        #: Optional :class:`repro.obs.spans.SpanTracer`; slice/task spans
+        #: parent under *span_parent* (e.g. a campaign root span).
+        self.tracer = tracer
+        self.span_parent = span_parent
+        #: Optional file-like for live per-slice progress lines.
+        self.progress = progress
+        self._task_slices: dict[str, str] = {}
+        self._slice_spans: dict[str, object] = {}
+        self._slice_total: dict[str, int] = {}
+        self._slice_done: dict[str, int] = {}
+        self._task_spans: dict[str, object] = {}
 
     # ---- public entry point --------------------------------------------------
 
@@ -145,6 +169,13 @@ class Runner:
             else:
                 fresh.append(task)
 
+        if self.tracer is not None or self.progress is not None:
+            for task in fresh:
+                self._task_slices[task.id] = task.slice
+                self._slice_total[task.slice] = (
+                    self._slice_total.get(task.slice, 0) + 1
+                )
+
         try:
             if fresh:
                 if self.config.jobs >= 2:
@@ -170,6 +201,48 @@ class Runner:
             duration_s=result.duration_s, cached=result.cached,
         ))
 
+    def _slice_span(self, slice_name: str):
+        span = self._slice_spans.get(slice_name)
+        if span is None:
+            span = self.tracer.begin(
+                f"slice:{slice_name}", parent=self.span_parent,
+                tasks=self._slice_total.get(slice_name, 0),
+            )
+            self._slice_spans[slice_name] = span
+        return span
+
+    def _begin_task_span(self, task: TaskSpec, attempt: int) -> None:
+        """Open the task's span on its first attempt (it covers retries)."""
+        if self.tracer is None or attempt > 1:
+            return
+        self._task_spans[task.id] = self.tracer.begin(
+            f"task:{task.id}", parent=self._slice_span(task.slice),
+            kind=task.kind, slice=task.slice,
+        )
+
+    def _finish_task_obs(self, result: TaskResult) -> None:
+        """Close the task span, count the slice, emit a progress line."""
+        slice_name = self._task_slices.get(result.task)
+        if self.tracer is not None:
+            span = self._task_spans.pop(result.task, None)
+            if span is not None:
+                self.tracer.end(
+                    span, status="ok" if result.status == "ok" else "error"
+                )
+        if slice_name is None:
+            return
+        done = self._slice_done.get(slice_name, 0) + 1
+        self._slice_done[slice_name] = done
+        total = self._slice_total.get(slice_name, 0)
+        if self.progress is not None:
+            print(f"[{slice_name}] {done}/{total} {result.task}: "
+                  f"{result.status} ({result.attempts} attempt(s))",
+                  file=self.progress, flush=True)
+        if self.tracer is not None and done >= total:
+            span = self._slice_spans.pop(slice_name, None)
+            if span is not None:
+                self.tracer.end(span)
+
     def _terminal(self, results: dict[str, TaskResult],
                   result: TaskResult) -> None:
         results[result.task] = result
@@ -178,6 +251,9 @@ class Runner:
         if self.journal is not None:
             self.journal.append(result.as_record())
         self._emit_done(result)
+        # Before the interrupt check: an interrupted campaign's already
+        # terminal tasks still close their spans; open ones export aborted.
+        self._finish_task_obs(result)
         self._fresh_terminal += 1
         budget = self.config.interrupt_after
         if budget is not None and self._fresh_terminal >= budget:
@@ -235,6 +311,7 @@ class Runner:
                 self.bus.emit("task_start", TaskStartEvent(
                     task=task.id, attempt=attempt, worker=-1,
                 ))
+                self._begin_task_span(task, attempt)
                 begun = time.perf_counter()
                 try:
                     payload = task.execute()
@@ -327,6 +404,7 @@ class Runner:
                     task=task.id, attempt=attempts[task.id],
                     worker=handle.worker_id,
                 ))
+                self._begin_task_span(task, attempts[task.id])
 
             for message in pool.poll(self.config.poll_s):
                 kind, worker_id, task_id, attempt = message[:4]

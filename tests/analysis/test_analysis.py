@@ -51,10 +51,10 @@ class TestProfiler:
         prof = profile(machine)
         assert prof.top_opcodes(1)[0] == ("nop", 3)
 
-    def test_hook_restored(self):
+    def test_subscription_released(self):
         machine = Machine(assemble("halt"))
         profile(machine)
-        assert machine.on_issue is None
+        assert not machine.bus.has_subscribers("issue")
 
     def test_profile_kernel_matches_table3_expectations(self):
         kernel = DotProductKernel(blocks=4)

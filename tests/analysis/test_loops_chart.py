@@ -77,10 +77,10 @@ class TestProfileLoops:
         with pytest.raises(KeyError):
             profile.region("nope")
 
-    def test_hook_restored(self):
+    def test_subscription_released(self):
         machine = Machine(assemble("halt"))
         profile_loops(machine)
-        assert machine.on_issue is None
+        assert not machine.bus.has_subscribers("issue")
 
 
 class TestChart:

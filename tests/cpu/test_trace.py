@@ -57,10 +57,10 @@ class TestTrace:
         assert len(trace) == 10
         assert trace.stats.instructions > 10
 
-    def test_hook_restored(self):
+    def test_subscription_released(self):
         machine = Machine(assemble("halt"))
         trace_run(machine)
-        assert machine.on_issue is None
+        assert not machine.bus.has_subscribers("issue")
 
 
 class TestMicrocodeRenderer:

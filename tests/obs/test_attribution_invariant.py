@@ -1,0 +1,79 @@
+"""Cycle-attribution invariant under adversity.
+
+The observability contract: the per-stage cycle attribution
+(:class:`RunStats.attribution`) and the per-trace attribution
+(:class:`TraceProfiler`) each sum exactly to ``RunStats.cycles`` — and
+attaching the tracer never changes the run.  This must hold not just on
+clean runs but across the full matrix the campaign exercises: degrade-mode
+fault injection on and off, SWAR and NumPy-reference SIMD backends, trace
+profiler attached and detached.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSpec
+from repro.kernels import make_kernel
+from repro.obs import TraceProfiler
+from repro.simd import use_backend
+
+BACKENDS = ("swar", "reference")
+
+#: Fires mid-loop and corrupts a routed byte; degrade mode absorbs it and
+#: the run completes (the classic masked/silent quadrant of the campaign).
+DEGRADE_SPEC = dict(kind="register_bit", trigger=5, byte=1, bit=0)
+
+
+def run_matrix_cell(backend: str, faulty: bool, traced: bool):
+    """One (backend, fault, tracer) cell; returns (stats, profiler|None)."""
+    kernel = make_kernel("DotProduct")
+    machine = kernel.machine("spu", resilience="degrade")
+    injector = None
+    if faulty:
+        spec = FaultSpec(DEGRADE_SPEC["kind"], trigger=DEGRADE_SPEC["trigger"],
+                         byte=DEGRADE_SPEC["byte"], bit=DEGRADE_SPEC["bit"])
+        injector = FaultInjector(machine, spec)
+    profiler = TraceProfiler().attach(machine) if traced else None
+    try:
+        with use_backend(backend):
+            stats = machine.run()
+    finally:
+        if profiler is not None:
+            profiler.detach()
+        if injector is not None:
+            injector.detach()
+    if faulty:
+        assert injector.fired
+    return stats, profiler
+
+
+class TestAttributionInvariant:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("faulty", (False, True))
+    def test_stage_attribution_sums_to_cycles(self, backend, faulty):
+        stats, _ = run_matrix_cell(backend, faulty, traced=False)
+        assert stats.attributed_cycles == stats.cycles
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("faulty", (False, True))
+    def test_trace_attribution_sums_to_cycles(self, backend, faulty):
+        stats, profiler = run_matrix_cell(backend, faulty, traced=True)
+        assert profiler.attributed_cycles() == stats.cycles
+        assert profiler.total_instructions == stats.instructions
+        assert stats.attributed_cycles == stats.cycles
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("faulty", (False, True))
+    def test_tracer_is_observationally_transparent(self, backend, faulty):
+        bare, _ = run_matrix_cell(backend, faulty, traced=False)
+        traced, _ = run_matrix_cell(backend, faulty, traced=True)
+        assert traced.cycles == bare.cycles
+        assert traced.instructions == bare.instructions
+        assert traced.stall_cycles == bare.stall_cycles
+        assert traced.mispredict_cycles == bare.mispredict_cycles
+
+    def test_backends_agree_on_timing(self):
+        """The SIMD backend is a data-path swap; timing must not move."""
+        swar, _ = run_matrix_cell("swar", faulty=True, traced=True)
+        reference, _ = run_matrix_cell("reference", faulty=True, traced=True)
+        assert swar.cycles == reference.cycles
+        assert swar.instructions == reference.instructions

@@ -1,7 +1,5 @@
 """Event-bus semantics: fan-out, isolation, mid-run (un)subscription."""
 
-import warnings
-
 import pytest
 
 from repro.cpu import Machine, trace_run
@@ -166,39 +164,8 @@ class TestBusOnMachine:
         assert prof.total == trace.stats.instructions
 
 
-class TestOnIssueShim:
-    def test_legacy_hook_warns_and_still_fires(self):
+class TestOnIssueRemoved:
+    def test_legacy_hook_is_gone(self):
+        """The deprecated single-slot shim was removed; the bus is the API."""
         machine = machine_of(LOOP)
-        seen = []
-        hook = seen.append
-        with pytest.warns(DeprecationWarning, match="on_issue"):
-            machine.on_issue = hook
-        assert machine.on_issue is hook
-        stats = machine.run()
-        assert len(seen) == stats.instructions
-        # The legacy hook receives bare instructions, as before the bus.
-        assert all(hasattr(instr, "opcode") for instr in seen)
-
-    def test_legacy_hook_warns_exactly_once_and_forwards_via_bus(self):
-        machine = machine_of(LOOP)
-        seen = []
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            machine.on_issue = seen.append
-            stats = machine.run()
-        deprecations = [w for w in record if w.category is DeprecationWarning]
-        assert len(deprecations) == 1  # assignment warns; running never does
-        assert "on_issue" in str(deprecations[0].message)
-        # The shim is an adapter over the bus: the bus carries the events
-        # and the legacy hook sees every issued instruction.
-        assert machine.bus.has_subscribers("issue")
-        assert len(seen) == stats.instructions
-
-    def test_legacy_hook_clears_cleanly(self):
-        machine = machine_of(LOOP)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            machine.on_issue = lambda instr: None
-            machine.on_issue = None
-        assert machine.on_issue is None
-        assert not machine.bus.has_subscribers("issue")
+        assert not hasattr(type(machine), "on_issue")

@@ -3,7 +3,7 @@
 import json
 
 from repro.cli import main
-from repro.obs import SCHEMA_VERSION
+from repro.obs import SCHEMA_VERSION, SCHEMA_VERSION_2
 
 
 class TestProfileCommand:
@@ -57,7 +57,15 @@ class TestTraceCommand:
     def test_jsonl_stream(self, capsys):
         assert main(["trace", "dotprod", "--jsonl", "-"]) == 0
         lines = capsys.readouterr().out.splitlines()
-        records = [json.loads(line) for line in lines]
+        header, *records = [json.loads(line) for line in lines]
+        # The stream self-describes: a leading trace-header record names
+        # the schema, kernel, variant and config before any issue records.
+        assert header["schema"] == SCHEMA_VERSION_2
+        assert header["kind"] == "trace-header"
+        assert header["kernel"] == "DotProduct"
+        assert header["variant"] == "spu"
+        assert header["config"] == "D"
+        assert "seed" in header
         assert records, "trace must emit records"
         assert {"seq", "cycle", "pc", "pipe", "text", "is_mmx", "routed"} <= set(records[0])
         assert [record["seq"] for record in records] == list(range(len(records)))
@@ -79,5 +87,8 @@ class TestTraceCommand:
 
     def test_mmx_variant_has_no_routes(self, capsys):
         assert main(["trace", "dotprod", "--variant", "mmx", "--jsonl", "-"]) == 0
-        records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        header, *records = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert header["variant"] == "mmx"
         assert not any(record["routed"] for record in records)

@@ -1,0 +1,116 @@
+"""Span tracer: hierarchy, OTLP records, abort semantics, determinism."""
+
+import json
+
+import pytest
+
+from repro.obs import SCHEMA_VERSION_2, SpanTracer
+from repro.obs.spans import maybe_span
+
+
+def ticking_clock(start=1_000, step=10):
+    """Deterministic nanosecond clock for pinned-timestamp assertions."""
+    state = {"now": start - step}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestHierarchy:
+    def test_children_inherit_the_root_trace(self):
+        tracer = SpanTracer(clock=ticking_clock())
+        root = tracer.begin("campaign:check")
+        child = tracer.begin("slice:DotProduct", parent=root)
+        grandchild = tracer.begin("task:clean", parent=child)
+        assert child.trace_id == root.trace_id == grandchild.trace_id
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert root.parent_id is None
+
+    def test_sequential_ids_are_deterministic(self):
+        def ids():
+            tracer = SpanTracer(clock=ticking_clock())
+            a = tracer.begin("a")
+            b = tracer.begin("b", parent=a)
+            return a.span_id, b.span_id, a.trace_id
+
+        assert ids() == ids()
+
+    def test_out_of_order_completion(self):
+        tracer = SpanTracer(clock=ticking_clock())
+        root = tracer.begin("campaign")
+        first = tracer.begin("task:1", parent=root)
+        second = tracer.begin("task:2", parent=root)
+        tracer.end(second)
+        tracer.end(first)
+        tracer.end(root)
+        assert all(not span.open for span in tracer.spans)
+        assert first.end_ns > second.end_ns
+
+    def test_end_is_idempotent(self):
+        tracer = SpanTracer(clock=ticking_clock())
+        span = tracer.begin("once")
+        tracer.end(span)
+        end = span.end_ns
+        tracer.end(span, status="error")
+        assert span.end_ns == end and span.status == "ok"
+
+
+class TestRecords:
+    def test_otlp_shape_and_typed_attributes(self):
+        tracer = SpanTracer(clock=ticking_clock())
+        with tracer.span("task", kernel="SAD", index=3,
+                         cached=False, share=0.5):
+            pass
+        (record,) = tracer.records()
+        assert record["name"] == "task"
+        assert record["status"] == {"code": "STATUS_CODE_OK"}
+        assert record["startTimeUnixNano"] == "1000"
+        assert record["endTimeUnixNano"] == "1010"
+        values = {entry["key"]: entry["value"] for entry in record["attributes"]}
+        assert values["kernel"] == {"stringValue": "SAD"}
+        assert values["index"] == {"intValue": "3"}
+        assert values["cached"] == {"boolValue": False}
+        assert values["share"] == {"doubleValue": 0.5}
+
+    def test_open_spans_export_aborted(self):
+        tracer = SpanTracer(clock=ticking_clock())
+        tracer.begin("campaign")  # never ended: simulated interrupt
+        (record,) = tracer.records()
+        assert record["status"] == {"code": "STATUS_CODE_ERROR"}
+        assert int(record["endTimeUnixNano"]) > int(record["startTimeUnixNano"])
+
+    def test_exception_marks_error_and_reraises(self):
+        tracer = SpanTracer(clock=ticking_clock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("task"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].status == "error"
+
+    def test_write_jsonl_with_header(self, tmp_path):
+        tracer = SpanTracer(clock=ticking_clock())
+        with tracer.span("campaign") as root:
+            with tracer.span("slice", parent=root):
+                pass
+        target = tracer.write(tmp_path / "spans.jsonl")
+        header, *records = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert header == {"schema": SCHEMA_VERSION_2, "kind": "span-header",
+                          "spans": 2}
+        assert [r["name"] for r in records] == ["campaign", "slice"]
+
+
+class TestMaybeSpan:
+    def test_none_tracer_is_a_no_op(self):
+        with maybe_span(None, "task") as span:
+            assert span is None
+
+    def test_with_tracer_delegates(self):
+        tracer = SpanTracer(clock=ticking_clock())
+        with maybe_span(tracer, "task", kernel="FIR12") as span:
+            assert span is not None
+        assert tracer.spans == [span] and not span.open

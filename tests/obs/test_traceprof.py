@@ -1,0 +1,201 @@
+"""Hot-trace profiler: back-edge detection, exact attribution, stability."""
+
+from types import SimpleNamespace
+
+from repro.cpu import Machine
+from repro.isa import assemble
+from repro.kernels import make_kernel
+from repro.obs import (
+    BranchEvent,
+    EventBus,
+    IssueEvent,
+    RunEndEvent,
+    RunStartEvent,
+    StallEvent,
+    TraceProfiler,
+)
+
+LOOP = "mov r0, 5\ntop: paddw mm0, mm1\nloop r0, top\nhalt"
+
+
+def machine_of(source, **kwargs):
+    return Machine(assemble(source), **kwargs)
+
+
+class TestOnMachines:
+    def test_cycles_attribute_exactly(self):
+        machine = machine_of(LOOP)
+        profiler = TraceProfiler().attach(machine)
+        stats = machine.run()
+        profiler.detach()
+        assert profiler.attributed_cycles() == stats.cycles
+        assert profiler.total_cycles == stats.cycles
+        assert profiler.total_instructions == stats.instructions
+        assert profiler.finished
+
+    def test_cycles_attribute_exactly_on_kernels(self):
+        kernel = make_kernel("DotProduct")
+        for variant in ("mmx", "spu"):
+            machine = kernel.machine(variant)
+            profiler = TraceProfiler().attach(machine)
+            stats = machine.run()
+            profiler.detach()
+            assert profiler.attributed_cycles() == stats.cycles, variant
+            assert profiler.total_instructions == stats.instructions, variant
+
+    def test_loop_iterations_aggregate_into_one_trace(self):
+        machine = machine_of(LOOP)
+        profiler = TraceProfiler().attach(machine)
+        machine.run()
+        profiler.detach()
+        steady = profiler.traces[(1, (1, 2))]
+        # 5 iterations: the entry path (prologue + iter 1) and the exit path
+        # (iter 5 + halt) key separately; iterations 2-4 aggregate as one
+        # steady-state body headed at `top`.
+        assert steady.executions == 3
+        assert steady.instructions == 6
+        bodies = sorted(trace.body for trace in profiler.traces.values())
+        assert bodies == [(0, 1, 2), (1, 2), (1, 2, 3)]
+
+    def test_dominant_trace_is_the_kernel_loop(self):
+        kernel = make_kernel("DotProduct")
+        machine = kernel.machine("spu")
+        profiler = TraceProfiler().attach(machine)
+        stats = machine.run()
+        profiler.detach()
+        top = profiler.sorted_traces()[0]
+        assert top.head == machine.program.labels["loop"]
+        assert top.executions > 1
+        assert top.cycles > stats.cycles / 2  # dominates the run
+        assert top.head in profiler.stable_heads()
+
+    def test_detach_restores_zero_subscribers(self):
+        machine = machine_of(LOOP)
+        TraceProfiler().attach(machine).detach()
+        assert not machine.bus.has_subscribers()
+
+    def test_observation_is_transparent(self):
+        baseline = machine_of(LOOP).run()
+        machine = machine_of(LOOP)
+        TraceProfiler().attach(machine)
+        stats = machine.run()
+        assert stats.cycles == baseline.cycles
+        assert stats.instructions == baseline.instructions
+
+
+def synthetic(profiler_kwargs=None):
+    """A profiler on a bare bus, driven by hand-crafted events."""
+    bus = EventBus()
+    profiler = TraceProfiler(**(profiler_kwargs or {})).attach(
+        SimpleNamespace(bus=bus)
+    )
+    return bus, profiler
+
+
+INSTR = SimpleNamespace(is_mmx=False)
+
+
+def issue(bus, seq, cycle, pc, pipe="U", routed=False):
+    bus.dispatch("issue", IssueEvent(
+        seq=seq, cycle=cycle, pc=pc, instr=INSTR, pipe=pipe, routed=routed,
+    ))
+
+
+class TestSyntheticStreams:
+    def test_back_edge_closes_and_rekeys(self):
+        bus, profiler = synthetic()
+        bus.dispatch("run_start", RunStartEvent(program="p", fill_cycles=1))
+        for seq, (cycle, pc) in enumerate([(1, 0), (2, 1), (3, 2),
+                                           (4, 1), (5, 2),
+                                           (6, 1), (7, 2), (8, 3)]):
+            issue(bus, seq, cycle, pc)
+        bus.dispatch("run_end", RunEndEvent(
+            program="p", cycles=10, instructions=8, finished=True,
+        ))
+        bodies = sorted(trace.body for trace in profiler.traces.values())
+        assert bodies == [(0, 1, 2), (1, 2), (1, 2, 3)]
+        assert profiler.attributed_cycles() == 10
+        steady = profiler.traces[(1, (1, 2))]
+        assert steady.executions == 1
+
+    def test_pending_stall_lands_in_the_next_trace(self):
+        bus, profiler = synthetic()
+        bus.dispatch("run_start", RunStartEvent(program="p", fill_cycles=0))
+        issue(bus, 0, 1, 0)
+        issue(bus, 1, 2, 1)
+        # Stall fires before the issue it delays — and that issue's pc is a
+        # back edge, so the stall belongs to the *new* trace's window.
+        bus.dispatch("stall", StallEvent(cycle=3, pc=0, cycles=2))
+        issue(bus, 2, 5, 0)
+        issue(bus, 3, 6, 1)
+        bus.dispatch("run_end", RunEndEvent(
+            program="p", cycles=7, instructions=4, finished=True,
+        ))
+        first = profiler.traces[(0, (0, 1))]
+        assert first.executions == 2
+        assert first.stall_cycles == 2
+        assert first.cycles == 7
+        assert profiler.attributed_cycles() == 7
+
+    def test_branch_penalty_charges_the_open_trace(self):
+        bus, profiler = synthetic()
+        bus.dispatch("run_start", RunStartEvent(program="p", fill_cycles=0))
+        issue(bus, 0, 1, 0)
+        bus.dispatch("branch", BranchEvent(
+            cycle=1, pc=0, taken=True, predicted_taken=False,
+            mispredict=True, penalty=3,
+        ))
+        issue(bus, 1, 5, 0)
+        bus.dispatch("run_end", RunEndEvent(
+            program="p", cycles=6, instructions=2, finished=True,
+        ))
+        trace = profiler.traces[(0, (0,))]
+        assert trace.mispredict_cycles == 3
+        assert profiler.attributed_cycles() == 6
+
+    def test_two_repeating_bodies_make_a_head_unstable(self):
+        bus, profiler = synthetic()
+        bus.dispatch("run_start", RunStartEvent(program="p", fill_cycles=0))
+        seq = 0
+        # Head 0 alternates between paths (0,1) and (0,2) — both repeat.
+        for pcs in [(0, 1), (0, 2), (0, 1), (0, 2), (0, 1)]:
+            for pc in pcs:
+                issue(bus, seq, seq + 1, pc)
+                seq += 1
+        bus.dispatch("run_end", RunEndEvent(
+            program="p", cycles=seq + 1, instructions=seq, finished=True,
+        ))
+        assert 0 not in profiler.stable_heads()
+
+    def test_truncated_body_keeps_counting(self):
+        bus, profiler = synthetic({"max_body": 2})
+        bus.dispatch("run_start", RunStartEvent(program="p", fill_cycles=0))
+        for seq, pc in enumerate((0, 1, 2, 3)):
+            issue(bus, seq, seq + 1, pc)
+        bus.dispatch("run_end", RunEndEvent(
+            program="p", cycles=5, instructions=4, finished=True,
+        ))
+        trace = profiler.sorted_traces()[0]
+        assert trace.truncated
+        assert trace.instructions == 4  # counters keep going past the cap
+        assert trace.body == (0, 1)
+        assert profiler.attributed_cycles() == 5
+
+    def test_as_dict_rates(self):
+        bus, profiler = synthetic()
+        bus.dispatch("run_start", RunStartEvent(program="p", fill_cycles=0))
+        mmx = SimpleNamespace(is_mmx=True)
+        bus.dispatch("issue", IssueEvent(
+            seq=0, cycle=1, pc=0, instr=mmx, pipe="U", routed=True,
+        ))
+        bus.dispatch("issue", IssueEvent(
+            seq=1, cycle=1, pc=1, instr=mmx, pipe="V", routed=False,
+        ))
+        bus.dispatch("run_end", RunEndEvent(
+            program="p", cycles=2, instructions=2, finished=True,
+        ))
+        record = profiler.sorted_traces()[0].as_dict()
+        assert record["pair_fraction"] == 0.5
+        assert record["route_utilization"] == 0.5
+        assert record["uop_hit_rate"] == 0.0  # both pcs were cold
+        assert record["cpi"] == 1.0
