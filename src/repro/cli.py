@@ -114,6 +114,31 @@ def _run_one_kernel(name: str) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeApp
+
+    app = ServeApp(
+        args.journal_dir,
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        max_tenants=args.max_tenants,
+    )
+    print(
+        f"repro serve: epoch {app.store.epoch} on journal dir "
+        f"{args.journal_dir} ({len(app.store.recovered)} job(s) recovered); "
+        "endpoint published to endpoint.json",
+        file=sys.stderr,
+    )
+    try:
+        return asyncio.run(app.run())
+    except KeyboardInterrupt:  # pragma: no cover - loop signal handler
+        # normally converts the signal into a drain first
+        return 3
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(args.kernel)
     if args.all:
@@ -133,7 +158,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Sweep: one suite cell per kernel on the campaign runner.
     from repro.errors import RunnerInterrupted
     from repro.experiments import ExperimentSuite
-    from repro.runner import RunnerConfig, runner_report
+    from repro.runner import RunnerConfig, clean_interrupts, runner_report
     from repro.obs.export import write_json
 
     suite = ExperimentSuite(fast=args.fast, kernel_names=tuple(names))
@@ -146,11 +171,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tracer = SpanTracer()
     try:
         try:
-            runner, results = suite.prefetch(
-                jobs=args.jobs, journal_path=args.resume, runner_config=config,
-                tracer=tracer,
-                progress=sys.stderr if args.progress else None,
-            )
+            # SIGINT/SIGTERM take the same clean path as --interrupt-after:
+            # journal flushed, spans exported as aborted, exit 3, resumable.
+            with clean_interrupts():
+                runner, results = suite.prefetch(
+                    jobs=args.jobs, journal_path=args.resume,
+                    runner_config=config, tracer=tracer,
+                    progress=sys.stderr if args.progress else None,
+                )
         except RunnerInterrupted as exc:
             print(f"repro run: {exc}", file=sys.stderr)
             return 3
@@ -401,9 +429,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.errors import RunnerInterrupted
     from repro.faults import run_check
     from repro.faults.report import check_report, render_check
     from repro.obs.export import resolve_kernel_name, write_json
+    from repro.runner import clean_interrupts
 
     kernels = tuple(resolve_kernel_name(name) for name in args.kernel)
     tracer = None
@@ -414,40 +444,42 @@ def _cmd_check(args: argparse.Namespace) -> int:
     progress = sys.stderr if args.progress else None
     runner = None
     try:
-        if args.jobs > 1 or args.resume is not None:
-            from repro.errors import RunnerInterrupted
-            from repro.faults import run_check_parallel
-            from repro.runner import RunnerConfig
+        try:
+            # SIGINT/SIGTERM take the same clean path as --interrupt-after:
+            # journal flushed, spans exported as aborted, exit 3, resumable.
+            with clean_interrupts():
+                if args.jobs > 1 or args.resume is not None:
+                    from repro.faults import run_check_parallel
+                    from repro.runner import RunnerConfig
 
-            config = RunnerConfig(jobs=args.jobs,
-                                  interrupt_after=args.interrupt_after)
-            try:
-                result, runner = run_check_parallel(
-                    kernels=kernels,
-                    faults=args.faults,
-                    seed=args.seed,
-                    resilience=args.mode,
-                    fast=args.fast,
-                    swar_check=args.swar_check,
-                    jobs=args.jobs,
-                    journal_path=args.resume,
-                    runner_config=config,
-                    tracer=tracer,
-                    progress=progress,
-                )
-            except RunnerInterrupted as exc:
-                print(f"repro check: {exc}", file=sys.stderr)
-                return 3
-        else:
-            result = run_check(
-                kernels=kernels,
-                faults=args.faults,
-                seed=args.seed,
-                resilience=args.mode,
-                fast=args.fast,
-                swar_check=args.swar_check,
-                tracer=tracer,
-            )
+                    config = RunnerConfig(
+                        jobs=args.jobs, interrupt_after=args.interrupt_after)
+                    result, runner = run_check_parallel(
+                        kernels=kernels,
+                        faults=args.faults,
+                        seed=args.seed,
+                        resilience=args.mode,
+                        fast=args.fast,
+                        swar_check=args.swar_check,
+                        jobs=args.jobs,
+                        journal_path=args.resume,
+                        runner_config=config,
+                        tracer=tracer,
+                        progress=progress,
+                    )
+                else:
+                    result = run_check(
+                        kernels=kernels,
+                        faults=args.faults,
+                        seed=args.seed,
+                        resilience=args.mode,
+                        fast=args.fast,
+                        swar_check=args.swar_check,
+                        tracer=tracer,
+                    )
+        except RunnerInterrupted as exc:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 3
     finally:
         # Runs on the interrupt path too: an aborted campaign still writes
         # its spans (open ones export with an aborted status).
@@ -597,6 +629,31 @@ def build_parser() -> argparse.ArgumentParser:
                             help="shrink FFT1024 for quick runs")
     add_runner_options(run_parser)
     run_parser.set_defaults(func=_cmd_run)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the durable simulation job service (journalled "
+        "jobs, crash recovery, admission control; see docs/robustness.md)",
+    )
+    serve_parser.add_argument(
+        "--journal-dir", required=True,
+        help="directory for the serve journal and job artifacts; restart "
+        "with the same directory to resume unfinished jobs",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 binds an ephemeral port, published to "
+        "<journal-dir>/endpoint.json)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="max queued jobs per tenant before submissions get 429",
+    )
+    serve_parser.add_argument(
+        "--max-tenants", type=int, default=16,
+        help="max distinct tenants with live queues",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     list_parser = sub.add_parser("list", help="list kernels")
     list_parser.set_defaults(func=_cmd_list)

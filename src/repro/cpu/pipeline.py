@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol
 
-from repro.errors import ReproError, SimulationError
+from repro.errors import ReproError, RunnerInterrupted, SimulationError
 from repro.resilience import ResilienceMode
 from repro.cpu.branch import BranchPredictor, make_predictor
 from repro.cpu.executor import (
@@ -403,6 +403,8 @@ class Machine:
             state.pc = pc
             try:
                 outcome = self._issue_uop(uop, cycle, reg_ready, stats)
+            except RunnerInterrupted:
+                raise  # campaign-level stop, not a simulated fault
             except ReproError as error:
                 action = self._issue_fault_action(error, pc, stats)
                 cycle += 1
@@ -450,6 +452,8 @@ class Machine:
                         state.pc = pc
                         try:
                             outcome2 = self._issue_uop(fuop, cycle, reg_ready, stats, "V")
+                        except RunnerInterrupted:
+                            raise  # campaign-level stop, not a simulated fault
                         except ReproError as error:
                             action = self._issue_fault_action(error, pc, stats)
                             cycle += 1

@@ -72,6 +72,27 @@ class RunnerError(ReproError):
     kind, or a phase whose required tasks terminally failed."""
 
 
+class ServeError(ReproError):
+    """The simulation job service (:mod:`repro.serve`) hit an internal
+    problem: an unusable journal directory, a malformed persisted job record,
+    or a store inconsistency."""
+
+
+class ServeRejected(ServeError):
+    """Admission control refused a job submission.
+
+    Maps to HTTP 429; carries the back-off hint the client should honor as
+    :attr:`retry_after_s` and the machine-readable :attr:`reason`
+    (``"queue_full"`` or ``"draining"``)."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"job rejected ({reason}); retry after {retry_after_s:.1f}s"
+        )
+
+
 class RunnerInterrupted(RunnerError):
     """The runner stopped early on request (``--interrupt-after``).
 

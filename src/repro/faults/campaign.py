@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import ReproError, RunnerInterrupted
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultCampaign, generate_spec
 from repro.obs.spans import maybe_span
@@ -211,6 +211,10 @@ def run_one_injection(
     try:
         with full_validation():
             stats = machine.run(max_cycles=watchdog)
+    except RunnerInterrupted:
+        # Campaign-level stop (signal/cancel), not a simulated fault —
+        # recording it would make the outcome depend on signal timing.
+        raise
     except ReproError as exc:
         error = exc
         stats = getattr(exc, "stats", None)

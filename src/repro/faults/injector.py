@@ -13,6 +13,7 @@ never poisoned across runs.
 from __future__ import annotations
 
 from repro.core.program import SPUProgram, SPUState, decode_state, encode_state
+from repro.errors import RunnerInterrupted
 from repro.faults.spec import FaultSpec
 
 
@@ -162,6 +163,11 @@ class FaultInjector:
         self._unsubscribe()
         try:
             self.applied = _APPLY[self.spec.kind](self.machine, self.spec)
+        except RunnerInterrupted:
+            # Campaign-level stop (signal/cancel) — not an apply failure;
+            # recording it would make the report depend on signal timing.
+            self.fired = False
+            raise
         except Exception as exc:  # noqa: BLE001 - recorded for the report
             self.apply_error = exc
 

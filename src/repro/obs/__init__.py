@@ -30,9 +30,14 @@ from repro.obs.events import (
     EventBus,
     FaultEvent,
     IssueEvent,
+    JobDoneEvent,
+    JobRejectedEvent,
+    JobStartedEvent,
+    JobSubmittedEvent,
     RecoveryEvent,
     RunEndEvent,
     RunStartEvent,
+    ServeDrainEvent,
     SPURouteEvent,
     StallEvent,
     SubscriberError,
@@ -68,9 +73,14 @@ __all__ = [
     "EventBus",
     "FaultEvent",
     "IssueEvent",
+    "JobDoneEvent",
+    "JobRejectedEvent",
+    "JobStartedEvent",
+    "JobSubmittedEvent",
     "RecoveryEvent",
     "RunEndEvent",
     "RunStartEvent",
+    "ServeDrainEvent",
     "SPURouteEvent",
     "StallEvent",
     "SubscriberError",

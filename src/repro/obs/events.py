@@ -23,12 +23,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.errors import RunnerInterrupted
+
 #: Every topic the simulator emits, in rough pipeline order.  The three
 #: resilience topics (``fault``/``degrade``/``recovery``) fire only when
 #: something goes wrong, so they are free on healthy runs.  The five
 #: ``task_*``/``breaker_*`` topics are orchestration-level: they are emitted
 #: by the :mod:`repro.runner` campaign runner (on its own bus instance, one
-#: per :class:`repro.runner.Runner`), never by a simulated machine.
+#: per :class:`repro.runner.Runner`), never by a simulated machine.  The five
+#: ``job_*``/``serve_*`` topics sit one level above that: emitted by the
+#: :mod:`repro.serve` job service (on its own bus), they describe admission,
+#: execution and drain of whole campaigns.
 TOPICS = (
     "run_start",
     "issue",
@@ -45,6 +50,11 @@ TOPICS = (
     "task_timeout",
     "breaker_open",
     "task_done",
+    "job_submitted",
+    "job_rejected",
+    "job_started",
+    "job_done",
+    "serve_drain",
 )
 
 
@@ -244,6 +254,63 @@ class TaskDoneEvent:
     cached: bool = False
 
 
+# ---- job lifecycle (repro.serve) ---------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class JobSubmittedEvent:
+    """The service accepted a job into a tenant queue."""
+
+    job: str
+    tenant: str
+    #: ``"check"``, ``"campaign"`` or ``"suite"``.
+    verb: str
+    #: Queue depth for the tenant *after* admission.
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class JobRejectedEvent:
+    """Admission control refused a job (HTTP 429 + Retry-After)."""
+
+    tenant: str
+    verb: str
+    #: Why: ``"queue_full"`` (per-tenant bound) or ``"draining"``.
+    reason: str
+    retry_after_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class JobStartedEvent:
+    """A queued job began executing on the job worker."""
+
+    job: str
+    tenant: str
+    verb: str
+    #: True when the job resumed from a pre-restart runner journal.
+    resumed: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class JobDoneEvent:
+    """A job reached a terminal state."""
+
+    job: str
+    tenant: str
+    #: ``"done"``, ``"failed"`` or ``"aborted"`` (drain interrupted it).
+    status: str
+    duration_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class ServeDrainEvent:
+    """The service began a graceful drain (SIGTERM / shutdown request)."""
+
+    #: Jobs still queued or running when the drain began.
+    pending: int
+    reason: str = "sigterm"
+
+
 @dataclass(frozen=True, slots=True)
 class SubscriberError:
     """A subscriber raised during dispatch; it has been unsubscribed."""
@@ -323,6 +390,12 @@ class EventBus:
         for fn in tuple(listeners):
             try:
                 fn(event)
+            except RunnerInterrupted:
+                # Campaign-level stop (signal/cancel) raised by a handler
+                # while a subscriber ran.  Not the subscriber's fault —
+                # swallowing it here would both ignore the stop request and
+                # silently drop the subscriber, changing simulation results.
+                raise
             except Exception as exc:  # noqa: BLE001 - isolation by design
                 self.errors.append(SubscriberError(topic, fn, exc))
                 try:

@@ -67,6 +67,10 @@ ANALYSIS_SCHEMA_VERSION = "repro.analysis/1"
 #: Schema tag for campaign-runner documents (journal header + runner report).
 RUNNER_SCHEMA_VERSION = "repro.runner/1"
 
+#: Schema tag for the simulation-service API: every ``repro serve`` response
+#: envelope, its journal records and the ``serve-status`` document.
+SERVE_SCHEMA_VERSION = "repro.serve/1"
+
 
 def envelope(kind: str, data: dict, schema: str = SCHEMA_VERSION, **extra) -> dict:
     """Wrap *data* in the versioned export envelope."""

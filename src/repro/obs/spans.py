@@ -25,6 +25,7 @@ carry entropy, and the clock is injectable so tests can pin them.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -94,17 +95,31 @@ class SpanTracer:
     :meth:`span` is the context-manager convenience for the serial paths.
     """
 
-    def __init__(self, clock: Callable[[], int] = _default_clock) -> None:
+    def __init__(self, clock: Callable[[], int] = _default_clock,
+                 id_base: int = 0,
+                 remote_parent: tuple[str, str] | None = None) -> None:
         self._clock = clock
-        self._next_id = 0
+        self._next_id = id_base
+        self._lock = threading.Lock()
+        #: ``(trace_id, span_id)`` of a parent owned by *another* tracer —
+        #: root spans attach under it instead of opening a fresh trace.
+        #: ``repro serve`` uses this to keep span parentage intact across
+        #: restarts: a resumed job's spans parent onto the span ids recorded
+        #: by the pre-crash epoch, with ``id_base`` offset past that epoch's
+        #: ids so the two JSONL files merge without collisions.
+        self.remote_parent = remote_parent
         self.spans: list[Span] = []
 
     # -- span lifecycle -------------------------------------------------------
 
     def begin(self, name: str, parent: Span | None = None, **attributes) -> Span:
-        self._next_id += 1
-        if parent is None:
-            trace_id = f"{self._next_id:032x}"
+        with self._lock:
+            self._next_id += 1
+            next_id = self._next_id
+        if parent is None and self.remote_parent is not None:
+            trace_id, parent_id = self.remote_parent
+        elif parent is None:
+            trace_id = f"{next_id:032x}"
             parent_id = None
         else:
             trace_id = parent.trace_id
@@ -112,12 +127,13 @@ class SpanTracer:
         span = Span(
             name=name,
             trace_id=trace_id,
-            span_id=f"{self._next_id:016x}",
+            span_id=f"{next_id:016x}",
             parent_id=parent_id,
             start_ns=self._clock(),
             attributes=attributes,
         )
-        self.spans.append(span)
+        with self._lock:
+            self.spans.append(span)
         return span
 
     def end(self, span: Span, status: str = "ok") -> None:

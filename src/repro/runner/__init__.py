@@ -23,8 +23,10 @@ journal format; lifecycle events (``task_start`` .. ``task_done``) ride the
 :mod:`repro.obs` event bus.
 """
 
-from repro.runner.journal import Journal, load_journal
+from repro.runner.chaos import KILL_EXIT, KILL_POINTS, kill_point
+from repro.runner.journal import Journal, JournalLoad, load_journal
 from repro.runner.policy import CircuitBreaker, RetryPolicy
+from repro.runner.signals import CampaignSignalled, clean_interrupts
 from repro.runner.pool import PoolStartError, WorkerPool
 from repro.runner.report import runner_report
 from repro.runner.service import Runner, RunnerConfig, RunnerStats
@@ -39,7 +41,13 @@ from repro.runner.tasks import (
 
 __all__ = [
     "Journal",
+    "JournalLoad",
     "load_journal",
+    "KILL_EXIT",
+    "KILL_POINTS",
+    "kill_point",
+    "CampaignSignalled",
+    "clean_interrupts",
     "CircuitBreaker",
     "RetryPolicy",
     "PoolStartError",

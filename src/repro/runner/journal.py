@@ -1,70 +1,144 @@
-"""Crash-consistent JSONL journal behind ``--resume``.
+"""Crash-consistent JSONL journal behind ``--resume`` and ``repro serve``.
 
 One record per line, appended with a single ``os.write`` to an ``O_APPEND``
 file descriptor (the line is fully serialized before the write, so a crash
 never interleaves records) and fsync'd in batches (every
 :attr:`Journal.fsync_every` appends, plus on :meth:`flush`/:meth:`close`).
 
-Crash consistency is the *reader's* contract: :func:`load_journal` accepts a
-journal whose final line is truncated or half-written — it keeps the longest
-valid prefix and flags ``truncated``.  A record is therefore durable once
-fsync'd and *atomic* regardless: it is either entirely present in the loaded
-prefix or entirely absent.  Since every ``done`` record carries the task's
-full result, resuming from the prefix re-runs at most the tasks whose
-records were lost — never half of one.
+Every written line is checksummed: ``<crc32 hex> <compact json>``, where the
+CRC covers the serialized record bytes.  Crash consistency is the *reader's*
+contract, and :func:`load_journal` now distinguishes two failure shapes:
+
+* a **truncated tail** — the final line is half-written or fails its CRC
+  (the classic torn ``write``); the longest valid prefix is kept and
+  ``truncated`` is flagged, exactly as before;
+* a **corrupt mid-file record** — a line that fails its CRC or does not
+  parse *with valid records after it* (bit rot, a disk error, a concurrent
+  writer).  The loader skips it, counts it in ``corrupt``, and keeps
+  reading — one damaged record no longer discards every record behind it.
+
+Records written before checksumming existed (bare JSON lines) still load:
+they are counted in ``legacy`` and reported with a single warning, so old
+journals resume with reduced (parse-only) integrity checking rather than
+being rejected.
+
+A record is therefore durable once fsync'd and *atomic* regardless: it is
+either entirely present in the loaded set or entirely absent.  Since every
+``done`` record carries the task's full result, resuming re-runs at most the
+tasks whose records were lost or damaged — never half of one.
 
 The first line is a header carrying the schema tag (``repro.runner/1``) and
 a caller-supplied *fingerprint* of the campaign (kernels, seed, fault count,
 mode...).  Resuming against a journal whose fingerprint differs from the
 current invocation raises :class:`~repro.errors.RunnerError` instead of
 silently merging results from a different campaign.
+
+The chaos kill points ``journal-append`` and ``pre-fsync``
+(:mod:`repro.runner.chaos`) let the crash-recovery tests die at the exact
+instants these guarantees are about.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import RunnerError
 from repro.obs.export import RUNNER_SCHEMA_VERSION
+from repro.runner.chaos import kill_point
+
+_CRC_PREFIX_LEN = 8  # "%08x" + one space before the payload
 
 
-def load_journal(path: str | Path) -> tuple[dict | None, list[dict], bool]:
-    """Read a journal; returns ``(header, records, truncated)``.
+def _encode_record(record: dict) -> bytes:
+    """Serialize one record as its checksummed journal line."""
+    payload = json.dumps(record, separators=(",", ":"), default=str).encode()
+    return b"%08x " % zlib.crc32(payload) + payload + b"\n"
 
-    *records* excludes the header.  Parsing stops at the first malformed
-    line (a crash mid-append leaves at most one, at the tail); everything
-    after it is discarded and ``truncated`` is True.  A missing or empty
-    file yields ``(None, [], False)``.
+
+def _decode_line(line: bytes) -> tuple[dict | None, bool]:
+    """Parse one journal line; returns ``(record | None, is_legacy)``.
+
+    ``None`` means the line is damaged: a failed CRC, unparsable JSON, or a
+    non-object payload.  A line without a CRC prefix is *legacy* (written
+    before checksumming) and is accepted on JSON validity alone.
+    """
+    legacy = True
+    payload = line
+    if (
+        len(line) > _CRC_PREFIX_LEN + 1
+        and line[_CRC_PREFIX_LEN : _CRC_PREFIX_LEN + 1] == b" "
+    ):
+        try:
+            expected = int(line[:_CRC_PREFIX_LEN], 16)
+        except ValueError:
+            expected = None
+        if expected is not None:
+            legacy = False
+            payload = line[_CRC_PREFIX_LEN + 1 :]
+            if zlib.crc32(payload) != expected:
+                return None, False
+    try:
+        record = json.loads(payload)
+    except ValueError:
+        return None, legacy
+    if not isinstance(record, dict):
+        return None, legacy
+    return record, legacy
+
+
+@dataclass
+class JournalLoad:
+    """What :func:`load_journal` recovered from one journal file."""
+
+    #: The leading ``type == "header"`` record, when one loaded cleanly.
+    header: dict | None = None
+    #: Every valid non-header record, in file order.
+    records: list[dict] = field(default_factory=list)
+    #: The final line was half-written or failed its CRC (torn append).
+    truncated: bool = False
+    #: Damaged records *before* valid ones — skipped, not fatal.
+    corrupt: int = 0
+    #: Checksum-less records accepted on JSON validity alone (pre-CRC files).
+    legacy: int = 0
+
+
+def load_journal(path: str | Path) -> JournalLoad:
+    """Read a journal, keeping every record that survives validation.
+
+    Each line is checked independently (CRC where present, JSON validity
+    always).  A damaged *final* line is the truncated-tail case; a damaged
+    line with valid records after it is counted in :attr:`JournalLoad.corrupt`
+    and skipped.  A missing or empty file yields an empty load.
     """
     target = Path(path)
+    load = JournalLoad()
     if not target.exists():
-        return None, [], False
-    raw = target.read_bytes()
-    header: dict | None = None
-    records: list[dict] = []
-    truncated = False
-    for index, line in enumerate(raw.split(b"\n")):
-        if not line:
+        return load
+    lines = [line for line in target.read_bytes().split(b"\n") if line]
+    for index, line in enumerate(lines):
+        record, legacy = _decode_line(line)
+        if record is None:
+            if index == len(lines) - 1:
+                load.truncated = True
+            else:
+                load.corrupt += 1
             continue
-        try:
-            record = json.loads(line)
-        except ValueError:
-            truncated = True
-            break
-        if not isinstance(record, dict):
-            truncated = True
-            break
-        if index == 0:
-            header = record
+        if legacy:
+            load.legacy += 1
+        if load.header is None and not load.records and record.get("type") == "header":
+            load.header = record
         else:
-            records.append(record)
-    return header, records, truncated
+            load.records.append(record)
+    return load
 
 
 class Journal:
-    """Append-only JSONL task journal with atomic appends and batched fsync."""
+    """Append-only JSONL task journal with checksummed atomic appends."""
 
     def __init__(
         self,
@@ -77,21 +151,47 @@ class Journal:
         self.fsync_every = max(1, fsync_every)
         self._pending = 0
         self._completed: dict[str, dict] = {}
-        self.truncated = False
-        self.resumed = False
 
-        header, records, self.truncated = load_journal(self.path)
-        if header is not None:
-            self._validate_header(header)
+        load = load_journal(self.path)
+        self.truncated = load.truncated
+        #: Damaged mid-file records skipped by the loader (see load_journal).
+        self.corrupt_records = load.corrupt
+        #: Checksum-less records accepted from a pre-CRC journal.
+        self.legacy_records = load.legacy
+        self.resumed = False
+        if load.header is not None:
+            self._validate_header(load.header)
             self.resumed = True
-            for record in records:
+            for record in load.records:
                 if record.get("type") == "done" and record.get("status") == "ok":
                     self._completed[record["task"]] = record
+        elif load.records or load.corrupt or load.truncated:
+            raise RunnerError(
+                f"{self.path}: journal header is missing or corrupt; the "
+                "file cannot be attributed to a campaign — move it aside "
+                "or pass a fresh --resume path"
+            )
+        if self.corrupt_records:
+            warnings.warn(
+                f"{self.path}: skipped {self.corrupt_records} corrupt journal "
+                "record(s) (failed checksum or unparsable); the affected "
+                "tasks will re-run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if self.legacy_records:
+            warnings.warn(
+                f"{self.path}: loaded {self.legacy_records} checksum-less "
+                "record(s) from a pre-CRC journal; integrity checking for "
+                "them is parse-only",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fd = os.open(
             self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
-        if header is None:
+        if load.header is None:
             self.append({
                 "type": "header",
                 "schema": RUNNER_SCHEMA_VERSION,
@@ -119,8 +219,8 @@ class Journal:
 
     def append(self, record: dict) -> None:
         """Atomically append one record (single write of the whole line)."""
-        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
-        os.write(self._fd, line.encode())
+        kill_point("journal-append")
+        os.write(self._fd, _encode_record(record))
         if record.get("type") == "done" and record.get("status") == "ok":
             self._completed[record["task"]] = record
         self._pending += 1
@@ -129,6 +229,7 @@ class Journal:
 
     def flush(self) -> None:
         """Force the pending batch to stable storage."""
+        kill_point("pre-fsync")
         if self._fd >= 0:
             os.fsync(self._fd)
         self._pending = 0

@@ -16,18 +16,31 @@ from repro.runner.tasks import TaskResult
 
 
 def runner_report(runner: Runner,
-                  results: dict[str, TaskResult] | None = None) -> dict:
+                  results: dict[str, TaskResult] | None = None,
+                  serve: dict | None = None) -> dict:
     """The ``runner`` document for one :class:`Runner`'s completed work.
 
     *results* defaults to everything the runner has driven terminal
-    (:attr:`Runner.results`, accumulated across ``run()`` calls).
+    (:attr:`Runner.results`, accumulated across ``run()`` calls).  *serve*,
+    when given, embeds the owning service's lifecycle counters (queue
+    high-water, admissions rejected, restarts) under a ``serve`` key.
     """
     if results is None:
         results = runner.results
     ordered = [results[task_id] for task_id in sorted(results)]
+    journal = None
+    if runner.journal is not None:
+        journal = {
+            "resumed": runner.journal.resumed,
+            "resumed_tasks": runner.stats.cached,
+            "corrupt_records_skipped": runner.journal.corrupt_records,
+            "legacy_records": runner.journal.legacy_records,
+            "truncated_tail": runner.journal.truncated,
+        }
     body = {
         "jobs": runner.config.jobs,
         "fallback": runner.fallback_reason,
+        "journal": journal,
         "stats": runner.stats.as_dict(),
         "retry": {
             "max_attempts": runner.config.retry.max_attempts,
@@ -51,4 +64,6 @@ def runner_report(runner: Runner,
             for result in ordered
         ],
     }
+    if serve is not None:
+        body["serve"] = serve
     return envelope("runner", body, schema=RUNNER_SCHEMA_VERSION)

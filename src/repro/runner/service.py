@@ -38,6 +38,7 @@ stay byte-stable.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -81,6 +82,12 @@ class RunnerConfig:
     interrupt_after: int | None = None
     #: Journal fsync batch size.
     fsync_every: int = 8
+    #: Cooperative cancellation: when another thread sets this event, the
+    #: runner stops at the next scheduling point — journal flushed,
+    #: :class:`RunnerInterrupted` raised, results so far attached.  This is
+    #: how ``repro serve`` drains an in-flight campaign on SIGTERM without
+    #: owning the campaign thread's signal handling.
+    cancel_event: threading.Event | None = None
 
 
 @dataclass
@@ -243,6 +250,18 @@ class Runner:
             if span is not None:
                 self.tracer.end(span)
 
+    def _check_cancelled(self, results: dict[str, TaskResult]) -> None:
+        """Raise the clean-interrupt path when the cancel event is set."""
+        event = self.config.cancel_event
+        if event is None or not event.is_set():
+            return
+        if self.journal is not None:
+            self.journal.flush()
+        raise RunnerInterrupted(
+            "campaign cancelled; journal flushed — resume with the same "
+            "journal to continue", results,
+        )
+
     def _terminal(self, results: dict[str, TaskResult],
                   result: TaskResult) -> None:
         results[result.task] = result
@@ -298,6 +317,7 @@ class Runner:
     def _run_serial(self, tasks: list[TaskSpec],
                     results: dict[str, TaskResult]) -> None:
         for task in tasks:
+            self._check_cancelled(results)
             if not self.breaker.allow(task.slice):
                 self._terminal(results, TaskResult(
                     task=task.id, status="skipped", attempts=0,
@@ -315,6 +335,12 @@ class Runner:
                 begun = time.perf_counter()
                 try:
                     payload = task.execute()
+                except RunnerInterrupted:
+                    # A signal handler fired mid-task (clean_interrupts):
+                    # not a task failure — flush what completed and stop.
+                    if self.journal is not None:
+                        self.journal.flush()
+                    raise
                 except Exception as exc:  # noqa: BLE001 - retried by policy
                     duration = time.perf_counter() - begun
                     detail = f"{type(exc).__name__}: {exc}"
@@ -371,6 +397,7 @@ class Runner:
                 delayed.append((time.monotonic() + delay, task.id))
 
         while pending:
+            self._check_cancelled(results)
             now = time.monotonic()
             if delayed:
                 due = [tid for when, tid in delayed if when <= now]

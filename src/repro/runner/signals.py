@@ -1,0 +1,71 @@
+"""Clean SIGINT/SIGTERM handling for campaign commands.
+
+``repro check`` and ``repro run`` already had *one* clean-interrupt path:
+``--interrupt-after N`` raises :class:`~repro.errors.RunnerInterrupted` with
+the journal flushed and exits 3.  A real Ctrl-C or a supervisor's SIGTERM
+used to take the default path instead — ``KeyboardInterrupt`` tracebacks,
+no span export, an exit status that reads as a crash.
+
+:func:`clean_interrupts` converts both signals into the same clean path:
+the handler raises :class:`CampaignSignalled` (a ``RunnerInterrupted``), so
+the runner's ``finally`` blocks flush the journal, the CLI's ``finally``
+writes span files (open spans export as aborted), and the command exits 3 —
+resumable exactly like an ``--interrupt-after`` stop.
+
+Signal handlers can only be installed from the main thread; elsewhere (the
+``repro serve`` job executor runs campaigns on a worker thread) the context
+manager is a no-op and cancellation rides
+:attr:`repro.runner.RunnerConfig.cancel_event` instead.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import RunnerInterrupted
+
+__all__ = ["CampaignSignalled", "clean_interrupts"]
+
+
+class CampaignSignalled(RunnerInterrupted):
+    """A termination signal arrived; the campaign stopped on the clean path.
+
+    Carries the signal name as :attr:`signal_name`.  Handled like every
+    ``RunnerInterrupted``: journal flushed, spans exported as aborted,
+    exit code 3, journal resumable.
+    """
+
+    def __init__(self, signum: int) -> None:
+        self.signal_name = signal.Signals(signum).name
+        super().__init__(
+            f"received {self.signal_name}; journal flushed — rerun with the "
+            "same --resume path to continue"
+        )
+
+
+@contextmanager
+def clean_interrupts(
+    signums: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[None]:
+    """Raise :class:`CampaignSignalled` on SIGINT/SIGTERM inside the block.
+
+    Previous handlers are restored on exit.  Outside the main thread this
+    is a transparent no-op (Python only delivers signals to the main
+    thread, and only the main thread may install handlers).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum: int, frame) -> None:
+        raise CampaignSignalled(signum)
+
+    previous = {signum: signal.signal(signum, _handler) for signum in signums}
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)

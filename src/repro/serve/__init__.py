@@ -1,0 +1,47 @@
+"""repro.serve — the durable simulation job service (``repro serve``).
+
+A long-lived, stdlib-only (asyncio) service that accepts kernel-profile and
+fault-campaign jobs over schema-versioned JSON endpoints (``repro.serve/1``),
+executes them on the hardened :mod:`repro.runner` stack, and holds three
+promises the CLI alone cannot:
+
+**Durability.**  Admissions and completions live in a CRC-checksummed,
+fsync-per-record journal; campaign progress lives in per-job runner
+journals.  ``kill -9`` the server at any instant — restarting it with the
+same ``--journal-dir`` resumes every unfinished job and produces final
+reports byte-identical to uninterrupted serial runs.
+
+**Bounded state.**  Per-tenant bounded queues drained round-robin; a
+submission beyond the bound gets HTTP 429 with a ``Retry-After`` hint
+instead of unbounded memory growth.  The event ring, header sizes and body
+sizes are bounded the same way.
+
+**Graceful drain.**  SIGTERM (or ``POST /v1/drain``) stops admissions,
+cancels the running campaign at a task boundary with its journal flushed,
+exports open spans as aborted, and exits 3 — the same resumable contract as
+an interrupted ``repro check``.
+
+The chaos kill points (:mod:`repro.runner.chaos`) — ``journal-append``,
+``pre-fsync``, ``mid-response``, ``mid-drain`` — let the crash-recovery
+matrix in ``tests/serve`` prove those claims rather than assert them.
+See docs/robustness.md ("Simulation as a service") for the endpoint and
+journal reference.
+"""
+
+from repro.serve.app import ServeApp
+from repro.serve.client import ServeClient, read_endpoint
+from repro.serve.jobs import VERBS, JobOutcome, JobSpec, execute_job
+from repro.serve.queues import TenantQueues
+from repro.serve.store import ServeStore
+
+__all__ = [
+    "ServeApp",
+    "ServeClient",
+    "read_endpoint",
+    "VERBS",
+    "JobOutcome",
+    "JobSpec",
+    "execute_job",
+    "TenantQueues",
+    "ServeStore",
+]

@@ -1,0 +1,430 @@
+"""The ``repro serve`` application: asyncio front end, one job worker.
+
+Architecture, smallest thing that holds the durability story together:
+
+- the **asyncio loop** owns all mutable service state (queues, counters,
+  the serve journal).  HTTP handlers and the job worker coroutine run on
+  it, so no lock guards any of that state;
+- the **job worker** is one coroutine driving one
+  :class:`~concurrent.futures.ThreadPoolExecutor` thread.  Campaigns run
+  serially (``jobs=1``) in-process, sharing the decoded micro-op and
+  pairing caches across jobs exactly like consecutive CLI runs would;
+- **durability before acknowledgement**: a submission is journalled
+  (fsync'd) before the 202 leaves the socket, so any job a client saw
+  accepted survives SIGKILL.  Completion is journalled before the status
+  endpoint reports it;
+- **restart is recovery**: constructing the app folds the journal —
+  admitted minus terminal, in admission order, re-enqueued.  A half-run
+  check job resumes from its own runner journal and merges byte-identical
+  to an uninterrupted run;
+- **drain is cancellation**: SIGTERM/SIGINT (or ``POST /v1/drain``) stops
+  admissions (429 ``draining``), sets the running job's cancel event, lets
+  the runner journal it, exports open spans as aborted and exits 3 — the
+  same resumable contract as an interrupted ``repro check``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.errors import ServeRejected
+from repro.obs.events import (
+    EventBus,
+    JobDoneEvent,
+    JobRejectedEvent,
+    JobStartedEvent,
+    JobSubmittedEvent,
+    ServeDrainEvent,
+)
+from repro.obs.export import SERVE_SCHEMA_VERSION, envelope
+from repro.obs.spans import SpanTracer
+from repro.serve.http import (
+    BadRequest,
+    Request,
+    json_body,
+    read_request,
+    response_bytes,
+    send_response,
+)
+from repro.serve.jobs import VERBS, JobSpec, execute_job
+from repro.serve.queues import TenantQueues
+from repro.serve.store import ServeStore
+
+__all__ = ["ServeApp"]
+
+#: Serve topics mirrored into the ``/v1/events`` ring buffer.
+EVENT_TOPICS = ("job_submitted", "job_rejected", "job_started", "job_done",
+                "serve_drain")
+
+#: Ring-buffer capacity for ``/v1/events`` (bounded state, like the queues).
+EVENT_RING = 1000
+
+#: Seconds of back-off suggested per queued job in a 429 ``Retry-After``.
+RETRY_AFTER_PER_JOB_S = 2.0
+
+
+class ServeApp:
+    """One service instance bound to one journal directory."""
+
+    def __init__(self, journal_dir: str | Path, host: str = "127.0.0.1",
+                 port: int = 0, queue_depth: int = 8, max_tenants: int = 16,
+                 bus: EventBus | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.store = ServeStore(journal_dir)
+        self.queues = TenantQueues(queue_depth, max_tenants)
+        self.bus = bus or EventBus()
+        self.draining = False
+        self.drain_reason = ""
+        self.counters = {
+            "submitted": 0,
+            "rejected": 0,
+            "done": 0,
+            "failed": 0,
+            "aborted": 0,
+            "resumed_jobs": len(self.store.recovered),
+            "corrupt_journal_records": self.store.corrupt_records,
+        }
+        self._events: list[dict] = []
+        self._event_seq = 0
+        for topic in EVENT_TOPICS:
+            self.bus.subscribe(topic, self._make_recorder(topic))
+        self._running: tuple[JobSpec, threading.Event] | None = None
+        self._kick: asyncio.Event | None = None
+        self._stopping: asyncio.Event | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-job"
+        )
+        # Jobs lost by a previous epoch re-enter the queue unchecked: they
+        # were admitted under the bound once already.
+        for spec in self.store.recovered:
+            self.queues.requeue(spec)
+
+    # ---- event ring ----------------------------------------------------------
+
+    def _make_recorder(self, topic: str):
+        def record(event) -> None:
+            self._event_seq += 1
+            self._events.append(
+                {"seq": self._event_seq, "topic": topic, **asdict(event)}
+            )
+            if len(self._events) > EVENT_RING:
+                del self._events[: len(self._events) - EVENT_RING]
+        return record
+
+    # ---- lifecycle -----------------------------------------------------------
+
+    async def run(self) -> int:
+        """Serve until drained; returns the process exit code (3)."""
+        loop = asyncio.get_running_loop()
+        self._kick = asyncio.Event()
+        self._stopping = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, self.drain, signal.Signals(signum).name.lower()
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread / platform without loop signals
+
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        endpoint = Path(self.store.root) / "endpoint.json"
+        endpoint.write_text(json.dumps(
+            {"host": self.host, "port": self.port, "epoch": self.store.epoch}
+        ) + "\n")
+
+        if self.queues.total():
+            self._kick.set()
+        worker = asyncio.create_task(self._worker())
+        await self._stopping.wait()
+        await worker
+        server.close()
+        await server.wait_closed()
+        self._executor.shutdown(wait=True)
+        # Durability barrier last: every record of this epoch (including
+        # terminal records of jobs that finished during the drain) is on
+        # stable storage before the process exits.
+        self.store.flush_for_drain()
+        self.store.close()
+        return 3
+
+    def drain(self, reason: str = "sigterm") -> None:
+        """Begin a graceful drain (idempotent; callable from the loop only)."""
+        if self.draining:
+            return
+        self.draining = True
+        self.drain_reason = reason
+        pending = self.queues.total() + (1 if self._running else 0)
+        self.bus.emit("serve_drain", ServeDrainEvent(
+            pending=pending, reason=reason,
+        ))
+        if self._running is not None:
+            self._running[1].set()
+        if self._kick is not None:
+            self._kick.set()
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # ---- the job worker ------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self.draining:
+            spec = self.queues.next_job()
+            if spec is None:
+                self._kick.clear()
+                if self.draining:
+                    break
+                await self._kick.wait()
+                continue
+            await self._run_job(loop, spec)
+
+    async def _run_job(self, loop: asyncio.AbstractEventLoop,
+                       spec: JobSpec) -> None:
+        resumed = spec.job in self.store.span_roots or (
+            spec.verb == "check" and self.store.job_journal(spec.job).exists()
+        )
+        cancel = threading.Event()
+        self._running = (spec, cancel)
+        if self.draining:
+            # Drain raced the dispatch: leave the job journalled-pending.
+            cancel.set()
+        self.bus.emit("job_started", JobStartedEvent(
+            job=spec.job, tenant=spec.tenant, verb=spec.verb, resumed=resumed,
+        ))
+
+        tracer = None
+        if spec.verb == "check":
+            # Root span chain survives restarts: epoch N's job root parents
+            # onto the root recorded by epoch N-1, ids offset per epoch.
+            tracer = SpanTracer(
+                id_base=self.store.span_id_base(),
+                remote_parent=self.store.span_roots.get(spec.job),
+            )
+            root = tracer.begin(
+                f"serve:job:{spec.job}", epoch=self.store.epoch,
+                tenant=spec.tenant, verb=spec.verb, resumed=resumed,
+            )
+            self.store.record_span_root(spec.job, root.trace_id, root.span_id)
+            tracer.remote_parent = (root.trace_id, root.span_id)
+
+        outcome = await loop.run_in_executor(
+            self._executor, execute_job, spec, self.store, cancel, tracer,
+            self.counters_snapshot(),
+        )
+        self._running = None
+
+        if tracer is not None:
+            if outcome.status == "done":
+                tracer.end(root)
+            # aborted/failed: the open root exports with an aborted status.
+            tracer.write(self.store.spans_path(spec.job))
+        if outcome.status == "aborted":
+            self.counters["aborted"] += 1
+        else:
+            self.store.record_done(spec.job, outcome.status, outcome.detail)
+            self.counters[outcome.status] += 1
+        self.bus.emit("job_done", JobDoneEvent(
+            job=spec.job, tenant=spec.tenant, status=outcome.status,
+            duration_s=outcome.duration_s,
+        ))
+
+    # ---- state snapshots -----------------------------------------------------
+
+    def counters_snapshot(self) -> dict:
+        return {
+            **self.counters,
+            "epoch": self.store.epoch,
+            "queue_high_water": self.queues.high_water,
+            "queued": self.queues.total(),
+        }
+
+    def job_state(self, job: str) -> str | None:
+        if job in self.store.terminal:
+            return self.store.terminal[job]
+        if self._running is not None and self._running[0].job == job:
+            return "running"
+        if job in self.store.admitted:
+            return "queued"
+        return None
+
+    def retry_after_s(self) -> float:
+        load = self.queues.total() + (1 if self._running else 0)
+        return max(1.0, min(60.0, RETRY_AFTER_PER_JOB_S * (load + 1)))
+
+    # ---- HTTP ----------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                raw = self._route(request)
+            except BadRequest as exc:
+                raw = self._error(400, str(exc))
+            except ServeRejected as exc:
+                raw = self._rejected(exc)
+            except Exception as exc:  # noqa: BLE001 - a handler bug must not
+                # take down jobs that are mid-campaign
+                raw = self._error(500, f"{type(exc).__name__}: {exc}")
+            await send_response(writer, raw)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _envelope_bytes(self, status: int, kind: str, data: dict,
+                        extra_headers: dict[str, str] | None = None) -> bytes:
+        body = json.dumps(
+            envelope(kind, data, schema=SERVE_SCHEMA_VERSION),
+            separators=(",", ":"), default=str,
+        ).encode() + b"\n"
+        return response_bytes(status, body, extra_headers=extra_headers)
+
+    def _error(self, status: int, message: str) -> bytes:
+        return self._envelope_bytes(status, "serve-error", {"error": message})
+
+    def _rejected(self, exc: ServeRejected) -> bytes:
+        self.counters["rejected"] += 1
+        return self._envelope_bytes(
+            429, "serve-rejected",
+            {"reason": exc.reason, "retry_after_s": exc.retry_after_s},
+            extra_headers={"Retry-After": str(int(exc.retry_after_s + 0.999))},
+        )
+
+    def _route(self, request: Request) -> bytes:
+        path, method = request.path, request.method
+        if path == "/v1/ping" and method == "GET":
+            return self._envelope_bytes(200, "serve-ping", {
+                "ok": True, "epoch": self.store.epoch,
+                "draining": self.draining,
+            })
+        if path == "/v1/status" and method == "GET":
+            return self._envelope_bytes(200, "serve-status", self._status())
+        if path == "/v1/jobs" and method == "POST":
+            return self._submit(request)
+        if path == "/v1/events" and method == "GET":
+            return self._events_body(request)
+        if path == "/v1/drain" and method == "POST":
+            pending = self.queues.total() + (1 if self._running else 0)
+            self.drain(reason="request")
+            return self._envelope_bytes(202, "serve-drain", {
+                "draining": True, "pending": pending,
+            })
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._job_get(path[len("/v1/jobs/"):])
+        return self._error(
+            404 if method in ("GET", "POST") else 405,
+            f"no route for {method} {path}",
+        )
+
+    def _status(self) -> dict:
+        running = self._running[0].job if self._running else None
+        return {
+            "epoch": self.store.epoch,
+            "draining": self.draining,
+            "running": running,
+            "queues": {
+                tenant: self.queues.depth(tenant)
+                for tenant in self.queues.tenants()
+            },
+            "counters": self.counters_snapshot(),
+        }
+
+    def _submit(self, request: Request) -> bytes:
+        if self.draining:
+            exc = ServeRejected("draining", self.retry_after_s())
+            self.bus.emit("job_rejected", JobRejectedEvent(
+                tenant="", verb="", reason=exc.reason,
+                retry_after_s=exc.retry_after_s,
+            ))
+            raise exc
+        payload = json_body(request)
+        verb = payload.get("verb")
+        if verb not in VERBS:
+            raise BadRequest(f"verb must be one of {list(VERBS)}, got {verb!r}")
+        tenant = str(payload.get("tenant") or "default")[:64]
+        params = payload.get("params") or {}
+        if not isinstance(params, dict):
+            raise BadRequest("params must be a JSON object")
+        try:
+            self.queues.check(tenant, self.retry_after_s())
+        except ServeRejected as exc:
+            self.bus.emit("job_rejected", JobRejectedEvent(
+                tenant=tenant, verb=verb, reason=exc.reason,
+                retry_after_s=exc.retry_after_s,
+            ))
+            raise
+        seq = self.store.claim_seq()
+        spec = JobSpec(
+            job=f"job-{seq:06d}", tenant=tenant, verb=verb,
+            params=params, seq=seq,
+        )
+        # Durable before acknowledged: journal first (fsync per record),
+        # then enqueue, then 202.
+        self.store.record_job(spec)
+        depth = self.queues.requeue(spec)
+        self.counters["submitted"] += 1
+        self.bus.emit("job_submitted", JobSubmittedEvent(
+            job=spec.job, tenant=tenant, verb=verb, depth=depth,
+        ))
+        self._kick.set()
+        return self._envelope_bytes(202, "serve-job", {
+            "job": spec.job, "tenant": tenant, "verb": verb, "depth": depth,
+        })
+
+    def _job_get(self, rest: str) -> bytes:
+        job, _, artifact = rest.partition("/")
+        state = self.job_state(job)
+        if state is None:
+            return self._error(404, f"unknown job {job!r}")
+        if artifact == "":
+            spec = self.store.admitted.get(job)
+            return self._envelope_bytes(200, "serve-job-status", {
+                "job": job,
+                "state": state,
+                "tenant": spec.tenant if spec else None,
+                "verb": spec.verb if spec else None,
+                "resumed": job in self.store.span_roots
+                and self.store.epoch > 1,
+            })
+        if artifact == "report":
+            raw = self.store.read_report(job)
+            if raw is None:
+                return self._error(404, f"job {job!r} has no report yet "
+                                        f"(state: {state})")
+            return response_bytes(200, raw)
+        if artifact == "runner":
+            raw = self.store.read_runner(job)
+            if raw is None:
+                return self._error(404, f"job {job!r} has no runner report "
+                                        f"yet (state: {state})")
+            return response_bytes(200, raw)
+        return self._error(404, f"unknown job artifact {artifact!r}")
+
+    def _events_body(self, request: Request) -> bytes:
+        topic = request.query.get("topic")
+        try:
+            since = int(request.query.get("since", "0"))
+        except ValueError as exc:
+            raise BadRequest("since must be an integer") from exc
+        lines = [
+            json.dumps(record, separators=(",", ":"), default=str)
+            for record in self._events
+            if record["seq"] > since and (topic is None or record["topic"] == topic)
+        ]
+        body = ("\n".join(lines) + "\n").encode() if lines else b""
+        return response_bytes(200, body, content_type="application/x-ndjson")

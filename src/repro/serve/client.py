@@ -1,0 +1,163 @@
+"""Stdlib client for the simulation service (tests, CI, scripting).
+
+A thin wrapper over :mod:`http.client` speaking the ``repro.serve/1``
+envelope protocol.  Every method opens one connection per request —
+matching the server's ``Connection: close`` policy — and raises:
+
+- :class:`~repro.errors.ServeRejected` on 429 (carrying the server's
+  ``Retry-After`` hint), so callers can implement polite back-off;
+- :class:`~repro.errors.ServeError` on transport failures and other
+  non-2xx answers.
+
+:func:`read_endpoint` pairs with the ``endpoint.json`` file the server
+writes into its journal directory after binding, so harnesses that start
+the server with ``--port 0`` discover the real port without parsing logs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from pathlib import Path
+
+from repro.errors import ServeError, ServeRejected
+
+__all__ = ["ServeClient", "read_endpoint"]
+
+
+def read_endpoint(journal_dir: str | Path, timeout_s: float = 10.0,
+                  min_epoch: int = 0) -> tuple[str, int]:
+    """Poll ``<journal_dir>/endpoint.json`` until the server has bound.
+
+    *min_epoch* guards restart races: a harness restarting the server can
+    demand an endpoint written by the new epoch, not the stale file of the
+    killed one.
+    """
+    target = Path(journal_dir) / "endpoint.json"
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if target.exists():
+            try:
+                doc = json.loads(target.read_text())
+                if doc.get("epoch", 0) >= min_epoch:
+                    return doc["host"], int(doc["port"])
+            except (ValueError, KeyError):
+                pass  # torn read; the server rewrites it momentarily
+        time.sleep(0.05)
+    raise ServeError(f"no serve endpoint appeared in {journal_dir}")
+
+
+class ServeClient:
+    """One service endpoint; stateless between calls."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # ---- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> tuple[int, dict[str, str], bytes]:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            resp_headers = {k.lower(): v for k, v in response.getheaders()}
+            return response.status, resp_headers, raw
+        except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            raise ServeError(
+                f"serve request {method} {path} failed: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              payload: dict | None = None) -> dict:
+        status, headers, raw = self._request(method, path, payload)
+        if status == 429:
+            doc = self._decode(raw)
+            data = doc.get("data", {})
+            retry_after = float(
+                data.get("retry_after_s", headers.get("retry-after", 1.0))
+            )
+            raise ServeRejected(data.get("reason", "queue_full"), retry_after)
+        doc = self._decode(raw)
+        if status >= 400:
+            detail = doc.get("data", {}).get("error") or repr(raw[:200])
+            raise ServeError(f"{method} {path} -> {status}: {detail}")
+        return doc
+
+    @staticmethod
+    def _decode(raw: bytes) -> dict:
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            raise ServeError(f"undecodable serve response: {raw[:200]!r}") from exc
+        if not isinstance(doc, dict):
+            raise ServeError(f"unexpected serve response shape: {doc!r}")
+        return doc
+
+    # ---- API -----------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._json("GET", "/v1/ping")["data"]
+
+    def status(self) -> dict:
+        return self._json("GET", "/v1/status")["data"]
+
+    def submit(self, verb: str, params: dict, tenant: str = "default") -> str:
+        """Submit a job; returns its id (raises :class:`ServeRejected`)."""
+        doc = self._json("POST", "/v1/jobs", {
+            "verb": verb, "tenant": tenant, "params": params,
+        })
+        return doc["data"]["job"]
+
+    def job(self, job: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job}")["data"]
+
+    def report_bytes(self, job: str) -> bytes:
+        """The job's final report, byte-for-byte as stored (404 raises)."""
+        status, _headers, raw = self._request("GET", f"/v1/jobs/{job}/report")
+        if status != 200:
+            raise ServeError(f"job {job} report unavailable (HTTP {status})")
+        return raw
+
+    def runner_doc(self, job: str) -> dict:
+        status, _headers, raw = self._request("GET", f"/v1/jobs/{job}/runner")
+        if status != 200:
+            raise ServeError(f"job {job} runner report unavailable "
+                             f"(HTTP {status})")
+        return json.loads(raw)
+
+    def events(self, topic: str | None = None, since: int = 0) -> list[dict]:
+        path = f"/v1/events?since={since}"
+        if topic is not None:
+            path += f"&topic={topic}"
+        status, _headers, raw = self._request("GET", path)
+        if status != 200:
+            raise ServeError(f"events unavailable (HTTP {status})")
+        return [json.loads(line) for line in raw.splitlines() if line]
+
+    def drain(self) -> dict:
+        return self._json("POST", "/v1/drain")["data"]
+
+    def wait(self, job: str, timeout_s: float = 120.0,
+             poll_s: float = 0.1) -> str:
+        """Poll until *job* is terminal; returns its final state."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            state = self.job(job)["state"]
+            if state in ("done", "failed"):
+                return state
+            time.sleep(poll_s)
+        raise ServeError(f"job {job} still {state!r} after {timeout_s}s")

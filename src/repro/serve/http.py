@@ -1,0 +1,146 @@
+"""A deliberately small HTTP/1.1 layer on asyncio streams.
+
+The service speaks exactly as much HTTP as ``http.client`` and ``curl``
+need: request line + headers + optional ``Content-Length`` body in,
+``Connection: close`` responses out, one request per connection.  No
+dependency beyond the standard library, no chunked encoding, no keep-alive
+state machine — every simplification here is one less thing a crash can
+leave half-done.
+
+Hard input bounds (header block 16 KiB, body 1 MiB) keep a misbehaving
+client from ballooning server memory; they are admission control's
+transport-level sibling.
+
+The ``mid-response`` chaos kill point fires between the two halves of a
+response write, so the crash-recovery tests can prove a client seeing a
+torn response still finds consistent server state after restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.runner.chaos import kill_point
+
+__all__ = ["Request", "json_body", "read_request", "response_bytes",
+           "send_response"]
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed request; ``None`` fields never occur on a valid parse."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+class BadRequest(ValueError):
+    """Unparsable or over-limit request; the caller answers 400/413."""
+
+
+def json_body(request: Request) -> dict:
+    """The request body as a JSON object (raises :class:`BadRequest`)."""
+    if not request.body:
+        return {}
+    try:
+        payload = json.loads(request.body)
+    except ValueError as exc:
+        raise BadRequest(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request; ``None`` when the client closed without sending."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequest("connection closed mid-headers") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise BadRequest("header block exceeds limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequest("header block exceeds limit")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError as exc:
+            raise BadRequest("malformed Content-Length") from exc
+        if size > MAX_BODY_BYTES:
+            raise BadRequest("body exceeds limit")
+        if size:
+            body = await reader.readexactly(size)
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(status: int, body: bytes,
+                   content_type: str = "application/json",
+                   extra_headers: dict[str, str] | None = None) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head_lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head_lines.append(f"{name}: {value}")
+    head = ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+async def send_response(writer: asyncio.StreamWriter, raw: bytes) -> None:
+    """Write a full response in two flushed halves around the kill point.
+
+    Clients always know whether a response was complete: ``Content-Length``
+    is in the first half, so a crash at the kill point yields a short read,
+    never a silently truncated-but-plausible document.
+    """
+    half = max(1, len(raw) // 2)
+    writer.write(raw[:half])
+    await writer.drain()
+    kill_point("mid-response")
+    writer.write(raw[half:])
+    await writer.drain()

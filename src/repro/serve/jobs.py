@@ -1,0 +1,150 @@
+"""Job specifications and executors for the simulation service.
+
+A job is a persisted request to run one repro workload.  Two verbs:
+
+``check``
+    A fault campaign (the parallel ``repro check`` harness) on the service's
+    job worker, journalled per job — the service can be SIGKILLed mid-run
+    and the resumed job merges byte-identical to a serial ``repro check``
+    with the same parameters.  The report on disk is byte-for-byte the
+    document ``repro check --json`` writes.
+
+``profile``
+    One kernel's ``kernel-profile`` document.  Pure and fast, so it carries
+    no journal: a job interrupted by a crash simply re-runs from scratch on
+    the next epoch.
+
+Executors run on the service's worker thread (not the asyncio loop), so
+cancellation rides :attr:`repro.runner.RunnerConfig.cancel_event` rather
+than signals: the drain path sets the event from the loop thread and the
+runner stops at its next task boundary with the journal flushed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from threading import Event
+
+from repro.errors import ServeError
+from repro.resilience import ResilienceMode
+
+__all__ = ["JobSpec", "JobOutcome", "VERBS", "execute_job"]
+
+VERBS = ("check", "profile")
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """One admitted job; exactly what the serve journal persists."""
+
+    job: str
+    tenant: str
+    verb: str
+    params: dict = field(default_factory=dict)
+    #: Monotonic admission sequence number (also the id suffix); restart
+    #: recovery re-enqueues pending jobs in this order.
+    seq: int = 0
+
+    def as_record(self) -> dict:
+        return {
+            "type": "job",
+            "job": self.job,
+            "tenant": self.tenant,
+            "verb": self.verb,
+            "params": dict(self.params),
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "JobSpec":
+        try:
+            return cls(
+                job=record["job"],
+                tenant=record["tenant"],
+                verb=record["verb"],
+                params=dict(record.get("params") or {}),
+                seq=int(record.get("seq", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"malformed persisted job record: {record!r}") from exc
+
+
+@dataclass(slots=True)
+class JobOutcome:
+    """What one execution attempt produced."""
+
+    #: ``"done"``, ``"failed"`` or ``"aborted"`` (cancelled by a drain —
+    #: the job stays pending in the journal and resumes next epoch).
+    status: str
+    detail: str = ""
+    duration_s: float = 0.0
+
+
+def _check_params(params: dict) -> dict:
+    """Normalized keyword arguments for the ``check`` executors."""
+    kernels = params.get("kernels") or ()
+    return {
+        "kernels": tuple(kernels),
+        "faults": int(params.get("faults", 0)),
+        "seed": int(params.get("seed", 0)),
+        "fast": bool(params.get("fast", False)),
+        "resilience": ResilienceMode.parse(params.get("mode", "degrade")),
+    }
+
+
+def execute_job(spec: JobSpec, store, cancel: Event,
+                tracer=None, serve_counters: dict | None = None) -> JobOutcome:
+    """Run one job to a terminal (or aborted) state; writes its artifacts.
+
+    Imports live inside the function: the serve package must import without
+    dragging the kernel registry (and numpy workloads) into processes that
+    only parse journals or build clients.
+    """
+    started = time.perf_counter()
+    try:
+        if spec.verb == "check":
+            outcome = _execute_check(spec, store, cancel, tracer, serve_counters)
+        elif spec.verb == "profile":
+            outcome = _execute_profile(spec, store)
+        else:
+            outcome = JobOutcome("failed", f"unknown verb {spec.verb!r}")
+    except Exception as exc:  # noqa: BLE001 - job isolation: report, don't die
+        outcome = JobOutcome("failed", f"{type(exc).__name__}: {exc}")
+    outcome.duration_s = time.perf_counter() - started
+    return outcome
+
+
+def _execute_check(spec: JobSpec, store, cancel: Event,
+                   tracer, serve_counters: dict | None) -> JobOutcome:
+    from repro.errors import RunnerInterrupted
+    from repro.faults import run_check_parallel
+    from repro.faults.report import check_report
+    from repro.runner import RunnerConfig, runner_report
+
+    kwargs = _check_params(spec.params)
+    config = RunnerConfig(jobs=1, cancel_event=cancel)
+    try:
+        result, runner = run_check_parallel(
+            **kwargs,
+            jobs=1,
+            journal_path=store.job_journal(spec.job),
+            runner_config=config,
+            tracer=tracer,
+        )
+    except RunnerInterrupted:
+        # Drain cancelled us mid-campaign.  The runner journal is flushed;
+        # the job stays pending and the next epoch resumes it.
+        return JobOutcome("aborted", "cancelled by drain; journal flushed")
+    store.write_report(spec.job, check_report(result))
+    store.write_runner(spec.job, runner_report(runner, serve=serve_counters))
+    return JobOutcome("done")
+
+
+def _execute_profile(spec: JobSpec, store) -> JobOutcome:
+    from repro.kernels import make_kernel
+    from repro.obs.export import kernel_profile_report, resolve_kernel_name
+
+    name = resolve_kernel_name(str(spec.params.get("kernel", "")))
+    store.write_report(spec.job, kernel_profile_report(make_kernel(name)))
+    return JobOutcome("done")

@@ -1,0 +1,102 @@
+"""Per-tenant bounded job queues with admission control.
+
+The service's memory is bounded by construction: at most ``max_tenants``
+tenants, each with at most ``max_depth`` queued jobs.  A submission that
+would exceed either bound is refused *at admission* with
+:class:`~repro.errors.ServeRejected` (HTTP 429 + ``Retry-After``) rather
+than accepted and shed later — the journal only ever records jobs the
+service has genuinely committed to run.
+
+Dispatch is round-robin across tenants: one noisy tenant with a full queue
+cannot starve the others, it can only saturate its own slice.  Order within
+a tenant is FIFO, so a single-tenant service degrades to a plain queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.errors import ServeRejected
+from repro.serve.jobs import JobSpec
+
+__all__ = ["TenantQueues"]
+
+
+class TenantQueues:
+    """Bounded FIFO queues keyed by tenant, drained round-robin."""
+
+    def __init__(self, max_depth: int = 8, max_tenants: int = 16) -> None:
+        self.max_depth = max(1, max_depth)
+        self.max_tenants = max(1, max_tenants)
+        self._queues: dict[str, deque[JobSpec]] = {}
+        #: Tenant rotation for round-robin dispatch (rotated on each pop).
+        self._rotation: deque[str] = deque()
+        #: Most jobs ever simultaneously queued (all tenants), for telemetry.
+        self.high_water = 0
+
+    # ---- admission -----------------------------------------------------------
+
+    def check(self, tenant: str, retry_after_s: float) -> None:
+        """Raise :class:`ServeRejected` unless *tenant* can queue one more.
+
+        Split from :meth:`requeue` so the caller can claim a job id and
+        journal the admission *between* the bound check and the append —
+        rejected submissions never consume ids or journal space.
+        """
+        queue = self._queues.get(tenant)
+        if queue is None:
+            if len(self._queues) >= self.max_tenants:
+                raise ServeRejected("queue_full", retry_after_s)
+        elif len(queue) >= self.max_depth:
+            raise ServeRejected("queue_full", retry_after_s)
+
+    def requeue(self, spec: JobSpec) -> int:
+        """Append without a bound check; returns the tenant's new depth.
+
+        Used after :meth:`check` on the submission path, and directly for
+        restart recovery: a recovered job was admitted under the bound by a
+        previous epoch, so it re-enters unconditionally.
+        """
+        queue = self._queues.get(spec.tenant)
+        if queue is None:
+            queue = deque()
+            self._queues[spec.tenant] = queue
+            self._rotation.append(spec.tenant)
+        queue.append(spec)
+        self.high_water = max(self.high_water, self.total())
+        return len(queue)
+
+    def admit(self, spec: JobSpec, retry_after_s: float) -> int:
+        """Accept *spec* or raise :class:`ServeRejected`; returns new depth."""
+        self.check(spec.tenant, retry_after_s)
+        return self.requeue(spec)
+
+    # ---- dispatch ------------------------------------------------------------
+
+    def next_job(self) -> JobSpec | None:
+        """Pop the next job round-robin across tenants (None when empty)."""
+        for _ in range(len(self._rotation)):
+            tenant = self._rotation[0]
+            self._rotation.rotate(-1)
+            queue = self._queues.get(tenant)
+            if queue:
+                return queue.popleft()
+        return None
+
+    # ---- introspection -------------------------------------------------------
+
+    def depth(self, tenant: str) -> int:
+        queue = self._queues.get(tenant)
+        return len(queue) if queue else 0
+
+    def total(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def tenants(self) -> list[str]:
+        return sorted(self._queues)
+
+    def pending(self) -> Iterator[JobSpec]:
+        """Every queued job, tenant-sorted then FIFO (for status reports)."""
+        for tenant in self.tenants():
+            yield from self._queues[tenant]

@@ -1,0 +1,185 @@
+"""Durable job state for the simulation service.
+
+Everything the service must not lose lives in one directory::
+
+    <journal-dir>/
+        serve.jsonl               service journal (admissions, terminals,
+                                  epochs, span roots) — fsync per record
+        jobs/<id>.journal.jsonl   per-job campaign runner journal
+        jobs/<id>.report.json     final report (atomic: tmp+fsync+replace)
+        jobs/<id>.runner.json     runner execution report
+        jobs/<id>.spans.<N>.jsonl span export of epoch N's execution
+
+The serve journal reuses the hardened :class:`repro.runner.Journal`
+(CRC-per-record, O_APPEND atomic lines, truncated-tail tolerance) with
+``fsync_every=1``: a job is admitted only once its record is on stable
+storage, so an admission the client saw acknowledged survives any crash.
+
+Restart recovery is a pure fold over the journal: admissions minus
+terminals, in admission order, are the pending jobs of the new epoch.
+Reports are written atomically to a separate file per job, so a reader can
+never observe a half-written report and a crash mid-write leaves the
+previous state intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.runner.chaos import kill_point
+from repro.runner.journal import Journal, load_journal
+from repro.serve.jobs import JobSpec
+
+__all__ = ["ServeStore"]
+
+#: Fingerprint of every serve journal — a journal dir belongs to the
+#: service, not to any single campaign.
+SERVE_FINGERPRINT = {"verb": "serve"}
+
+#: Span-id block reserved per epoch: epoch N's tracers allocate ids from
+#: ``N * SPAN_ID_STRIDE``, so span files from different epochs of the same
+#: job merge without id collisions.
+SPAN_ID_STRIDE = 1_000_000
+
+
+class ServeStore:
+    """The service's journal, artifact paths and restart recovery."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+
+        # Scan before Journal construction appends anything: the full record
+        # list (not just completed tasks) is what recovery folds over.
+        load = load_journal(self.root / "serve.jsonl")
+        self.corrupt_records = load.corrupt
+
+        self.epoch = 0
+        self.next_seq = 1
+        done: dict[str, str] = {}
+        admitted: list[JobSpec] = []
+        span_roots: dict[str, tuple[str, str]] = {}
+        for record in load.records:
+            kind = record.get("type")
+            if kind == "epoch":
+                self.epoch = max(self.epoch, int(record.get("epoch", 0)))
+            elif kind == "job":
+                spec = JobSpec.from_record(record)
+                admitted.append(spec)
+                self.next_seq = max(self.next_seq, spec.seq + 1)
+            elif kind == "job_done":
+                done[record.get("job", "")] = record.get("status", "done")
+            elif kind == "job_span":
+                span_roots[record.get("job", "")] = (
+                    record.get("trace", ""), record.get("span", ""),
+                )
+
+        #: Jobs admitted by earlier epochs that never reached a terminal
+        #: record — the new epoch re-enqueues them in admission order.
+        self.recovered: list[JobSpec] = [
+            spec for spec in admitted if spec.job not in done
+        ]
+        #: Terminal status by job id (``done``/``failed``), across epochs.
+        self.terminal: dict[str, str] = done
+        #: All admissions ever, by id (status endpoints answer for old jobs).
+        self.admitted: dict[str, JobSpec] = {spec.job: spec for spec in admitted}
+        #: Root span ``(trace_id, span_id)`` recorded at each job's first
+        #: execution — later epochs parent their spans under it.
+        self.span_roots: dict[str, tuple[str, str]] = span_roots
+
+        self.epoch += 1
+        self.journal = Journal(
+            self.root / "serve.jsonl", SERVE_FINGERPRINT, fsync_every=1
+        )
+        self.journal.append({"type": "epoch", "epoch": self.epoch})
+
+    # ---- journal records -----------------------------------------------------
+
+    def record_job(self, spec: JobSpec) -> None:
+        """Persist an admission (durable before the client sees 202)."""
+        self.journal.append(spec.as_record())
+        self.admitted[spec.job] = spec
+
+    def record_done(self, job: str, status: str, detail: str = "") -> None:
+        self.journal.append({
+            "type": "job_done", "job": job, "status": status,
+            "detail": detail, "epoch": self.epoch,
+        })
+        self.terminal[job] = status
+
+    def record_span_root(self, job: str, trace_id: str, span_id: str) -> None:
+        """Remember a job's root span so restarts keep span parentage."""
+        self.journal.append({
+            "type": "job_span", "job": job, "trace": trace_id, "span": span_id,
+        })
+        self.span_roots[job] = (trace_id, span_id)
+
+    def claim_seq(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def span_id_base(self) -> int:
+        """Start of this epoch's span-id block (0 on the first epoch)."""
+        return (self.epoch - 1) * SPAN_ID_STRIDE
+
+    def close(self) -> None:
+        self.journal.close()
+
+    # ---- artifact paths ------------------------------------------------------
+
+    def job_journal(self, job: str) -> Path:
+        return self.jobs_dir / f"{job}.journal.jsonl"
+
+    def report_path(self, job: str) -> Path:
+        return self.jobs_dir / f"{job}.report.json"
+
+    def runner_path(self, job: str) -> Path:
+        return self.jobs_dir / f"{job}.runner.json"
+
+    def spans_path(self, job: str, epoch: int | None = None) -> Path:
+        return self.jobs_dir / f"{job}.spans.{epoch or self.epoch}.jsonl"
+
+    # ---- atomic artifact writes ----------------------------------------------
+
+    def _atomic_write(self, target: Path, text: str) -> None:
+        """tmp + fsync + rename: readers see the old file or the new one."""
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, text.encode())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, target)
+
+    def _render_json(self, payload: dict) -> str:
+        # Byte-for-byte the repro.obs.export.write_json format, so a serve
+        # report diffs clean against the same campaign's CLI --json output.
+        return json.dumps(payload, indent=2, sort_keys=False, default=str) + "\n"
+
+    def write_report(self, job: str, payload: dict) -> None:
+        self._atomic_write(self.report_path(job), self._render_json(payload))
+
+    def write_runner(self, job: str, payload: dict) -> None:
+        self._atomic_write(self.runner_path(job), self._render_json(payload))
+
+    def read_report(self, job: str) -> bytes | None:
+        path = self.report_path(job)
+        return path.read_bytes() if path.exists() else None
+
+    def read_runner(self, job: str) -> bytes | None:
+        path = self.runner_path(job)
+        return path.read_bytes() if path.exists() else None
+
+    # ---- drain ---------------------------------------------------------------
+
+    def flush_for_drain(self) -> None:
+        """Final durability barrier of a graceful drain (mid-drain chaos
+        kill point sits here: after the decision to stop, before the journal
+        is guaranteed flushed)."""
+        kill_point("mid-drain")
+        self.journal.flush()

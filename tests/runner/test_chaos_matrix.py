@@ -1,0 +1,90 @@
+"""CLI crash-recovery matrix: armed kill points x resume determinism.
+
+Each case runs ``repro check --resume`` with a chaos kill point armed
+(:mod:`repro.runner.chaos`), asserts the process died with the chaos exit
+status at the armed instant, then resumes without chaos and demands the
+merged report be byte-identical to an uninterrupted run — with the
+``silent_unexplained == 0`` invariant intact.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import load_journal
+from repro.runner.chaos import KILL_EXIT
+from tests.serve.harness import run_cli
+
+CHECK_ARGS = (
+    "check", "DotProduct", "MatrixTranspose",
+    "--fast", "--faults", "12", "--seed", "7", "--jobs", "1",
+)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(tmp_path_factory):
+    target = tmp_path_factory.mktemp("serial") / "reference.json"
+    done = run_cli(*CHECK_ARGS, "--json", str(target))
+    assert done.returncode == 0, done.stderr.decode()
+    return target.read_bytes()
+
+
+# A 12-fault campaign journals a header plus 14 task records, fsync'ing
+# every 8 appends — so these counts crash early, mid and late in the run.
+MATRIX = [
+    ("journal-append", 2),   # before the first task record is written
+    ("journal-append", 9),   # mid-campaign, half the records on disk
+    ("pre-fsync", 2),        # first batched fsync: 8 records unsynced
+]
+
+
+@pytest.mark.parametrize("point,after", MATRIX)
+def test_crash_then_resume_is_byte_identical(
+    point, after, tmp_path, serial_reference
+):
+    journal = tmp_path / "campaign.jsonl"
+    report = tmp_path / "report.json"
+    crashed = run_cli(
+        *CHECK_ARGS, "--resume", str(journal), "--json", str(report),
+        REPRO_CHAOS_KILL_POINT=point,
+        REPRO_CHAOS_KILL_AFTER=str(after),
+    )
+    assert crashed.returncode == KILL_EXIT
+    assert not report.exists()
+    # Whatever hit the disk is a loadable prefix — never corrupt mid-file.
+    load = load_journal(journal)
+    assert load.corrupt == 0
+
+    resumed = run_cli(*CHECK_ARGS, "--resume", str(journal), "--json", str(report))
+    assert resumed.returncode == 0, resumed.stderr.decode()
+    raw = report.read_bytes()
+    assert raw == serial_reference
+    doc = json.loads(raw)
+    assert doc["data"]["summary"]["analysis"]["silent_unexplained"] == 0
+
+
+def test_kill_marker_disarms_the_point_after_one_crash(
+    tmp_path, serial_reference
+):
+    """CI's serve-smoke restarts with the chaos env still set; the marker
+    protocol keeps the second process alive."""
+    journal = tmp_path / "campaign.jsonl"
+    report = tmp_path / "report.json"
+    marker = tmp_path / "crashed.marker"
+    env = {
+        "REPRO_CHAOS_KILL_POINT": "journal-append",
+        "REPRO_CHAOS_KILL_AFTER": "5",
+        "REPRO_CHAOS_KILL_MARKER": str(marker),
+    }
+    crashed = run_cli(
+        *CHECK_ARGS, "--resume", str(journal), "--json", str(report), **env
+    )
+    assert crashed.returncode == KILL_EXIT
+    assert marker.exists()
+
+    # Same environment, second run: the existing marker disarms the point.
+    resumed = run_cli(
+        *CHECK_ARGS, "--resume", str(journal), "--json", str(report), **env
+    )
+    assert resumed.returncode == 0, resumed.stderr.decode()
+    assert report.read_bytes() == serial_reference

@@ -1,6 +1,8 @@
-"""Journal: atomic appends, truncated-tail recovery, fingerprint identity."""
+"""Journal: checksummed appends, corrupt-record recovery, fingerprints."""
 
 import json
+import warnings
+import zlib
 
 import pytest
 
@@ -11,64 +13,143 @@ from repro.runner import Journal, load_journal
 FP = {"verb": "test", "seed": 7}
 
 
+def done(task, status="ok", result=None):
+    return {"type": "done", "task": task, "status": status, "result": result}
+
+
 class TestRoundTrip:
     def test_header_then_records(self, tmp_path):
         path = tmp_path / "j.jsonl"
         with Journal(path, FP) as journal:
-            journal.append({"type": "done", "task": "a", "status": "ok",
-                            "result": {"x": 1}})
-        header, records, truncated = load_journal(path)
-        assert header["schema"] == RUNNER_SCHEMA_VERSION
-        assert header["fingerprint"] == FP
-        assert records == [{"type": "done", "task": "a", "status": "ok",
-                            "result": {"x": 1}}]
-        assert not truncated
+            journal.append(done("a", result={"x": 1}))
+        load = load_journal(path)
+        assert load.header["schema"] == RUNNER_SCHEMA_VERSION
+        assert load.header["fingerprint"] == FP
+        assert load.records == [done("a", result={"x": 1})]
+        assert not load.truncated
+        assert load.corrupt == 0
+        assert load.legacy == 0
 
     def test_missing_file_loads_empty(self, tmp_path):
-        assert load_journal(tmp_path / "absent.jsonl") == (None, [], False)
+        load = load_journal(tmp_path / "absent.jsonl")
+        assert (load.header, load.records, load.truncated) == (None, [], False)
 
-    def test_each_record_is_one_line(self, tmp_path):
+    def test_each_record_is_one_checksummed_line(self, tmp_path):
         path = tmp_path / "j.jsonl"
         with Journal(path, FP) as journal:
             for index in range(5):
-                journal.append({"type": "done", "task": f"t{index}",
-                                "status": "ok", "result": None})
-        lines = path.read_text().splitlines()
+                journal.append(done(f"t{index}"))
+        lines = path.read_bytes().splitlines()
         assert len(lines) == 6  # header + 5
-        assert all(json.loads(line) for line in lines)
+        for line in lines:
+            crc, payload = line.split(b" ", 1)
+            assert int(crc, 16) == zlib.crc32(payload)
+            assert json.loads(payload)
 
 
 class TestCrashConsistency:
     def test_truncated_tail_keeps_valid_prefix(self, tmp_path):
         path = tmp_path / "j.jsonl"
         with Journal(path, FP) as journal:
-            journal.append({"type": "done", "task": "a", "status": "ok",
-                            "result": 1})
+            journal.append(done("a", result=1))
         # Simulate a crash mid-append: a half-written final line.
         with open(path, "a") as fp:
-            fp.write('{"type": "done", "task": "b", "stat')
-        header, records, truncated = load_journal(path)
-        assert truncated
-        assert header is not None
-        assert [r["task"] for r in records] == ["a"]
+            fp.write('1a2b3c4d {"type": "done", "task": "b", "stat')
+        load = load_journal(path)
+        assert load.truncated
+        assert load.corrupt == 0
+        assert load.header is not None
+        assert [r["task"] for r in load.records] == ["a"]
         # Reopening resumes from the valid prefix and can keep appending.
         with Journal(path, FP) as journal:
             assert journal.truncated
             assert set(journal.completed()) == {"a"}
 
+    def test_corrupt_mid_file_record_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, FP) as journal:
+            for task in ("a", "b", "c"):
+                journal.append(done(task, result=task))
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Flip bytes inside record "b" (line 2): CRC now fails mid-file.
+        lines[2] = lines[2].replace(b'"task"', b'"tXsk"')
+        path.write_bytes(b"".join(lines))
+        load = load_journal(path)
+        assert load.corrupt == 1
+        assert not load.truncated
+        # Records before AND after the damage survive.
+        assert [r["task"] for r in load.records] == ["a", "c"]
+        with pytest.warns(RuntimeWarning, match="corrupt journal record"):
+            with Journal(path, FP) as journal:
+                assert journal.corrupt_records == 1
+                assert set(journal.completed()) == {"a", "c"}
+
+    def test_crc_catches_in_place_bitrot_that_still_parses(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, FP) as journal:
+            journal.append(done("a", result=17))
+            journal.append(done("b", result=1))
+        lines = path.read_bytes().splitlines(keepends=True)
+        # "result":17 -> "result":97 — valid JSON, wrong bytes.  A parse-only
+        # loader would happily return the damaged result.
+        assert b"17" in lines[1]
+        lines[1] = lines[1].replace(b"17", b"97")
+        path.write_bytes(b"".join(lines))
+        load = load_journal(path)
+        assert load.corrupt == 1
+        assert [r["task"] for r in load.records] == ["b"]
+
     def test_completed_only_counts_ok(self, tmp_path):
         path = tmp_path / "j.jsonl"
         with Journal(path, FP) as journal:
-            journal.append({"type": "done", "task": "good", "status": "ok",
-                            "result": 1})
-            journal.append({"type": "done", "task": "bad", "status": "failed",
-                            "result": None})
-            journal.append({"type": "done", "task": "skip", "status": "skipped",
-                            "result": None})
+            journal.append(done("good", result=1))
+            journal.append(done("bad", status="failed"))
+            journal.append(done("skip", status="skipped"))
             journal.append({"type": "attempt", "task": "good", "attempt": 1,
                             "status": "error"})
         with Journal(path, FP) as journal:
             assert set(journal.completed()) == {"good"}
+
+    def test_headerless_content_is_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        line = json.dumps(done("orphan")).encode()
+        path.write_bytes(b"%08x " % zlib.crc32(line) + line + b"\n")
+        with pytest.raises(RunnerError, match="header is missing or corrupt"):
+            Journal(path, FP)
+
+
+class TestLegacyJournals:
+    def write_legacy(self, path, records):
+        with open(path, "w") as fp:
+            header = {"type": "header", "schema": RUNNER_SCHEMA_VERSION,
+                      "fingerprint": FP}
+            for record in (header, *records):
+                fp.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def test_checksum_less_journal_loads_with_warning(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        self.write_legacy(path, [done("a", result=1), done("b", result=2)])
+        load = load_journal(path)
+        assert load.legacy == 3  # header + 2 records
+        assert [r["task"] for r in load.records] == ["a", "b"]
+        with pytest.warns(RuntimeWarning, match="checksum-less"):
+            with Journal(path, FP) as journal:
+                assert journal.legacy_records == 3
+                assert set(journal.completed()) == {"a", "b"}
+                # New appends to the old file are checksummed.
+                journal.append(done("c", result=3))
+        reloaded = load_journal(path)
+        assert [r["task"] for r in reloaded.records] == ["a", "b", "c"]
+        assert reloaded.legacy == 3  # the fresh record carries a CRC
+
+    def test_legacy_torn_tail_still_truncates(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        self.write_legacy(path, [done("a")])
+        with open(path, "a") as fp:
+            fp.write('{"type": "done", "task": "b", "stat')
+        load = load_journal(path)
+        assert load.truncated
+        assert [r["task"] for r in load.records] == ["a"]
 
 
 class TestFingerprint:
@@ -93,3 +174,13 @@ class TestFingerprint:
         second = Journal(path, FP)
         assert second.resumed
         second.close()
+
+
+class TestWarningHygiene:
+    def test_clean_journal_reload_warns_nothing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, FP) as journal:
+            journal.append(done("a"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Journal(path, FP).close()

@@ -78,8 +78,8 @@ class TestResumeDeterminism:
                 kernels=KERNELS, faults=FAULTS, seed=SEED, fast=True,
                 jobs=1, journal_path=journal, runner_config=config,
             )
-        header, records, truncated = load_journal(journal)
-        assert not truncated
-        assert header["fingerprint"]["verb"] == "check"
-        done = [r for r in records if r.get("type") == "done"]
+        load = load_journal(journal)
+        assert not load.truncated
+        assert load.header["fingerprint"]["verb"] == "check"
+        done = [r for r in load.records if r.get("type") == "done"]
         assert len(done) == 3

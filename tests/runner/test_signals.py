@@ -1,0 +1,135 @@
+"""Satellite: SIGINT/SIGTERM stop campaigns on the clean, resumable path.
+
+In-process tests cover the ``clean_interrupts`` context manager directly;
+the subprocess test delivers a real SIGTERM to a running ``repro check``
+campaign and asserts the contract: exit code 3, a non-truncated journal,
+and a resume that merges byte-identical to an uninterrupted serial run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import RunnerInterrupted
+from repro.runner import CampaignSignalled, clean_interrupts, load_journal
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO, "src")
+
+
+def repro_cmd(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro", *args]
+
+
+def repro_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestCleanInterrupts:
+    def test_sigterm_raises_campaign_signalled(self):
+        with pytest.raises(CampaignSignalled) as info:
+            with clean_interrupts():
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(5)  # never reached: the handler raises
+        assert info.value.signal_name == "SIGTERM"
+
+    def test_campaign_signalled_is_runner_interrupted(self):
+        # The CLI's existing `except RunnerInterrupted: return 3` must
+        # cover the signal path without a second catch clause.
+        assert issubclass(CampaignSignalled, RunnerInterrupted)
+        exc = CampaignSignalled(signal.SIGINT)
+        assert exc.signal_name == "SIGINT"
+        assert "resume" in str(exc)
+
+    def test_previous_handlers_restored(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with clean_interrupts():
+            assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_noop_off_main_thread(self):
+        # Worker threads must not try to install handlers (ValueError);
+        # the manager is a transparent no-op there.
+        failures: list[BaseException] = []
+
+        def body() -> None:
+            try:
+                with clean_interrupts():
+                    pass
+            except BaseException as exc:  # pragma: no cover - fail signal
+                failures.append(exc)
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join()
+        assert failures == []
+
+
+class TestSigtermIntegration:
+    def test_sigterm_mid_campaign_exits_3_and_resumes_byte_identical(
+        self, tmp_path
+    ):
+        journal = tmp_path / "campaign.jsonl"
+        report = tmp_path / "report.json"
+        serial = tmp_path / "serial.json"
+        cmd = repro_cmd(
+            "check", "DotProduct", "MatrixTranspose", "--fast",
+            "--faults", "400", "--seed", "7", "--jobs", "1",
+            "--resume", str(journal), "--json", str(report),
+        )
+        proc = subprocess.Popen(cmd, env=repro_env(),
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.PIPE)
+        # Wait for the campaign to make journalled progress, then SIGTERM.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if journal.exists() and len(journal.read_bytes().splitlines()) >= 4:
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        else:  # pragma: no cover - diagnostics on hang
+            proc.kill()
+            pytest.fail("campaign never journalled progress")
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=60)
+        if proc.returncode == 0:  # pragma: no cover - too-fast campaign
+            pytest.skip("campaign finished before SIGTERM landed")
+        assert proc.returncode == 3, stderr.decode()
+        assert b"SIGTERM" in stderr
+        assert b"Traceback" not in stderr
+
+        # The interrupted journal is clean: loadable, not truncated.
+        load = load_journal(journal)
+        assert not load.truncated
+        assert load.corrupt == 0
+        assert load.header["fingerprint"]["verb"] == "check"
+
+        # Resume merges byte-identical to an uninterrupted serial run.
+        done = subprocess.run(
+            repro_cmd("check", "DotProduct", "MatrixTranspose", "--fast",
+                      "--faults", "400", "--seed", "7", "--jobs", "1",
+                      "--resume", str(journal), "--json", str(report)),
+            env=repro_env(), capture_output=True, timeout=120,
+        )
+        assert done.returncode == 0, done.stderr.decode()
+        ref = subprocess.run(
+            repro_cmd("check", "DotProduct", "MatrixTranspose", "--fast",
+                      "--faults", "400", "--seed", "7",
+                      "--json", str(serial)),
+            env=repro_env(), capture_output=True, timeout=120,
+        )
+        assert ref.returncode == 0, ref.stderr.decode()
+        assert report.read_bytes() == serial.read_bytes()
+        merged = json.loads(report.read_text())
+        analysis = merged["data"]["summary"]["analysis"]
+        assert analysis["silent_unexplained"] == 0

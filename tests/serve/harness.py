@@ -1,0 +1,56 @@
+"""Subprocess harness shared by the serve integration and chaos tests."""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO, "src")
+
+#: Small campaign every harness test reuses; matches the committed CLI
+#: baseline parameters (kernels, faults, seed) so reports cross-check.
+CHECK_PARAMS = {
+    "kernels": ["DotProduct", "MatrixTranspose"],
+    "faults": 12,
+    "seed": 7,
+    "fast": True,
+}
+
+#: Longer campaign for tests that must catch the worker mid-run.
+LONG_CHECK_PARAMS = {**CHECK_PARAMS, "faults": 250}
+
+
+def serve_env(**extra: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra)
+    return env
+
+
+def start_serve(journal_dir, *args: str, **env_extra: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--journal-dir", str(journal_dir), *args],
+        env=serve_env(**env_extra),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+
+
+def run_cli(*args: str, timeout: float = 300.0, **env_extra: str):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=serve_env(**env_extra), capture_output=True, timeout=timeout,
+    )
+
+
+def serial_report_bytes(tmp_path, params: dict) -> bytes:
+    """``repro check --json`` bytes for *params* (the determinism oracle)."""
+    target = tmp_path / "serial-reference.json"
+    args = ["check", *params["kernels"],
+            "--faults", str(params["faults"]), "--seed", str(params["seed"]),
+            "--json", str(target)]
+    if params["fast"]:
+        args.append("--fast")
+    done = run_cli(*args)
+    assert done.returncode == 0, done.stderr.decode()
+    return target.read_bytes()

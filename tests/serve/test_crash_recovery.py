@@ -1,0 +1,202 @@
+"""Chaos matrix for the service: crashes at armed kill points, then recovery.
+
+Every test here kills the serve process somewhere unpleasant — SIGKILL mid
+campaign, ``os._exit`` inside a journal append, before an fsync, halfway
+through an HTTP response, mid graceful drain — restarts it on the same
+journal directory and demands the strongest claim in the tentpole: the
+recovered job's final report is byte-identical to an uninterrupted serial
+``repro check`` run.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.runner import load_journal
+from repro.runner.chaos import KILL_EXIT
+from repro.serve import ServeClient, read_endpoint
+from tests.serve.harness import (
+    CHECK_PARAMS,
+    LONG_CHECK_PARAMS,
+    serial_report_bytes,
+    start_serve,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_small(tmp_path_factory):
+    return serial_report_bytes(tmp_path_factory.mktemp("small"), CHECK_PARAMS)
+
+
+@pytest.fixture(scope="module")
+def serial_long(tmp_path_factory):
+    return serial_report_bytes(
+        tmp_path_factory.mktemp("long"), LONG_CHECK_PARAMS
+    )
+
+
+def wait_for_lines(path, count, timeout_s=120.0):
+    """Block until *path* holds at least *count* journal lines."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if path.exists() and len(path.read_bytes().splitlines()) >= count:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"{path} never reached {count} lines")
+
+
+def finish_after_restart(journal_dir, job, reference, expect_resumed=True):
+    """Restart the service, wait for *job*, check the report bytes."""
+    proc = start_serve(journal_dir)
+    try:
+        host, port = read_endpoint(journal_dir, timeout_s=20, min_epoch=2)
+        client = ServeClient(host, port)
+        assert client.wait(job, timeout_s=600) == "done"
+        raw = client.report_bytes(job)
+        assert raw == reference
+        doc = json.loads(raw)
+        assert doc["data"]["summary"]["analysis"]["silent_unexplained"] == 0
+        if expect_resumed:
+            runner = client.runner_doc(job)["data"]
+            assert runner["journal"]["resumed"] is True
+        client.drain()
+        proc.wait(timeout=60)
+        assert proc.returncode == 3
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+class TestSigkill:
+    def test_sigkill_mid_campaign_resumes_byte_identical(
+        self, tmp_path, serial_long
+    ):
+        journal_dir = tmp_path / "serve"
+        proc = start_serve(journal_dir)
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20)
+            client = ServeClient(host, port)
+            job = client.submit("check", LONG_CHECK_PARAMS)
+            # Let the campaign journal real progress, then kill -9.
+            wait_for_lines(journal_dir / "jobs" / f"{job}.journal.jsonl", 6)
+            proc.kill()
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        finish_after_restart(journal_dir, job, serial_long)
+
+
+class TestKillPoints:
+    # Hit counts are calibrated against the process-wide kill_point counter:
+    # server startup costs 2 journal appends / 3 fsyncs (serve journal header
+    # + epoch), admission a couple more; a 250-fault campaign then appends
+    # ~252 task records with an fsync every 8.  Both counts below therefore
+    # land squarely inside the campaign.
+    @pytest.mark.parametrize("point,after", [
+        ("journal-append", 40),
+        ("pre-fsync", 10),
+    ])
+    def test_crash_inside_the_journal_resumes_byte_identical(
+        self, point, after, tmp_path, serial_long
+    ):
+        journal_dir = tmp_path / "serve"
+        proc = start_serve(
+            journal_dir,
+            REPRO_CHAOS_KILL_POINT=point,
+            REPRO_CHAOS_KILL_AFTER=str(after),
+        )
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20)
+            client = ServeClient(host, port)
+            job = client.submit("check", LONG_CHECK_PARAMS)
+            proc.wait(timeout=300)
+            assert proc.returncode == KILL_EXIT
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # The torn journal still loads: at worst the final line is truncated.
+        load = load_journal(journal_dir / "jobs" / f"{job}.journal.jsonl")
+        assert load.corrupt == 0
+        finish_after_restart(journal_dir, job, serial_long)
+
+    def test_crash_mid_response_never_loses_an_acknowledged_job(
+        self, tmp_path, serial_small
+    ):
+        journal_dir = tmp_path / "serve"
+        proc = start_serve(
+            journal_dir,
+            REPRO_CHAOS_KILL_POINT="mid-response",
+            REPRO_CHAOS_KILL_AFTER="1",
+        )
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20)
+            client = ServeClient(host, port)
+            # Durability precedes acknowledgement: the submission is
+            # journalled before the (torn) 202, so the client sees a
+            # transport error yet the job survives the crash.
+            with pytest.raises(ServeError):
+                client.submit("check", CHECK_PARAMS)
+            proc.wait(timeout=60)
+            assert proc.returncode == KILL_EXIT
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        proc2 = start_serve(journal_dir)
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20, min_epoch=2)
+            client2 = ServeClient(host, port)
+            assert client2.status()["counters"]["resumed_jobs"] == 1
+            assert client2.wait("job-000001", timeout_s=300) == "done"
+            assert client2.report_bytes("job-000001") == serial_small
+            client2.drain()
+            proc2.wait(timeout=60)
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait()
+
+    def test_crash_mid_drain_loses_no_completed_work(
+        self, tmp_path, serial_small
+    ):
+        journal_dir = tmp_path / "serve"
+        proc = start_serve(
+            journal_dir,
+            REPRO_CHAOS_KILL_POINT="mid-drain",
+        )
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20)
+            client = ServeClient(host, port)
+            job = client.submit("check", CHECK_PARAMS)
+            assert client.wait(job, timeout_s=300) == "done"
+            try:
+                client.drain()
+            except ServeError:
+                pass  # the drain response may be torn by the exit race
+            proc.wait(timeout=60)
+            assert proc.returncode == KILL_EXIT
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # The terminal record was fsync'd at completion time (the serve
+        # journal syncs every append), so the killed drain lost nothing.
+        proc2 = start_serve(journal_dir)
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20, min_epoch=2)
+            client2 = ServeClient(host, port)
+            assert client2.status()["counters"]["resumed_jobs"] == 0
+            assert client2.job(job)["state"] == "done"
+            assert client2.report_bytes(job) == serial_small
+            client2.drain()
+            proc2.wait(timeout=60)
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait()

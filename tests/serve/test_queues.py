@@ -1,0 +1,83 @@
+"""Admission control: bounded per-tenant queues, round-robin dispatch."""
+
+import pytest
+
+from repro.errors import ServeRejected
+from repro.serve import JobSpec, TenantQueues
+
+
+def spec(n: int, tenant: str = "default") -> JobSpec:
+    return JobSpec(job=f"job-{n:06d}", tenant=tenant, verb="check", seq=n)
+
+
+class TestAdmission:
+    def test_admit_within_bound(self):
+        queues = TenantQueues(max_depth=2)
+        assert queues.admit(spec(1), 1.0) == 1
+        assert queues.admit(spec(2), 1.0) == 2
+        assert queues.total() == 2
+
+    def test_depth_bound_rejects(self):
+        queues = TenantQueues(max_depth=1)
+        queues.admit(spec(1), 1.0)
+        with pytest.raises(ServeRejected) as info:
+            queues.admit(spec(2), 7.5)
+        assert info.value.reason == "queue_full"
+        assert info.value.retry_after_s == 7.5
+
+    def test_tenant_bound_rejects_new_tenants_only(self):
+        queues = TenantQueues(max_depth=4, max_tenants=1)
+        queues.admit(spec(1, "a"), 1.0)
+        with pytest.raises(ServeRejected):
+            queues.admit(spec(2, "b"), 1.0)
+        # The existing tenant still has queue room.
+        queues.admit(spec(3, "a"), 1.0)
+
+    def test_bound_frees_up_after_pop(self):
+        queues = TenantQueues(max_depth=1)
+        queues.admit(spec(1), 1.0)
+        assert queues.next_job().job == "job-000001"
+        queues.admit(spec(2), 1.0)
+
+    def test_requeue_bypasses_bounds(self):
+        # Restart recovery re-enqueues jobs admitted by earlier epochs.
+        queues = TenantQueues(max_depth=1)
+        queues.requeue(spec(1))
+        queues.requeue(spec(2))
+        assert queues.total() == 2
+
+    def test_check_does_not_mutate(self):
+        queues = TenantQueues(max_depth=1)
+        queues.check("default", 1.0)
+        assert queues.total() == 0
+        assert queues.tenants() == []
+
+
+class TestDispatch:
+    def test_fifo_within_tenant(self):
+        queues = TenantQueues()
+        for n in (1, 2, 3):
+            queues.admit(spec(n), 1.0)
+        assert [queues.next_job().seq for _ in range(3)] == [1, 2, 3]
+        assert queues.next_job() is None
+
+    def test_round_robin_across_tenants(self):
+        queues = TenantQueues()
+        # Tenant a floods; tenant b submits one job.
+        for n in (1, 2, 3):
+            queues.admit(spec(n, "a"), 1.0)
+        queues.admit(spec(4, "b"), 1.0)
+        order = [queues.next_job() for _ in range(4)]
+        tenants = [job.tenant for job in order]
+        # b's single job is served before a's queue drains.
+        assert tenants.index("b") < 3
+        assert sorted(job.seq for job in order) == [1, 2, 3, 4]
+
+    def test_high_water_tracks_peak(self):
+        queues = TenantQueues()
+        queues.admit(spec(1), 1.0)
+        queues.admit(spec(2), 1.0)
+        queues.next_job()
+        queues.next_job()
+        queues.admit(spec(3), 1.0)
+        assert queues.high_water == 2

@@ -1,0 +1,213 @@
+"""End-to-end service behaviour over real sockets and processes.
+
+Covers the serve API surface (ping/submit/status/report/events), admission
+control under overload (429 + ``Retry-After`` + bounded state), and the
+graceful-drain contract (exit 3, in-flight work journalled, queued work
+preserved and resumed by the next epoch).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import ServeRejected
+from repro.serve import ServeClient, read_endpoint
+from tests.serve.harness import (
+    CHECK_PARAMS,
+    LONG_CHECK_PARAMS,
+    serial_report_bytes,
+    start_serve,
+)
+
+
+@pytest.fixture
+def serve(tmp_path):
+    """A running service on an ephemeral port; drained at teardown."""
+    journal_dir = tmp_path / "serve"
+    proc = start_serve(journal_dir)
+    host, port = read_endpoint(journal_dir, timeout_s=20)
+    client = ServeClient(host, port)
+    yield journal_dir, client, proc
+    if proc.poll() is None:
+        try:
+            client.drain()
+            proc.wait(timeout=60)
+        except Exception:  # noqa: BLE001 - teardown best effort
+            proc.kill()
+            proc.wait()
+
+
+class TestApi:
+    def test_ping_and_status(self, serve):
+        _journal_dir, client, _proc = serve
+        ping = client.ping()
+        assert ping["ok"] is True
+        assert ping["epoch"] == 1
+        status = client.status()
+        assert status["draining"] is False
+        assert status["counters"]["submitted"] == 0
+
+    def test_check_job_report_matches_cli_bytes(self, serve, tmp_path):
+        _journal_dir, client, _proc = serve
+        job = client.submit("check", CHECK_PARAMS)
+        assert client.wait(job, timeout_s=120) == "done"
+        assert client.report_bytes(job) == serial_report_bytes(
+            tmp_path, CHECK_PARAMS
+        )
+        doc = json.loads(client.report_bytes(job))
+        assert doc["kind"] == "fault-campaign"
+
+    def test_runner_doc_carries_serve_counters(self, serve):
+        _journal_dir, client, _proc = serve
+        job = client.submit("check", CHECK_PARAMS)
+        client.wait(job, timeout_s=120)
+        doc = client.runner_doc(job)
+        assert doc["schema"] == "repro.runner/1"
+        data = doc["data"]
+        assert data["journal"]["resumed"] is False
+        assert data["journal"]["corrupt_records_skipped"] == 0
+        assert data["serve"]["submitted"] == 1
+        assert data["serve"]["epoch"] == 1
+        assert data["serve"]["queue_high_water"] >= 1
+
+    def test_profile_job(self, serve):
+        _journal_dir, client, _proc = serve
+        job = client.submit("profile", {"kernel": "DotProduct"})
+        assert client.wait(job, timeout_s=120) == "done"
+        doc = json.loads(client.report_bytes(job))
+        assert doc["kind"] == "kernel-profile"
+        assert doc["data"]["kernel"] == "DotProduct"
+
+    def test_events_stream(self, serve):
+        _journal_dir, client, _proc = serve
+        job = client.submit("check", CHECK_PARAMS)
+        client.wait(job, timeout_s=120)
+        topics = [event["topic"] for event in client.events()]
+        assert topics[:3] == ["job_submitted", "job_started", "job_done"]
+        done = client.events(topic="job_done")
+        assert [e["job"] for e in done] == [job]
+        # since= pagination: everything already seen is excluded.
+        assert client.events(since=done[-1]["seq"]) == []
+
+    def test_unknown_job_and_bad_requests(self, serve):
+        from repro.errors import ServeError
+
+        _journal_dir, client, _proc = serve
+        with pytest.raises(ServeError):
+            client.job("job-999999")
+        with pytest.raises(ServeError):
+            client.submit("frobnicate", {})
+
+
+class TestAdmissionControl:
+    def test_overload_gets_429_with_retry_after(self, serve):
+        journal_dir, client, _proc = serve
+        first = client.submit("check", LONG_CHECK_PARAMS)
+        # Wait until the worker picks it up, so the queue bound applies to
+        # genuinely queued jobs behind a busy worker.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if client.job(first)["state"] == "running":
+                break
+            time.sleep(0.02)
+        queued = []
+        rejected = None
+        for _ in range(12):  # default --queue-depth is 8
+            try:
+                queued.append(client.submit("check", LONG_CHECK_PARAMS))
+            except ServeRejected as exc:
+                rejected = exc
+                break
+        assert rejected is not None, "queue bound never enforced"
+        assert rejected.reason == "queue_full"
+        assert rejected.retry_after_s >= 1.0
+        status = client.status()
+        assert status["counters"]["rejected"] >= 1
+        # Bounded state: journalled admissions == accepted submissions only.
+        admitted = [
+            line for line in
+            (journal_dir / "serve.jsonl").read_bytes().splitlines()
+            if b'"type":"job"' in line
+        ]
+        assert len(admitted) == 1 + len(queued)
+        rejects = client.events(topic="job_rejected")
+        assert rejects and rejects[-1]["reason"] == "queue_full"
+
+
+class TestGracefulDrain:
+    def test_drain_exits_3_preserving_all_work(self, serve, tmp_path):
+        journal_dir, client, proc = serve
+        running = client.submit("check", LONG_CHECK_PARAMS)
+        queued = client.submit("check", CHECK_PARAMS)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if client.job(running)["state"] == "running":
+                break
+            time.sleep(0.02)
+        job_journal = journal_dir / "jobs" / f"{running}.journal.jsonl"
+        while time.monotonic() < deadline:
+            if job_journal.exists() and len(job_journal.read_bytes().splitlines()) >= 4:
+                break
+            time.sleep(0.02)
+
+        drain = client.drain()
+        assert drain["draining"] is True
+        proc.wait(timeout=60)
+        assert proc.returncode == 3
+
+        # Submissions during a drain would have been 429 "draining"; after
+        # exit the socket is gone entirely — state on disk is what counts:
+        # neither job got a terminal record, both must resume.
+        raw = (journal_dir / "serve.jsonl").read_bytes()
+        assert b'"type":"job_done"' not in raw
+        # The aborted campaign flushed a loadable journal.
+        from repro.runner import load_journal
+
+        load = load_journal(job_journal)
+        assert not load.truncated
+        assert load.corrupt == 0
+        # Open spans exported as aborted for the interrupted job.
+        spans_file = journal_dir / "jobs" / f"{running}.spans.1.jsonl"
+        assert spans_file.exists()
+        spans = [json.loads(line) for line in spans_file.open()][1:]
+        root = next(s for s in spans if s["name"].startswith("serve:job"))
+        assert root["status"]["code"] == "STATUS_CODE_ERROR"
+
+        # Epoch 2 recovers both jobs and finishes them byte-identically.
+        proc2 = start_serve(journal_dir)
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20, min_epoch=2)
+            client2 = ServeClient(host, port)
+            assert client2.status()["counters"]["resumed_jobs"] == 2
+            assert client2.wait(running, timeout_s=300) == "done"
+            assert client2.wait(queued, timeout_s=300) == "done"
+            assert client2.report_bytes(running) == serial_report_bytes(
+                tmp_path, LONG_CHECK_PARAMS
+            )
+            resumed_doc = client2.runner_doc(running)["data"]
+            assert resumed_doc["journal"]["resumed"] is True
+            assert resumed_doc["journal"]["resumed_tasks"] > 0
+            client2.drain()
+            proc2.wait(timeout=60)
+            assert proc2.returncode == 3
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait()
+
+    def test_sigterm_drains_like_the_endpoint(self, serve):
+        import signal as signal_module
+
+        journal_dir, client, proc = serve
+        client.submit("check", CHECK_PARAMS)
+        proc.send_signal(signal_module.SIGTERM)
+        proc.wait(timeout=60)
+        assert proc.returncode == 3
+        # The journal survived the drain intact.
+        from repro.runner import load_journal
+
+        load = load_journal(journal_dir / "serve.jsonl")
+        assert not load.truncated
+        assert load.header["fingerprint"] == {"verb": "serve"}

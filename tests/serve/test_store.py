@@ -1,0 +1,123 @@
+"""Durable job state: journal fold on restart, atomic artifacts, epochs."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import JobSpec, ServeStore
+
+
+def spec(n: int, verb: str = "check") -> JobSpec:
+    return JobSpec(job=f"job-{n:06d}", tenant="default", verb=verb,
+                   params={"faults": n}, seq=n)
+
+
+class TestRecovery:
+    def test_fresh_store_is_epoch_one(self, tmp_path):
+        store = ServeStore(tmp_path)
+        assert store.epoch == 1
+        assert store.recovered == []
+        assert store.next_seq == 1
+        store.close()
+
+    def test_pending_jobs_recover_in_admission_order(self, tmp_path):
+        store = ServeStore(tmp_path)
+        for n in (1, 2, 3):
+            store.record_job(spec(n))
+        store.record_done("job-000002", "done")
+        store.close()
+
+        reopened = ServeStore(tmp_path)
+        assert reopened.epoch == 2
+        assert [s.job for s in reopened.recovered] == ["job-000001", "job-000003"]
+        assert reopened.terminal == {"job-000002": "done"}
+        assert reopened.next_seq == 4
+        reopened.close()
+
+    def test_params_survive_the_round_trip(self, tmp_path):
+        store = ServeStore(tmp_path)
+        original = spec(1)
+        store.record_job(original)
+        store.close()
+        reopened = ServeStore(tmp_path)
+        assert reopened.recovered[0] == original
+        reopened.close()
+
+    def test_span_roots_recover(self, tmp_path):
+        store = ServeStore(tmp_path)
+        store.record_job(spec(1))
+        store.record_span_root("job-000001", "t" * 32, "s" * 16)
+        store.close()
+        reopened = ServeStore(tmp_path)
+        assert reopened.span_roots["job-000001"] == ("t" * 32, "s" * 16)
+        # Epoch 2 allocates span ids from a disjoint block.
+        assert reopened.span_id_base() > 0
+        reopened.close()
+
+    def test_truncated_serve_journal_tail_is_tolerated(self, tmp_path):
+        store = ServeStore(tmp_path)
+        store.record_job(spec(1))
+        store.close()
+        with open(tmp_path / "serve.jsonl", "ab") as fp:
+            fp.write(b'deadbeef {"type":"job","job":"job-0')  # torn append
+        reopened = ServeStore(tmp_path)
+        assert [s.job for s in reopened.recovered] == ["job-000001"]
+        reopened.close()
+
+    def test_corrupt_mid_file_record_is_skipped_and_counted(self, tmp_path):
+        store = ServeStore(tmp_path)
+        store.record_job(spec(1))
+        store.record_job(spec(2))
+        store.close()
+        raw = (tmp_path / "serve.jsonl").read_bytes().splitlines()
+        # Flip a byte inside job-000001's admission record (line 2 after
+        # header + epoch), keeping later records intact.
+        target = 2
+        raw[target] = raw[target][:-5] + b"X" + raw[target][-4:]
+        (tmp_path / "serve.jsonl").write_bytes(b"\n".join(raw) + b"\n")
+        with pytest.warns(RuntimeWarning):
+            reopened = ServeStore(tmp_path)
+        assert reopened.corrupt_records == 1
+        assert [s.job for s in reopened.recovered] == ["job-000002"]
+        reopened.close()
+
+    def test_malformed_job_record_raises_serve_error(self):
+        with pytest.raises(ServeError):
+            JobSpec.from_record({"type": "job", "job": "x"})
+
+
+class TestArtifacts:
+    def test_report_write_is_atomic_and_byte_stable_format(self, tmp_path):
+        from repro.obs.export import write_json
+
+        store = ServeStore(tmp_path)
+        payload = {"schema": "repro.obs/1", "kind": "t", "data": {"a": 1}}
+        store.write_report("job-000001", payload)
+        stored = store.read_report("job-000001")
+        reference = tmp_path / "ref.json"
+        write_json(reference, payload)
+        assert stored == reference.read_bytes()
+        assert not any(
+            name.endswith(".tmp") for name in os.listdir(store.jobs_dir)
+        )
+        store.close()
+
+    def test_missing_artifacts_read_as_none(self, tmp_path):
+        store = ServeStore(tmp_path)
+        assert store.read_report("job-000009") is None
+        assert store.read_runner("job-000009") is None
+        store.close()
+
+    def test_epoch_records_accumulate(self, tmp_path):
+        for expected in (1, 2, 3):
+            store = ServeStore(tmp_path)
+            assert store.epoch == expected
+            store.close()
+        lines = (tmp_path / "serve.jsonl").read_bytes().splitlines()
+        epochs = [
+            json.loads(line[9:]) for line in lines
+            if b'"type":"epoch"' in line
+        ]
+        assert [r["epoch"] for r in epochs] == [1, 2, 3]
