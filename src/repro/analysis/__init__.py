@@ -51,6 +51,16 @@ from repro.analysis.lint import (
 )
 from repro.analysis.verdict import injection_verdict
 from repro.analysis.fusion import FusionVerdict, fusion_verdict, schedule_blockers
+from repro.analysis.absint import (
+    FUSION_CERT_SCHEMA,
+    FusionCertificate,
+    ProgramCertification,
+    certify_program,
+    check_fusion_certificate,
+    fusion_audit,
+    fusion_audit_report,
+    fusion_certificate_findings,
+)
 
 __all__ += [
     "FusionVerdict",
@@ -79,4 +89,12 @@ __all__ += [
     "lint_report",
     "render_lint",
     "injection_verdict",
+    "FUSION_CERT_SCHEMA",
+    "FusionCertificate",
+    "ProgramCertification",
+    "certify_program",
+    "check_fusion_certificate",
+    "fusion_audit",
+    "fusion_audit_report",
+    "fusion_certificate_findings",
 ]

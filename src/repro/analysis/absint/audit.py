@@ -1,0 +1,149 @@
+"""Kernel-wide static-vs-dynamic cross-check of the superop certifier.
+
+For every registered kernel and variant, run the hot-trace profile (which
+judges each dynamic trace against the certifier's output) and reconcile the
+two views per loop region:
+
+``certified-agree``
+    Statically certified and dynamically fusible — the target state for
+    every hot loop.
+``agree-negative``
+    Neither side calls the loop fusible, and the static diagnosis explains
+    the dynamic one (the blocking ``fx-*`` rules are the reason string).
+``static-diagnosed``
+    Dynamically the trace looks fusible (stable single-region pass) but the
+    certifier withheld the proof: expected for data-dependent or
+    non-affine bodies — the diagnosis names why.
+``short-trip``
+    Statically certified, but the loop runs too few iterations for the
+    profiler's repetition test (``executions >= 2``): a static proof cannot
+    manufacture dynamic repetitions.
+``not-executed``
+    Statically analyzed but the region never produced a dynamic trace
+    (e.g. outer levels of a nest, whose back edge is crossed rarely).
+``unexplained``
+    Anything else — a soundness alarm.  The CI gate requires zero.
+
+The report is byte-stable (derives from the simulation alone) and exported
+under the ``repro.analysis/2`` schema as document kind ``fusion-audit``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.export import ANALYSIS_SCHEMA_VERSION_2
+
+FUSION_AUDIT_SCHEMA = ANALYSIS_SCHEMA_VERSION_2
+
+
+def _dynamic_state(traces: list[dict[str, Any]], label: str) -> tuple[str | None, list[str]]:
+    """Best dynamic verdict for *label* across the variant's traces."""
+    rank = {"certified": 3, "uncertified": 2, "not-fusible": 1}
+    best: str | None = None
+    reasons: list[str] = []
+    for record in traces:
+        fusion = record.get("fusion", {})
+        if record.get("label") != label and fusion.get("loop") != label:
+            continue
+        state = fusion.get("state")
+        if best is None or rank.get(state, 0) > rank.get(best, 0):
+            best = state
+            reasons = list(fusion.get("reasons", []))
+    return best, reasons
+
+
+def _classify(
+    certified: bool,
+    blocking: list[str],
+    trip: int | None,
+    state: str | None,
+    reasons: list[str],
+) -> tuple[str, str]:
+    """(agreement class, human explanation) for one region."""
+    if certified:
+        if state == "certified":
+            return "certified-agree", "replay-checked certificate and dynamic verdict agree"
+        if state is None:
+            return "not-executed", "certified loop produced no dynamic trace"
+        if any("executed once" in reason for reason in reasons) or (
+            trip is not None and trip <= 2
+        ):
+            return (
+                "short-trip",
+                f"certified with trip {trip}: too few dynamic repetitions "
+                "for the profiler's repetition test",
+            )
+        return "unexplained", "certified loop dynamically rejected: " + "; ".join(reasons)
+    diagnosis = ", ".join(blocking) if blocking else "no certificate"
+    if state == "uncertified":
+        return "static-diagnosed", f"dynamically fusible but withheld: {diagnosis}"
+    if state in (None, "not-fusible"):
+        return "agree-negative", f"not fusible either way ({diagnosis})"
+    return "unexplained", f"dynamic state {state!r} without a certificate"
+
+
+def fusion_audit(
+    kernel_names: list[str] | None = None,
+    variants: tuple[str, ...] = ("mmx", "spu"),
+) -> dict[str, Any]:
+    """Cross-check every kernel's certification against its dynamic traces."""
+    from repro.kernels import ALL_KERNELS
+    from repro.obs.export import trace_variant_profile
+
+    names = kernel_names if kernel_names is not None else sorted(ALL_KERNELS)
+    rows: list[dict[str, Any]] = []
+    totals: dict[str, int] = {}
+    certificates: list[dict[str, Any]] = []
+    for name in names:
+        kernel = ALL_KERNELS[name]()
+        for variant in variants:
+            body = trace_variant_profile(kernel, variant)
+            cert_by_loop = {
+                cert["loop"]: cert for cert in body.get("certificates", [])
+            }
+            certificates.extend(body.get("certificates", []))
+            certification: dict[str, list[str]] = body.get("certification", {})
+            for region in body.get("loop_regions", []):
+                label = region["label"]
+                cert = cert_by_loop.get(label)
+                blocking = certification.get(label, [])
+                state, reasons = _dynamic_state(body.get("traces", []), label)
+                trip = cert["trip"]["count"] if cert is not None else None
+                agreement, explanation = _classify(
+                    cert is not None, blocking, trip, state, reasons
+                )
+                totals[agreement] = totals.get(agreement, 0) + 1
+                rows.append({
+                    "kernel": name,
+                    "variant": variant,
+                    "loop": label,
+                    "certified": cert is not None,
+                    "blocking": blocking,
+                    "trip": trip,
+                    "dynamic": state,
+                    "agreement": agreement,
+                    "explanation": explanation,
+                })
+    return {
+        "kernels": names,
+        "variants": list(variants),
+        "regions": rows,
+        "certificates": certificates,
+        "summary": {
+            "regions": len(rows),
+            "by_agreement": {key: totals[key] for key in sorted(totals)},
+            "unexplained": totals.get("unexplained", 0),
+        },
+    }
+
+
+def fusion_audit_report(
+    kernel_names: list[str] | None = None,
+    variants: tuple[str, ...] = ("mmx", "spu"),
+) -> dict[str, Any]:
+    """The full ``fusion-audit`` document (``repro certify --all``)."""
+    from repro.obs.export import envelope
+
+    body = fusion_audit(kernel_names, variants)
+    return envelope("fusion-audit", body, schema=FUSION_AUDIT_SCHEMA)

@@ -1,0 +1,186 @@
+"""Abstract domains for the superop legality engine.
+
+Two domains, matched to the two things a fused loop body bakes in:
+
+*Scalar affine values* (:class:`Affine`) — every scalar register is tracked
+as a linear combination of *loop-entry symbols* plus a constant.  An address
+that stays affine over induction symbols unrolls to ``first + k * stride``,
+which is exactly the closed form a bulk executor needs; anything that falls
+to ``None`` (top) is a footprint the engine cannot bound.
+
+*Byte-interval words* (:data:`ByteWord`) — every MMX register is eight
+independent unsigned byte intervals.  Byte granularity is what makes the
+interesting facts provable: ``punpcklbw`` against a known-zero register
+yields 16-bit lanes bounded by 255, ``movd`` zero-extends its high four
+bytes, ``vperm``/``pshufw`` permute the intervals exactly.  Lane views are
+recombined on demand for packed arithmetic.
+
+All transfer functions here are *sound over-approximations*: intervals may
+widen to top, never narrow below the reachable values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# ---- scalar affine values ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``sum(coeff * entry(sym)) + const`` over loop-entry register symbols."""
+
+    #: Sorted ``(symbol, coefficient)`` pairs, zero coefficients dropped.
+    coeffs: tuple[tuple[str, int], ...]
+    const: int
+
+    @staticmethod
+    def constant(value: int) -> "Affine":
+        return Affine((), value)
+
+    @staticmethod
+    def symbol(name: str) -> "Affine":
+        return Affine(((name, 1),), 0)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def add(self, other: "Affine") -> "Affine":
+        merged = dict(self.coeffs)
+        for sym, coeff in other.coeffs:
+            merged[sym] = merged.get(sym, 0) + coeff
+        return Affine(
+            tuple(sorted((s, c) for s, c in merged.items() if c)),
+            self.const + other.const,
+        )
+
+    def negate(self) -> "Affine":
+        return self.scale(-1)
+
+    def sub(self, other: "Affine") -> "Affine":
+        return self.add(other.negate())
+
+    def scale(self, factor: int) -> "Affine":
+        if factor == 0:
+            return Affine.constant(0)
+        return Affine(
+            tuple((s, c * factor) for s, c in self.coeffs),
+            self.const * factor,
+        )
+
+    def offset(self, delta: int) -> "Affine":
+        return Affine(self.coeffs, self.const + delta)
+
+    def symbols(self) -> tuple[str, ...]:
+        return tuple(sym for sym, _ in self.coeffs)
+
+    def evaluate(self, entry: dict[str, int]) -> int | None:
+        """Concrete value under *entry* symbol bindings, or None if any miss."""
+        total = self.const
+        for sym, coeff in self.coeffs:
+            value = entry.get(sym)
+            if value is None:
+                return None
+            total += coeff * value
+        return total
+
+    def __str__(self) -> str:
+        parts = []
+        for sym, coeff in self.coeffs:
+            parts.append(sym if coeff == 1 else f"{coeff}*{sym}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+#: Abstract scalar value: an affine expression, or ``None`` (top / unknown).
+Scalar = Affine | None
+
+
+# ---- byte-interval MMX words ---------------------------------------------------
+
+#: One unsigned byte interval ``(lo, hi)`` with ``0 <= lo <= hi <= 255``.
+ByteRange = tuple[int, int]
+#: One 64-bit MMX value as eight little-endian byte intervals.
+ByteWord = tuple[ByteRange, ...]
+
+TOP_BYTE: ByteRange = (0, 255)
+TOP_WORD: ByteWord = (TOP_BYTE,) * 8
+ZERO_WORD: ByteWord = ((0, 0),) * 8
+
+
+def lane_view(word: ByteWord, width: int) -> list[tuple[int, int]]:
+    """Per-lane ``(lo, hi)`` unsigned bounds for *width*-bit lanes."""
+    span = width // 8
+    lanes = []
+    for lane in range(8 // span):
+        lo = hi = 0
+        for byte in range(span):
+            blo, bhi = word[lane * span + byte]
+            lo += blo << (8 * byte)
+            hi += bhi << (8 * byte)
+        lanes.append((lo, hi))
+    return lanes
+
+
+def word_from_lanes(lanes: list[tuple[int, int]], width: int) -> ByteWord:
+    """Sound byte decomposition of per-lane bounds (``byte_j <= hi >> 8j``)."""
+    span = width // 8
+    out: list[ByteRange] = []
+    for lo, hi in lanes:
+        for byte in range(span):
+            bhi = min(255, hi >> (8 * byte))
+            blo = lo >> (8 * byte) if lo == hi else 0
+            out.append((blo, bhi))
+    return tuple(out)
+
+
+def word_bound(word: ByteWord, width: int | None) -> int | None:
+    """Max lane value bound, or None when any lane is at top for *width*."""
+    if width is None:
+        width = 8
+    lane_max = (1 << width) - 1
+    bound = 0
+    for _, hi in lane_view(word, width):
+        if hi >= lane_max:
+            return None
+        bound = max(bound, hi)
+    return bound
+
+
+# ---- packed-op status taxonomy -------------------------------------------------
+
+#: Packed semantics whose result saturates or is bounded by its inputs: a
+#: lane can never exceed the representable range, so bulk re-execution is
+#: wrap-free by construction.
+SATURATING_SEMS = frozenset({
+    "padds", "paddus", "psubs", "psubus", "packss", "packus",
+    "pavg", "pmins", "pmaxs", "pminu", "pmaxu",
+})
+#: Modular semantics: the architectural result is the low *width* bits and
+#: may wrap.  The SWAR mask algebra reproduces the wrap exactly, but a
+#: *carried accumulator* built from these needs per-iteration renormalizing.
+MODULAR_SEMS = frozenset({"padd", "psub", "pmullw", "pmaddwd", "psll"})
+#: Exact semantics: bitwise ops, compares-to-masks, high-half multiplies,
+#: widening multiplies and pure byte permutations — never exceed the lane.
+EXACT_SEMS = frozenset({
+    "pand", "pandn", "por", "pxor", "pcmpeq", "pcmpgt",
+    "pmulhw", "pmulhuw", "pmuludq", "punpckl", "punpckh",
+    "pshufw", "vperm", "psrl", "psra",
+})
+
+
+def swar_status(sem: str) -> str | None:
+    """``"saturating"`` / ``"modular"`` / ``"exact"`` for a packed sem.
+
+    Derived from the semantic alone so the certificate replay checker can
+    recompute it independently; returns None for non-packed sems.
+    """
+    if sem in SATURATING_SEMS:
+        return "saturating"
+    if sem in MODULAR_SEMS:
+        return "modular"
+    if sem in EXACT_SEMS:
+        return "exact"
+    return None

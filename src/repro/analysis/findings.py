@@ -61,6 +61,10 @@ class Finding:
     message: str
     fix_hint: str = ""
     suppressed: str | None = None
+    #: Loop label the finding is anchored to, when the analyzer knows it.
+    #: Structured so consumers (``schedule_blockers``, the fusion certifier)
+    #: never have to parse it back out of ``location``.
+    loop: str | None = None
 
     def suppress(self, suppression_id: str) -> "Finding":
         return Finding(
@@ -70,10 +74,11 @@ class Finding:
             message=self.message,
             fix_hint=self.fix_hint,
             suppressed=suppression_id,
+            loop=self.loop,
         )
 
-    def as_dict(self) -> dict:
-        data: dict = {
+    def as_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
             "rule": self.rule,
             "severity": str(self.severity),
             "location": self.location,
@@ -83,12 +88,14 @@ class Finding:
             data["fix_hint"] = self.fix_hint
         if self.suppressed is not None:
             data["suppressed"] = self.suppressed
+        if self.loop is not None:
+            data["loop"] = self.loop
         return data
 
 
 #: Deterministic ordering: severity (most severe first), then rule id, then
 #: location, then message — so JSON exports are byte-stable run to run.
-def finding_sort_key(finding: Finding) -> tuple:
+def finding_sort_key(finding: Finding) -> tuple[int, str, str, str]:
     return (-int(finding.severity), finding.rule, finding.location, finding.message)
 
 
@@ -121,6 +128,7 @@ class FindingCollector:
         location: str,
         message: str,
         fix_hint: str = "",
+        loop: str | None = None,
     ) -> None:
         # Rule ids must come from the catalog — typos here would silently
         # weaken CI gating, so fail loudly.
@@ -135,6 +143,7 @@ class FindingCollector:
                 location=location,
                 message=message,
                 fix_hint=fix_hint,
+                loop=loop,
             )
         )
 

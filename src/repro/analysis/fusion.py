@@ -8,25 +8,38 @@ fused body would bake the per-position operand routes in.  This module turns
 a :class:`~repro.obs.traceprof.TraceProfiler`'s dynamic traces plus the
 static analyses into per-trace :class:`FusionVerdict`\\ s.
 
-A trace is **fusible** when all of:
+Since the superop legality engine landed (:mod:`repro.analysis.absint`), a
+dynamic heuristic alone no longer earns ``fusible: true``.  Each verdict now
+carries a ``state``:
 
-- its body is one exact pass over a labeled loop region (``head ==
-  region.start`` and the pc path is ``start..end`` in order — no internal
-  control flow took a different path);
-- it repeated (``executions >= 2``: entry and exit paths around a loop run
-  once and are never candidates);
-- it is dynamically stable (no sibling body at the same head also repeated);
-- no ``sa-*`` *error* finding blocks its loop (SPU variant; the MMX variant
-  has no controller schedule to agree with, so only the dynamic conditions
-  apply).
+``"certified"``
+    All dynamic conditions hold *and* the loop has a
+    :class:`~repro.analysis.absint.FusionCertificate` that the independent
+    replay checker validated.  Only this state reports ``fusible: true``.
+``"uncertified"``
+    Dynamically fusible, but the static certifier diagnosed the loop (the
+    blocking ``fx-*`` rules appear in ``reasons``) — or the certificate
+    failed its replay check.
+``"not-fusible"``
+    One or more dynamic conditions failed (entry/exit path, unstable head,
+    truncated body, ``sa-*`` blockers).
+
+The dynamic conditions are unchanged from PR 6: the body is one exact pass
+over a labeled loop region, it repeated (``executions >= 2``), it is stable
+at its head, and no ``sa-*`` *error* finding blocks its loop (SPU variant).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.findings import Severity
 from repro.analysis.loops import LoopRegion, find_loop_regions
+
+if TYPE_CHECKING:
+    from repro.kernels.base import Kernel
+    from repro.obs.traceprof import TraceStats
 
 __all__ = [
     "FusionVerdict",
@@ -45,16 +58,19 @@ class FusionVerdict:
     loop: str | None
     #: Empty when fusible; otherwise every disqualifying condition.
     reasons: tuple[str, ...]
+    #: ``"certified"`` / ``"uncertified"`` / ``"not-fusible"`` (see module doc).
+    state: str = "not-fusible"
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         return {
             "fusible": self.fusible,
+            "state": self.state,
             "loop": self.loop,
             "reasons": list(self.reasons),
         }
 
 
-def schedule_blockers(kernel) -> dict[str, list[str]]:
+def schedule_blockers(kernel: Kernel) -> dict[str, list[str]]:
     """Loop label -> sorted ``sa-*`` error rules from the agreement analyzer.
 
     Findings that name no loop (e.g. ``sa-go-before-load``) block every
@@ -63,21 +79,15 @@ def schedule_blockers(kernel) -> dict[str, list[str]]:
     from repro.analysis.schedule import analyze_schedule
 
     blockers: dict[str, set[str]] = {}
-    prefix = f"{kernel.name}/"
     for finding in analyze_schedule(kernel):
         if finding.severity < Severity.ERROR:
             continue
-        location = finding.location
-        if location.startswith(prefix):
-            # "Kernel/label (context 0)" or "Kernel/label+3 (state 5)"
-            label = location[len(prefix):].split(" ")[0].split("+")[0]
-        else:
-            label = "*"
+        label = finding.loop if finding.loop is not None else "*"
         blockers.setdefault(label, set()).add(finding.rule)
     return {label: sorted(rules) for label, rules in blockers.items()}
 
 
-def _matching_region(trace, regions: list[LoopRegion]) -> LoopRegion | None:
+def _matching_region(trace: TraceStats, regions: list[LoopRegion]) -> LoopRegion | None:
     """The loop region *trace* is one exact pass over, if any."""
     for region in regions:
         if region.start != trace.head:
@@ -88,15 +98,23 @@ def _matching_region(trace, regions: list[LoopRegion]) -> LoopRegion | None:
 
 
 def fusion_verdict(
-    trace,
+    trace: TraceStats,
     regions: list[LoopRegion],
     stable_heads: set[int],
     blockers: dict[str, list[str]] | None = None,
+    certified: dict[str, list[str]] | None = None,
 ) -> FusionVerdict:
     """Judge one :class:`~repro.obs.traceprof.TraceStats` trace.
 
     *blockers* is :func:`schedule_blockers` output for the SPU variant and
     ``None`` for the MMX variant (no controller schedule applies).
+
+    *certified* maps each loop label to its static certification result: an
+    empty list when a replay-checked :class:`FusionCertificate` backs the
+    loop, otherwise the sorted blocking ``fx-*`` rule ids.  ``None`` (legacy
+    callers, unit tests of the dynamic conditions alone) skips the
+    certificate requirement and grades a dynamically clean trace
+    ``certified``.
     """
     reasons: list[str] = []
     region = None
@@ -118,8 +136,26 @@ def fusion_verdict(
             reasons.append(
                 "schedule-agreement errors: " + ", ".join(blocked)
             )
+    if reasons:
+        state = "not-fusible"
+    elif certified is None:
+        state = "certified"
+    else:
+        assert region is not None
+        rules = certified.get(region.label)
+        if rules == []:
+            state = "certified"
+        else:
+            state = "uncertified"
+            if rules is None:
+                reasons.append("no fusion certificate for this loop")
+            else:
+                reasons.append(
+                    "fusion certificate withheld: " + ", ".join(rules)
+                )
     return FusionVerdict(
-        fusible=not reasons,
+        fusible=state == "certified",
         loop=region.label if region is not None else None,
         reasons=tuple(reasons),
+        state=state,
     )

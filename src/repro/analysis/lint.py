@@ -8,7 +8,10 @@ program).  For a kernel the run covers all three analyzer families:
 2. the kernel's transformed program against those controller programs
    through the schedule-agreement analyzer (``sa-*``),
 3. every off-load certificate re-verified and cross-checked against the
-   shipped controller program (``oc-*``).
+   shipped controller program (``oc-*``),
+4. both instruction-stream variants through the superop legality engine
+   (``fx-*``): every loop region is certified for fusion or diagnosed,
+   and every issued certificate is replay-checked at issuance.
 
 Ordering is deterministic everywhere (analyzers iterate sorted state
 indexes, results sort by severity/rule/location), so ``repro lint --all
@@ -103,6 +106,17 @@ def lint_kernel(kernel: Kernel | str) -> LintResult:
             )
         )
     findings.extend(analyze_schedule(kernel))
+    from repro.analysis.absint import certify_program
+
+    spu_program, _ = kernel.spu_programs()
+    for variant, program in (
+        ("mmx", kernel.mmx_program()),
+        ("spu", spu_program),
+    ):
+        certification = certify_program(
+            program, subject=f"{kernel.name}/{variant}"
+        )
+        findings.extend(certification.findings())
     for context, report in kernel.offload_reports():
         if report.certificate is None:
             continue

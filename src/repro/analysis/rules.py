@@ -13,6 +13,11 @@ Three families, keyed by prefix:
 ``oc-*``
     Offload certificates (:mod:`repro.analysis.certificate`): re-verification
     of the permute off-load pass's machine-checkable evidence.
+``fx-*``
+    Fusion legality (:mod:`repro.analysis.absint`): the byte-granular
+    abstract interpreter's superop diagnoses — why a loop body cannot be
+    certified for bulk fused execution — plus the replay checks guarding
+    every issued :class:`~repro.analysis.absint.FusionCertificate`.
 
 Severities are fixed per rule (see :class:`~repro.analysis.findings.Severity`
 for what each level means); the catalog is the single source of truth the
@@ -129,6 +134,55 @@ _CATALOG: tuple[Rule, ...] = (
     Rule("oc-program-mismatch", Severity.ERROR,
          "The controller program's per-state routes disagree with the "
          "certificate's routes for the corresponding body position."),
+    # ---- fusion legality (fx-*) --------------------------------------------
+    Rule("fx-internal-branch", Severity.WARN,
+         "The loop body contains a branch besides the closing back edge: "
+         "alternate internal paths break the straight-line fused body."),
+    Rule("fx-side-exit", Severity.WARN,
+         "A body branch targets outside the loop region: a fused closure "
+         "could not take the early exit mid-iteration."),
+    Rule("fx-nested-region", Severity.WARN,
+         "The loop region overlaps another labeled region: per-iteration "
+         "fusion needs a single innermost body."),
+    Rule("fx-trip-count", Severity.WARN,
+         "No concrete trip count is derivable from the closing branch and "
+         "the loop-entry constants: bulk execution cannot be sized."),
+    Rule("fx-induction-step", Severity.WARN,
+         "An address-forming register is updated non-affinely inside the "
+         "body, so its per-iteration stride is unknown."),
+    Rule("fx-mem-footprint", Severity.WARN,
+         "A memory access address is not statically resolvable as "
+         "entry-constant + iteration x stride: the byte footprint is "
+         "unbounded."),
+    Rule("fx-mmio-store", Severity.WARN,
+         "A body store may hit the SPU MMIO window: device side effects "
+         "cannot be replayed in bulk."),
+    Rule("fx-carried-blocking", Severity.WARN,
+         "A non-affine loop-carried scalar feeds addressing or the loop "
+         "branch: the dependence blocks any static footprint."),
+    Rule("fx-mem-carried", Severity.INFO,
+         "A store's byte range reaches a later iteration's load: "
+         "loop-carried memory dependence (recorded; per-iteration fusion "
+         "preserves it, cross-iteration batching must not reorder it)."),
+    Rule("fx-lane-overflow", Severity.INFO,
+         "A modular packed accumulator may wrap within the derived trip "
+         "count: batched execution must renormalize lanes per iteration."),
+    Rule("fx-swar-width", Severity.ERROR,
+         "A packed op's lane width is outside the certified SWAR mask "
+         "algebra (repro.simd.swar MASKS): no carry-break proof exists."),
+    Rule("fx-swar-shift", Severity.WARN,
+         "A packed shift takes its count from a register: the SWAR "
+         "carry-break masks are precomputed per immediate count only."),
+    Rule("fx-cert-schema", Severity.ERROR,
+         "A fusion certificate carries an unknown schema version: the "
+         "replay checker cannot interpret its claims."),
+    Rule("fx-cert-stale", Severity.ERROR,
+         "A fusion certificate does not match the shipped loop body: the "
+         "evidence replay-checked is not the code that runs."),
+    Rule("fx-cert-mismatch", Severity.ERROR,
+         "Concretely replaying the loop body contradicts a recorded "
+         "certificate fact (footprint, stride, trip count, carried class "
+         "or SWAR status)."),
 )
 
 #: id -> Rule, the importable catalog.

@@ -124,6 +124,7 @@ def analyze_schedule(kernel: Kernel) -> list[Finding]:
                 "iteration: schedules cannot line up",
                 fix_hint="emit exactly one controller state per kept body "
                 "instruction (including scalar ops and the branch)",
+                loop=label,
             )
         else:
             # -- counter total ---------------------------------------------
@@ -142,6 +143,7 @@ def analyze_schedule(kernel: Kernel) -> list[Finding]:
                         f"instructions = {expected} controller steps",
                         fix_hint="program the counter to iterations x body "
                         "length so the SPU retires with the loop",
+                        loop=label,
                     )
                 else:
                     # -- full symbolic walk: the static go_race analogue ---
@@ -174,6 +176,7 @@ def analyze_schedule(kernel: Kernel) -> list[Finding]:
                             f"schedule needs {expected})",
                             fix_hint="the state emitted at step t must be "
                             "the one paired with body position t mod length",
+                            loop=label,
                         )
 
             # -- per-position route/instruction agreement ------------------
@@ -192,6 +195,7 @@ def analyze_schedule(kernel: Kernel) -> list[Finding]:
                         "schedule)",
                         fix_hint="routed states must line up with MMX "
                         "instructions",
+                        loop=label,
                     )
                     continue
                 routable = set(mmx_source_slots(instr))
@@ -205,6 +209,7 @@ def analyze_schedule(kernel: Kernel) -> list[Finding]:
                         "register: the route can never take effect",
                         fix_hint="route only the slots the paired "
                         "instruction reads through the crossbar",
+                        loop=label,
                     )
 
         # -- GO placement --------------------------------------------------
@@ -219,6 +224,7 @@ def analyze_schedule(kernel: Kernel) -> list[Finding]:
                 f"label: the SPU never activates for this loop",
                 fix_hint="emit go_store(builder, context) immediately "
                 "before the loop label",
+                loop=label,
             )
         else:
             go_index = max(before)
@@ -234,6 +240,7 @@ def analyze_schedule(kernel: Kernel) -> list[Finding]:
                     "subsequent route pairing",
                     fix_hint="the GO store must be the last instruction "
                     "before the loop label",
+                    loop=label,
                 )
         for index in own_stores:
             if start < index <= end:
@@ -245,5 +252,6 @@ def analyze_schedule(kernel: Kernel) -> list[Finding]:
                     f"[{start}, {end}]: every iteration re-activates the "
                     "controller and resets its counters mid-flight",
                     fix_hint="hoist the GO store above the loop label",
+                    loop=label,
                 )
     return out.findings

@@ -22,12 +22,26 @@ Commands
     VTune-style dynamic profile: instruction mix, per-stage cycle
     attribution and SPU controller occupancy (``--json -`` for stdout;
     schema in docs/observability.md).
-``top KERNEL [--variant V] [--limit N] [--json PATH]``
+``top KERNEL [--variant V] [--limit N] [--json PATH] [--fail-on STATE]``
     Hot-trace profile: dynamic traces between backward control transfers,
     ranked by cycles, with exact per-trace cycle/stall/pairing attribution
-    and fusibility verdicts (stable schedule + clean agreement analysis) —
-    the planning input for trace-level superop compilation (ROADMAP
-    item 1; schema ``repro.obs/2``).
+    and fusibility verdicts — ``fusible: true`` requires a replay-checked
+    fusion certificate from the superop legality engine on top of the
+    dynamic conditions (stable schedule + clean agreement analysis); a
+    dynamically clean trace the certifier diagnosed reports state
+    ``uncertified`` instead.  The planning input for trace-level superop
+    compilation (ROADMAP item 1; schema ``repro.obs/2``).  ``--fail-on
+    uncertified`` exits 1 when a dynamically fusible trace lacks a
+    certificate; ``--fail-on not-fusible`` exits 1 when any trace is not
+    certified (nonzero-exit parity with ``repro lint``).
+``certify [KERNEL ...| --all] [--json PATH] [--fail-on CLASS]``
+    Superop legality cross-check: certify every loop region of every
+    kernel variant statically, reconcile against the dynamic trace
+    profile, and report per-region agreement classes (byte-stable
+    ``fusion-audit`` document, schema ``repro.analysis/2``).  Exits 1
+    on ``unexplained`` disagreements (always) or, with ``--fail-on
+    uncertified``, whenever a dynamically fusible loop lacks a
+    certificate.
 ``trace KERNEL [--jsonl PATH]``
     Issue-by-issue pipeline listing; ``--jsonl`` exports one record per
     issued instruction behind a ``trace-header`` record naming the
@@ -59,8 +73,8 @@ Commands
     docs/performance.md; the tracked variant lives in
     ``benchmarks/bench_simspeed.py``).
 
-``profile``, ``trace``, ``check`` and ``lint`` resolve kernel names
-forgivingly (``dotprod`` → ``DotProduct``).
+``profile``, ``trace``, ``check``, ``lint`` and ``certify`` resolve kernel
+names forgivingly (``dotprod`` → ``DotProduct``).
 """
 
 from __future__ import annotations
@@ -355,12 +369,26 @@ def _cmd_top(args: argparse.Namespace) -> int:
     kernel = make_kernel(name)
     variants = ("mmx", "spu") if args.variant == "both" else (args.variant,)
     report = trace_profile_report(kernel, variants)
+    body = report["data"]
+    # --fail-on uncertified is the soundness gate: a dynamically clean
+    # trace whose fusion certificate was withheld.  --fail-on not-fusible
+    # is the strict gate: any trace that is not certified fusible (which
+    # includes structural prologue/epilogue traces, so it is only useful
+    # for single-loop kernels).
+    failed = False
+    for variant in variants:
+        summary = body["variants"][variant]["summary"]
+        uncertified = summary.get("uncertified_traces", 0)
+        not_fusible = summary["traces"] - summary["fusible_traces"]
+        if args.fail_on == "uncertified" and uncertified:
+            failed = True
+        elif args.fail_on == "not-fusible" and not_fusible:
+            failed = True
     if args.json is not None:
         target = write_json(args.json, report)
         if target is not None:
             print(f"wrote {target}")
-        return 0
-    body = report["data"]
+        return 1 if failed else 0
     print(f"{body['kernel']} ({body['description']}), config {body['config']}")
     for variant in variants:
         section = body["variants"][variant]
@@ -368,7 +396,8 @@ def _cmd_top(args: argparse.Namespace) -> int:
         summary = section["summary"]
         print(f"\n[{variant}] {total} cycles over {summary['traces']} trace(s); "
               f"{summary['fusible_traces']} fusible covering "
-              f"{pct(summary['fusible_share'], 1)} of cycles")
+              f"{pct(summary['fusible_share'], 1)} of cycles; "
+              f"{summary.get('uncertified_traces', 0)} uncertified")
         uop = section["uop_cache"]
         print(f"uop cache: {uop['hits']} hits / {uop['misses']} misses "
               f"({pct(uop['hit_rate'], 1)} hit rate), "
@@ -376,6 +405,13 @@ def _cmd_top(args: argparse.Namespace) -> int:
         shown = section["traces"][:args.limit]
         rows = []
         for record in shown:
+            state = record["fusion"].get("state", "")
+            if record["fusion"]["fusible"]:
+                fusible_cell = "yes"
+            elif state == "uncertified":
+                fusible_cell = "uncert"
+            else:
+                fusible_cell = "-"
             rows.append([
                 record["label"] or f"@{record['head']}",
                 f"{record['head']}+{record['length']}",
@@ -385,7 +421,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 f"{record['cpi']:.2f}",
                 pct(record["pair_fraction"], 1),
                 record["stall_cycles"],
-                "yes" if record["fusion"]["fusible"] else "-",
+                fusible_cell,
             ])
         print(format_table(
             ["trace", "span", "execs", "cycles", "share", "cpi", "pair",
@@ -397,7 +433,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
             if reasons:
                 label = record["label"] or f"@{record['head']}"
                 print(f"  {label}: {reasons[0]}")
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -530,6 +566,59 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_lint(results))
     return exit_code(results, args.fail_on)
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.analysis.absint import fusion_audit_report
+    from repro.obs.export import resolve_kernel_name, write_json
+
+    if args.all:
+        names = None
+    elif args.kernel:
+        names = [resolve_kernel_name(name) for name in args.kernel]
+    else:
+        print("repro certify: name at least one kernel or pass --all",
+              file=sys.stderr)
+        return 2
+    report = fusion_audit_report(names)
+    body = report["data"]
+    summary = body["summary"]
+    uncertified = summary["by_agreement"].get("static-diagnosed", 0)
+    failed = summary["unexplained"] > 0 or (
+        args.fail_on == "uncertified" and uncertified > 0
+    )
+    if args.json is not None:
+        target = write_json(args.json, report)
+        if target is not None:
+            print(f"wrote {target}")
+        return 1 if failed else 0
+    rows = [
+        [
+            row["kernel"],
+            row["variant"],
+            row["loop"],
+            "yes" if row["certified"] else "-",
+            row["trip"] if row["trip"] is not None else "-",
+            row["dynamic"] or "-",
+            row["agreement"],
+        ]
+        for row in body["regions"]
+    ]
+    print(format_table(
+        ["kernel", "variant", "loop", "cert", "trip", "dynamic", "agreement"],
+        rows,
+    ))
+    for row in body["regions"]:
+        if row["agreement"] in ("static-diagnosed", "unexplained"):
+            print(f"  {row['kernel']}/{row['variant']} {row['loop']}: "
+                  f"{row['explanation']}")
+    counts = ", ".join(
+        f"{count} {label}"
+        for label, count in sorted(summary["by_agreement"].items())
+    )
+    print(f"\n{summary['regions']} region(s): {counts}; "
+          f"{summary['unexplained']} unexplained")
+    return 1 if failed else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -701,6 +790,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the repro.obs/2 trace-profile JSON ('-' or no value: "
         "stdout)",
     )
+    top_parser.add_argument(
+        "--fail-on", dest="fail_on",
+        choices=("uncertified", "not-fusible"), default=None,
+        help="uncertified: exit 1 when a dynamically fusible trace lacks "
+        "a replay-checked certificate; not-fusible: exit 1 when any "
+        "trace is not certified fusible (default: always exit 0)",
+    )
     top_parser.set_defaults(func=_cmd_top)
 
     trace_parser = sub.add_parser(
@@ -750,7 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser = sub.add_parser(
         "lint",
         help="static verifier: microprograms, schedule agreement, "
-        "off-load certificates",
+        "off-load certificates, superop fusion legality",
     )
     lint_parser.add_argument(
         "kernel", nargs="*",
@@ -769,6 +865,29 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: error)",
     )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    certify_parser = sub.add_parser(
+        "certify",
+        help="superop legality cross-check: static certificates vs "
+        "dynamic trace verdicts, per loop region",
+    )
+    certify_parser.add_argument(
+        "kernel", nargs="*",
+        help="kernel(s) to certify (forgiving match)",
+    )
+    certify_parser.add_argument("--all", action="store_true",
+                                help="certify every registered kernel")
+    certify_parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the repro.analysis/2 fusion-audit JSON ('-': stdout)",
+    )
+    certify_parser.add_argument(
+        "--fail-on", dest="fail_on", choices=("unexplained", "uncertified"),
+        default="unexplained",
+        help="also exit 1 on static-diagnosed regions (default: only "
+        "unexplained disagreements fail)",
+    )
+    certify_parser.set_defaults(func=_cmd_certify)
 
     report_parser = sub.add_parser(
         "report", help="run the full evaluation and write REPORT.md"

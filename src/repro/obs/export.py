@@ -64,6 +64,11 @@ SCHEMA_VERSION_2 = "repro.obs/2"
 #: Schema tag for static-analysis documents (``repro lint --json``).
 ANALYSIS_SCHEMA_VERSION = "repro.analysis/1"
 
+#: Schema tag for the level-2 static-analysis documents introduced with the
+#: superop legality engine: the ``fusion-audit`` cross-check export
+#: (``repro certify --json``; see docs/static-analysis.md).
+ANALYSIS_SCHEMA_VERSION_2 = "repro.analysis/2"
+
 #: Schema tag for campaign-runner documents (journal header + runner report).
 RUNNER_SCHEMA_VERSION = "repro.runner/1"
 
@@ -229,10 +234,14 @@ def trace_variant_profile(kernel, variant: str) -> dict:
 
     Runs the variant once under a :class:`~repro.obs.traceprof.TraceProfiler`,
     then judges every trace with :func:`repro.analysis.fusion.fusion_verdict`
-    against the static loop regions and — for the SPU variant — the PR 3
-    schedule-agreement analyzer.  Everything here derives from the simulation
-    alone (no wall clock), so the document is byte-stable across reruns.
+    against the static loop regions, the superop legality engine's
+    certification of every loop (``fusible: true`` requires a replay-checked
+    :class:`~repro.analysis.absint.FusionCertificate`) and — for the SPU
+    variant — the PR 3 schedule-agreement analyzer.  Everything here derives
+    from the simulation alone (no wall clock), so the document is byte-stable
+    across reruns.
     """
+    from repro.analysis.absint import certify_program
     from repro.analysis.fusion import find_loop_regions, fusion_verdict, schedule_blockers
     from repro.cpu.executor import uop_cache_stats
     from repro.obs.traceprof import TraceProfiler
@@ -246,17 +255,24 @@ def trace_variant_profile(kernel, variant: str) -> dict:
 
     regions = find_loop_regions(machine.program)
     blockers = schedule_blockers(kernel) if variant == "spu" else None
+    certification = certify_program(
+        machine.program, subject=f"{kernel.name}/{variant}"
+    )
+    certified = certification.certified_map()
     labels = {start: label for label, start in machine.program.labels.items()}
     stable = profiler.stable_heads()
 
     records = []
     fusible_cycles = 0
     fusible_traces = 0
+    uncertified_traces = 0
     for trace in profiler.sorted_traces():
-        verdict = fusion_verdict(trace, regions, stable, blockers)
+        verdict = fusion_verdict(trace, regions, stable, blockers, certified)
         if verdict.fusible:
             fusible_cycles += trace.cycles
             fusible_traces += 1
+        elif verdict.state == "uncertified":
+            uncertified_traces += 1
         record = trace.as_dict()
         record["label"] = labels.get(trace.head)
         record["stable"] = trace.head in stable
@@ -284,9 +300,17 @@ def trace_variant_profile(kernel, variant: str) -> dict:
             "fusible_share": (
                 round(fusible_cycles / total_cycles, 4) if total_cycles else 0.0
             ),
+            "certified_loops": sum(1 for rules in certified.values() if not rules),
+            "uncertified_traces": uncertified_traces,
             "dominant_head": records[0]["head"] if records else None,
             "dominant_label": records[0]["label"] if records else None,
         },
+        "certification": {
+            label: certified[label] for label in sorted(certified)
+        },
+        "certificates": [
+            cert.as_dict() for cert in certification.certificates()
+        ],
         "traces": exported,
     }
     if blockers is not None:

@@ -1,0 +1,226 @@
+"""Core acceptance for the superop legality engine.
+
+Four layers, mirroring the shipping pipeline:
+
+- *domain*: the affine-scalar and byte-interval lattices used by the
+  abstract interpreter;
+- *certifier*: known-fusible kernels certify (with full replay-checked
+  certificates), known data-dependent kernels are diagnosed with the
+  specific blocking ``fx-*`` rule;
+- *audit*: the kernel-wide static-vs-dynamic cross-check has zero
+  unexplained disagreements and exports byte-stably;
+- *surfacing*: ``repro lint`` carries the fx findings, ``repro top``'s
+  fusible verdicts are certificate-backed, and the CLI gates exit codes.
+"""
+
+import json
+
+from repro.analysis import (
+    certify_program,
+    check_fusion_certificate,
+    fusion_audit,
+    fusion_audit_report,
+    lint_kernel,
+)
+from repro.analysis.absint import (
+    BLOCKING_RULES,
+    FUSION_AUDIT_SCHEMA,
+    FUSION_CERT_SCHEMA,
+    FusionCertificate,
+    loop_entry_state,
+)
+from repro.analysis.absint.domain import (
+    Affine,
+    ByteRange,
+    ByteWord,
+    TOP_WORD,
+    ZERO_WORD,
+    lane_view,
+    swar_status,
+    word_from_lanes,
+)
+from repro.cli import main
+from repro.isa import ProgramBuilder
+from repro.kernels import make_kernel
+from repro.obs.export import trace_variant_profile
+
+
+class TestAffineDomain:
+    def test_algebra(self):
+        x = Affine.symbol("r1")
+        expr = x.scale(4).offset(12)
+        assert expr.coeffs == (("r1", 4),)
+        assert expr.const == 12
+        assert expr.evaluate({"r1": 100}) == 412
+        assert expr.evaluate({}) is None
+        assert expr.sub(x.scale(4)).is_constant
+
+    def test_symbol_merge_cancels(self):
+        x = Affine.symbol("r1")
+        assert x.sub(x).coeffs == ()
+        assert x.add(x).coeffs == (("r1", 2),)
+
+    def test_byte_word_lattice(self):
+        assert ZERO_WORD[0] == (0, 0)
+        assert TOP_WORD[0] == (0, 255)
+        lanes = lane_view(ZERO_WORD, 16)
+        assert all(lane == (0, 0) for lane in lanes)
+        word = word_from_lanes([(7, 7)] * 4, 16)
+        assert lane_view(word, 16)[0] == (7, 7)
+
+    def test_swar_status_taxonomy(self):
+        assert swar_status("padds") == "saturating"
+        assert swar_status("padd") == "modular"
+        assert swar_status("pand") == "exact"
+
+
+class TestPrefixWalk:
+    def test_concrete_entry_state(self):
+        b = ProgramBuilder("prefix")
+        b.mov("r0", 8)
+        b.mov("r1", 0x400)
+        b.add("r1", 0x10)
+        b.label("loop")
+        b.add("r1", 4)
+        b.loop("r0", "loop")
+        b.halt()
+        program = b.build()
+        from repro.analysis.loops import find_loop_regions
+
+        regions = find_loop_regions(program)
+        scalars, zeroed = loop_entry_state(program, regions[0].start, regions)
+        assert scalars["r0"] == 8
+        assert scalars["r1"] == 0x410
+        assert zeroed == set()
+
+
+def certified_region(kernel_name, variant="mmx"):
+    kernel = make_kernel(kernel_name)
+    if variant == "mmx":
+        program = kernel.mmx_program()
+    else:
+        program, _ = kernel.spu_programs()
+    return program, certify_program(
+        program, subject=f"{kernel.name}/{variant}"
+    )
+
+
+class TestCertifier:
+    def test_dotproduct_certifies(self):
+        program, certification = certified_region("DotProduct")
+        assert certification.certified_map() == {"loop": []}
+        (cert,) = certification.certificates()
+        assert cert.schema == FUSION_CERT_SCHEMA
+        assert cert.trip == {"kind": "loop", "counter": "r0", "count": 16}
+        assert cert.entry["r0"] == 16
+        # Every body instruction is pinned verbatim for staleness checks.
+        assert len(cert.body) == cert.end - cert.start + 1
+        # All four memory streams advance by the packed block size.
+        assert {record["stride"] for record in cert.memory} == {16}
+        assert {record["status"] for record in cert.swar} >= {"modular"}
+
+    def test_issued_certificate_replays_clean(self):
+        program, certification = certified_region("DotProduct")
+        (cert,) = certification.certificates()
+        assert check_fusion_certificate(cert, program) == []
+
+    def test_certificate_roundtrip(self):
+        _, certification = certified_region("SAD")
+        (cert,) = certification.certificates()
+        assert FusionCertificate.from_dict(cert.as_dict()) == cert
+
+    def test_indirect_addressing_is_diagnosed(self):
+        # MatrixTranspose walks a pointer descriptor table: the store base
+        # is reloaded from memory each iteration, so its footprint is
+        # genuinely indirect and the certificate must be withheld.
+        _, certification = certified_region("MatrixTranspose")
+        rules = certification.certified_map()["loop"]
+        assert "fx-induction-step" in rules
+        assert certification.certificates() == []
+
+    def test_blocking_rules_all_registered(self):
+        from repro.analysis.rules import RULES
+
+        assert BLOCKING_RULES <= set(RULES)
+
+    def test_certified_kernels_cover_both_variants(self):
+        for name in ("DotProduct", "SAD", "FIR12", "ColorSpace"):
+            for variant in ("mmx", "spu"):
+                _, certification = certified_region(name, variant)
+                certified = certification.certified_map()
+                assert [] in certified.values(), (name, variant, certified)
+
+
+class TestAudit:
+    def test_cross_check_has_no_unexplained_disagreements(self):
+        body = fusion_audit(["DotProduct", "MatrixTranspose", "Viterbi"])
+        assert body["summary"]["unexplained"] == 0
+        by_loop = {
+            (row["kernel"], row["variant"], row["loop"]): row
+            for row in body["regions"]
+        }
+        assert by_loop["DotProduct", "mmx", "loop"]["agreement"] == "certified-agree"
+        transpose = by_loop["MatrixTranspose", "mmx", "loop"]
+        assert transpose["agreement"] == "static-diagnosed"
+        assert "fx-induction-step" in transpose["blocking"]
+
+    def test_report_is_byte_stable(self):
+        first = fusion_audit_report(["DotProduct", "SAD"])
+        second = fusion_audit_report(["DotProduct", "SAD"])
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+        assert first["schema"] == FUSION_AUDIT_SCHEMA
+        assert first["kind"] == "fusion-audit"
+
+
+class TestSurfacing:
+    def test_lint_carries_fx_findings(self):
+        result = lint_kernel("MatrixMultiply")
+        fx = [f for f in result.findings if f.rule.startswith("fx-")]
+        assert fx, "superop diagnoses must surface through repro lint"
+        assert all(f.loop is not None for f in fx)
+        assert {f.rule for f in fx} >= {"fx-induction-step"}
+
+    def test_fusible_verdicts_are_certificate_backed(self):
+        kernel = make_kernel("MatrixMultiply")
+        body = trace_variant_profile(kernel, "mmx")
+        certified = {
+            label for label, rules in body["certification"].items() if not rules
+        }
+        for record in body["traces"]:
+            fusion = record["fusion"]
+            if fusion["fusible"]:
+                assert fusion["state"] == "certified"
+                assert fusion["loop"] in certified
+            elif fusion["state"] == "uncertified":
+                # Dynamically clean but statically withheld: the verdict
+                # names the withheld certificate, not a dynamic blocker.
+                assert any("certificate" in r for r in fusion["reasons"])
+        assert body["summary"]["uncertified_traces"] >= 1
+
+    def test_top_fail_on_uncertified(self, capsys):
+        assert main(["top", "dotprod", "--fail-on", "uncertified"]) == 0
+        assert main(["top", "MatrixMultiply", "--fail-on", "uncertified"]) == 1
+        capsys.readouterr()
+
+    def test_top_fail_on_not_fusible(self, capsys):
+        # Even a fully certified kernel has structural prologue traces.
+        assert main(["top", "dotprod", "--fail-on", "not-fusible"]) == 1
+        capsys.readouterr()
+
+    def test_certify_cli_document(self, capsys):
+        assert main(["certify", "dotprod", "--json", "-"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == FUSION_AUDIT_SCHEMA
+        body = document["data"]
+        assert body["summary"]["unexplained"] == 0
+        assert all(row["certified"] for row in body["regions"])
+
+    def test_certify_cli_fail_on_uncertified(self, capsys):
+        assert main(["certify", "MatrixTranspose", "--fail-on", "uncertified"]) == 1
+        capsys.readouterr()
+
+    def test_certify_cli_requires_subject(self, capsys):
+        assert main(["certify"]) == 2
+        assert "name at least one kernel" in capsys.readouterr().err

@@ -76,7 +76,7 @@ class TestCollectorAndCatalog:
         for rule_id, rule in RULES.items():
             assert rule.id == rule_id
             family = rule_id.split("-")[0]
-            assert family in ("mp", "sa", "oc")
+            assert family in ("mp", "sa", "oc", "fx")
             assert rule.summary
 
     def test_rule_severity_lookup(self):

@@ -149,17 +149,34 @@ class TestValidateSkipContract:
 
 
 class TestFalsePositiveSweep:
+    #: Kernels whose loops are genuinely data-dependent or indirectly
+    #: addressed: the superop certifier *documents* why it withholds the
+    #: fusion proof (warn/info fx-* diagnoses), which is the contract —
+    #: not a false positive.  Everything else must be finding-free.
+    FX_DIAGNOSED = {
+        "DCT", "FFT1024", "FFT128", "IDCT", "IIR",
+        "MatrixMultiply", "MatrixTranspose", "Viterbi",
+    }
+
     def test_every_registered_kernel_is_clean(self):
         from repro.kernels import ALL_KERNELS
 
         results = lint_all()
         assert [r.subject for r in results] == sorted(ALL_KERNELS)
+        # The original three families stay at zero findings everywhere,
+        # and nothing anywhere reaches error severity.
         noisy = {
-            r.subject: [f.as_dict() for f in r.findings] for r in results
-            if r.findings
+            r.subject: [
+                f.as_dict() for f in r.findings
+                if not f.rule.startswith("fx-")
+            ]
+            for r in results
         }
-        assert noisy == {}
-        assert exit_code(results, "info") == 0
+        assert noisy == {r.subject: [] for r in results}
+        assert exit_code(results, "error") == 0
+        # fx diagnoses appear exactly on the documented kernels.
+        diagnosed = {r.subject for r in results if r.findings}
+        assert diagnosed == self.FX_DIAGNOSED
 
     def test_lint_kernel_accepts_forgiving_names(self):
         result = lint_kernel("dotprod")

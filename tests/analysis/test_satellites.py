@@ -110,7 +110,9 @@ class TestLintCommand:
         summary = document["data"]["summary"]
         assert summary["subjects"] == len(ALL_KERNELS)
         assert summary["error"] == 0
-        assert summary["warn"] == 0
+        # warn/info carry the superop certifier's fx-* diagnoses on the
+        # data-dependent kernels; only error severity must stay at zero.
+        assert summary["warn"] > 0
 
     def test_lint_json_to_file(self, tmp_path, capsys):
         target = tmp_path / "lint.json"
