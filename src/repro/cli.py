@@ -128,10 +128,45 @@ def _run_one_kernel(name: str) -> int:
     return 0
 
 
+def _parse_tenant_weights(pairs: list[str]) -> dict[str, int]:
+    weights: dict[str, int] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        try:
+            weight = int(value)
+        except ValueError:
+            weight = 0
+        if not sep or not name or weight < 1:
+            print(f"repro serve: error: --tenant-weight wants NAME=W with "
+                  f"W >= 1, got {pair!r}", file=sys.stderr)
+            raise SystemExit(2)
+        weights[name] = weight
+    return weights
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve import ServeApp
+
+    if args.compact:
+        # Offline compaction: fold the journal in place and exit — no
+        # server, no port.  The store constructor runs normal recovery
+        # first, so a compacted journal is recovery-equivalent by the same
+        # fold the live service uses.
+        from repro.serve import ServeStore
+
+        store = ServeStore(args.journal_dir)
+        stats = store.compact(reason="cli")
+        store.close()
+        print(
+            f"repro serve: compacted {args.journal_dir}: "
+            f"{stats['records_before']} -> {stats['records_after']} records, "
+            f"{stats['archived_terminals']} terminal(s) archived "
+            f"({stats['kept_terminals']} kept)",
+            file=sys.stderr,
+        )
+        return 0
 
     app = ServeApp(
         args.journal_dir,
@@ -139,10 +174,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         queue_depth=args.queue_depth,
         max_tenants=args.max_tenants,
+        workers=args.workers,
+        jobs=args.jobs,
+        weights=_parse_tenant_weights(args.tenant_weight),
+        max_inflight=args.max_inflight,
+        hang_timeout_s=args.hang_timeout,
+        max_job_attempts=args.job_attempts,
+        compact_every=args.compact_every,
     )
     print(
         f"repro serve: epoch {app.store.epoch} on journal dir "
-        f"{args.journal_dir} ({len(app.store.recovered)} job(s) recovered); "
+        f"{args.journal_dir} ({len(app.store.recovered)} job(s) recovered, "
+        f"{app.workers_n} worker(s) x {app.jobs_n} campaign job(s)); "
         "endpoint published to endpoint.json",
         file=sys.stderr,
     )
@@ -741,6 +784,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--max-tenants", type=int, default=16,
         help="max distinct tenants with live queues",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="supervised job worker processes (jobs running concurrently)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="campaign runner pool size inside each job worker",
+    )
+    serve_parser.add_argument(
+        "--tenant-weight", action="append", default=[], metavar="NAME=W",
+        help="dispatch weight for a tenant (repeatable; unlisted tenants "
+        "weigh 1; weighted round-robin with a provable starvation bound)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=0,
+        help="max concurrently running jobs per tenant (0 = uncapped)",
+    )
+    serve_parser.add_argument(
+        "--hang-timeout", type=float, default=10.0,
+        help="seconds without a heartbeat before a job worker is SIGKILLed "
+        "and the job requeued",
+    )
+    serve_parser.add_argument(
+        "--job-attempts", type=int, default=3,
+        help="supervision attempts per job before it is failed terminally",
+    )
+    serve_parser.add_argument(
+        "--compact", action="store_true",
+        help="compact the serve journal offline (crash-safe snapshot-then-"
+        "rename) and exit without starting the server",
+    )
+    serve_parser.add_argument(
+        "--compact-every", type=int, default=0,
+        help="compact the journal when idle once it exceeds this many "
+        "records (0 = never)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

@@ -34,10 +34,11 @@ from repro.faults.spec import FAULT_KINDS, FaultCampaign
 from repro.obs.events import EventBus
 from repro.resilience import ResilienceMode
 from repro.runner import Journal, Runner, RunnerConfig, TaskSpec
+from repro.runner.policy import calibrated_timeout_s
 
-#: Wall-clock budget for one injection: clean seconds * factor + slack.
-#: Generous on purpose — the in-simulation watchdog is the precise bound;
-#: this one only catches a worker that stopped making progress entirely.
+#: Wall-clock budget for one injection: clean seconds * factor + slack
+#: (:func:`repro.runner.policy.calibrated_timeout_s`, shared with the serve
+#: layer's per-job supervision budgets).
 TIMEOUT_FACTOR = 25.0
 TIMEOUT_SLACK_S = 10.0
 
@@ -250,8 +251,9 @@ def run_check_parallel(
                         "clean_cycles": clean_spu[name]["cycles"],
                     },
                     slice=f"{name}/{configs[name]}",
-                    timeout_s=durations[name] * TIMEOUT_FACTOR
-                    + TIMEOUT_SLACK_S,
+                    timeout_s=calibrated_timeout_s(
+                        durations[name], TIMEOUT_FACTOR, TIMEOUT_SLACK_S
+                    ),
                 ))
             injection_results = runner.run(injection_tasks)
 

@@ -30,13 +30,16 @@ from repro.obs.events import (
     EventBus,
     FaultEvent,
     IssueEvent,
+    JobDegradedEvent,
     JobDoneEvent,
     JobRejectedEvent,
+    JobRequeuedEvent,
     JobStartedEvent,
     JobSubmittedEvent,
     RecoveryEvent,
     RunEndEvent,
     RunStartEvent,
+    ServeCompactEvent,
     ServeDrainEvent,
     SPURouteEvent,
     StallEvent,
@@ -73,13 +76,16 @@ __all__ = [
     "EventBus",
     "FaultEvent",
     "IssueEvent",
+    "JobDegradedEvent",
     "JobDoneEvent",
     "JobRejectedEvent",
+    "JobRequeuedEvent",
     "JobStartedEvent",
     "JobSubmittedEvent",
     "RecoveryEvent",
     "RunEndEvent",
     "RunStartEvent",
+    "ServeCompactEvent",
     "ServeDrainEvent",
     "SPURouteEvent",
     "StallEvent",

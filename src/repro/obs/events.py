@@ -30,10 +30,11 @@ from repro.errors import RunnerInterrupted
 #: something goes wrong, so they are free on healthy runs.  The five
 #: ``task_*``/``breaker_*`` topics are orchestration-level: they are emitted
 #: by the :mod:`repro.runner` campaign runner (on its own bus instance, one
-#: per :class:`repro.runner.Runner`), never by a simulated machine.  The five
-#: ``job_*``/``serve_*`` topics sit one level above that: emitted by the
-#: :mod:`repro.serve` job service (on its own bus), they describe admission,
-#: execution and drain of whole campaigns.
+#: per :class:`repro.runner.Runner`), never by a simulated machine.  The
+#: eight ``job_*``/``serve_*`` topics sit one level above that: emitted by
+#: the :mod:`repro.serve` job service (on its own bus), they describe
+#: admission, execution, supervision, compaction and drain of whole
+#: campaigns.
 TOPICS = (
     "run_start",
     "issue",
@@ -53,8 +54,11 @@ TOPICS = (
     "job_submitted",
     "job_rejected",
     "job_started",
+    "job_requeued",
+    "job_degraded",
     "job_done",
     "serve_drain",
+    "serve_compact",
 )
 
 
@@ -292,6 +296,31 @@ class JobStartedEvent:
 
 
 @dataclass(frozen=True, slots=True)
+class JobRequeuedEvent:
+    """Supervision SIGKILLed a hung/crashed job worker and requeued the job."""
+
+    job: str
+    tenant: str
+    #: Why the attempt was abandoned: ``"hang"``, ``"timeout"`` or ``"crash"``.
+    reason: str
+    #: The attempt that failed (the requeued execution will be ``attempt+1``).
+    attempt: int
+    max_attempts: int
+
+
+@dataclass(frozen=True, slots=True)
+class JobDegradedEvent:
+    """A job's campaign fell back to single-process execution (never silent)."""
+
+    job: str
+    tenant: str
+    #: Why: ``"pool_breaker"`` (circuit breaker opened / infra failures) or
+    #: ``"pool_start"`` (the worker pool never came up).
+    reason: str
+    detail: str = ""
+
+
+@dataclass(frozen=True, slots=True)
 class JobDoneEvent:
     """A job reached a terminal state."""
 
@@ -300,6 +329,8 @@ class JobDoneEvent:
     #: ``"done"``, ``"failed"`` or ``"aborted"`` (drain interrupted it).
     status: str
     duration_s: float
+    #: True when the campaign degraded to single-process execution.
+    degraded: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -309,6 +340,18 @@ class ServeDrainEvent:
     #: Jobs still queued or running when the drain began.
     pending: int
     reason: str = "sigterm"
+
+
+@dataclass(frozen=True, slots=True)
+class ServeCompactEvent:
+    """The serve journal was compacted (snapshot + atomic rename)."""
+
+    records_before: int
+    records_after: int
+    #: Terminal jobs whose full records were folded into the archive count.
+    archived_terminals: int
+    #: ``"idle"`` (idle-time policy), ``"cli"`` (``repro serve --compact``).
+    reason: str = "idle"
 
 
 @dataclass(frozen=True, slots=True)

@@ -21,6 +21,14 @@ Instrumented points (each site costs one dict lookup when unarmed):
 ``mid-drain``
     :meth:`repro.serve.app.ServeApp` graceful drain, after the in-flight job
     was interrupted but *before* the drain finishes cleanly.
+``compact-snapshot``
+    :meth:`repro.serve.store.ServeStore.compact`, after the snapshot file is
+    written and fsync'd but *before* the atomic rename — the old journal is
+    still the live one.
+``compact-commit``
+    Journal compaction, after the rename but *before* the directory fsync
+    and journal reopen — the snapshot is the live journal, the directory
+    entry may or may not be durable yet.
 
 Environment protocol (mirrors the pool's ``REPRO_RUNNER_CRASH_TASK`` hook):
 
@@ -47,7 +55,8 @@ KILL_MARKER_ENV = "REPRO_CHAOS_KILL_MARKER"
 KILL_EXIT = 53
 
 #: All instrumented point names (validation + docs).
-KILL_POINTS = ("journal-append", "pre-fsync", "mid-response", "mid-drain")
+KILL_POINTS = ("journal-append", "pre-fsync", "mid-response", "mid-drain",
+               "compact-snapshot", "compact-commit")
 
 #: Per-point hit counters of this process (reset on restart by definition).
 _hits: dict[str, int] = {}

@@ -22,6 +22,24 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+#: Default wall-clock calibration: measured clean seconds * factor + slack.
+#: Generous on purpose — precise bounds belong to the in-simulation cycle
+#: watchdog; wall-clock budgets only catch work that stopped entirely.
+CALIBRATION_FACTOR = 25.0
+CALIBRATION_SLACK_S = 10.0
+
+
+def calibrated_timeout_s(clean_s: float, factor: float = CALIBRATION_FACTOR,
+                         slack_s: float = CALIBRATION_SLACK_S) -> float:
+    """Wall-clock budget derived from a measured (or expected) clean duration.
+
+    The orchestration analogue of the cycle watchdog's ``clean_cycles * 4 +
+    10000``: one formula shared by the campaign runner's per-injection
+    timeouts and the serve layer's per-job supervision budgets, so both
+    layers stay calibrated the same way.
+    """
+    return max(0.0, clean_s) * factor + slack_s
+
 
 @dataclass(frozen=True)
 class RetryPolicy:

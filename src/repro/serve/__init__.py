@@ -1,47 +1,64 @@
 """repro.serve — the durable simulation job service (``repro serve``).
 
-A long-lived, stdlib-only (asyncio) service that accepts kernel-profile and
-fault-campaign jobs over schema-versioned JSON endpoints (``repro.serve/1``),
-executes them on the hardened :mod:`repro.runner` stack, and holds three
-promises the CLI alone cannot:
+A long-lived, stdlib-only (asyncio) service that accepts kernel-profile,
+fault-campaign and probe jobs over schema-versioned JSON endpoints
+(``repro.serve/1``), executes them in supervised child processes on the
+hardened :mod:`repro.runner` stack, and holds four promises the CLI alone
+cannot:
 
-**Durability.**  Admissions and completions live in a CRC-checksummed,
-fsync-per-record journal; campaign progress lives in per-job runner
-journals.  ``kill -9`` the server at any instant — restarting it with the
-same ``--journal-dir`` resumes every unfinished job and produces final
-reports byte-identical to uninterrupted serial runs.
+**Durability.**  Admissions, completions and supervision strikes live in a
+CRC-checksummed, fsync-per-record journal; campaign progress lives in
+per-job runner journals.  ``kill -9`` the server (or any job child) at any
+instant — restarting it with the same ``--journal-dir`` resumes every
+unfinished job and produces final reports byte-identical to uninterrupted
+serial runs.  Idle-time compaction folds the journal into an equivalent
+bounded snapshot without weakening any of that (crash-safe
+write/fsync/rename, chaos-tested at the kill points inside it).
 
-**Bounded state.**  Per-tenant bounded queues drained round-robin; a
-submission beyond the bound gets HTTP 429 with a ``Retry-After`` hint
-instead of unbounded memory growth.  The event ring, header sizes and body
-sizes are bounded the same way.
+**Bounded state.**  Per-tenant bounded queues drained by smooth weighted
+round-robin with per-tenant in-flight caps — fairness with a provable
+starvation bound; a submission beyond the bound gets HTTP 429 with a
+load-proportional ``Retry-After`` hint instead of unbounded memory growth.
+The event ring, header sizes and body sizes are bounded the same way (ring
+losses are surfaced, not silent).
+
+**Supervision.**  ``--workers M`` jobs run concurrently, each campaign on
+its own ``--jobs N`` worker pool.  Heartbeats and calibrated wall-clock
+budgets detect hung children; suspects are SIGKILLed and requeued under a
+journalled, bounded attempt budget.  A campaign whose pool breaks degrades
+to a serial re-run — recorded in the job's report and events, never silent.
 
 **Graceful drain.**  SIGTERM (or ``POST /v1/drain``) stops admissions,
-cancels the running campaign at a task boundary with its journal flushed,
-exports open spans as aborted, and exits 3 — the same resumable contract as
-an interrupted ``repro check``.
+cancels every running campaign at a task boundary with its journal
+flushed, exports open spans as aborted, and exits 3 — the same resumable
+contract as an interrupted ``repro check``.
 
 The chaos kill points (:mod:`repro.runner.chaos`) — ``journal-append``,
-``pre-fsync``, ``mid-response``, ``mid-drain`` — let the crash-recovery
-matrix in ``tests/serve`` prove those claims rather than assert them.
-See docs/robustness.md ("Simulation as a service") for the endpoint and
-journal reference.
+``pre-fsync``, ``mid-response``, ``mid-drain``, ``compact-snapshot``,
+``compact-commit`` — let the crash-recovery matrix in ``tests/serve``
+prove those claims rather than assert them.  See docs/robustness.md
+("Simulation as a service") for the endpoint and journal reference.
 """
 
 from repro.serve.app import ServeApp
-from repro.serve.client import ServeClient, read_endpoint
+from repro.serve.client import ServeClient, SubmitRetry, read_endpoint
 from repro.serve.jobs import VERBS, JobOutcome, JobSpec, execute_job
 from repro.serve.queues import TenantQueues
-from repro.serve.store import ServeStore
+from repro.serve.store import JobPaths, ServeStore
+from repro.serve.workers import JobHandle, JobWorkers
 
 __all__ = [
     "ServeApp",
     "ServeClient",
+    "SubmitRetry",
     "read_endpoint",
     "VERBS",
     "JobOutcome",
     "JobSpec",
     "execute_job",
     "TenantQueues",
+    "JobPaths",
     "ServeStore",
+    "JobHandle",
+    "JobWorkers",
 ]

@@ -1,14 +1,24 @@
-"""The ``repro serve`` application: asyncio front end, one job worker.
+"""The ``repro serve`` application: asyncio front end, supervised workers.
 
 Architecture, smallest thing that holds the durability story together:
 
 - the **asyncio loop** owns all mutable service state (queues, counters,
-  the serve journal).  HTTP handlers and the job worker coroutine run on
+  the serve journal).  HTTP handlers and the supervisor coroutine run on
   it, so no lock guards any of that state;
-- the **job worker** is one coroutine driving one
-  :class:`~concurrent.futures.ThreadPoolExecutor` thread.  Campaigns run
-  serially (``jobs=1``) in-process, sharing the decoded micro-op and
-  pairing caches across jobs exactly like consecutive CLI runs would;
+- **jobs run in supervised child processes**
+  (:mod:`repro.serve.workers`): up to ``--workers M`` at once, each
+  campaign on its own ``--jobs N`` runner pool.  The supervisor dispatches
+  by weighted per-tenant round-robin (:mod:`repro.serve.queues`), watches
+  heartbeats and per-job wall-clock budgets
+  (:func:`repro.runner.policy.calibrated_timeout_s` when the submission
+  carries an ``expected_s`` hint), SIGKILLs hung or crashed children and
+  requeues the job under a bounded attempt budget — strikes are journalled,
+  so they survive restarts too;
+- **degradation is recorded, never silent**: a campaign whose worker pool
+  breaks re-runs serially inside the job child (resume journal preserves
+  completed injections); the outcome carries ``degraded`` + reason into the
+  terminal journal record, the ``job_done``/``job_degraded`` events and the
+  job's ``repro.runner/1`` report;
 - **durability before acknowledgement**: a submission is journalled
   (fsync'd) before the 202 leaves the socket, so any job a client saw
   accepted survives SIGKILL.  Completion is journalled before the status
@@ -17,10 +27,15 @@ Architecture, smallest thing that holds the durability story together:
   admitted minus terminal, in admission order, re-enqueued.  A half-run
   check job resumes from its own runner journal and merges byte-identical
   to an uninterrupted run;
+- **the journal stays bounded**: when idle (and on ``repro serve
+  --compact``) the store folds its history into an equivalent snapshot
+  (:meth:`repro.serve.store.ServeStore.compact`) — crash-safe
+  write/fsync/rename with chaos kill points inside, announced on the
+  ``serve_compact`` topic;
 - **drain is cancellation**: SIGTERM/SIGINT (or ``POST /v1/drain``) stops
-  admissions (429 ``draining``), sets the running job's cancel event, lets
-  the runner journal it, exports open spans as aborted and exits 3 — the
-  same resumable contract as an interrupted ``repro check``.
+  admissions (429 ``draining``), sets every running job's cancel event,
+  lets the runners journal, exports open spans as aborted and exits 3 —
+  the same resumable contract as an interrupted ``repro check``.
 """
 
 from __future__ import annotations
@@ -28,22 +43,24 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
-import threading
-from concurrent.futures import ThreadPoolExecutor
+import time
 from dataclasses import asdict
 from pathlib import Path
 
 from repro.errors import ServeRejected
 from repro.obs.events import (
     EventBus,
+    JobDegradedEvent,
     JobDoneEvent,
     JobRejectedEvent,
+    JobRequeuedEvent,
     JobStartedEvent,
     JobSubmittedEvent,
+    ServeCompactEvent,
     ServeDrainEvent,
 )
 from repro.obs.export import SERVE_SCHEMA_VERSION, envelope
-from repro.obs.spans import SpanTracer
+from repro.runner.policy import calibrated_timeout_s
 from repro.serve.http import (
     BadRequest,
     Request,
@@ -52,15 +69,17 @@ from repro.serve.http import (
     response_bytes,
     send_response,
 )
-from repro.serve.jobs import VERBS, JobSpec, execute_job
+from repro.serve.jobs import VERBS, JobSpec
 from repro.serve.queues import TenantQueues
 from repro.serve.store import ServeStore
+from repro.serve.workers import JobWorkers
 
 __all__ = ["ServeApp"]
 
 #: Serve topics mirrored into the ``/v1/events`` ring buffer.
-EVENT_TOPICS = ("job_submitted", "job_rejected", "job_started", "job_done",
-                "serve_drain")
+EVENT_TOPICS = ("job_submitted", "job_rejected", "job_started",
+                "job_requeued", "job_degraded", "job_done", "serve_drain",
+                "serve_compact")
 
 #: Ring-buffer capacity for ``/v1/events`` (bounded state, like the queues).
 EVENT_RING = 1000
@@ -68,17 +87,38 @@ EVENT_RING = 1000
 #: Seconds of back-off suggested per queued job in a 429 ``Retry-After``.
 RETRY_AFTER_PER_JOB_S = 2.0
 
+#: Span-id sub-block per supervision attempt (inside the per-epoch stride):
+#: a requeued attempt's tracer must not collide with its predecessor's ids.
+ATTEMPT_SPAN_STRIDE = 100_000
+
+#: Supervisor poll period (result-queue drain + health checks).
+POLL_S = 0.05
+
+#: A dead child gets this long for its final ``done`` message to surface
+#: through the result queue before the supervisor declares a crash.
+CRASH_GRACE_S = 0.3
+
 
 class ServeApp:
     """One service instance bound to one journal directory."""
 
     def __init__(self, journal_dir: str | Path, host: str = "127.0.0.1",
                  port: int = 0, queue_depth: int = 8, max_tenants: int = 16,
-                 bus: EventBus | None = None) -> None:
+                 bus: EventBus | None = None, workers: int = 1,
+                 jobs: int = 1, weights: dict[str, int] | None = None,
+                 max_inflight: int = 0, hang_timeout_s: float = 10.0,
+                 max_job_attempts: int = 3, compact_every: int = 0) -> None:
         self.host = host
         self.port = port
+        self.workers_n = max(1, workers)
+        self.jobs_n = max(1, jobs)
+        self.hang_timeout_s = max(0.5, hang_timeout_s)
+        self.max_job_attempts = max(1, max_job_attempts)
+        #: Idle compaction threshold in journal records (0 = never).
+        self.compact_every = max(0, compact_every)
         self.store = ServeStore(journal_dir)
-        self.queues = TenantQueues(queue_depth, max_tenants)
+        self.queues = TenantQueues(queue_depth, max_tenants,
+                                   weights=weights, max_inflight=max_inflight)
         self.bus = bus or EventBus()
         self.draining = False
         self.drain_reason = ""
@@ -88,19 +128,22 @@ class ServeApp:
             "done": 0,
             "failed": 0,
             "aborted": 0,
+            "requeued": 0,
+            "degraded": 0,
+            "hung_kills": 0,
+            "compactions": 0,
             "resumed_jobs": len(self.store.recovered),
             "corrupt_journal_records": self.store.corrupt_records,
         }
         self._events: list[dict] = []
         self._event_seq = 0
+        self._events_dropped = 0
         for topic in EVENT_TOPICS:
             self.bus.subscribe(topic, self._make_recorder(topic))
-        self._running: tuple[JobSpec, threading.Event] | None = None
         self._kick: asyncio.Event | None = None
         self._stopping: asyncio.Event | None = None
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-job"
-        )
+        self._workers = JobWorkers()
+        self._last_compact_count = -1
         # Jobs lost by a previous epoch re-enter the queue unchecked: they
         # were admitted under the bound once already.
         for spec in self.store.recovered:
@@ -114,8 +157,12 @@ class ServeApp:
             self._events.append(
                 {"seq": self._event_seq, "topic": topic, **asdict(event)}
             )
-            if len(self._events) > EVENT_RING:
-                del self._events[: len(self._events) - EVENT_RING]
+            overflow = len(self._events) - EVENT_RING
+            if overflow > 0:
+                # The ring trims, but never silently: the drop count is on
+                # /v1/status and every /v1/events response's headers.
+                del self._events[:overflow]
+                self._events_dropped += overflow
         return record
 
     # ---- lifecycle -----------------------------------------------------------
@@ -142,12 +189,12 @@ class ServeApp:
 
         if self.queues.total():
             self._kick.set()
-        worker = asyncio.create_task(self._worker())
+        supervisor = asyncio.create_task(self._supervisor())
         await self._stopping.wait()
-        await worker
+        await supervisor
         server.close()
         await server.wait_closed()
-        self._executor.shutdown(wait=True)
+        self._workers.shutdown()
         # Durability barrier last: every record of this epoch (including
         # terminal records of jobs that finished during the drain) is on
         # stable storage before the process exits.
@@ -161,80 +208,234 @@ class ServeApp:
             return
         self.draining = True
         self.drain_reason = reason
-        pending = self.queues.total() + (1 if self._running else 0)
+        pending = self.queues.total() + len(self._workers.running)
         self.bus.emit("serve_drain", ServeDrainEvent(
             pending=pending, reason=reason,
         ))
-        if self._running is not None:
-            self._running[1].set()
+        self._workers.cancel_all()
         if self._kick is not None:
             self._kick.set()
         if self._stopping is not None:
             self._stopping.set()
 
-    # ---- the job worker ------------------------------------------------------
+    # ---- the supervisor ------------------------------------------------------
 
-    async def _worker(self) -> None:
-        loop = asyncio.get_running_loop()
-        while not self.draining:
+    async def _supervisor(self) -> None:
+        """Dispatch, watch, reap — the service's one scheduling loop.
+
+        Runs until a drain has been requested *and* every child has exited
+        (each cancelled job journals its own aborted state first).
+        """
+        while True:
+            for message in self._workers.poll():
+                self._on_message(message)
+            self._check_children(time.monotonic())
+            if not self.draining:
+                self._dispatch()
+                self._maybe_compact()
+            if self.draining and not self._workers.running:
+                break
+            try:
+                await asyncio.wait_for(self._kick.wait(), POLL_S)
+            except asyncio.TimeoutError:
+                pass
+            else:
+                self._kick.clear()
+
+    def _dispatch(self) -> None:
+        while len(self._workers.running) < self.workers_n:
             spec = self.queues.next_job()
             if spec is None:
-                self._kick.clear()
-                if self.draining:
-                    break
-                await self._kick.wait()
+                return
+            attempt = self.store.attempts.get(spec.job, 0) + 1
+            if attempt > self.max_job_attempts:
+                # Strikes journalled by earlier epochs count: a job that
+                # kept killing its worker does not get a fresh budget just
+                # because the service restarted.
+                self.queues.release(spec.tenant)
+                detail = (f"gave up after {attempt - 1} supervision "
+                          "attempts")
+                self.store.record_done(spec.job, "failed", detail)
+                self.counters["failed"] += 1
+                self.bus.emit("job_done", JobDoneEvent(
+                    job=spec.job, tenant=spec.tenant, status="failed",
+                    duration_s=0.0,
+                ))
                 continue
-            await self._run_job(loop, spec)
+            self._launch(spec, attempt)
 
-    async def _run_job(self, loop: asyncio.AbstractEventLoop,
-                       spec: JobSpec) -> None:
+    def _launch(self, spec: JobSpec, attempt: int) -> None:
         resumed = spec.job in self.store.span_roots or (
             spec.verb == "check" and self.store.job_journal(spec.job).exists()
         )
-        cancel = threading.Event()
-        self._running = (spec, cancel)
-        if self.draining:
-            # Drain raced the dispatch: leave the job journalled-pending.
-            cancel.set()
+        span_base = 0
+        span_prev = None
+        if spec.verb == "check":
+            # Root span chain survives restarts *and* SIGKILLed attempts:
+            # span ids are deterministic (sequential from id_base), so the
+            # parent can journal the child's root ids before the fork — the
+            # chain exists even if the child never writes a span.  Each
+            # attempt gets its own id sub-block; epoch N+1 parents onto
+            # whatever root was journalled last.
+            span_prev = self.store.span_roots.get(spec.job)
+            span_base = self.store.span_id_base() + (
+                min(attempt - 1, 9) * ATTEMPT_SPAN_STRIDE
+            )
+            root_id = span_base + 1
+            span_id = f"{root_id:016x}"
+            trace_id = span_prev[0] if span_prev else f"{root_id:032x}"
+            self.store.record_span_root(spec.job, trace_id, span_id)
+        budget = None
+        expected = spec.params.get("expected_s")
+        if expected is not None:
+            try:
+                budget = calibrated_timeout_s(float(expected))
+            except (TypeError, ValueError):
+                budget = None
         self.bus.emit("job_started", JobStartedEvent(
             job=spec.job, tenant=spec.tenant, verb=spec.verb, resumed=resumed,
         ))
-
-        tracer = None
-        if spec.verb == "check":
-            # Root span chain survives restarts: epoch N's job root parents
-            # onto the root recorded by epoch N-1, ids offset per epoch.
-            tracer = SpanTracer(
-                id_base=self.store.span_id_base(),
-                remote_parent=self.store.span_roots.get(spec.job),
+        try:
+            self._workers.launch(
+                spec, root=str(self.store.root), epoch=self.store.epoch,
+                attempt=attempt, jobs=self.jobs_n, span_base=span_base,
+                span_prev=span_prev, resumed=resumed, budget_s=budget,
+                serve_counters=self.counters_snapshot(),
             )
-            root = tracer.begin(
-                f"serve:job:{spec.job}", epoch=self.store.epoch,
-                tenant=spec.tenant, verb=spec.verb, resumed=resumed,
-            )
-            self.store.record_span_root(spec.job, root.trace_id, root.span_id)
-            tracer.remote_parent = (root.trace_id, root.span_id)
+        except Exception as exc:  # pragma: no cover - fork failure
+            self.queues.release(spec.tenant)
+            self._record_strike(spec, attempt, "crash",
+                                f"launch failed: {exc}")
+            self.queues.requeue(spec)
 
-        outcome = await loop.run_in_executor(
-            self._executor, execute_job, spec, self.store, cancel, tracer,
-            self.counters_snapshot(),
-        )
-        self._running = None
+    # ---- supervision ---------------------------------------------------------
 
-        if tracer is not None:
-            if outcome.status == "done":
-                tracer.end(root)
-            # aborted/failed: the open root exports with an aborted status.
-            tracer.write(self.store.spans_path(spec.job))
-        if outcome.status == "aborted":
+    def _check_children(self, now: float) -> None:
+        for job, handle in list(self._workers.running.items()):
+            reason = None
+            if not handle.process.is_alive():
+                # Grace first: the child's final message may still be in
+                # flight through the result queue's feeder thread.
+                if handle.dead_at is None:
+                    handle.dead_at = now
+                    continue
+                if now - handle.dead_at < CRASH_GRACE_S:
+                    continue
+                reason = "crash"
+            elif (handle.budget_s is not None
+                    and now - handle.started_at > handle.budget_s):
+                reason = "timeout"
+            elif now - handle.last_beat > self.hang_timeout_s:
+                reason = "hang"
+            if reason is not None:
+                self._supervise_kill(job, reason, now)
+
+    def _supervise_kill(self, job: str, reason: str, now: float) -> None:
+        handle = self._workers.kill(job)
+        if handle is None:
+            return
+        spec = handle.spec
+        self.queues.release(spec.tenant)
+        if reason in ("hang", "timeout"):
+            self.counters["hung_kills"] += 1
+        if handle.attempt >= self.max_job_attempts and not self.draining:
+            detail = (f"gave up after {handle.attempt} supervision attempts "
+                      f"(last: {reason})")
+            self.store.record_done(spec.job, "failed", detail)
+            self.counters["failed"] += 1
+            self.bus.emit("job_done", JobDoneEvent(
+                job=spec.job, tenant=spec.tenant, status="failed",
+                duration_s=now - handle.started_at,
+            ))
+            return
+        self._record_strike(spec, handle.attempt, reason)
+        if not self.draining:
+            # Front of its tenant's queue: it is that tenant's oldest
+            # admitted work, matching the order a restart would recover.
+            self.queues.requeue_front(spec)
+            self._kick.set()
+
+    def _record_strike(self, spec: JobSpec, attempt: int, reason: str,
+                       detail: str = "") -> None:
+        self.store.record_attempt(spec.job, attempt, reason)
+        self.counters["requeued"] += 1
+        self.bus.emit("job_requeued", JobRequeuedEvent(
+            job=spec.job, tenant=spec.tenant, reason=reason,
+            attempt=attempt, max_attempts=self.max_job_attempts,
+        ))
+
+    # ---- child messages ------------------------------------------------------
+
+    def _on_message(self, message: tuple) -> None:
+        kind, job = message[0], message[1]
+        handle = self._workers.running.get(job)
+        if kind == "start" and len(message) >= 4:
+            if handle is not None and handle.attempt == message[2]:
+                handle.pid = message[3]
+                handle.last_beat = time.monotonic()
+        elif kind == "beat" and len(message) >= 3:
+            if handle is not None and handle.attempt == message[2]:
+                handle.last_beat = time.monotonic()
+        elif kind == "done" and len(message) >= 8:
+            (_, _, attempt, status, detail,
+             duration_s, degraded, degrade_reason) = message[:8]
+            if handle is None or handle.attempt != attempt:
+                return  # stale message from a killed attempt
+            self._workers.finish(job)
+            self._on_done(handle.spec, status, detail, duration_s,
+                          degraded, degrade_reason)
+
+    def _on_done(self, spec: JobSpec, status: str, detail: str,
+                 duration_s: float, degraded: bool,
+                 degrade_reason: str) -> None:
+        self.queues.release(spec.tenant)
+        if status == "aborted":
+            # Cancelled by drain: no terminal record — the job stays
+            # pending in the journal and the next epoch resumes it.
             self.counters["aborted"] += 1
         else:
-            self.store.record_done(spec.job, outcome.status, outcome.detail)
-            self.counters[outcome.status] += 1
+            self.store.record_done(spec.job, status, detail,
+                                   degraded=degraded)
+            self.counters[status] += 1
+            if degraded:
+                self.counters["degraded"] += 1
+                self.bus.emit("job_degraded", JobDegradedEvent(
+                    job=spec.job, tenant=spec.tenant,
+                    reason=degrade_reason, detail=detail,
+                ))
         self.bus.emit("job_done", JobDoneEvent(
-            job=spec.job, tenant=spec.tenant, status=outcome.status,
-            duration_s=outcome.duration_s,
+            job=spec.job, tenant=spec.tenant, status=status,
+            duration_s=duration_s, degraded=degraded,
         ))
+        self._kick.set()
+
+    # ---- compaction ----------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if (not self.compact_every
+                or self._workers.running
+                or self.queues.total()
+                or self.store.record_count < self.compact_every
+                or self.store.record_count == self._last_compact_count):
+            return
+        self.compact(reason="idle")
+
+    def compact(self, reason: str = "idle") -> dict:
+        """Compact the serve journal now (idle policy or explicit CLI).
+
+        Caller contract: no running jobs (the supervisor only calls this
+        when idle; the CLI path compacts before the server starts).
+        """
+        stats = self.store.compact(reason=reason)
+        self._last_compact_count = self.store.record_count
+        self.counters["compactions"] += 1
+        self.bus.emit("serve_compact", ServeCompactEvent(
+            records_before=stats["records_before"],
+            records_after=stats["records_after"],
+            archived_terminals=stats["archived_terminals"],
+            reason=reason,
+        ))
+        return stats
 
     # ---- state snapshots -----------------------------------------------------
 
@@ -244,19 +445,29 @@ class ServeApp:
             "epoch": self.store.epoch,
             "queue_high_water": self.queues.high_water,
             "queued": self.queues.total(),
+            "inflight": len(self._workers.running),
         }
 
     def job_state(self, job: str) -> str | None:
         if job in self.store.terminal:
             return self.store.terminal[job]
-        if self._running is not None and self._running[0].job == job:
+        if job in self._workers.running:
             return "running"
         if job in self.store.admitted:
             return "queued"
+        if self.store.read_report(job) is not None:
+            # Archived: compaction pruned the terminal record but the
+            # report artifact is forever.
+            return "done"
         return None
 
-    def retry_after_s(self) -> float:
-        load = self.queues.total() + (1 if self._running else 0)
+    def retry_after_s(self, tenant: str | None = None) -> float:
+        """Load-proportional back-off: global pressure normalized by worker
+        count, plus the rejected tenant's own queued + in-flight share."""
+        total = self.queues.total() + len(self._workers.running)
+        load = total / self.workers_n
+        if tenant:
+            load += self.queues.depth(tenant) + self.queues.inflight(tenant)
         return max(1.0, min(60.0, RETRY_AFTER_PER_JOB_S * (load + 1)))
 
     # ---- HTTP ----------------------------------------------------------------
@@ -319,7 +530,7 @@ class ServeApp:
         if path == "/v1/events" and method == "GET":
             return self._events_body(request)
         if path == "/v1/drain" and method == "POST":
-            pending = self.queues.total() + (1 if self._running else 0)
+            pending = self.queues.total() + len(self._workers.running)
             self.drain(reason="request")
             return self._envelope_bytes(202, "serve-drain", {
                 "draining": True, "pending": pending,
@@ -332,14 +543,41 @@ class ServeApp:
         )
 
     def _status(self) -> dict:
-        running = self._running[0].job if self._running else None
+        running = [
+            {
+                "job": job,
+                "tenant": handle.spec.tenant,
+                "verb": handle.spec.verb,
+                "attempt": handle.attempt,
+                "pid": handle.pid,
+            }
+            for job, handle in sorted(self._workers.running.items())
+        ]
         return {
             "epoch": self.store.epoch,
             "draining": self.draining,
+            "workers": {
+                "configured": self.workers_n,
+                "busy": len(self._workers.running),
+                "jobs_per_campaign": self.jobs_n,
+                "max_inflight": self.queues.max_inflight,
+            },
             "running": running,
             "queues": {
-                tenant: self.queues.depth(tenant)
+                tenant: {
+                    "queued": self.queues.depth(tenant),
+                    "inflight": self.queues.inflight(tenant),
+                    "weight": self.queues.weight(tenant),
+                }
                 for tenant in self.queues.tenants()
+            },
+            "events": {
+                "dropped": self._events_dropped,
+                "oldest_seq": self._events[0]["seq"] if self._events else 0,
+            },
+            "journal": {
+                "records": self.store.record_count,
+                "archived_terminals": self.store.archived_terminals,
             },
             "counters": self.counters_snapshot(),
         }
@@ -361,7 +599,7 @@ class ServeApp:
         if not isinstance(params, dict):
             raise BadRequest("params must be a JSON object")
         try:
-            self.queues.check(tenant, self.retry_after_s())
+            self.queues.check(tenant, self.retry_after_s(tenant))
         except ServeRejected as exc:
             self.bus.emit("job_rejected", JobRejectedEvent(
                 tenant=tenant, verb=verb, reason=exc.reason,
@@ -427,4 +665,14 @@ class ServeApp:
             if record["seq"] > since and (topic is None or record["topic"] == topic)
         ]
         body = ("\n".join(lines) + "\n").encode() if lines else b""
-        return response_bytes(200, body, content_type="application/x-ndjson")
+        return response_bytes(
+            200, body, content_type="application/x-ndjson",
+            extra_headers={
+                # A trimmed ring is visible, not silent: consumers compare
+                # their cursor against the oldest retained seq.
+                "X-Repro-Events-Dropped": str(self._events_dropped),
+                "X-Repro-Events-Oldest-Seq": str(
+                    self._events[0]["seq"] if self._events else 0
+                ),
+            },
+        )

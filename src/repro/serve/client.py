@@ -9,6 +9,13 @@ matching the server's ``Connection: close`` policy — and raises:
 - :class:`~repro.errors.ServeError` on transport failures and other
   non-2xx answers.
 
+Polite back-off is built in: pass a :class:`SubmitRetry` policy to
+:meth:`ServeClient.submit` and 429s are retried honoring the server's
+``Retry-After`` — capped, jittered (so a burst of rejected clients does not
+re-arrive in lockstep), and bounded by both an attempt count and a
+wall-clock budget.  The server's hint is load-proportional, so the cadence
+of a retrying client automatically tracks service pressure.
+
 :func:`read_endpoint` pairs with the ``endpoint.json`` file the server
 writes into its journal directory after binding, so harnesses that start
 the server with ``--port 0`` discover the real port without parsing logs.
@@ -18,12 +25,40 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ServeError, ServeRejected
 
-__all__ = ["ServeClient", "read_endpoint"]
+__all__ = ["ServeClient", "SubmitRetry", "read_endpoint"]
+
+
+@dataclass(frozen=True)
+class SubmitRetry:
+    """Back-off policy for 429-rejected submissions.
+
+    The server's ``Retry-After`` is the base delay; :attr:`cap_s` bounds it
+    (a client should not sleep a minute because the hint says so),
+    :attr:`jitter` spreads synchronized rejects apart, and the retry stops
+    at whichever of :attr:`max_attempts` / :attr:`budget_s` trips first —
+    re-raising the final :class:`~repro.errors.ServeRejected` so callers
+    still see the server's reason.
+    """
+
+    #: Total wall-clock the submission may spend retrying.
+    budget_s: float = 30.0
+    #: Total attempts (1 = no retries).
+    max_attempts: int = 6
+    #: Ceiling on any single sleep, whatever Retry-After suggests.
+    cap_s: float = 5.0
+    #: Sleep is scaled by ``uniform(1 - jitter, 1 + jitter)``.
+    jitter: float = 0.25
+
+    def delay_s(self, retry_after_s: float, rng: random.Random) -> float:
+        base = min(self.cap_s, max(0.0, retry_after_s))
+        return base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
 
 
 def read_endpoint(journal_dir: str | Path, timeout_s: float = 10.0,
@@ -115,12 +150,36 @@ class ServeClient:
     def status(self) -> dict:
         return self._json("GET", "/v1/status")["data"]
 
-    def submit(self, verb: str, params: dict, tenant: str = "default") -> str:
-        """Submit a job; returns its id (raises :class:`ServeRejected`)."""
-        doc = self._json("POST", "/v1/jobs", {
-            "verb": verb, "tenant": tenant, "params": params,
-        })
-        return doc["data"]["job"]
+    def submit(self, verb: str, params: dict, tenant: str = "default",
+               retry: SubmitRetry | None = None,
+               rng: random.Random | None = None) -> str:
+        """Submit a job; returns its id.
+
+        Without *retry*, a 429 raises :class:`ServeRejected` immediately.
+        With one, rejected submissions back off per the policy (honoring
+        the server's ``Retry-After``) and the last rejection is re-raised
+        once the attempt count or wall-clock budget is exhausted.  *rng*
+        pins the jitter for deterministic tests.
+        """
+        if retry is None:
+            doc = self._json("POST", "/v1/jobs", {
+                "verb": verb, "tenant": tenant, "params": params,
+            })
+            return doc["data"]["job"]
+        rng = rng or random.Random()
+        deadline = time.monotonic() + retry.budget_s
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self.submit(verb, params, tenant)
+            except ServeRejected as exc:
+                if attempt >= retry.max_attempts:
+                    raise
+                delay = retry.delay_s(exc.retry_after_s, rng)
+                if time.monotonic() + delay > deadline:
+                    raise
+                time.sleep(delay)
 
     def job(self, job: str) -> dict:
         return self._json("GET", f"/v1/jobs/{job}")["data"]
@@ -140,13 +199,28 @@ class ServeClient:
         return json.loads(raw)
 
     def events(self, topic: str | None = None, since: int = 0) -> list[dict]:
+        return self.events_with_meta(topic, since)[0]
+
+    def events_with_meta(self, topic: str | None = None,
+                         since: int = 0) -> tuple[list[dict], dict]:
+        """Events plus the ring's loss metadata from the response headers.
+
+        The meta dict carries ``dropped`` (events trimmed from the ring
+        since the server started) and ``oldest_seq`` (the oldest retained
+        seq) — a consumer whose cursor is older than ``oldest_seq - 1`` has
+        a gap and should resync from status counters.
+        """
         path = f"/v1/events?since={since}"
         if topic is not None:
             path += f"&topic={topic}"
-        status, _headers, raw = self._request("GET", path)
+        status, headers, raw = self._request("GET", path)
         if status != 200:
             raise ServeError(f"events unavailable (HTTP {status})")
-        return [json.loads(line) for line in raw.splitlines() if line]
+        meta = {
+            "dropped": int(headers.get("x-repro-events-dropped", 0)),
+            "oldest_seq": int(headers.get("x-repro-events-oldest-seq", 0)),
+        }
+        return [json.loads(line) for line in raw.splitlines() if line], meta
 
     def drain(self) -> dict:
         return self._json("POST", "/v1/drain")["data"]

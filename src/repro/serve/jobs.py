@@ -1,37 +1,55 @@
 """Job specifications and executors for the simulation service.
 
-A job is a persisted request to run one repro workload.  Two verbs:
+A job is a persisted request to run one repro workload.  Three verbs:
 
 ``check``
-    A fault campaign (the parallel ``repro check`` harness) on the service's
-    job worker, journalled per job — the service can be SIGKILLed mid-run
+    A fault campaign (the parallel ``repro check`` harness) on a service
+    job worker, journalled per job — the worker can be SIGKILLed mid-run
     and the resumed job merges byte-identical to a serial ``repro check``
     with the same parameters.  The report on disk is byte-for-byte the
-    document ``repro check --json`` writes.
+    document ``repro check --json`` writes.  ``jobs`` from the service
+    configuration sizes the campaign's own worker pool; when that pool
+    misbehaves (fails to start, trips a breaker, loses tasks) the executor
+    **degrades instead of failing**: the campaign re-runs serially against
+    the same resume journal — completed injections are cached there, so
+    only the casualties re-execute — and the degradation is recorded in the
+    runner report and the job outcome, never silent.
 
 ``profile``
     One kernel's ``kernel-profile`` document.  Pure and fast, so it carries
     no journal: a job interrupted by a crash simply re-runs from scratch on
     the next epoch.
 
-Executors run on the service's worker thread (not the asyncio loop), so
-cancellation rides :attr:`repro.runner.RunnerConfig.cancel_event` rather
-than signals: the drain path sets the event from the loop thread and the
-runner stops at its next task boundary with the journal flushed.
+``probe``
+    A synthetic latency job: sleep for ``duration_s``, write a tiny
+    deterministic report.  Scheduling, supervision and the concurrency
+    benchmark use it to exercise the service's dispatch path without
+    paying for a simulation — probe jobs overlap even on one CPU, so the
+    measured speedup isolates *orchestration* concurrency from hardware
+    parallelism.
+
+Executors run in supervised child processes (:mod:`repro.serve.workers`),
+so cancellation rides a multiprocessing event rather than signals: the
+drain path sets the event from the service loop and the runner stops at
+its next task boundary with the journal flushed.  Executors receive a
+:class:`~repro.serve.store.JobPaths` (not the full store): children write
+artifacts but never touch the parent's serve journal.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from threading import Event
 
 from repro.errors import ServeError
 from repro.resilience import ResilienceMode
 
 __all__ = ["JobSpec", "JobOutcome", "VERBS", "execute_job"]
 
-VERBS = ("check", "profile")
+VERBS = ("check", "profile", "probe")
+
+#: Cancellation poll period of the probe executor's sleep loop.
+PROBE_SLICE_S = 0.05
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +97,11 @@ class JobOutcome:
     status: str
     detail: str = ""
     duration_s: float = 0.0
+    #: The job finished, but not on the configured parallel path: its
+    #: campaign pool broke and a serial (re-)run produced the result.
+    degraded: bool = False
+    #: ``"pool_breaker"`` / ``"pool_start"`` when :attr:`degraded`.
+    degrade_reason: str = ""
 
 
 def _check_params(params: dict) -> dict:
@@ -93,20 +116,28 @@ def _check_params(params: dict) -> dict:
     }
 
 
-def execute_job(spec: JobSpec, store, cancel: Event,
-                tracer=None, serve_counters: dict | None = None) -> JobOutcome:
+def execute_job(spec: JobSpec, paths, cancel,
+                tracer=None, serve_counters: dict | None = None,
+                jobs: int = 1) -> JobOutcome:
     """Run one job to a terminal (or aborted) state; writes its artifacts.
 
-    Imports live inside the function: the serve package must import without
-    dragging the kernel registry (and numpy workloads) into processes that
-    only parse journals or build clients.
+    *cancel* is any event-shaped object (``is_set()``) — a multiprocessing
+    event under the service, a plain :class:`threading.Event` in tests.
+    *jobs* sizes a check campaign's worker pool.  Imports live inside the
+    executors: the serve package must import without dragging the kernel
+    registry (and numpy workloads) into processes that only parse journals
+    or build clients.
     """
     started = time.perf_counter()
     try:
         if spec.verb == "check":
-            outcome = _execute_check(spec, store, cancel, tracer, serve_counters)
+            outcome = _execute_check(
+                spec, paths, cancel, tracer, serve_counters, jobs
+            )
         elif spec.verb == "profile":
-            outcome = _execute_profile(spec, store)
+            outcome = _execute_profile(spec, paths)
+        elif spec.verb == "probe":
+            outcome = _execute_probe(spec, paths, cancel)
         else:
             outcome = JobOutcome("failed", f"unknown verb {spec.verb!r}")
     except Exception as exc:  # noqa: BLE001 - job isolation: report, don't die
@@ -115,20 +146,45 @@ def execute_job(spec: JobSpec, store, cancel: Event,
     return outcome
 
 
-def _execute_check(spec: JobSpec, store, cancel: Event,
-                   tracer, serve_counters: dict | None) -> JobOutcome:
-    from repro.errors import RunnerInterrupted
+def _pool_damage(runner) -> str:
+    """Why this campaign's parallel run cannot stand as the final result
+    (empty string = it can)."""
+    if runner.stats.breaker_trips:
+        return (
+            f"breaker opened on {', '.join(runner.breaker.open_slices)}"
+        )
+    casualties = sorted(
+        result.task for result in runner.results.values() if not result.ok
+    )
+    if casualties:
+        preview = ", ".join(casualties[:4])
+        if len(casualties) > 4:
+            preview += f", ... ({len(casualties)} total)"
+        return f"tasks not ok after pooled run: {preview}"
+    return ""
+
+
+def _execute_check(spec: JobSpec, paths, cancel,
+                   tracer, serve_counters: dict | None,
+                   jobs: int) -> JobOutcome:
+    from repro.errors import RunnerError, RunnerInterrupted
     from repro.faults import run_check_parallel
     from repro.faults.report import check_report
     from repro.runner import RunnerConfig, runner_report
 
     kwargs = _check_params(spec.params)
-    config = RunnerConfig(jobs=1, cancel_event=cancel)
+    journal_path = paths.job_journal(spec.job)
+    use_jobs = max(1, jobs)
+    config = RunnerConfig(jobs=use_jobs, cancel_event=cancel)
+
+    degraded = False
+    degrade_reason = ""
+    degrade_detail = ""
     try:
         result, runner = run_check_parallel(
             **kwargs,
-            jobs=1,
-            journal_path=store.job_journal(spec.job),
+            jobs=use_jobs,
+            journal_path=journal_path,
             runner_config=config,
             tracer=tracer,
         )
@@ -136,15 +192,88 @@ def _execute_check(spec: JobSpec, store, cancel: Event,
         # Drain cancelled us mid-campaign.  The runner journal is flushed;
         # the job stays pending and the next epoch resumes it.
         return JobOutcome("aborted", "cancelled by drain; journal flushed")
-    store.write_report(spec.job, check_report(result))
-    store.write_runner(spec.job, runner_report(runner, serve=serve_counters))
-    return JobOutcome("done")
+    except RunnerError as exc:
+        if use_jobs <= 1:
+            raise
+        # A clean task died terminally on the pool — on this machine that
+        # smells infrastructural, not simulational.  Serial gets one shot.
+        degraded, degrade_reason, degrade_detail = (
+            True, "pool_breaker", f"RunnerError: {exc}"
+        )
+        result = runner = None
+    else:
+        if runner.fallback_reason is not None:
+            # The pool never started; the Runner already fell back to the
+            # serial path internally.  Result stands, degradation recorded.
+            degraded, degrade_reason = True, "pool_start"
+            degrade_detail = runner.fallback_reason
+        elif use_jobs > 1:
+            damage = _pool_damage(runner)
+            if damage:
+                degraded, degrade_reason, degrade_detail = (
+                    True, "pool_breaker", damage
+                )
+                result = runner = None
+
+    if result is None:
+        # Serial re-run against the same journal: completed injections are
+        # cached there, so only the pooled run's casualties re-execute, and
+        # the merge stays byte-identical to an all-serial campaign.
+        try:
+            result, runner = run_check_parallel(
+                **kwargs,
+                jobs=1,
+                journal_path=journal_path,
+                runner_config=RunnerConfig(jobs=1, cancel_event=cancel),
+                tracer=tracer,
+            )
+        except RunnerInterrupted:
+            return JobOutcome("aborted", "cancelled by drain; journal flushed")
+
+    serve_doc = dict(serve_counters) if serve_counters else None
+    if degraded and serve_doc is not None:
+        serve_doc["degraded"] = {
+            "reason": degrade_reason, "detail": degrade_detail,
+        }
+    paths.write_report(spec.job, check_report(result))
+    paths.write_runner(spec.job, runner_report(runner, serve=serve_doc))
+    return JobOutcome(
+        "done",
+        detail=degrade_detail if degraded else "",
+        degraded=degraded,
+        degrade_reason=degrade_reason,
+    )
 
 
-def _execute_profile(spec: JobSpec, store) -> JobOutcome:
+def _execute_profile(spec: JobSpec, paths) -> JobOutcome:
     from repro.kernels import make_kernel
     from repro.obs.export import kernel_profile_report, resolve_kernel_name
 
     name = resolve_kernel_name(str(spec.params.get("kernel", "")))
-    store.write_report(spec.job, kernel_profile_report(make_kernel(name)))
+    paths.write_report(spec.job, kernel_profile_report(make_kernel(name)))
+    return JobOutcome("done")
+
+
+def _execute_probe(spec: JobSpec, paths, cancel) -> JobOutcome:
+    from repro.obs.export import envelope
+
+    duration = max(0.0, float(spec.params.get("duration_s", PROBE_SLICE_S)))
+    deadline = time.perf_counter() + duration
+    while True:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            break
+        if cancel.is_set():
+            return JobOutcome("aborted", "cancelled by drain")
+        time.sleep(min(PROBE_SLICE_S, remaining))
+    if spec.params.get("fail"):
+        return JobOutcome("failed", "probe requested failure")
+    # Deterministic by construction (requested values only, no measured
+    # wall clock): a probe report is byte-identical across epochs, worker
+    # counts, and requeues.
+    paths.write_report(spec.job, envelope("serve-probe", {
+        "job": spec.job,
+        "tenant": spec.tenant,
+        "duration_s": duration,
+    }))
     return JobOutcome("done")

@@ -1,4 +1,4 @@
-"""Per-tenant bounded job queues with admission control.
+"""Per-tenant bounded job queues: weighted fair dispatch, in-flight caps.
 
 The service's memory is bounded by construction: at most ``max_tenants``
 tenants, each with at most ``max_depth`` queued jobs.  A submission that
@@ -7,9 +7,31 @@ would exceed either bound is refused *at admission* with
 than accepted and shed later — the journal only ever records jobs the
 service has genuinely committed to run.
 
-Dispatch is round-robin across tenants: one noisy tenant with a full queue
-cannot starve the others, it can only saturate its own slice.  Order within
-a tenant is FIFO, so a single-tenant service degrades to a plain queue.
+Dispatch is **smooth weighted round-robin** (the interleaving nginx made
+standard): every tenant carries an integer weight (default 1); on each
+dispatch, every *eligible* tenant — non-empty queue, in-flight below its
+cap — earns its weight in credit, the richest tenant (ties broken
+lexicographically, so dispatch is deterministic) is served and pays the
+total eligible weight back.  Two provable properties fall out:
+
+* **proportional share** — over any ``W`` consecutive dispatches during
+  which the eligible set is stable (``W`` = the set's total weight), tenant
+  *t* is served exactly ``weight(t)`` times;
+* **starvation bound** — a continuously eligible tenant waits at most
+  ``2 * ceil(W / weight(t)) - 1`` dispatches between consecutive services.
+  One noisy tenant cannot starve the others, it can only saturate its own
+  slice — and a weight-10 tenant gets ten slices per cycle where a
+  weight-1 tenant gets one.
+
+``tests/serve/test_queues.py`` asserts both properties under seeded bursty
+multi-tenant arrivals rather than trusting this comment.
+
+**In-flight caps** bound how many of a tenant's jobs may run at once
+(``max_inflight``; 0 = no cap): with more service workers than tenants, a
+cap keeps one tenant from occupying every worker while others queue.
+Tenants at their cap simply leave the eligible set — their credit does not
+accrue, so a capped burst cannot bank priority for later.  Order within a
+tenant is FIFO, so a single-tenant service degrades to a plain queue.
 """
 
 from __future__ import annotations
@@ -24,16 +46,31 @@ __all__ = ["TenantQueues"]
 
 
 class TenantQueues:
-    """Bounded FIFO queues keyed by tenant, drained round-robin."""
+    """Bounded FIFO queues keyed by tenant, drained smooth-weighted-RR."""
 
-    def __init__(self, max_depth: int = 8, max_tenants: int = 16) -> None:
+    def __init__(self, max_depth: int = 8, max_tenants: int = 16,
+                 weights: dict[str, int] | None = None,
+                 max_inflight: int = 0) -> None:
         self.max_depth = max(1, max_depth)
         self.max_tenants = max(1, max_tenants)
+        #: Dispatch weight per tenant (missing tenants weigh 1).
+        self.weights = {
+            tenant: max(1, int(weight))
+            for tenant, weight in (weights or {}).items()
+        }
+        #: Per-tenant cap on concurrently running jobs (0 = uncapped).
+        self.max_inflight = max(0, max_inflight)
         self._queues: dict[str, deque[JobSpec]] = {}
-        #: Tenant rotation for round-robin dispatch (rotated on each pop).
-        self._rotation: deque[str] = deque()
+        #: Smooth-WRR credit per tenant; entries vanish when a tenant's
+        #: queue drains so a returning tenant cannot spend hoarded credit.
+        self._credit: dict[str, int] = {}
+        #: Jobs dispatched but not yet released (running on a worker).
+        self._inflight: dict[str, int] = {}
         #: Most jobs ever simultaneously queued (all tenants), for telemetry.
         self.high_water = 0
+
+    def weight(self, tenant: str) -> int:
+        return self.weights.get(tenant, 1)
 
     # ---- admission -----------------------------------------------------------
 
@@ -62,8 +99,19 @@ class TenantQueues:
         if queue is None:
             queue = deque()
             self._queues[spec.tenant] = queue
-            self._rotation.append(spec.tenant)
         queue.append(spec)
+        self.high_water = max(self.high_water, self.total())
+        return len(queue)
+
+    def requeue_front(self, spec: JobSpec) -> int:
+        """Put a supervision-requeued job back at the *front* of its tenant
+        queue: it is that tenant's oldest admitted work, and recovery order
+        must match what a restart's journal fold would produce."""
+        queue = self._queues.get(spec.tenant)
+        if queue is None:
+            queue = deque()
+            self._queues[spec.tenant] = queue
+        queue.appendleft(spec)
         self.high_water = max(self.high_water, self.total())
         return len(queue)
 
@@ -74,15 +122,44 @@ class TenantQueues:
 
     # ---- dispatch ------------------------------------------------------------
 
+    def _eligible(self) -> list[str]:
+        return sorted(
+            tenant for tenant, queue in self._queues.items()
+            if queue and (
+                self.max_inflight == 0
+                or self._inflight.get(tenant, 0) < self.max_inflight
+            )
+        )
+
     def next_job(self) -> JobSpec | None:
-        """Pop the next job round-robin across tenants (None when empty)."""
-        for _ in range(len(self._rotation)):
-            tenant = self._rotation[0]
-            self._rotation.rotate(-1)
-            queue = self._queues.get(tenant)
-            if queue:
-                return queue.popleft()
-        return None
+        """Pop the next job by smooth weighted round-robin (None when no
+        tenant is eligible).  The popped job counts against its tenant's
+        in-flight cap until :meth:`release` is called for it."""
+        eligible = self._eligible()
+        if not eligible:
+            return None
+        total = sum(self.weight(tenant) for tenant in eligible)
+        best = eligible[0]
+        for tenant in eligible:
+            credit = self._credit.get(tenant, 0) + self.weight(tenant)
+            self._credit[tenant] = credit
+            if credit > self._credit[best]:
+                best = tenant
+        self._credit[best] -= total
+        queue = self._queues[best]
+        spec = queue.popleft()
+        if not queue:
+            self._credit.pop(best, None)
+        self._inflight[best] = self._inflight.get(best, 0) + 1
+        return spec
+
+    def release(self, tenant: str) -> None:
+        """A dispatched job of *tenant* left its worker (done or requeued)."""
+        count = self._inflight.get(tenant, 0)
+        if count <= 1:
+            self._inflight.pop(tenant, None)
+        else:
+            self._inflight[tenant] = count - 1
 
     # ---- introspection -------------------------------------------------------
 
@@ -90,13 +167,19 @@ class TenantQueues:
         queue = self._queues.get(tenant)
         return len(queue) if queue else 0
 
+    def inflight(self, tenant: str) -> int:
+        return self._inflight.get(tenant, 0)
+
     def total(self) -> int:
         return sum(len(queue) for queue in self._queues.values())
 
+    def total_inflight(self) -> int:
+        return sum(self._inflight.values())
+
     def tenants(self) -> list[str]:
-        return sorted(self._queues)
+        return sorted(set(self._queues) | set(self._inflight))
 
     def pending(self) -> Iterator[JobSpec]:
         """Every queued job, tenant-sorted then FIFO (for status reports)."""
-        for tenant in self.tenants():
+        for tenant in sorted(self._queues):
             yield from self._queues[tenant]

@@ -1,0 +1,235 @@
+"""Supervised job-worker children of ``repro serve``.
+
+The PR 4 campaign pool (:mod:`repro.runner.pool`) supervises *tasks inside
+one campaign*; this module lifts the same shape one level: each admitted
+job runs in its own child process, so ``--workers M`` jobs execute
+concurrently and a job that wedges the interpreter (or is SIGKILLed by
+chaos) takes down only itself — the service's journal, queues and HTTP
+front end live in the parent and keep serving.
+
+Topology mirrors the pool deliberately: children share one result queue
+carrying three message shapes —
+
+``("start", job, attempt, pid)``
+    Execution begins; the pid is what supervision (and tests) SIGSTOP/KILL.
+``("beat", job, attempt)``
+    Liveness, every ``heartbeat_s``, from a daemon thread in the child.
+    A child that stops beating without finishing is *hung*.
+``("done", job, attempt, status, detail, duration_s, degraded, degrade_reason)``
+    The attempt's terminal outcome (:class:`~repro.serve.jobs.JobOutcome`
+    flattened — multiprocessing queues carry primitives, not dataclasses).
+
+The parent SIGKILLs suspects (:meth:`JobWorkers.kill` — which also
+terminates SIGSTOPped children) and requeues the job with a bounded
+attempt budget; stale messages from a killed attempt are dropped by the
+``(job, attempt)`` token, exactly like the pool's.
+
+Children never touch ``serve.jsonl``: they get the journal *directory* and
+build a :class:`~repro.serve.store.JobPaths` — report, runner-report and
+span artifacts are theirs to write (atomically), the admission/terminal
+records stay single-writer in the parent.
+
+Cancellation is a per-job ``multiprocessing.Event``: the drain path sets
+it and the campaign runner inside the child stops at its next task
+boundary with the job's resume journal flushed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import Any
+
+from repro.obs.spans import SpanTracer
+from repro.serve.jobs import JobSpec, execute_job
+from repro.serve.store import JobPaths
+
+__all__ = ["JobHandle", "JobWorkers", "job_worker_main"]
+
+
+def _beat_loop(result_queue, job: str, attempt: int, interval: float,
+               stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            result_queue.put(("beat", job, attempt))
+        except Exception:
+            return  # parent went away; nothing left to report to
+
+
+def job_worker_main(record: dict, root: str, epoch: int, attempt: int,
+                    jobs: int, span_base: int,
+                    span_prev: tuple[str, str] | None, resumed: bool,
+                    serve_counters: dict | None, cancel, result_queue,
+                    heartbeat_s: float) -> None:
+    """Child process body: run one job attempt, report, exit.
+
+    *span_base*/*span_prev* reconstruct the job's tracer exactly as the
+    parent predicted it (span ids are sequential and deterministic, so the
+    parent journals the root span's ids *before* the fork and the child's
+    first ``begin()`` produces the same ids — the root survives even if
+    this process is SIGKILLed before it writes a single span).
+    """
+    spec = JobSpec.from_record(record)
+    try:
+        result_queue.put(("start", spec.job, attempt, os.getpid()))
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_beat_loop,
+            args=(result_queue, spec.job, attempt, heartbeat_s, stop),
+            daemon=True,
+        )
+        beat.start()
+        paths = JobPaths(root)
+        tracer = root_span = None
+        if spec.verb == "check":
+            tracer = SpanTracer(id_base=span_base, remote_parent=span_prev)
+            root_span = tracer.begin(
+                f"serve:job:{spec.job}", epoch=epoch,
+                tenant=spec.tenant, verb=spec.verb, resumed=resumed,
+            )
+            tracer.remote_parent = (root_span.trace_id, root_span.span_id)
+        try:
+            outcome = execute_job(
+                spec, paths, cancel, tracer=tracer,
+                serve_counters=serve_counters, jobs=jobs,
+            )
+        finally:
+            stop.set()
+        if tracer is not None:
+            if outcome.status == "done":
+                tracer.end(root_span)
+            # aborted/failed: the open root exports with an aborted status.
+            tracer.write(paths.spans_path(spec.job, epoch))
+        result_queue.put((
+            "done", spec.job, attempt, outcome.status, outcome.detail,
+            outcome.duration_s, outcome.degraded, outcome.degrade_reason,
+        ))
+    except BaseException as exc:  # noqa: BLE001 - last-ditch: report, then die
+        try:
+            result_queue.put((
+                "done", spec.job, attempt, "failed",
+                f"job worker died: {type(exc).__name__}: {exc}",
+                0.0, False, "",
+            ))
+        except Exception:
+            pass
+
+
+@dataclass
+class JobHandle:
+    """Parent-side state of one running job attempt."""
+
+    spec: JobSpec
+    process: Any
+    cancel: Any
+    #: 1-based supervision attempt (strikes from earlier epochs included).
+    attempt: int
+    started_at: float
+    last_beat: float
+    #: Wall-clock budget for this attempt (None = heartbeat-only supervision).
+    budget_s: float | None = None
+    #: Child pid, once its ``start`` message arrives.
+    pid: int | None = None
+    #: When the parent first saw the process dead without a ``done`` —
+    #: grace for result-queue latency before declaring a crash.
+    dead_at: float | None = None
+    extra: dict = field(default_factory=dict)
+
+
+class JobWorkers:
+    """The service's set of supervised job children."""
+
+    def __init__(self, heartbeat_s: float = 0.2,
+                 start_method: str | None = None) -> None:
+        self.heartbeat_s = heartbeat_s
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.result_queue = self._ctx.Queue()
+        #: job id -> handle for every live (or not-yet-reaped) attempt.
+        self.running: dict[str, JobHandle] = {}
+
+    # ---- lifecycle -----------------------------------------------------------
+
+    def launch(self, spec: JobSpec, *, root: str, epoch: int, attempt: int,
+               jobs: int, span_base: int = 0,
+               span_prev: tuple[str, str] | None = None,
+               resumed: bool = False, budget_s: float | None = None,
+               serve_counters: dict | None = None) -> JobHandle:
+        cancel = self._ctx.Event()
+        process = self._ctx.Process(
+            target=job_worker_main,
+            args=(spec.as_record(), root, epoch, attempt, jobs, span_base,
+                  span_prev, resumed, serve_counters, cancel,
+                  self.result_queue, self.heartbeat_s),
+            # Not a daemon: a ``--jobs N`` campaign must be allowed to start
+            # its own worker pool (daemonic processes cannot have children),
+            # and every shutdown path reaps the child explicitly anyway.
+            daemon=False,
+            name=f"repro-serve-{spec.job}",
+        )
+        process.start()
+        now = time.monotonic()
+        handle = JobHandle(
+            spec=spec, process=process, cancel=cancel, attempt=attempt,
+            started_at=now, last_beat=now, budget_s=budget_s,
+        )
+        self.running[spec.job] = handle
+        return handle
+
+    def finish(self, job: str) -> JobHandle | None:
+        """Reap a job whose ``done`` message was consumed."""
+        handle = self.running.pop(job, None)
+        if handle is not None:
+            handle.process.join(2.0)
+            if handle.process.is_alive():  # pragma: no cover - beat thread wedge
+                handle.process.kill()
+                handle.process.join(1.0)
+        return handle
+
+    def kill(self, job: str) -> JobHandle | None:
+        """SIGKILL a suspect attempt (also fells SIGSTOPped children)."""
+        handle = self.running.pop(job, None)
+        if handle is None:
+            return None
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(2.0)
+        return handle
+
+    def cancel_all(self) -> None:
+        """Drain path: ask every running job to stop at its next boundary."""
+        for handle in self.running.values():
+            handle.cancel.set()
+
+    def shutdown(self) -> None:
+        for job in list(self.running):
+            self.kill(job)
+        try:
+            self.result_queue.close()
+        except Exception:
+            pass
+
+    # ---- messages ------------------------------------------------------------
+
+    def poll(self) -> list[tuple]:
+        """Drain currently available messages without blocking.
+
+        Malformed messages (torn by a killed child) are dropped; staleness
+        (a message from a killed attempt) is the caller's to judge via the
+        ``(job, attempt)`` token.
+        """
+        messages: list[tuple] = []
+        while True:
+            try:
+                messages.append(self.result_queue.get_nowait())
+            except Empty:
+                break
+            except (EOFError, OSError, ValueError):  # pragma: no cover
+                break
+        return [m for m in messages if isinstance(m, tuple) and len(m) >= 3]

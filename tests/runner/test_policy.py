@@ -3,6 +3,11 @@
 import random
 
 from repro.runner import CircuitBreaker, RetryPolicy
+from repro.runner.policy import (
+    CALIBRATION_FACTOR,
+    CALIBRATION_SLACK_S,
+    calibrated_timeout_s,
+)
 
 
 class TestRetryPolicy:
@@ -66,3 +71,24 @@ class TestCircuitBreaker:
         assert not breaker.record_failure("")
         assert breaker.allow("")
         assert breaker.open_slices == ()
+
+
+class TestCalibratedTimeout:
+    """One calibration formula shared by campaign injection timeouts and
+    serve job supervision budgets."""
+
+    def test_formula(self):
+        assert calibrated_timeout_s(2.0) == 2.0 * CALIBRATION_FACTOR + CALIBRATION_SLACK_S
+
+    def test_slack_floor_swallows_nonsense_measurements(self):
+        # A zero or negative "clean" duration (clock skew, cold caches)
+        # still yields the slack as a usable minimum budget.
+        assert calibrated_timeout_s(0.0) == CALIBRATION_SLACK_S
+        assert calibrated_timeout_s(-3.0) == CALIBRATION_SLACK_S
+
+    def test_overrides(self):
+        assert calibrated_timeout_s(1.0, factor=2.0, slack_s=0.5) == 2.5
+
+    def test_budget_is_monotonic_in_clean_duration(self):
+        budgets = [calibrated_timeout_s(s) for s in (0.1, 1.0, 10.0)]
+        assert budgets == sorted(budgets)

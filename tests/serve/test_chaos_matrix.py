@@ -1,0 +1,218 @@
+"""The full chaos matrix: kill stage x worker topology, then recovery.
+
+The tentpole's strongest claim is not "the service survives one crash" but
+that the *matrix* holds: SIGKILL at every stage of the job lifecycle —
+mid-campaign, mid-compaction (both sides of the atomic rename), mid-drain —
+crossed with the worker topologies (``--workers 1 --jobs 1`` and
+``--workers 2 --jobs 2``), always recovers every acknowledged job to a
+report byte-identical to an uninterrupted serial ``repro check``.
+
+The compaction rows also prove the equivalence claim: a journal whose
+compaction was killed halfway recovers to exactly the same job states and
+report bytes as an untouched copy of the same journal.
+"""
+
+import json
+import shutil
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.runner.chaos import KILL_EXIT
+from repro.serve import ServeClient, read_endpoint
+from tests.serve.harness import (
+    CHECK_PARAMS,
+    run_cli,
+    serial_report_bytes,
+    start_serve,
+)
+
+#: Campaign sized so the kill reliably lands mid-run without the full
+#: 250-fault budget of the targeted crash tests (the matrix multiplies).
+MATRIX_CHECK_PARAMS = {**CHECK_PARAMS, "faults": 80}
+
+#: (workers, jobs) topologies the matrix crosses every kill stage with.
+TOPOLOGIES = [("1", "1"), ("2", "2")]
+
+
+@pytest.fixture(scope="module")
+def serial_small(tmp_path_factory):
+    return serial_report_bytes(tmp_path_factory.mktemp("small"), CHECK_PARAMS)
+
+
+@pytest.fixture(scope="module")
+def serial_matrix(tmp_path_factory):
+    return serial_report_bytes(
+        tmp_path_factory.mktemp("matrix"), MATRIX_CHECK_PARAMS
+    )
+
+
+def topology_args(workers: str, jobs: str) -> tuple:
+    return ("--workers", workers, "--jobs", jobs)
+
+
+def wait_for_lines(path, count, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if path.exists() and len(path.read_bytes().splitlines()) >= count:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"{path} never reached {count} lines")
+
+
+def kill_server(proc):
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait()
+
+
+def recover_and_check(journal_dir, extra_args, expectations, min_epoch=2):
+    """Restart on *journal_dir*; demand every acknowledged job's bytes.
+
+    *expectations* maps job id -> (reference_bytes, expect_resumed).
+    Returns the final ``job -> state`` map for equivalence comparisons.
+    """
+    proc = start_serve(journal_dir, *extra_args)
+    states = {}
+    try:
+        host, port = read_endpoint(
+            journal_dir, timeout_s=20, min_epoch=min_epoch
+        )
+        client = ServeClient(host, port)
+        for job, (reference, expect_resumed) in sorted(expectations.items()):
+            assert client.wait(job, timeout_s=600) == "done"
+            raw = client.report_bytes(job)
+            assert raw == reference, f"{job} diverged from the serial oracle"
+            doc = json.loads(raw)
+            analysis = doc["data"]["summary"]["analysis"]
+            assert analysis["silent_unexplained"] == 0
+            if expect_resumed:
+                runner = client.runner_doc(job)["data"]
+                assert runner["journal"]["resumed"] is True
+            states[job] = client.job(job)["state"]
+        client.drain()
+        proc.wait(timeout=60)
+        assert proc.returncode == 3
+    finally:
+        kill_server(proc)
+    return states
+
+
+class TestMidJobKill:
+    @pytest.mark.parametrize("workers,jobs", TOPOLOGIES)
+    def test_sigkill_mid_campaign_recovers_every_acknowledged_job(
+        self, workers, jobs, tmp_path, serial_small, serial_matrix
+    ):
+        journal_dir = tmp_path / "serve"
+        args = topology_args(workers, jobs)
+        proc = start_serve(journal_dir, *args)
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20)
+            client = ServeClient(host, port)
+            long_job = client.submit("check", MATRIX_CHECK_PARAMS, tenant="a")
+            small_job = client.submit("check", CHECK_PARAMS, tenant="b")
+            # Let the long campaign journal real progress, then kill -9.
+            wait_for_lines(
+                journal_dir / "jobs" / f"{long_job}.journal.jsonl", 6
+            )
+            proc.kill()
+            proc.wait(timeout=60)
+        finally:
+            kill_server(proc)
+        # The small job may have been queued (workers=1), running, or done
+        # at kill time; whichever it was, recovery owes the bytes.
+        recover_and_check(journal_dir, args, {
+            long_job: (serial_matrix, True),
+            small_job: (serial_small, False),
+        })
+
+
+class TestMidDrainKill:
+    @pytest.mark.parametrize("workers,jobs", TOPOLOGIES)
+    def test_kill_inside_drain_loses_no_completed_work(
+        self, workers, jobs, tmp_path, serial_small
+    ):
+        journal_dir = tmp_path / "serve"
+        args = topology_args(workers, jobs)
+        proc = start_serve(
+            journal_dir, *args, REPRO_CHAOS_KILL_POINT="mid-drain"
+        )
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20)
+            client = ServeClient(host, port)
+            jobs_done = [
+                client.submit("check", CHECK_PARAMS, tenant=t)
+                for t in ("a", "b")
+            ]
+            for job in jobs_done:
+                assert client.wait(job, timeout_s=300) == "done"
+            try:
+                client.drain()
+            except ServeError:
+                pass  # the drain response may be torn by the exit race
+            proc.wait(timeout=60)
+            assert proc.returncode == KILL_EXIT
+        finally:
+            kill_server(proc)
+        states = recover_and_check(journal_dir, args, {
+            job: (serial_small, False) for job in jobs_done
+        })
+        assert set(states.values()) == {"done"}
+
+
+class TestMidCompactionKill:
+    """Kill inside compaction — either side of the atomic rename — with
+    both a terminal job to archive and a half-finished campaign pending.
+
+    Recovery from the crashed compaction must be indistinguishable from
+    recovery on an untouched copy of the same journal taken before the
+    compaction ran: same job states, same report bytes.
+    """
+
+    @pytest.mark.parametrize("point", ["compact-snapshot", "compact-commit"])
+    @pytest.mark.parametrize("workers,jobs", TOPOLOGIES)
+    def test_killed_compaction_recovers_like_the_uncompacted_journal(
+        self, point, workers, jobs, tmp_path, serial_small, serial_matrix
+    ):
+        journal_dir = tmp_path / "serve"
+        args = topology_args(workers, jobs)
+        proc = start_serve(journal_dir, *args)
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20)
+            client = ServeClient(host, port)
+            # One terminal job for the compactor to archive...
+            done_job = client.submit("check", CHECK_PARAMS, tenant="a")
+            assert client.wait(done_job, timeout_s=300) == "done"
+            # ...and one acknowledged campaign it must carry forward.
+            pending_job = client.submit(
+                "check", MATRIX_CHECK_PARAMS, tenant="b"
+            )
+            wait_for_lines(
+                journal_dir / "jobs" / f"{pending_job}.journal.jsonl", 6
+            )
+            proc.kill()
+            proc.wait(timeout=60)
+        finally:
+            kill_server(proc)
+
+        # Snapshot the pre-compaction state for the equivalence claim.
+        twin_dir = tmp_path / "twin"
+        shutil.copytree(journal_dir, twin_dir)
+
+        # Offline compaction dies at the armed point inside itself.
+        compact = run_cli(
+            "serve", "--journal-dir", str(journal_dir), "--compact",
+            REPRO_CHAOS_KILL_POINT=point,
+        )
+        assert compact.returncode == KILL_EXIT, compact.stderr.decode()
+
+        expectations = {
+            done_job: (serial_small, False),
+            pending_job: (serial_matrix, True),
+        }
+        states = recover_and_check(journal_dir, args, expectations)
+        twin_states = recover_and_check(twin_dir, args, expectations)
+        assert states == twin_states == {
+            done_job: "done", pending_job: "done",
+        }

@@ -1,11 +1,16 @@
 """Chaos matrix for the service: crashes at armed kill points, then recovery.
 
-Every test here kills the serve process somewhere unpleasant — SIGKILL mid
-campaign, ``os._exit`` inside a journal append, before an fsync, halfway
-through an HTTP response, mid graceful drain — restarts it on the same
-journal directory and demands the strongest claim in the tentpole: the
-recovered job's final report is byte-identical to an uninterrupted serial
-``repro check`` run.
+Every test here kills something somewhere unpleasant — SIGKILL of the whole
+server mid campaign, ``os._exit`` inside a journal append or before an
+fsync (which, under the supervised-worker architecture, lands in the *job
+child*), halfway through an HTTP response, mid graceful drain — and then
+demands the strongest claim in the tentpole: the job's final report is
+byte-identical to an uninterrupted serial ``repro check`` run.
+
+Crashes in the server itself are recovered by restart; crashes in a job
+child are *contained* — the supervisor detects the dead worker, requeues
+the job, and the retry resumes the same campaign journal without the
+server ever going down.
 """
 
 import json
@@ -92,30 +97,57 @@ class TestSigkill:
 
 
 class TestKillPoints:
-    # Hit counts are calibrated against the process-wide kill_point counter:
-    # server startup costs 2 journal appends / 3 fsyncs (serve journal header
-    # + epoch), admission a couple more; a 250-fault campaign then appends
-    # ~252 task records with an fsync every 8.  Both counts below therefore
-    # land squarely inside the campaign.
+    # Hit counts are calibrated against the process-wide kill_point counter
+    # (inherited across fork): server startup costs 2 journal appends / a few
+    # fsyncs (serve journal header + epoch), admission a couple more; the job
+    # child's 250-fault campaign then appends ~252 task records with an fsync
+    # every 8.  Both counts below therefore land squarely inside the child's
+    # campaign — the server itself never gets near them.
     @pytest.mark.parametrize("point,after", [
         ("journal-append", 40),
         ("pre-fsync", 10),
     ])
-    def test_crash_inside_the_journal_resumes_byte_identical(
+    def test_crash_inside_the_journal_is_contained_and_requeued(
         self, point, after, tmp_path, serial_long
     ):
+        # The supervised-worker claim: a crash inside the campaign journal
+        # kills only the job child.  The supervisor notices the dead worker,
+        # requeues the job, and the retry resumes the same journal to a
+        # byte-identical report — the server never goes down at all.
         journal_dir = tmp_path / "serve"
+        marker = tmp_path / "chaos-fired"
         proc = start_serve(
             journal_dir,
             REPRO_CHAOS_KILL_POINT=point,
             REPRO_CHAOS_KILL_AFTER=str(after),
+            REPRO_CHAOS_KILL_MARKER=str(marker),
         )
         try:
             host, port = read_endpoint(journal_dir, timeout_s=20)
             client = ServeClient(host, port)
             job = client.submit("check", LONG_CHECK_PARAMS)
-            proc.wait(timeout=300)
-            assert proc.returncode == KILL_EXIT
+            # The once-marker appears the instant the child dies at the
+            # armed point (and disarms it for the requeued attempt).
+            deadline = time.monotonic() + 300
+            while not marker.exists():
+                assert time.monotonic() < deadline, "kill point never fired"
+                time.sleep(0.05)
+            assert proc.poll() is None, "crash was not contained to the child"
+            assert client.wait(job, timeout_s=600) == "done"
+            status = client.status()
+            assert status["epoch"] == 1  # same server, no restart
+            assert status["counters"]["requeued"] >= 1
+            reasons = {
+                event["reason"] for event in client.events("job_requeued")
+            }
+            assert "crash" in reasons
+            raw = client.report_bytes(job)
+            assert raw == serial_long
+            runner = client.runner_doc(job)["data"]
+            assert runner["journal"]["resumed"] is True
+            client.drain()
+            proc.wait(timeout=60)
+            assert proc.returncode == 3
         finally:
             if proc.poll() is None:
                 proc.kill()
@@ -123,7 +155,6 @@ class TestKillPoints:
         # The torn journal still loads: at worst the final line is truncated.
         load = load_journal(journal_dir / "jobs" / f"{job}.journal.jsonl")
         assert load.corrupt == 0
-        finish_after_restart(journal_dir, job, serial_long)
 
     def test_crash_mid_response_never_loses_an_acknowledged_job(
         self, tmp_path, serial_small

@@ -211,3 +211,151 @@ class TestGracefulDrain:
         load = load_journal(journal_dir / "serve.jsonl")
         assert not load.truncated
         assert load.header["fingerprint"] == {"verb": "serve"}
+
+
+class TestMultiWorker:
+    """Genuine concurrency: --workers M jobs run at the same time."""
+
+    def test_probe_jobs_overlap_on_two_workers(self, tmp_path):
+        journal_dir = tmp_path / "serve"
+        proc = start_serve(journal_dir, "--workers", "2")
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20)
+            client = ServeClient(host, port)
+            started = time.monotonic()
+            jobs = [client.submit("probe", {"duration_s": 0.8})
+                    for _ in range(2)]
+            for job in jobs:
+                assert client.wait(job, timeout_s=30) == "done"
+            wall = time.monotonic() - started
+            # Two 0.8s sleeps serially take >= 1.6s; overlapped they fit
+            # well under that even with dispatch overhead.
+            assert wall < 1.45, f"probes did not overlap (wall {wall:.2f}s)"
+            client.drain()
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_status_surfaces_workers_queues_and_journal(self, tmp_path):
+        journal_dir = tmp_path / "serve"
+        proc = start_serve(journal_dir, "--workers", "2", "--jobs", "2",
+                           "--tenant-weight", "vip=3", "--max-inflight", "2")
+        try:
+            host, port = read_endpoint(journal_dir, timeout_s=20)
+            client = ServeClient(host, port)
+            job = client.submit("probe", {"duration_s": 1.0}, tenant="vip")
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                status = client.status()
+                if status["workers"]["busy"] >= 1:
+                    break
+                time.sleep(0.02)
+            assert status["workers"]["configured"] == 2
+            assert status["workers"]["jobs_per_campaign"] == 2
+            assert status["workers"]["max_inflight"] == 2
+            running = {entry["job"]: entry for entry in status["running"]}
+            assert running[job]["tenant"] == "vip"
+            assert running[job]["attempt"] == 1
+            assert running[job]["pid"] is None or running[job]["pid"] > 0
+            assert status["queues"]["vip"]["weight"] == 3
+            assert status["queues"]["vip"]["inflight"] == 1
+            assert status["journal"]["records"] >= 2
+            assert status["events"]["dropped"] == 0
+            assert client.wait(job, timeout_s=30) == "done"
+            client.drain()
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+class TestEventsRing:
+    def test_ring_drops_are_surfaced_not_silent(self, tmp_path):
+        # In-process: overflow the ring without paying for 1000 HTTP jobs.
+        from repro.obs.events import JobSubmittedEvent
+        from repro.serve.app import EVENT_RING, ServeApp
+        from repro.serve.http import Request
+
+        app = ServeApp(tmp_path / "ring")
+        try:
+            for n in range(EVENT_RING + 25):
+                app.bus.emit("job_submitted", JobSubmittedEvent(
+                    job=f"job-{n:06d}", tenant="t", verb="probe", depth=1,
+                ))
+            status = app._status()
+            assert status["events"]["dropped"] == 25
+            assert status["events"]["oldest_seq"] == 26
+            raw = app._events_body(Request(method="GET", path="/v1/events"))
+            head = raw.split(b"\r\n\r\n", 1)[0].decode("latin-1")
+            assert "X-Repro-Events-Dropped: 25" in head
+            assert "X-Repro-Events-Oldest-Seq: 26" in head
+        finally:
+            app.store.close()
+
+
+class TestSubmitRetry:
+    def test_retries_honor_retry_after_with_cap_and_jitter(self, monkeypatch):
+        import random
+
+        from repro.serve import SubmitRetry
+        from repro.serve.client import ServeClient
+
+        client = ServeClient("127.0.0.1", 1)
+        rejections = [ServeRejected("queue_full", 12.0),
+                      ServeRejected("queue_full", 2.0)]
+
+        def fake_json(method, path, payload=None):
+            if rejections:
+                raise rejections.pop(0)
+            return {"data": {"job": "job-000042"}}
+
+        sleeps = []
+        monkeypatch.setattr(client, "_json", fake_json)
+        monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+        policy = SubmitRetry(budget_s=30.0, max_attempts=6,
+                             cap_s=5.0, jitter=0.25)
+        job = client.submit("probe", {}, retry=policy,
+                            rng=random.Random(7))
+        assert job == "job-000042"
+        assert len(sleeps) == 2
+        # First hint (12s) is capped at 5s, then jittered within +-25%.
+        assert 5.0 * 0.75 <= sleeps[0] <= 5.0 * 1.25
+        assert 2.0 * 0.75 <= sleeps[1] <= 2.0 * 1.25
+
+    def test_attempt_budget_reraises_last_rejection(self, monkeypatch):
+        from repro.serve import SubmitRetry
+        from repro.serve.client import ServeClient
+
+        client = ServeClient("127.0.0.1", 1)
+
+        def always_reject(method, path, payload=None):
+            raise ServeRejected("queue_full", 0.01)
+
+        monkeypatch.setattr(client, "_json", always_reject)
+        monkeypatch.setattr("repro.serve.client.time.sleep", lambda _s: None)
+        with pytest.raises(ServeRejected) as info:
+            client.submit("probe", {},
+                          retry=SubmitRetry(max_attempts=3, budget_s=30.0))
+        assert info.value.reason == "queue_full"
+
+    def test_wall_clock_budget_stops_retrying(self, monkeypatch):
+        from repro.serve import SubmitRetry
+        from repro.serve.client import ServeClient
+
+        client = ServeClient("127.0.0.1", 1)
+
+        def always_reject(method, path, payload=None):
+            raise ServeRejected("queue_full", 60.0)
+
+        monkeypatch.setattr(client, "_json", always_reject)
+        slept = []
+        monkeypatch.setattr("repro.serve.client.time.sleep", slept.append)
+        # Budget smaller than any capped delay: one attempt, no sleeps.
+        with pytest.raises(ServeRejected):
+            client.submit("probe", {},
+                          retry=SubmitRetry(budget_s=0.5, max_attempts=10,
+                                            cap_s=5.0, jitter=0.0))
+        assert slept == []

@@ -88,6 +88,118 @@ class TestRecovery:
             JobSpec.from_record({"type": "job", "job": "x"})
 
 
+class TestCompaction:
+    @staticmethod
+    def admit(store, verb="check"):
+        seq = store.claim_seq()
+        admitted = spec(seq, verb)
+        store.record_job(admitted)
+        return admitted
+
+    def test_pending_state_survives_compaction_exactly(self, tmp_path):
+        store = ServeStore(tmp_path)
+        first = self.admit(store)
+        done = self.admit(store)
+        pending = self.admit(store)
+        store.record_done(done.job, "done")
+        store.record_attempt(pending.job, 2, "hang")
+        store.record_span_root(pending.job, "t" * 32, "s" * 16)
+        stats = store.compact(reason="test")
+        assert stats["reason"] == "test"
+        assert stats["records_after"] <= stats["records_before"]
+        assert stats["archived_terminals"] == 0  # default keep covers it
+        store.close()
+
+        reopened = ServeStore(tmp_path)
+        assert [s.job for s in reopened.recovered] == [first.job, pending.job]
+        assert reopened.recovered[1] == pending  # params intact
+        assert reopened.terminal == {done.job: "done"}
+        assert reopened.attempts[pending.job] == 2
+        assert reopened.span_roots[pending.job] == ("t" * 32, "s" * 16)
+        assert reopened.next_seq == 4
+        reopened.close()
+
+    def test_pruned_terminals_never_reissue_job_ids(self, tmp_path):
+        store = ServeStore(tmp_path)
+        jobs = [self.admit(store) for _ in range(3)]
+        for admitted in jobs:
+            store.write_report(admitted.job, {
+                "schema": "repro.obs/1", "kind": "t",
+                "data": {"job": admitted.job},
+            })
+            store.record_done(admitted.job, "done")
+        stats = store.compact(keep_terminal=0)
+        assert stats["archived_terminals"] == 3
+        assert stats["kept_terminals"] == 0
+        store.close()
+
+        reopened = ServeStore(tmp_path)
+        # The terminal records are gone, but the seq counter rode the
+        # snapshot: new admissions cannot collide with archived reports...
+        assert reopened.terminal == {}
+        assert reopened.archived_terminals == 3
+        assert reopened.next_seq == 4
+        assert reopened.claim_seq() == 4
+        # ...and the report artifacts themselves are forever.
+        for admitted in jobs:
+            assert reopened.read_report(admitted.job) is not None
+        reopened.close()
+
+    def test_keep_terminal_retains_the_newest_records(self, tmp_path):
+        store = ServeStore(tmp_path)
+        jobs = [self.admit(store) for _ in range(4)]
+        for admitted in jobs:
+            store.record_done(admitted.job, "done")
+        stats = store.compact(keep_terminal=2)
+        assert stats["archived_terminals"] == 2
+        assert stats["kept_terminals"] == 2
+        assert sorted(store.terminal) == [jobs[2].job, jobs[3].job]
+        # A second pass with nothing new archives nothing further but the
+        # cumulative counter holds.
+        stats = store.compact(keep_terminal=2)
+        assert stats["archived_terminals"] == 0
+        store.close()
+        reopened = ServeStore(tmp_path)
+        assert reopened.archived_terminals == 2
+        reopened.close()
+
+    def test_terminal_runner_journals_are_deleted_pending_kept(self, tmp_path):
+        store = ServeStore(tmp_path)
+        done = self.admit(store)
+        pending = self.admit(store)
+        store.job_journal(done.job).write_bytes(b"dead weight\n")
+        store.job_journal(pending.job).write_bytes(b"resume state\n")
+        store.record_done(done.job, "done")
+        store.compact()
+        assert not store.job_journal(done.job).exists()
+        assert store.job_journal(pending.job).read_bytes() == b"resume state\n"
+        store.close()
+
+    def test_stale_compact_tmp_is_dropped_on_open(self, tmp_path):
+        store = ServeStore(tmp_path)
+        admitted = self.admit(store)
+        store.close()
+        # A crash at the compact-snapshot kill point leaves the tmp file;
+        # it was never the live journal and must not shadow it.
+        stale = tmp_path / "serve.jsonl.compact"
+        stale.write_bytes(b"deadbeef not a journal\n")
+        reopened = ServeStore(tmp_path)
+        assert not stale.exists()
+        assert [s.job for s in reopened.recovered] == [admitted.job]
+        reopened.close()
+
+    def test_degraded_flag_rides_through_compaction(self, tmp_path):
+        store = ServeStore(tmp_path)
+        admitted = self.admit(store)
+        store.record_done(admitted.job, "done", detail="breaker", degraded=True)
+        store.compact()
+        assert store.terminal_records[admitted.job]["degraded"] is True
+        store.close()
+        reopened = ServeStore(tmp_path)
+        assert reopened.terminal_records[admitted.job]["degraded"] is True
+        reopened.close()
+
+
 class TestArtifacts:
     def test_report_write_is_atomic_and_byte_stable_format(self, tmp_path):
         from repro.obs.export import write_json
